@@ -1,0 +1,210 @@
+(* The paper-reproduction harness: one sub-command per table and figure
+   of the evaluation (Sec. 7-8), plus a Bechamel microbenchmark suite over
+   the core primitives.
+
+   Usage:
+     bench/main.exe                 -- everything (the default)
+     bench/main.exe fig6 fig9       -- selected jobs
+   Environment:
+     REPRO_SCALE   workload scale factor (default 0.25; 1.0 is the full
+                   reduced-size configuration documented in EXPERIMENTS.md)
+     REPRO_CSV_DIR if set, every figure also drops its raw CSV there *)
+
+module E = Repro_experiments
+module W = Repro_workloads
+
+let scale =
+  match Sys.getenv_opt "REPRO_SCALE" with
+  | Some s -> (try float_of_string s with _ -> E.Sweep.default_scale)
+  | None -> E.Sweep.default_scale
+
+let csv_dir = Sys.getenv_opt "REPRO_CSV_DIR"
+
+let save_csv name contents =
+  match csv_dir with
+  | None -> ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let oc = open_out (Filename.concat dir (name ^ ".csv")) in
+    output_string oc contents;
+    close_out oc
+
+let banner title = Printf.printf "\n=== %s ===\n%!" title
+
+(* The Figures 6-9 sweep is shared; build it lazily once. *)
+let sweep =
+  lazy
+    (banner (Printf.sprintf "Sweep: 11 workloads x 5 techniques (scale %.2f)" scale);
+     E.Sweep.run ~scale ~progress:(fun w -> Printf.printf "  running %s...\n%!" w) ())
+
+let run_fig1b () =
+  banner "Figure 1b";
+  print_string (E.Fig1b.render (Lazy.force sweep))
+
+let run_table1 () =
+  banner "Table 1";
+  print_string (E.Table1.render (Lazy.force sweep))
+
+let run_table2 () =
+  banner "Table 2";
+  let s = Lazy.force sweep in
+  print_string (E.Table2.render s);
+  save_csv "table2" (E.Table2.csv s)
+
+let run_fig6 () =
+  banner "Figure 6";
+  let s = Lazy.force sweep in
+  print_string (E.Fig6.render s);
+  save_csv "fig6" (E.Fig6.csv s)
+
+let run_fig7 () =
+  banner "Figure 7";
+  let s = Lazy.force sweep in
+  print_string (E.Fig7.render s);
+  save_csv "fig7" (E.Fig7.csv s)
+
+let run_fig8 () =
+  banner "Figure 8";
+  let s = Lazy.force sweep in
+  print_string (E.Fig8.render s);
+  save_csv "fig8" (E.Fig8.csv s)
+
+let run_fig9 () =
+  banner "Figure 9";
+  let s = Lazy.force sweep in
+  print_string (E.Fig9.render s);
+  save_csv "fig9" (E.Fig9.csv s)
+
+let run_fig10 () =
+  banner "Figure 10 (chunk-size sensitivity; re-runs COAL per size)";
+  let points = E.Fig10.run ~scale () in
+  print_string (E.Fig10.render points);
+  save_csv "fig10" (E.Fig10.csv points)
+
+let run_fig11 () =
+  banner "Figure 11";
+  let points = E.Fig11.points ~scale () in
+  print_string (E.Fig11.render points);
+  save_csv "fig11" (E.Fig11.csv points)
+
+let microbench_scale () = Float.min 1.0 (Float.max 0.1 scale)
+
+let run_fig12a () =
+  banner "Figure 12a (object scaling)";
+  let points = E.Fig12.run_object_sweep ~scale:(microbench_scale ()) () in
+  print_string (E.Fig12.render_object_sweep points);
+  save_csv "fig12a" (E.Fig12.csv points)
+
+let run_fig12b () =
+  banner "Figure 12b (type scaling)";
+  let points = E.Fig12.run_type_sweep ~scale:(microbench_scale ()) () in
+  print_string (E.Fig12.render_type_sweep points);
+  save_csv "fig12b" (E.Fig12.csv points)
+
+let run_ablation () =
+  banner "Ablations (Sec. 5/6 design choices)";
+  print_string
+    (E.Ablation.render
+       ~title:"TypePointer: silicon prototype (masks at member refs) vs hardware MMU"
+       (E.Ablation.tp_prototype_vs_hw ~scale ()));
+  print_string
+    (E.Ablation.render ~title:"TypePointer: tag encodings (Sec. 6.2)"
+       [ E.Ablation.tp_encoding () ])
+
+let run_init () =
+  banner "Initialization comparison (Sec. 8.2)";
+  print_string (E.Init_bench.render (E.Init_bench.run ~scale ()))
+
+(* --- Bechamel microbenchmarks over the core primitives ---------------- *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let module R = Repro_core in
+  let heap = Repro_mem.Page_store.create () in
+  let space = Repro_mem.Address_space.create () in
+  let reg = R.Registry.create ~heap in
+  let impl = R.Registry.register_impl reg ~name:"noop" (fun _ _ -> ()) in
+  let types =
+    Array.init 8 (fun i ->
+        R.Registry.define_type reg ~name:(Printf.sprintf "T%d" i) ~field_words:4
+          ~slots:[| impl |] ())
+  in
+  let vts = R.Vtable_space.create ~heap ~space () in
+  R.Registry.materialize reg ~vtspace:vts ~space;
+  let alloc = R.Shared_oa.create ~space () in
+  let rng = Repro_util.Rng.create ~seed:1 in
+  let ptrs =
+    Array.init 4096 (fun i -> alloc.R.Allocator.alloc ~typ:types.(i mod 8) ~size_bytes:32)
+  in
+  let table = R.Range_table.create ~heap ~space in
+  R.Range_table.rebuild table ~registry:reg ~regions:(alloc.R.Allocator.regions ());
+  let addrs32 =
+    Array.init 32 (fun _ -> ptrs.(Repro_util.Rng.int rng 4096))
+  in
+  let cache =
+    Repro_gpu.Cache.create Repro_gpu.Config.default.Repro_gpu.Config.l1_geometry
+  in
+  let counter = ref 0 in
+  Test.make_grouped ~name:"core"
+    [
+      Test.make ~name:"segment-tree host lookup"
+        (Staged.stage (fun () -> ignore (R.Range_table.find_region_host table ptrs.(1234))));
+      Test.make ~name:"typepointer tag codec"
+        (Staged.stage (fun () ->
+             let tagged = Repro_mem.Vaddr.with_tag 0x12345678 ~tag:321 in
+             ignore (Repro_mem.Vaddr.strip tagged + Repro_mem.Vaddr.tag_of tagged)));
+      Test.make ~name:"warp coalescer (32 lanes)"
+        (Staged.stage (fun () -> ignore (Repro_gpu.Coalesce.transaction_count addrs32)));
+      Test.make ~name:"sectored L1 access"
+        (Staged.stage (fun () ->
+             incr counter;
+             ignore (Repro_gpu.Cache.access cache ~sector:(!counter land 2047))));
+      Test.make ~name:"shared-oa allocation"
+        (Staged.stage (fun () ->
+             ignore (alloc.R.Allocator.alloc ~typ:types.(0) ~size_bytes:32)));
+    ]
+
+let run_bechamel () =
+  banner "Bechamel microbenchmarks (core primitives)";
+  let open Bechamel in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) () in
+  let raw = Benchmark.all cfg [ instance ] (bechamel_tests ()) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows = ref [] in
+  Hashtbl.iter (fun name r -> rows := (name, r) :: !rows) results;
+  List.iter
+    (fun (name, r) ->
+      match Analyze.OLS.estimates r with
+      | Some [ ns ] -> Printf.printf "  %-45s %12.1f ns/run\n" name ns
+      | _ -> Printf.printf "  %-45s (no estimate)\n" name)
+    (List.sort compare !rows)
+
+let jobs =
+  [
+    ("fig1b", run_fig1b); ("table1", run_table1); ("table2", run_table2);
+    ("fig6", run_fig6); ("fig7", run_fig7); ("fig8", run_fig8); ("fig9", run_fig9);
+    ("fig10", run_fig10); ("fig11", run_fig11); ("fig12a", run_fig12a);
+    ("fig12b", run_fig12b); ("init", run_init); ("ablation", run_ablation);
+    ("bechamel", run_bechamel);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst jobs
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name jobs with
+      | Some job -> job ()
+      | None ->
+        Printf.eprintf "unknown job %S; available: %s\n" name
+          (String.concat ", " (List.map fst jobs));
+        exit 2)
+    requested;
+  Printf.printf "\nDone.\n"

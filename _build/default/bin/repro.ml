@@ -1,0 +1,177 @@
+(* The command-line front end.
+
+     repro list                         all workloads
+     repro run -w TRAF -t coal          one workload under one technique
+     repro compare -w GOL               one workload under all techniques
+     repro figure 6                     regenerate a figure (1b, 6..12b)
+     repro table 2                      regenerate a table (1 or 2)
+     repro init                         the Sec. 8.2 allocation comparison *)
+
+module W = Repro_workloads
+module T = Repro_core.Technique
+module E = Repro_experiments
+module Stats = Repro_gpu.Stats
+
+open Cmdliner
+
+let technique_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (T.of_string s) in
+  Arg.conv (parse, T.pp)
+
+let workload_conv =
+  let parse s =
+    match W.Registry.find s with
+    | Some w -> Ok w
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown workload %S (try one of: %s)" s
+              (String.concat ", " (List.map W.Registry.qualified_name W.Registry.all))))
+  in
+  let pp ppf w = Format.pp_print_string ppf (W.Registry.qualified_name w) in
+  Arg.conv (parse, pp)
+
+let scale_arg =
+  Arg.(value & opt float E.Sweep.default_scale & info [ "s"; "scale" ] ~docv:"SCALE"
+         ~doc:"Workload scale factor (1.0 = the full reduced-size configuration).")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic input seed.")
+
+let iterations_arg =
+  Arg.(value & opt (some int) None & info [ "i"; "iterations" ] ~docv:"N"
+         ~doc:"Override the workload's compute-iteration count.")
+
+let params technique scale seed iterations =
+  { (W.Workload.default_params technique) with W.Workload.scale; seed; iterations }
+
+let print_run (r : W.Harness.run) =
+  Printf.printf
+    "%-22s %-7s cycles=%12.0f  ld-trans=%10d  L1=%5.1f%%  instr=%10d  pki=%5.1f\n"
+    r.W.Harness.workload
+    (T.name r.W.Harness.technique)
+    r.W.Harness.cycles
+    (Stats.load_transactions r.W.Harness.stats)
+    (100. *. Stats.l1_hit_rate r.W.Harness.stats)
+    (Stats.total_instructions r.W.Harness.stats)
+    r.W.Harness.vfunc_pki
+
+(* --- list ---------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun w ->
+        Printf.printf "%-18s %-12s paper: %d objects, %d types -- %s\n"
+          (W.Registry.qualified_name w) w.W.Workload.suite w.W.Workload.paper_objects
+          w.W.Workload.paper_types w.W.Workload.description)
+      W.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the eleven workloads of Table 2.")
+    Term.(const run $ const ())
+
+(* --- run ----------------------------------------------------------------- *)
+
+let run_cmd =
+  let workload =
+    Arg.(required & opt (some workload_conv) None & info [ "w"; "workload" ] ~docv:"NAME"
+           ~doc:"Workload name (see $(b,repro list)).")
+  in
+  let technique =
+    Arg.(value & opt technique_conv T.Shared_oa & info [ "t"; "technique" ] ~docv:"TECH"
+           ~doc:"cuda | con | shard | coal | tp | tp-hw | tp/cuda.")
+  in
+  let run w t scale seed iterations =
+    print_run (W.Harness.run w (params t scale seed iterations))
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one workload under one technique and print its profile.")
+    Term.(const run $ workload $ technique $ scale_arg $ seed_arg $ iterations_arg)
+
+(* --- compare --------------------------------------------------------------- *)
+
+let compare_cmd =
+  let workload =
+    Arg.(required & opt (some workload_conv) None & info [ "w"; "workload" ] ~docv:"NAME")
+  in
+  let run w scale seed iterations =
+    let runs =
+      W.Harness.run_techniques w (params T.Shared_oa scale seed iterations) T.all_paper
+    in
+    List.iter print_run runs;
+    match List.find_opt (fun r -> T.equal r.W.Harness.technique T.Shared_oa) runs with
+    | Some base ->
+      Printf.printf "normalized to SharedOA:";
+      List.iter
+        (fun r ->
+          Printf.printf "  %s=%.2f" (T.name r.W.Harness.technique)
+            (W.Harness.speedup_vs ~baseline:r base
+             |> fun x -> 1. /. x))
+        runs;
+      print_newline ()
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Run one workload under all five techniques (validating results agree).")
+    Term.(const run $ workload $ scale_arg $ seed_arg $ iterations_arg)
+
+(* --- figure / table --------------------------------------------------------- *)
+
+let sweep_of scale = E.Sweep.run ~scale ~progress:(fun w -> Printf.eprintf "  %s...\n%!" w) ()
+
+let figure_cmd =
+  let which =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FIG"
+           ~doc:"One of: 1b, 6, 7, 8, 9, 10, 11, 12a, 12b.")
+  in
+  let run which scale =
+    match which with
+    | "1b" -> print_string (E.Fig1b.render (sweep_of scale))
+    | "6" -> print_string (E.Fig6.render (sweep_of scale))
+    | "7" -> print_string (E.Fig7.render (sweep_of scale))
+    | "8" -> print_string (E.Fig8.render (sweep_of scale))
+    | "9" -> print_string (E.Fig9.render (sweep_of scale))
+    | "10" -> print_string (E.Fig10.render (E.Fig10.run ~scale ()))
+    | "11" -> print_string (E.Fig11.render (E.Fig11.points ~scale ()))
+    | "12a" -> print_string (E.Fig12.render_object_sweep (E.Fig12.run_object_sweep ~scale ()))
+    | "12b" -> print_string (E.Fig12.render_type_sweep (E.Fig12.run_type_sweep ~scale ()))
+    | other -> Printf.eprintf "unknown figure %S\n" other; exit 2
+  in
+  Cmd.v (Cmd.info "figure" ~doc:"Regenerate one of the paper's figures.")
+    Term.(const run $ which $ scale_arg)
+
+let table_cmd =
+  let which = Arg.(required & pos 0 (some string) None & info [] ~docv:"TABLE") in
+  let run which scale =
+    match which with
+    | "1" -> print_string (E.Table1.render (sweep_of scale))
+    | "2" -> print_string (E.Table2.render (sweep_of scale))
+    | other -> Printf.eprintf "unknown table %S\n" other; exit 2
+  in
+  Cmd.v (Cmd.info "table" ~doc:"Regenerate Table 1 or Table 2.")
+    Term.(const run $ which $ scale_arg)
+
+let ablation_cmd =
+  let run scale =
+    print_string
+      (E.Ablation.render
+         ~title:"TypePointer: silicon prototype vs hardware MMU"
+         (E.Ablation.tp_prototype_vs_hw ~scale ()));
+    print_string
+      (E.Ablation.render ~title:"TypePointer: tag encodings (Sec. 6.2)"
+         [ E.Ablation.tp_encoding () ])
+  in
+  Cmd.v (Cmd.info "ablation" ~doc:"Design-choice ablations (TypePointer modes and encodings).")
+    Term.(const run $ scale_arg)
+
+let init_cmd =
+  let run scale = print_string (E.Init_bench.render (E.Init_bench.run ~scale ())) in
+  Cmd.v
+    (Cmd.info "init" ~doc:"The Sec. 8.2 initialization-cost comparison (SharedOA vs device new).")
+    Term.(const run $ scale_arg)
+
+let () =
+  let doc = "Reproduction of 'Judging a Type by Its Pointer' (ASPLOS '21)." in
+  let info = Cmd.info "repro" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; compare_cmd; figure_cmd; table_cmd; init_cmd; ablation_cmd ]))

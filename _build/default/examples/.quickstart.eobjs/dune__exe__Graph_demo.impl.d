@@ -1,0 +1,1 @@
+examples/graph_demo.ml: Array Hashtbl List Option Printf Repro_core Repro_gpu Repro_workloads String

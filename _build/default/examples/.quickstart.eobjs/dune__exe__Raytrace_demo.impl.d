@@ -1,0 +1,1 @@
+examples/raytrace_demo.ml: List Option Printf Repro_core Repro_workloads

@@ -1,0 +1,1 @@
+examples/traffic_demo.ml: Array List Option Printf Repro_core Repro_report Repro_workloads

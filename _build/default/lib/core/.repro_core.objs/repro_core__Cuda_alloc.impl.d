@@ -1,0 +1,1 @@
+lib/core/cuda_alloc.ml: Allocator Array Repro_mem

@@ -1,0 +1,1 @@
+lib/core/cuda_alloc.mli: Allocator Repro_mem

@@ -1,0 +1,1 @@
+lib/core/dispatch.ml: Array Env Object_model Range_table Registry Repro_gpu Repro_mem Technique Vtable_space

@@ -1,0 +1,1 @@
+lib/core/dispatch.mli: Env Object_model Range_table Registry Repro_gpu Repro_mem Vtable_space

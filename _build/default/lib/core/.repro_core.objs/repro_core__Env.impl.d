@@ -1,0 +1,1 @@
+lib/core/env.ml: Object_model Repro_gpu

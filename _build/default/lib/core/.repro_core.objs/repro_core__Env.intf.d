@@ -1,0 +1,1 @@
+lib/core/env.mli: Object_model Repro_gpu

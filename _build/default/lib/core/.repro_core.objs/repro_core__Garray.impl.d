@@ -1,0 +1,1 @@
+lib/core/garray.ml: Array Repro_gpu Repro_mem

@@ -1,0 +1,1 @@
+lib/core/garray.mli: Repro_gpu Repro_mem

@@ -1,0 +1,1 @@
+lib/core/object_model.ml: Array Repro_gpu Repro_mem Technique

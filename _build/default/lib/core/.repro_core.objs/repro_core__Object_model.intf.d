@@ -1,0 +1,1 @@
+lib/core/object_model.mli: Repro_gpu Repro_mem Technique

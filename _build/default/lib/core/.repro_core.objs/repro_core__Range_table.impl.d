@@ -1,0 +1,1 @@
+lib/core/range_table.ml: Array List Printf Region Registry Repro_gpu Repro_mem Repro_util

@@ -1,0 +1,1 @@
+lib/core/range_table.mli: Region Registry Repro_gpu Repro_mem

@@ -1,0 +1,1 @@
+lib/core/region.ml: Format Repro_mem

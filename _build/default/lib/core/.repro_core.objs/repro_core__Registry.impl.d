@@ -1,0 +1,1 @@
+lib/core/registry.ml: Array Env List Repro_mem Repro_util Vtable_space

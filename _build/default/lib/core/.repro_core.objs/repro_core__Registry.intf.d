@@ -1,0 +1,1 @@
+lib/core/registry.mli: Env Repro_mem Vtable_space

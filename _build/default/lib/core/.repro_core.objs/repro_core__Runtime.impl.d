@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Allocator Array Cuda_alloc Dispatch Object_model Range_table Registry Repro_gpu Repro_mem Repro_util Shared_oa Technique Vtable_space

@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Allocator Env Object_model Range_table Registry Repro_gpu Repro_mem Technique Vtable_space

@@ -1,0 +1,1 @@
+lib/core/shared_oa.ml: Allocator Hashtbl List Printf Region Registry Repro_mem

@@ -1,0 +1,1 @@
+lib/core/shared_oa.mli: Allocator Repro_mem

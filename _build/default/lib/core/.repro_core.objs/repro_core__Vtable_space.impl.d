@@ -1,0 +1,1 @@
+lib/core/vtable_space.ml: Repro_mem

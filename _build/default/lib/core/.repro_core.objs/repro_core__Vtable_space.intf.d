@@ -1,0 +1,1 @@
+lib/core/vtable_space.mli: Repro_mem

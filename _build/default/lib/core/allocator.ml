@@ -1,0 +1,23 @@
+type stats = {
+  objects : int;
+  reserved_bytes : int;
+  used_bytes : int;
+  alloc_cycles : float;
+}
+
+type t = {
+  name : string;
+  alloc : typ:Registry.typ -> size_bytes:int -> int;
+  regions : unit -> Region.t list;
+  stats : unit -> stats;
+}
+
+let external_fragmentation s =
+  if s.reserved_bytes = 0 then 0.
+  else 1. -. (float_of_int s.used_bytes /. float_of_int s.reserved_bytes)
+
+let pp_stats ppf s =
+  Format.fprintf ppf "objects=%d reserved=%dB used=%dB frag=%.1f%% cycles=%.0f"
+    s.objects s.reserved_bytes s.used_bytes
+    (100. *. external_fragmentation s)
+    s.alloc_cycles

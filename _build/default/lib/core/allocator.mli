@@ -1,0 +1,30 @@
+(** The allocator interface shared by the default-CUDA model and
+    SharedOA.
+
+    Allocators only *place* objects — headers are written by the runtime.
+    They also keep the bookkeeping the paper evaluates: the typed regions
+    COAL's range table is built from, footprint/fragmentation (Fig. 10b)
+    and a modelled host/device allocation cost (the Sec. 8.2 "80× faster
+    initialization" comparison). *)
+
+type stats = {
+  objects : int;          (** Objects placed. *)
+  reserved_bytes : int;   (** Address space reserved for object storage. *)
+  used_bytes : int;       (** Bytes actually occupied by objects. *)
+  alloc_cycles : float;   (** Modelled cost of the allocation phase. *)
+}
+
+type t = {
+  name : string;
+  alloc : typ:Registry.typ -> size_bytes:int -> int;
+      (** Place one object; returns its canonical base address. *)
+  regions : unit -> Region.t list;
+      (** Current typed regions, sorted by base ([\[\]] for allocators
+          that do not segregate by type). *)
+  stats : unit -> stats;
+}
+
+val external_fragmentation : stats -> float
+(** [1 - used/reserved] in [0,1]; [0.] when nothing is reserved. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,67 @@
+module Vaddr = Repro_mem.Vaddr
+
+let granule_bytes = 128
+let default_slabs = 64
+let cycles_per_alloc = 2000.
+
+type state = {
+  slab_base : int array;
+  slab_cursor : int array; (* byte offset within each slab *)
+  slab_bytes : int;
+  mutable next_slab : int;
+  mutable objects : int;
+  mutable used_bytes : int;
+  mutable reserved_bytes : int;
+  mutable alloc_cycles : float;
+}
+
+let create ?(slabs = default_slabs) ?(arena_bytes = 1 lsl 30) ~space () =
+  if slabs <= 0 then invalid_arg "Cuda_alloc.create: slabs must be positive";
+  let arena = Repro_mem.Address_space.reserve space ~name:"cuda-heap" ~size:arena_bytes in
+  (* The slab step must not be a multiple of the caches' set period
+     (sets * line, at most 32 KB here), or same-position objects in every
+     slab would collide on one set — a power-of-two-stride artifact a
+     real heap does not exhibit. Shrinking the step by an odd number of
+     cache lines (231 = odd, coprime with any power-of-two set count)
+     walks the bases across all sets. *)
+  let stagger = 231 * 128 in
+  let step = (arena.Repro_mem.Address_space.size / slabs) - stagger in
+  let slab_bytes = step - stagger in
+  if slab_bytes <= 0 then invalid_arg "Cuda_alloc.create: arena too small for slab count";
+  let st =
+    {
+      slab_base =
+        Array.init slabs (fun i -> arena.Repro_mem.Address_space.base + (i * step));
+      slab_cursor = Array.make slabs 0;
+      slab_bytes;
+      next_slab = 0;
+      objects = 0;
+      used_bytes = 0;
+      reserved_bytes = 0;
+      alloc_cycles = 0.;
+    }
+  in
+  let alloc ~typ:_ ~size_bytes =
+    if size_bytes <= 0 then invalid_arg "Cuda_alloc.alloc: size must be positive";
+    let padded = Vaddr.align_up size_bytes ~alignment:granule_bytes in
+    let slab = st.next_slab in
+    st.next_slab <- (st.next_slab + 1) mod slabs;
+    if st.slab_cursor.(slab) + padded > st.slab_bytes then
+      failwith "Cuda_alloc.alloc: device heap slab exhausted (raise arena_bytes)";
+    let addr = st.slab_base.(slab) + st.slab_cursor.(slab) in
+    st.slab_cursor.(slab) <- st.slab_cursor.(slab) + padded;
+    st.objects <- st.objects + 1;
+    st.used_bytes <- st.used_bytes + size_bytes;
+    st.reserved_bytes <- st.reserved_bytes + padded;
+    st.alloc_cycles <- st.alloc_cycles +. cycles_per_alloc;
+    addr
+  in
+  let stats () =
+    {
+      Allocator.objects = st.objects;
+      reserved_bytes = st.reserved_bytes;
+      used_bytes = st.used_bytes;
+      alloc_cycles = st.alloc_cycles;
+    }
+  in
+  { Allocator.name = "cuda"; alloc; regions = (fun () -> []); stats }

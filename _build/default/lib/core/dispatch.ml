@@ -1,0 +1,137 @@
+module Warp_ctx = Repro_gpu.Warp_ctx
+module Label = Repro_gpu.Label
+module Vaddr = Repro_mem.Vaddr
+
+type t = {
+  registry : Registry.t;
+  om : Object_model.t;
+  vtspace : Vtable_space.t;
+  range_table : Range_table.t option;
+  heap : Repro_mem.Page_store.t;
+  mutable warp_vcalls : int;
+  mutable thread_vcalls : int;
+}
+
+let create ~registry ~om ~vtspace ~range_table ~heap =
+  (match (Object_model.technique om, range_table) with
+   | Technique.Coal, None -> invalid_arg "Dispatch.create: COAL needs a range table"
+   | _ -> ());
+  { registry; om; vtspace; range_table; heap; warp_vcalls = 0; thread_vcalls = 0 }
+
+let warp_vcalls t = t.warp_vcalls
+
+let thread_vcalls t = t.thread_vcalls
+
+let reset_counters t =
+  t.warp_vcalls <- 0;
+  t.thread_vcalls <- 0
+
+(* Group lanes by resolved target and run each target's body over its
+   subset: SIMT divergence on the (in)direct branch. *)
+let branch_and_execute t env ~indirect ~objs impl_ids =
+  let ctx = env.Env.ctx in
+  Warp_ctx.diverge ctx ~label:Label.Call ~keys:impl_ids (fun ~key sub idxs ->
+      if indirect then Warp_ctx.call_indirect sub ~label:Label.Call
+      else Warp_ctx.call_direct sub ~label:Label.Call;
+      let sub_objs = Warp_ctx.gather idxs objs in
+      (Registry.impl t.registry key) (Env.restrict env sub) sub_objs)
+
+(* The contemporary CUDA sequence (Fig. 1a): A, B, the constant-memory
+   indirection, C. Also used by SharedOA and by COAL's converged sites. *)
+let cuda_style t env ~objs ~slot =
+  let ctx = env.Env.ctx in
+  let header_word =
+    match Object_model.gpu_vtable_slot t.om with
+    | Some w -> w
+    | None -> invalid_arg "Dispatch: technique has no vtable header"
+  in
+  let vt_addrs =
+    Array.map (fun ptr -> Object_model.header_addr t.om ~ptr ~word:header_word) objs
+  in
+  let vtables = Warp_ctx.load ctx ~label:Label.Vtable_load vt_addrs in
+  let fn_addrs =
+    Array.map (fun vtable -> Vtable_space.slot_addr ~vtable ~slot) vtables
+  in
+  let encoded = Warp_ctx.load ctx ~label:Label.Vfunc_load fn_addrs in
+  Warp_ctx.const_load ctx ~label:Label.Const_indirect;
+  branch_and_execute t env ~indirect:true ~objs (Array.map Registry.decode_impl_id encoded)
+
+let concord t env ~objs ~slot =
+  let ctx = env.Env.ctx in
+  let tag_addrs = Array.map (fun ptr -> Object_model.header_addr t.om ~ptr ~word:0) objs in
+  let tags = Warp_ctx.load ctx ~label:Label.Concord_tag tag_addrs in
+  (* The compiler-expanded switch: a compare/branch per program type, all
+     executed by the warp before the taken targets serialize. *)
+  let n_types = Registry.type_count t.registry in
+  Warp_ctx.compute ctx ~n:(max 1 n_types) ~label:Label.Concord_switch;
+  let impl_ids =
+    Array.map
+      (fun tag ->
+        let type_id = tag - 1 in
+        if type_id < 0 || type_id >= n_types then
+          failwith "Dispatch.concord: corrupt type tag";
+        Registry.impl_of_slot (Registry.find_type t.registry type_id) ~slot)
+      tags
+  in
+  branch_and_execute t env ~indirect:false ~objs impl_ids
+
+let coal t env ~objs ~slot =
+  let ctx = env.Env.ctx in
+  let table =
+    match t.range_table with Some rt -> rt | None -> assert false
+  in
+  let encoded = Range_table.lookup_emit table ctx ~objs ~slot in
+  Warp_ctx.const_load ctx ~label:Label.Const_indirect;
+  branch_and_execute t env ~indirect:true ~objs (Array.map Registry.decode_impl_id encoded)
+
+let type_pointer t env ~objs ~slot =
+  let ctx = env.Env.ctx in
+  (* SHR to recover the tag, ADD onto vTablesStartAddr (Fig. 5b lines
+     1-2); a dependent ALU chain. *)
+  Warp_ctx.compute ctx ~n:2 ~blocking:true ~label:Label.Tp_dispatch;
+  let fn_addrs =
+    Array.map
+      (fun ptr ->
+        let vtable = Vtable_space.vtable_of_tag t.vtspace ~tag:(Vaddr.tag_of ptr) in
+        Vtable_space.slot_addr ~vtable ~slot)
+      objs
+  in
+  let encoded = Warp_ctx.load ctx ~label:Label.Vfunc_load fn_addrs in
+  branch_and_execute t env ~indirect:true ~objs (Array.map Registry.decode_impl_id encoded)
+
+let check_objs objs =
+  if Array.length objs = 0 then invalid_arg "Dispatch.vcall: no receivers"
+
+let count t env ~objs =
+  ignore objs;
+  t.warp_vcalls <- t.warp_vcalls + 1;
+  t.thread_vcalls <- t.thread_vcalls + Warp_ctx.n_active env.Env.ctx
+
+let vcall t env ~objs ~slot =
+  check_objs objs;
+  count t env ~objs;
+  match Object_model.technique t.om with
+  | Technique.Cuda | Technique.Shared_oa -> cuda_style t env ~objs ~slot
+  | Technique.Concord -> concord t env ~objs ~slot
+  | Technique.Coal -> coal t env ~objs ~slot
+  | Technique.Type_pointer _ -> type_pointer t env ~objs ~slot
+
+(* A call site the compiler statically proved converged: COAL leaves it
+   un-instrumented (the range walk would cost more than the coalesced
+   vTable* load it replaces — the RAY discussion in Sec. 8.1). *)
+let vcall_converged t env ~objs ~slot =
+  check_objs objs;
+  count t env ~objs;
+  match Object_model.technique t.om with
+  | Technique.Coal -> cuda_style t env ~objs ~slot
+  | Technique.Cuda | Technique.Shared_oa -> cuda_style t env ~objs ~slot
+  | Technique.Concord -> concord t env ~objs ~slot
+  | Technique.Type_pointer _ -> type_pointer t env ~objs ~slot
+
+let make_env t ctx =
+  {
+    Env.ctx;
+    om = t.om;
+    vcall = (fun env ~objs ~slot -> vcall t env ~objs ~slot);
+    vcall_converged = (fun env ~objs ~slot -> vcall_converged t env ~objs ~slot);
+  }

@@ -1,0 +1,46 @@
+(** Virtual-call dispatch under each technique.
+
+    This is the compiler's half of the paper: for every dynamic virtual
+    call it emits exactly the instruction sequence the corresponding
+    compilation strategy would execute —
+
+    - CUDA / SharedOA (Fig. 1a + Sec. 2): load the object's vTable
+      pointer (A), load the vFunc pointer from the vTable (B), the
+      per-kernel constant-memory indirection, then the indirect call (C);
+    - Concord: load the embedded type tag, run the compiler-expanded
+      compare chain (one compare per program type), then a direct call
+      per taken target;
+    - COAL (Algorithm 1): the O(log2 K) range-table walk replaces A, B is
+      served from the leaf's embedded table, then the indirect call. Call
+      sites the compiler statically proves converged are left
+      un-instrumented and use the CUDA sequence (Sec. 5);
+    - TypePointer (Fig. 5b): SHR + ADD recover the vTable from the tag
+      bits, one load fetches the vFunc pointer, then the indirect call.
+
+    Lanes are then grouped by resolved target and each group executes the
+    body serially — SIMT branch divergence, which is what degrades
+    everything in the Fig. 12b type-scaling sweep. *)
+
+type t
+
+val create :
+  registry:Registry.t ->
+  om:Object_model.t ->
+  vtspace:Vtable_space.t ->
+  range_table:Range_table.t option ->
+  heap:Repro_mem.Page_store.t ->
+  t
+(** [range_table] must be present for {!Technique.Coal}. *)
+
+val make_env : t -> Repro_gpu.Warp_ctx.t -> Env.t
+(** The environment whose [vcall]/[vcall_converged] closures implement
+    this dispatcher over the given warp. *)
+
+val warp_vcalls : t -> int
+(** Dynamic virtual calls at warp granularity since creation. *)
+
+val thread_vcalls : t -> int
+(** Dynamic virtual calls summed over active lanes (the per-thread count
+    behind Table 2's vFuncPKI). *)
+
+val reset_counters : t -> unit

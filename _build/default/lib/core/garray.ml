@@ -1,0 +1,33 @@
+module Vaddr = Repro_mem.Vaddr
+
+type t = {
+  base : int;
+  len : int;
+}
+
+let alloc ~space ~name ~len =
+  if len <= 0 then invalid_arg "Garray.alloc: len must be positive";
+  let arena =
+    Repro_mem.Address_space.reserve space ~name ~size:(len * Vaddr.word_bytes)
+  in
+  { base = arena.Repro_mem.Address_space.base; len }
+
+let len t = t.len
+
+let base t = t.base
+
+let addr t i =
+  if i < 0 || i >= t.len then invalid_arg "Garray.addr: index out of bounds";
+  t.base + (i * Vaddr.word_bytes)
+
+let load t ctx ~idxs =
+  let addrs = Array.map (addr t) idxs in
+  Repro_gpu.Warp_ctx.load ctx ~label:Repro_gpu.Label.Body addrs
+
+let store t ctx ~idxs values =
+  let addrs = Array.map (addr t) idxs in
+  Repro_gpu.Warp_ctx.store ctx ~label:Repro_gpu.Label.Body addrs values
+
+let get t heap i = Repro_mem.Page_store.load heap (addr t i)
+
+let set t heap i v = Repro_mem.Page_store.store heap (addr t i) v

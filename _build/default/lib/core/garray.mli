@@ -1,0 +1,32 @@
+(** Flat global-memory arrays of 64-bit words.
+
+    Workloads keep their non-object state — object-pointer tables, CSR
+    offsets, frame buffers — in these, so that indexing them from a
+    kernel emits real global loads exactly like the object accesses do.
+    Host accessors initialize and read them outside the timed region. *)
+
+type t
+
+val alloc :
+  space:Repro_mem.Address_space.t -> name:string -> len:int -> t
+(** A zero-initialized array of [len] words. *)
+
+val len : t -> int
+
+val base : t -> int
+
+val addr : t -> int -> int
+(** Address of element [i]; raises [Invalid_argument] out of bounds. *)
+
+val load :
+  t -> Repro_gpu.Warp_ctx.t -> idxs:int array -> int array
+(** Emit one warp load of [a.(idx)] per lane (label [Body]). *)
+
+val store :
+  t -> Repro_gpu.Warp_ctx.t -> idxs:int array -> int array -> unit
+
+val get : t -> Repro_mem.Page_store.t -> int -> int
+(** Untimed host read. *)
+
+val set : t -> Repro_mem.Page_store.t -> int -> int -> unit
+(** Untimed host write. *)

@@ -1,0 +1,177 @@
+module Vaddr = Repro_mem.Vaddr
+module Page_store = Repro_mem.Page_store
+module Warp_ctx = Repro_gpu.Warp_ctx
+module Label = Repro_gpu.Label
+module Mathx = Repro_util.Mathx
+
+let node_bytes = 4 * Vaddr.word_bytes
+let leaf_header_words = 4
+
+type built = {
+  sorted : Region.t array;       (* the real regions, sorted by base *)
+  n_leaves : int;                (* power-of-two padded *)
+  depth : int;                   (* internal levels *)
+  node_base : int;
+  leaf_base : int;
+  leaf_stride : int;             (* bytes *)
+}
+
+type t = {
+  heap : Page_store.t;
+  space : Repro_mem.Address_space.t;
+  mutable generation : int;
+  mutable built : built option;
+}
+
+let create ~heap ~space = { heap; space; generation = 0; built = None }
+
+let n_leaves t = match t.built with None -> 0 | Some b -> b.n_leaves
+
+let depth t = match t.built with None -> 0 | Some b -> b.depth
+
+(* Coverage bounds (min base, max limit) of the leaves under heap-order
+   node [idx]; (0,0) when the subtree holds only padding leaves. *)
+let rec coverage sorted ~n_leaves idx =
+  if idx >= n_leaves - 1 then begin
+    let leaf = idx - (n_leaves - 1) in
+    if leaf < Array.length sorted then
+      (sorted.(leaf).Region.base, sorted.(leaf).Region.limit)
+    else (0, 0)
+  end
+  else begin
+    let lmin, lmax = coverage sorted ~n_leaves ((2 * idx) + 1) in
+    let rmin, rmax = coverage sorted ~n_leaves ((2 * idx) + 2) in
+    if lmax = 0 then (rmin, rmax)
+    else if rmax = 0 then (lmin, lmax)
+    else (min lmin rmin, max lmax rmax)
+  end
+
+let rebuild t ~registry ~regions =
+  let sorted = Array.of_list (List.sort Region.compare_base regions) in
+  Array.iteri
+    (fun i r ->
+      if i > 0 && Region.overlap sorted.(i - 1) r then
+        invalid_arg "Range_table.rebuild: overlapping regions")
+    sorted;
+  let count = Array.length sorted in
+  if count = 0 then invalid_arg "Range_table.rebuild: no regions";
+  let n_leaves = Mathx.ceil_pow2 count in
+  let depth = Mathx.ilog2 n_leaves in
+  let max_slots =
+    List.fold_left (fun acc typ -> max acc (Registry.n_slots typ)) 1 (Registry.types registry)
+  in
+  let leaf_stride = (leaf_header_words + max_slots) * Vaddr.word_bytes in
+  let internal_bytes = max 1 (n_leaves - 1) * node_bytes in
+  t.generation <- t.generation + 1;
+  let arena =
+    Repro_mem.Address_space.reserve t.space
+      ~name:(Printf.sprintf "range-table:%d" t.generation)
+      ~size:(internal_bytes + (n_leaves * leaf_stride))
+  in
+  let node_base = arena.Repro_mem.Address_space.base in
+  let leaf_base = node_base + internal_bytes in
+  (* Internal nodes: lmin, lmax, rmin, rmax of the two children. *)
+  for idx = 0 to n_leaves - 2 do
+    let lmin, lmax = coverage sorted ~n_leaves ((2 * idx) + 1) in
+    let rmin, rmax = coverage sorted ~n_leaves ((2 * idx) + 2) in
+    let base = node_base + (idx * node_bytes) in
+    Page_store.store t.heap base lmin;
+    Page_store.store t.heap (base + Vaddr.word_bytes) lmax;
+    Page_store.store t.heap (base + (2 * Vaddr.word_bytes)) rmin;
+    Page_store.store t.heap (base + (3 * Vaddr.word_bytes)) rmax
+  done;
+  (* Leaves: bounds, type, then the embedded vtable (encoded impl ids). *)
+  for leaf = 0 to n_leaves - 1 do
+    let base = leaf_base + (leaf * leaf_stride) in
+    if leaf < count then begin
+      let r = sorted.(leaf) in
+      let typ = Registry.find_type registry r.Region.type_id in
+      Page_store.store t.heap base r.Region.base;
+      Page_store.store t.heap (base + Vaddr.word_bytes) r.Region.limit;
+      Page_store.store t.heap (base + (2 * Vaddr.word_bytes)) (r.Region.type_id + 1);
+      for slot = 0 to Registry.n_slots typ - 1 do
+        Page_store.store t.heap
+          (base + ((leaf_header_words + slot) * Vaddr.word_bytes))
+          (Registry.encode_impl_id (Registry.impl_of_slot typ ~slot))
+      done
+    end
+    else
+      for w = 0 to leaf_header_words - 1 do
+        Page_store.store t.heap (base + (w * Vaddr.word_bytes)) 0
+      done
+  done;
+  t.built <- Some { sorted; n_leaves; depth; node_base; leaf_base; leaf_stride }
+
+let find_region_host t addr =
+  match t.built with
+  | None -> None
+  | Some b ->
+    let addr = Vaddr.strip addr in
+    let rec search lo hi =
+      if lo >= hi then None
+      else begin
+        let mid = (lo + hi) / 2 in
+        let r = b.sorted.(mid) in
+        if addr < r.Region.base then search lo mid
+        else if addr >= r.Region.limit then search (mid + 1) hi
+        else Some r
+      end
+    in
+    search 0 (Array.length b.sorted)
+
+let require_built t =
+  match t.built with
+  | Some b -> b
+  | None -> failwith "Range_table: lookup before rebuild"
+
+let node_addr b idx = b.node_base + (idx * node_bytes)
+
+let leaf_addr b leaf = b.leaf_base + (leaf * b.leaf_stride)
+
+let lookup_emit t ctx ~objs ~slot =
+  let b = require_built t in
+  let n = Array.length objs in
+  let addrs = Array.map Vaddr.strip objs in
+  let node = Array.make n 0 in
+  (* Internal walk: one 32 B node load plus the two range comparisons per
+     level, a dependent chain (the next node address needs the bounds). *)
+  for _level = 0 to b.depth - 1 do
+    (* Two 64-bit loads fetch the four bounds (left min/max, right
+       min/max), then the two range tests select the child. *)
+    let left_addrs = Array.map (fun idx -> node_addr b idx) node in
+    ignore (Warp_ctx.load ctx ~label:Label.Coal_lookup left_addrs);
+    let right_addrs =
+      Array.map (fun idx -> node_addr b idx + (2 * Vaddr.word_bytes)) node
+    in
+    ignore (Warp_ctx.load ctx ~label:Label.Coal_lookup right_addrs);
+    Warp_ctx.compute ctx ~n:4 ~blocking:true ~label:Label.Coal_lookup;
+    for i = 0 to n - 1 do
+      let base = node_addr b node.(i) in
+      let lmin = Page_store.load t.heap base in
+      let lmax = Page_store.load t.heap (base + Vaddr.word_bytes) in
+      let rmin = Page_store.load t.heap (base + (2 * Vaddr.word_bytes)) in
+      let rmax = Page_store.load t.heap (base + (3 * Vaddr.word_bytes)) in
+      let a = addrs.(i) in
+      if lmax <> 0 && a >= lmin && a < lmax then node.(i) <- (2 * node.(i)) + 1
+      else if rmax <> 0 && a >= rmin && a < rmax then node.(i) <- (2 * node.(i)) + 2
+      else failwith "Range_table.lookup_emit: address in no region"
+    done
+  done;
+  (* Leaf: bounds check, then the vfunc pointer from the embedded table. *)
+  let leaf_of i = node.(i) - (b.n_leaves - 1) in
+  let leaf_bound_addrs = Array.init n (fun i -> leaf_addr b (leaf_of i)) in
+  ignore (Warp_ctx.load ctx ~label:Label.Coal_lookup leaf_bound_addrs);
+  Warp_ctx.compute ctx ~n:2 ~blocking:true ~label:Label.Coal_lookup;
+  Array.iteri
+    (fun i a ->
+      let base = leaf_addr b (leaf_of i) in
+      let lo = Page_store.load t.heap base in
+      let hi = Page_store.load t.heap (base + Vaddr.word_bytes) in
+      if not (a >= lo && a < hi) then
+        failwith "Range_table.lookup_emit: address in no region")
+    addrs;
+  let vfunc_addrs =
+    Array.init n (fun i ->
+        leaf_addr b (leaf_of i) + ((leaf_header_words + slot) * Vaddr.word_bytes))
+  in
+  Warp_ctx.load ctx ~label:Label.Vfunc_load vfunc_addrs

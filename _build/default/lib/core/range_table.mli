@@ -1,0 +1,44 @@
+(** COAL's virtual range table (Sec. 5, Algorithm 1).
+
+    The typed regions produced by SharedOA are organized as a balanced
+    segment tree kept in global (simulated) memory. Internal nodes hold
+    the address bounds of their two children; leaves hold one region's
+    bounds plus that type's virtual-function table, "augmenting the
+    traditional virtual function tables with base and range values"
+    (Fig. 3). A lookup walks root→leaf in O(log2 K) steps, each step
+    loading one 32-byte node — the same small structure for every thread,
+    which is why the added loads coalesce and hit in L1.
+
+    The table is rebuilt (host-side, between kernels) whenever the
+    allocator's region set changes. *)
+
+type t
+
+val create :
+  heap:Repro_mem.Page_store.t -> space:Repro_mem.Address_space.t -> t
+
+val rebuild : t -> registry:Registry.t -> regions:Region.t list -> unit
+(** Build the tree over [regions] (non-overlapping; sorted or not). Each
+    leaf embeds the encoded implementation ids of its type's slots.
+    Raises [Invalid_argument] on overlapping regions. *)
+
+val n_leaves : t -> int
+(** Power-of-two padded leaf count (0 before the first {!rebuild}). *)
+
+val depth : t -> int
+(** Number of internal levels walked before reaching a leaf. *)
+
+val find_region_host : t -> int -> Region.t option
+(** Untimed host-side lookup (tests, validation). *)
+
+val lookup_emit :
+  t -> Repro_gpu.Warp_ctx.t -> objs:int array -> slot:int -> int array
+(** The instrumented ObjectRangeLookup: walks the tree emitting one
+    global load (label [Coal_lookup]) and the bounds comparisons per
+    level, then loads the function pointer from the leaf's embedded
+    vtable (label [Vfunc_load]). Returns the encoded implementation ids,
+    per lane. Raises [Failure] if a lane's address is in no region (the
+    NULL return of Algorithm 1 — a dispatch bug in a real program). *)
+
+val node_bytes : int
+(** Internal node footprint (32 B: lmin, lmax, rmin, rmax). *)

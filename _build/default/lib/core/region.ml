@@ -1,0 +1,22 @@
+type t = {
+  base : int;
+  limit : int;
+  type_id : int;
+}
+
+let make ~base ~limit ~type_id =
+  if base >= limit then invalid_arg "Region.make: empty or inverted range";
+  if not (Repro_mem.Vaddr.is_canonical base && Repro_mem.Vaddr.is_canonical limit) then
+    invalid_arg "Region.make: tagged bound";
+  if type_id < 0 then invalid_arg "Region.make: negative type id";
+  { base; limit; type_id }
+
+let contains t addr = addr >= t.base && addr < t.limit
+
+let bytes t = t.limit - t.base
+
+let overlap a b = a.base < b.limit && b.base < a.limit
+
+let compare_base a b = compare (a.base, a.limit) (b.base, b.limit)
+
+let pp ppf t = Format.fprintf ppf "[0x%x,0x%x):%d" t.base t.limit t.type_id

@@ -1,0 +1,23 @@
+(** A typed address range: the unit of the SharedOA allocator's placement
+    and the leaf of COAL's virtual range table. *)
+
+type t = {
+  base : int;     (** First byte (canonical). *)
+  limit : int;    (** One past the last byte; the range is [\[base, limit)]. *)
+  type_id : int;  (** The object type allocated in this range. *)
+}
+
+val make : base:int -> limit:int -> type_id:int -> t
+(** Raises [Invalid_argument] unless [base < limit] and both are
+    canonical. *)
+
+val contains : t -> int -> bool
+(** Membership of a canonical address. *)
+
+val bytes : t -> int
+
+val overlap : t -> t -> bool
+
+val compare_base : t -> t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,157 @@
+module Page_store = Repro_mem.Page_store
+module Address_space = Repro_mem.Address_space
+module Vaddr = Repro_mem.Vaddr
+module Device = Repro_gpu.Device
+module Vec = Repro_util.Vec
+
+type t = {
+  technique : Technique.t;
+  heap : Page_store.t;
+  space : Address_space.t;
+  device : Device.t;
+  registry : Registry.t;
+  vtspace : Vtable_space.t;
+  om : Object_model.t;
+  allocator : Allocator.t;
+  range_table : Range_table.t option;
+  dispatch : Dispatch.t;
+  allocations : (int * Registry.typ) Vec.t;
+  mutable regions_dirty : bool;
+}
+
+let create ?config ?(chunk_objs = Shared_oa.default_chunk_objs) ?vt_encoding ~technique () =
+  let heap = Page_store.create () in
+  let space = Address_space.create () in
+  let device = Device.create ?config ~heap () in
+  let registry = Registry.create ~heap in
+  let vtspace = Vtable_space.create ?encoding:vt_encoding ~heap ~space () in
+  let om = Object_model.create technique in
+  let allocator =
+    if Technique.uses_shared_oa technique then Shared_oa.create ~chunk_objs ~space ()
+    else Cuda_alloc.create ~space ()
+  in
+  let range_table =
+    match technique with
+    | Technique.Coal -> Some (Range_table.create ~heap ~space)
+    | Technique.Cuda | Technique.Concord | Technique.Shared_oa
+    | Technique.Type_pointer _ -> None
+  in
+  let dispatch = Dispatch.create ~registry ~om ~vtspace ~range_table ~heap in
+  {
+    technique;
+    heap;
+    space;
+    device;
+    registry;
+    vtspace;
+    om;
+    allocator;
+    range_table;
+    dispatch;
+    allocations = Vec.create ();
+    regions_dirty = true;
+  }
+
+let technique t = t.technique
+let registry t = t.registry
+let heap t = t.heap
+let device t = t.device
+let object_model t = t.om
+let allocator t = t.allocator
+let range_table t = t.range_table
+let address_space t = t.space
+
+let register_impl t ~name impl = Registry.register_impl t.registry ~name impl
+
+let define_type t ~name ~field_words ?parent ~slots () =
+  Registry.define_type t.registry ~name ~field_words ?parent ~slots ()
+
+let ensure_materialized t =
+  if not (Registry.materialized t.registry) then
+    Registry.materialize t.registry ~vtspace:t.vtspace ~space:t.space
+
+let write_headers t typ addr =
+  match t.technique with
+  | Technique.Concord ->
+    Page_store.store t.heap addr (Registry.type_id typ + 1)
+  | Technique.Cuda ->
+    Page_store.store t.heap addr (Registry.gpu_vtable typ)
+  | Technique.Type_pointer { on_cuda_alloc = true; _ } ->
+    Page_store.store t.heap addr (Registry.gpu_vtable typ)
+  | Technique.Shared_oa | Technique.Coal
+  | Technique.Type_pointer { on_cuda_alloc = false; _ } ->
+    Page_store.store t.heap addr (Registry.cpu_vtable typ);
+    Page_store.store t.heap (addr + Vaddr.word_bytes) (Registry.gpu_vtable typ)
+
+let new_obj t typ =
+  ensure_materialized t;
+  let size_bytes =
+    (* Objects are 8-aligned, as C++ requires of anything with a vptr. *)
+    Vaddr.align_up
+      (Object_model.object_bytes t.om ~field_words:(Registry.field_words typ))
+      ~alignment:Vaddr.word_bytes
+  in
+  let addr = t.allocator.Allocator.alloc ~typ ~size_bytes in
+  write_headers t typ addr;
+  let ptr =
+    if Technique.tags_pointers t.technique then
+      let tag = Vtable_space.tag_of_vtable t.vtspace ~vtable:(Registry.gpu_vtable typ) in
+      Vaddr.with_tag addr ~tag
+    else addr
+  in
+  Vec.push t.allocations (ptr, typ);
+  t.regions_dirty <- true;
+  ptr
+
+let new_objs t typ n =
+  if n < 0 then invalid_arg "Runtime.new_objs: negative count";
+  Array.init n (fun _ -> new_obj t typ)
+
+let n_objects t = Vec.length t.allocations
+
+let allocations t = Vec.to_array t.allocations
+
+let launch t ~n_threads kernel =
+  (match t.range_table with
+   | Some table when t.regions_dirty ->
+     Range_table.rebuild table ~registry:t.registry
+       ~regions:(t.allocator.Allocator.regions ());
+     t.regions_dirty <- false
+   | Some _ | None -> ());
+  Device.launch t.device ~n_threads (fun ctx ->
+      kernel (Dispatch.make_env t.dispatch ctx))
+
+let stats t = Device.stats t.device
+
+let cycles t = Repro_gpu.Stats.cycles (Device.stats t.device)
+
+let reset_stats t =
+  Device.reset_stats t.device;
+  Dispatch.reset_counters t.dispatch
+
+let warp_vcalls t = Dispatch.warp_vcalls t.dispatch
+
+let thread_vcalls t = Dispatch.thread_vcalls t.dispatch
+
+let vfunc_pki t =
+  let instrs = Repro_gpu.Stats.total_instructions (stats t) in
+  if instrs = 0 then 0.
+  else 1000. *. float_of_int (warp_vcalls t) /. float_of_int instrs
+
+(* SplitMix-style mixing keeps the checksum sensitive to field order and
+   values while staying allocation-free. *)
+let mix h v =
+  let h = h lxor (v + 0x9e3779b9 + (h lsl 6) + (h lsr 2)) in
+  h land max_int
+
+let checksum t =
+  Vec.fold_left
+    (fun acc (ptr, typ) ->
+      let acc = mix acc (Registry.type_id typ) in
+      let rec fold acc field =
+        if field >= Registry.field_words typ then acc
+        else
+          fold (mix acc (Object_model.field_load_host t.om t.heap ~ptr ~field)) (field + 1)
+      in
+      fold acc 0)
+    0 t.allocations

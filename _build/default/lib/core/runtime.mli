@@ -1,0 +1,72 @@
+(** The program façade tying everything together.
+
+    A [Runtime.t] is one program under one technique: a simulated heap
+    and GPU, the type registry, the allocator the technique prescribes
+    (SharedOA or the default-CUDA model), the contiguous vTable arena,
+    COAL's range table when applicable, and the dispatcher. Workloads
+    define types and implementations, allocate objects with {!new_obj}
+    (the [sharedNew] of Sec. 4) and launch kernels; all five techniques
+    expose the identical API, so a workload is written once and measured
+    under each. *)
+
+type t
+
+val create :
+  ?config:Repro_gpu.Config.t ->
+  ?chunk_objs:int ->
+  ?vt_encoding:Vtable_space.encoding ->
+  technique:Technique.t ->
+  unit -> t
+(** [chunk_objs] is SharedOA's initial region size in objects (Fig. 10
+    sweeps it). *)
+
+val technique : t -> Technique.t
+val registry : t -> Registry.t
+val heap : t -> Repro_mem.Page_store.t
+val device : t -> Repro_gpu.Device.t
+val object_model : t -> Object_model.t
+val allocator : t -> Allocator.t
+val range_table : t -> Range_table.t option
+val address_space : t -> Repro_mem.Address_space.t
+
+val register_impl : t -> name:string -> Registry.impl -> int
+
+val define_type :
+  t -> name:string -> field_words:int -> ?parent:Registry.typ ->
+  slots:int array -> unit -> Registry.typ
+(** Must precede the first allocation. *)
+
+val new_obj : t -> Registry.typ -> int
+(** Allocate and initialize one object; the returned pointer carries tag
+    bits under TypePointer. Materializes vTables on first use. *)
+
+val new_objs : t -> Registry.typ -> int -> int array
+
+val n_objects : t -> int
+
+val allocations : t -> (int * Registry.typ) array
+(** Every allocation in program order. *)
+
+val launch : t -> n_threads:int -> (Env.t -> unit) -> unit
+(** Launch a kernel; rebuilds COAL's range table first when the region
+    set changed since the last launch. *)
+
+val stats : t -> Repro_gpu.Stats.t
+
+val cycles : t -> float
+
+val reset_stats : t -> unit
+(** Clears device counters and dispatch call counters (the warm-up /
+    measurement boundary). *)
+
+val warp_vcalls : t -> int
+val thread_vcalls : t -> int
+
+val vfunc_pki : t -> float
+(** Dynamic virtual calls per thousand warp instructions since the last
+    {!reset_stats} (Table 2). *)
+
+val checksum : t -> int
+(** Order-stable hash of every user field of every allocation — equal
+    across techniques when the workload computed the same result
+    (functional validation, Sec. 8). *)

@@ -1,0 +1,104 @@
+let default_chunk_objs = 4096
+let cycles_per_alloc = 25.
+
+type chunk = {
+  base : int;
+  mutable limit : int;        (* logical capacity end (objects fit below) *)
+  mutable reserved_end : int; (* end of the page-rounded reservation *)
+  mutable cursor : int;       (* next free byte *)
+}
+
+type type_state = {
+  type_id : int;
+  mutable chunks : chunk list; (* newest first *)
+  mutable next_chunk_objs : int;
+}
+
+type state = {
+  space : Repro_mem.Address_space.t;
+  initial_chunk_objs : int;
+  by_type : (int, type_state) Hashtbl.t;
+  mutable objects : int;
+  mutable used_bytes : int;
+  mutable reserved_bytes : int;
+  mutable alloc_cycles : float;
+}
+
+let grow st ts ~size_bytes =
+  let objs = ts.next_chunk_objs in
+  ts.next_chunk_objs <- ts.next_chunk_objs * 2;
+  let bytes = objs * size_bytes in
+  let name = Printf.sprintf "oa:%d:%d" ts.type_id (List.length ts.chunks) in
+  let arena = Repro_mem.Address_space.reserve st.space ~name ~size:bytes in
+  let base = arena.Repro_mem.Address_space.base in
+  let size = arena.Repro_mem.Address_space.size in
+  st.reserved_bytes <- st.reserved_bytes + size;
+  (* The chunk's capacity is the requested object count; the page-rounding
+     tail is pure fragmentation. *)
+  match ts.chunks with
+  | prev :: _ when prev.reserved_end = base ->
+    (* The fresh reservation is flush against the previous chunk of this
+       type: merge, keeping one region (Sec. 4). *)
+    prev.cursor <- base;
+    prev.limit <- base + bytes;
+    prev.reserved_end <- base + size
+  | _ ->
+    ts.chunks <-
+      { base; limit = base + bytes; reserved_end = base + size; cursor = base }
+      :: ts.chunks
+
+let create ?(chunk_objs = default_chunk_objs) ~space () =
+  if chunk_objs <= 0 then invalid_arg "Shared_oa.create: chunk_objs must be positive";
+  let st =
+    {
+      space;
+      initial_chunk_objs = chunk_objs;
+      by_type = Hashtbl.create 16;
+      objects = 0;
+      used_bytes = 0;
+      reserved_bytes = 0;
+      alloc_cycles = 0.;
+    }
+  in
+  let state_of typ =
+    let id = Registry.type_id typ in
+    match Hashtbl.find_opt st.by_type id with
+    | Some ts -> ts
+    | None ->
+      let ts = { type_id = id; chunks = []; next_chunk_objs = st.initial_chunk_objs } in
+      Hashtbl.add st.by_type id ts;
+      ts
+  in
+  let alloc ~typ ~size_bytes =
+    if size_bytes <= 0 then invalid_arg "Shared_oa.alloc: size must be positive";
+    let ts = state_of typ in
+    (match ts.chunks with
+     | head :: _ when head.cursor + size_bytes <= head.limit -> ()
+     | _ -> grow st ts ~size_bytes);
+    let head = List.hd ts.chunks in
+    let addr = head.cursor in
+    head.cursor <- head.cursor + size_bytes;
+    st.objects <- st.objects + 1;
+    st.used_bytes <- st.used_bytes + size_bytes;
+    st.alloc_cycles <- st.alloc_cycles +. cycles_per_alloc;
+    addr
+  in
+  let regions () =
+    Hashtbl.fold
+      (fun _ ts acc ->
+        List.fold_left
+          (fun acc chunk ->
+            Region.make ~base:chunk.base ~limit:chunk.limit ~type_id:ts.type_id :: acc)
+          acc ts.chunks)
+      st.by_type []
+    |> List.sort Region.compare_base
+  in
+  let stats () =
+    {
+      Allocator.objects = st.objects;
+      reserved_bytes = st.reserved_bytes;
+      used_bytes = st.used_bytes;
+      alloc_cycles = st.alloc_cycles;
+    }
+  in
+  { Allocator.name = "shared-oa"; alloc; regions; stats }

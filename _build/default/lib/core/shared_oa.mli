@@ -1,0 +1,26 @@
+(** SharedOA: the type-based shared object allocator (Sec. 4).
+
+    Each type gets dedicated contiguous chunks sized in *objects* — an
+    initial chunk of [chunk_objs] objects (4 K by default, the paper's
+    choice), doubling whenever the current chunk fills, so region counts
+    stay logarithmic in the object count. When a fresh chunk happens to
+    start exactly where the previous chunk of the same type ends, the two
+    are merged into one region, bounding the virtual-range-table size.
+
+    Because allocation is a host-side bump into reserved ranges, the
+    modelled cost per object is tiny compared to device-side [new] — the
+    Sec. 8.2 initialization comparison. *)
+
+val default_chunk_objs : int
+(** 4096, the paper's initial region size. *)
+
+val cycles_per_alloc : float
+(** Modelled host-side allocation cost per object. *)
+
+val create :
+  ?chunk_objs:int ->
+  space:Repro_mem.Address_space.t ->
+  unit -> Allocator.t
+(** Regions are reserved lazily per type from [space]. The returned
+    allocator's [regions] are sorted by base address and merged where
+    adjacent. *)

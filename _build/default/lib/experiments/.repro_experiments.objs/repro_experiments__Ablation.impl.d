@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Array Figview List Printf Repro_core Repro_gpu Repro_report Repro_workloads Sweep

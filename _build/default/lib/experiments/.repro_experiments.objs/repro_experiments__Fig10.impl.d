@@ -1,0 +1,1 @@
+lib/experiments/fig10.ml: Buffer Figview List Printf Repro_core Repro_report Repro_util Repro_workloads String Sweep

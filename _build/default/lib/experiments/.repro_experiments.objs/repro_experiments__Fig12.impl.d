@@ -1,0 +1,1 @@
+lib/experiments/fig12.ml: Buffer List Printf Repro_core Repro_report Repro_workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig1b.mli: Repro_workloads Sweep

@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Figview List Repro_core Repro_report Repro_workloads Sweep

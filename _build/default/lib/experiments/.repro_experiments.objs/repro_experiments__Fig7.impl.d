@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Buffer Figview List Printf Repro_core Repro_gpu Repro_report Repro_workloads String Sweep

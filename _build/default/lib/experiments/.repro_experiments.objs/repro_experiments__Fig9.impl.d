@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: Figview List Repro_core Repro_gpu Repro_report Repro_workloads Sweep

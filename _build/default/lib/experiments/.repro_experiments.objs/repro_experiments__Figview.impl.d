@@ -1,0 +1,1 @@
+lib/experiments/figview.ml: List Repro_core Repro_report Repro_util Repro_workloads String Sweep

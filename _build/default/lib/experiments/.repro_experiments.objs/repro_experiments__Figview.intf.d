@@ -1,0 +1,1 @@
+lib/experiments/figview.mli: Repro_report Repro_workloads Sweep

@@ -1,0 +1,1 @@
+lib/experiments/init_bench.ml: Figview List Printf Repro_core Repro_report Repro_util Repro_workloads Sweep

@@ -1,0 +1,1 @@
+lib/experiments/init_bench.mli: Repro_workloads

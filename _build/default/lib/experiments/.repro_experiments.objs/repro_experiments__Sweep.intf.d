@@ -1,0 +1,1 @@
+lib/experiments/sweep.mli: Repro_core Repro_workloads

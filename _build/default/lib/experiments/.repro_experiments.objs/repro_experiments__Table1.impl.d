@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: List Repro_core Repro_gpu Repro_report Repro_workloads String Sweep

@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Buffer List Printf Repro_core Repro_report Repro_workloads Sweep

@@ -1,0 +1,26 @@
+(** Ablations over the design choices the paper discusses but does not
+    plot:
+
+    - TypePointer prototype (software masks at member references) vs the
+      proposed hardware MMU (Sec. 6.3: "we find [the overhead] to be
+      insignificant" — at the paper's member-access densities);
+    - TypePointer's byte-offset tag encoding vs the padded-index encoding
+      that scales to 32 K types (Sec. 6.2: costs one extra multiply-add
+      and vTable padding);
+    - COAL's converged-call-site heuristic on vs off (Sec. 5: forcing
+      instrumentation of converged sites should hurt RAY). *)
+
+type row = {
+  name : string;
+  baseline_cycles : float;
+  variant_cycles : float;
+  delta : float;  (** variant/baseline - 1, positive = slower. *)
+}
+
+val tp_prototype_vs_hw : ?scale:float -> unit -> row list
+(** Per workload: TypePointer prototype vs hardware MMU on SharedOA. *)
+
+val tp_encoding : ?n_objects:int -> ?n_types:int -> unit -> row
+(** Microbenchmark: byte-offset vs padded-index tags. *)
+
+val render : title:string -> row list -> string

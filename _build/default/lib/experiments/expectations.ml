@@ -1,0 +1,19 @@
+let fig1b_vtable_share = 0.87
+
+let fig6_geomean =
+  [ ("CUDA", 0.59); ("CON", 0.72); ("SHARD", 1.0); ("COAL", 1.06); ("TP", 1.12) ]
+
+let fig7_instruction_overhead = [ ("CON", 1.28); ("COAL", 1.83); ("TP", 1.19) ]
+
+let fig8_geomean = [ ("CUDA", 1.00); ("CON", 0.82); ("COAL", 0.86); ("TP", 0.81) ]
+
+let fig9_average =
+  [ ("CUDA", 0.31); ("CON", 0.31); ("SHARD", 0.44); ("COAL", 0.47); ("TP", 0.45) ]
+
+let fig10b_fragmentation_range = (0.17, 0.27)
+
+let fig11_geomean = 1.18
+
+let fig12a_slowdown_at_max = [ ("CUDA", 5.6); ("COAL", 3.3); ("TP", 2.0) ]
+
+let init_speedup = 80.

@@ -1,0 +1,33 @@
+(** The paper's headline numbers, kept in one place so the shape tests
+    and the EXPERIMENTS.md comparison quote the same values. *)
+
+val fig1b_vtable_share : float
+(** ≈ 0.87: fraction of the direct virtual-call latency spent on the
+    vTable* load under CUDA (Fig. 1b). *)
+
+val fig6_geomean : (string * float) list
+(** Performance normalized to SharedOA: CUDA 0.59, CON 0.72, SHARD 1.0,
+    COAL 1.06, TP 1.12. *)
+
+val fig7_instruction_overhead : (string * float) list
+(** Total warp instructions vs SharedOA: CON 1.28, COAL 1.83, TP 1.19. *)
+
+val fig8_geomean : (string * float) list
+(** Global load transactions vs SharedOA: CUDA 1.00, CON 0.82, COAL 0.86,
+    TP 0.81. *)
+
+val fig9_average : (string * float) list
+(** L1 hit rates: CUDA 0.31, CON 0.31, SHARD 0.44, COAL 0.47, TP 0.45. *)
+
+val fig10b_fragmentation_range : float * float
+(** SharedOA external fragmentation across chunk sizes: 0.17 – 0.27. *)
+
+val fig11_geomean : float
+(** TypePointer over the default CUDA allocator: 1.18. *)
+
+val fig12a_slowdown_at_max : (string * float) list
+(** Execution time over BRANCH at the largest object count, 4 types:
+    CUDA 5.6, COAL 3.3, TP 2.0. *)
+
+val init_speedup : float
+(** SharedOA vs device-side allocation during initialization: 80x. *)

@@ -1,0 +1,84 @@
+module W = Repro_workloads
+module T = Repro_core.Technique
+module Table = Repro_report.Table
+
+let chunk_sizes = [ 128; 512; 2048; 8192; 32768; 131072 ]
+
+type point = {
+  workload : string;
+  chunk_objs : int;
+  perf_vs_cuda : float;
+  fragmentation : float;
+}
+
+let run ?(scale = Sweep.default_scale) ?(workloads = W.Registry.all) () =
+  List.concat_map
+    (fun w ->
+      let params technique chunk_objs =
+        { (W.Workload.default_params technique) with W.Workload.scale; chunk_objs }
+      in
+      let cuda = W.Harness.run w (params T.Cuda None) in
+      List.map
+        (fun chunk ->
+          let coal = W.Harness.run w (params T.Coal (Some chunk)) in
+          if coal.W.Harness.checksum <> cuda.W.Harness.checksum then
+            failwith ("Fig10: functional mismatch on " ^ coal.W.Harness.workload);
+          {
+            workload = Figview.short_group (W.Registry.qualified_name w);
+            chunk_objs = chunk;
+            perf_vs_cuda = cuda.W.Harness.cycles /. coal.W.Harness.cycles;
+            fragmentation =
+              Repro_core.Allocator.external_fragmentation coal.W.Harness.alloc_stats;
+          })
+        chunk_sizes)
+    workloads
+
+let chunk_label c = if c >= 1024 then Printf.sprintf "%dK" (c / 1024) else string_of_int c
+
+let render points =
+  let workloads =
+    List.fold_left
+      (fun acc p -> if List.mem p.workload acc then acc else acc @ [ p.workload ])
+      [] points
+  in
+  let columns =
+    ("workload", Table.Left)
+    :: List.map (fun c -> (chunk_label c, Table.Right)) chunk_sizes
+  in
+  let cell select w c =
+    match
+      List.find_opt (fun p -> p.workload = w && p.chunk_objs = c) points
+    with
+    | Some p -> Table.cell_f (select p)
+    | None -> "-"
+  in
+  let table_of select =
+    let t = Table.create ~columns in
+    List.iter
+      (fun w -> Table.add_row t (w :: List.map (cell select w) chunk_sizes))
+      workloads;
+    t
+  in
+  let avg_frag c =
+    let vs = List.filter_map (fun p -> if p.chunk_objs = c then Some p.fragmentation else None) points in
+    if vs = [] then 0. else Repro_util.Mathx.mean vs
+  in
+  "Figure 10a: COAL performance vs CUDA across initial chunk sizes (objects)\n"
+  ^ Table.render (table_of (fun p -> p.perf_vs_cuda))
+  ^ "\nFigure 10b: SharedOA external fragmentation across initial chunk sizes\n"
+  ^ Table.render (table_of (fun p -> p.fragmentation))
+  ^ "average fragmentation: "
+  ^ String.concat "  "
+      (List.map (fun c -> Printf.sprintf "%s=%.0f%%" (chunk_label c) (100. *. avg_frag c)) chunk_sizes)
+  ^ "\n"
+
+let csv points =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "workload,chunk_objs,perf_vs_cuda,fragmentation\n";
+  List.iter
+    (fun p ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%d,%f,%f\n" p.workload p.chunk_objs p.perf_vs_cuda
+           p.fragmentation))
+    points;
+  Buffer.contents buf

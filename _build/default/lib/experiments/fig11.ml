@@ -1,0 +1,31 @@
+module W = Repro_workloads
+module T = Repro_core.Technique
+module Series = Repro_report.Series
+
+let points ?(scale = Sweep.default_scale) ?(workloads = W.Registry.all) () =
+  List.concat_map
+    (fun w ->
+      let p = { (W.Workload.default_params T.Cuda) with W.Workload.scale } in
+      let runs = W.Harness.run_techniques w p [ T.Cuda; T.type_pointer_on_cuda ] in
+      let group = Figview.short_group (W.Registry.qualified_name w) in
+      List.map
+        (fun (r : W.Harness.run) ->
+          {
+            Series.group;
+            series = T.name r.W.Harness.technique;
+            value = r.W.Harness.cycles;
+          })
+        runs)
+    workloads
+  |> Series.normalize_to ~baseline:"CUDA"
+  |> Series.invert
+  |> Series.geomean_row ~label:"GM"
+
+let render points =
+  Figview.render_table
+    ~title:
+      "Figure 11: TypePointer on the default CUDA allocator (simulation), \
+       normalized to CUDA"
+    ~aggregate_label:"GM" ~techniques:[ "CUDA"; "TP/CUDA" ] points
+
+let csv = Series.to_csv

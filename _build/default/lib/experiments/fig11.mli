@@ -1,0 +1,13 @@
+(** Figure 11: TypePointer applied to the *default CUDA allocator* in
+    simulation (hardware MMU; paper GM: +18 % over CUDA without changing
+    how objects are allocated). *)
+
+val points :
+  ?scale:float -> ?workloads:Repro_workloads.Workload.t list -> unit ->
+  Repro_report.Series.point list
+(** Per workload: "CUDA" (1.0) and "TP/CUDA" normalized performance,
+    plus the GM row. *)
+
+val render : Repro_report.Series.point list -> string
+
+val csv : Repro_report.Series.point list -> string

@@ -1,0 +1,104 @@
+module W = Repro_workloads
+module T = Repro_core.Technique
+module Table = Repro_report.Table
+
+type point = {
+  variant : string;
+  n_objects : int;
+  n_types : int;
+  cycles : float;
+  norm_time : float;
+}
+
+let object_counts = [ 32_768; 65_536; 131_072; 262_144; 524_288; 1_048_576 ]
+
+let type_counts = [ 1; 2; 4; 8; 16; 32 ]
+
+let variants =
+  [ ("BRANCH", W.Ubench.Branch);
+    ("CUDA", W.Ubench.Technique T.Cuda);
+    ("COAL", W.Ubench.Technique T.Coal);
+    ("TP", W.Ubench.Technique T.type_pointer) ]
+
+let scaled scale n = max 1024 (int_of_float (float_of_int n *. scale))
+
+let sweep ~configs =
+  (* configs: (n_objects, n_types) list; normalize to the first BRANCH. *)
+  let raw =
+    List.concat_map
+      (fun (n_objects, n_types) ->
+        List.map
+          (fun (name, variant) ->
+            let cycles, _result = W.Ubench.run ~n_objects ~n_types variant in
+            (name, n_objects, n_types, cycles))
+          variants)
+      configs
+  in
+  let base =
+    match raw with
+    | ("BRANCH", _, _, cycles) :: _ -> cycles
+    | _ -> invalid_arg "Fig12.sweep: BRANCH must come first"
+  in
+  List.map
+    (fun (variant, n_objects, n_types, cycles) ->
+      { variant; n_objects; n_types; cycles; norm_time = cycles /. base })
+    raw
+
+let sweep_for_test ~configs = sweep ~configs
+
+let run_object_sweep ?(scale = 1.0) () =
+  sweep ~configs:(List.map (fun n -> (scaled scale n, 4)) object_counts)
+
+let run_type_sweep ?(scale = 1.0) () =
+  let n_objects = scaled scale 524_288 in
+  sweep ~configs:(List.map (fun t -> (n_objects, t)) type_counts)
+
+let render ~title ~x_label ~x_of points =
+  let xs =
+    List.fold_left
+      (fun acc p -> if List.mem (x_of p) acc then acc else acc @ [ x_of p ])
+      [] points
+  in
+  let table =
+    Table.create
+      ~columns:((x_label, Table.Right) :: List.map (fun (v, _) -> (v, Table.Right)) variants)
+  in
+  List.iter
+    (fun x ->
+      Table.add_row table
+        (string_of_int x
+         :: List.map
+              (fun (v, _) ->
+                match
+                  List.find_opt (fun p -> p.variant = v && x_of p = x) points
+                with
+                | Some p -> Table.cell_f p.norm_time
+                | None -> "-")
+              variants))
+    xs;
+  title ^ "\n" ^ Table.render table
+
+let render_object_sweep points =
+  render
+    ~title:
+      "Figure 12a: execution time normalized to BRANCH at the smallest size \
+       (4 types; object scaling)"
+    ~x_label:"objects" ~x_of:(fun p -> p.n_objects) points
+
+let render_type_sweep points =
+  render
+    ~title:
+      "Figure 12b: execution time normalized to BRANCH with 1 type (fixed \
+       objects; type scaling)"
+    ~x_label:"types" ~x_of:(fun p -> p.n_types) points
+
+let csv points =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "variant,n_objects,n_types,cycles,norm_time\n";
+  List.iter
+    (fun p ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%d,%d,%f,%f\n" p.variant p.n_objects p.n_types p.cycles
+           p.norm_time))
+    points;
+  Buffer.contents buf

@@ -1,0 +1,49 @@
+module W = Repro_workloads
+module Stats = Repro_gpu.Stats
+module Label = Repro_gpu.Label
+
+type breakdown = {
+  vtable_share : float;
+  vfunc_share : float;
+  call_share : float;
+}
+
+let of_run (r : W.Harness.run) =
+  let stall l = Stats.stall_cycles r.W.Harness.stats l in
+  let a = stall Label.Vtable_load in
+  let b = stall Label.Vfunc_load +. stall Label.Const_indirect in
+  let c = stall Label.Call in
+  let total = a +. b +. c in
+  if total = 0. then { vtable_share = 0.; vfunc_share = 0.; call_share = 0. }
+  else { vtable_share = a /. total; vfunc_share = b /. total; call_share = c /. total }
+
+let cuda_runs sweep =
+  List.filter
+    (fun (r : W.Harness.run) ->
+      Repro_core.Technique.equal r.W.Harness.technique Repro_core.Technique.Cuda)
+    (Sweep.runs sweep)
+
+let average sweep =
+  let runs = cuda_runs sweep in
+  let n = float_of_int (max 1 (List.length runs)) in
+  let sum f = List.fold_left (fun acc r -> acc +. f (of_run r)) 0. runs in
+  {
+    vtable_share = sum (fun b -> b.vtable_share) /. n;
+    vfunc_share = sum (fun b -> b.vfunc_share) /. n;
+    call_share = sum (fun b -> b.call_share) /. n;
+  }
+
+let render sweep =
+  let avg = average sweep in
+  let chart =
+    Repro_report.Chart.bars ~unit_label:"%"
+      [
+        ("Load vTable* (A)", 100. *. avg.vtable_share);
+        ("Load vFunc*  (B)", 100. *. avg.vfunc_share);
+        ("Indirect call(C)", 100. *. avg.call_share);
+      ]
+  in
+  "Figure 1b: share of virtual-call latency (CUDA, average over apps)\n"
+  ^ chart
+  ^ Printf.sprintf "(paper: A=87%% of the direct cost; measured A=%.0f%%)\n"
+      (100. *. avg.vtable_share)

@@ -1,0 +1,23 @@
+(** Figure 1b: breakdown of the direct virtual-function-call latency
+    under contemporary CUDA, averaged over the object-oriented apps.
+
+    The paper measures it with NVProf PC sampling on a V100; we use the
+    timing engine's per-label stall attribution, restricted to the three
+    dispatch steps of Fig. 1a: the vTable* load (A), the vFunc* load
+    including the constant indirection (B), and the indirect call (C).
+    Paper: ≈87 % of the added latency is A. *)
+
+type breakdown = {
+  vtable_share : float;   (** A *)
+  vfunc_share : float;    (** B + constant indirection *)
+  call_share : float;     (** C *)
+}
+
+val of_run : Repro_workloads.Harness.run -> breakdown
+(** Shares of one CUDA-technique run (sum to 1 when any dispatch stall
+    was recorded). *)
+
+val average : Sweep.t -> breakdown
+(** Mean share over every workload's CUDA run. *)
+
+val render : Sweep.t -> string

@@ -1,0 +1,18 @@
+module W = Repro_workloads
+module Series = Repro_report.Series
+
+let points sweep =
+  Figview.metric_points sweep (fun r -> r.W.Harness.cycles)
+  |> Series.normalize_to ~baseline:"SHARD"
+  |> Series.invert
+  |> Series.geomean_row ~label:"GM"
+
+let technique_names sweep =
+  List.map Repro_core.Technique.name (Sweep.techniques sweep)
+
+let render sweep =
+  Figview.render_table
+    ~title:"Figure 6: performance normalized to SharedOA (higher is better)"
+    ~aggregate_label:"GM" ~techniques:(technique_names sweep) (points sweep)
+
+let csv sweep = Series.to_csv (points sweep)

@@ -1,0 +1,72 @@
+module W = Repro_workloads
+module Series = Repro_report.Series
+module Stats = Repro_gpu.Stats
+module Table = Repro_report.Table
+
+let points sweep =
+  Figview.metric_points sweep (fun r ->
+      float_of_int (Stats.total_instructions r.W.Harness.stats))
+  |> Series.normalize_to ~baseline:"SHARD"
+  |> Figview.mean_row ~label:"AVG"
+
+let breakdown sweep =
+  let techniques = Sweep.techniques sweep in
+  List.map
+    (fun workload ->
+      let base =
+        Sweep.get sweep ~workload ~technique:Repro_core.Technique.Shared_oa
+      in
+      let total = float_of_int (Stats.total_instructions base.W.Harness.stats) in
+      ( Figview.short_group workload,
+        List.map
+          (fun technique ->
+            let r = Sweep.get sweep ~workload ~technique in
+            let part cls =
+              float_of_int (Stats.instructions r.W.Harness.stats cls) /. total
+            in
+            (Repro_core.Technique.name technique, (part `Mem, part `Compute, part `Ctrl)))
+          techniques ))
+    (Sweep.workload_names sweep)
+
+let render sweep =
+  let table =
+    Table.create
+      ~columns:
+        [ ("workload", Table.Left); ("technique", Table.Left); ("MEM", Table.Right);
+          ("COMPUTE", Table.Right); ("CTRL", Table.Right); ("total", Table.Right) ]
+  in
+  List.iter
+    (fun (workload, rows) ->
+      List.iter
+        (fun (tech, (m, c, k)) ->
+          Table.add_row table
+            [ workload; tech; Table.cell_f m; Table.cell_f c; Table.cell_f k;
+              Table.cell_f (m +. c +. k) ])
+        rows;
+      Table.add_separator table)
+    (breakdown sweep);
+  let totals = points sweep in
+  let avg =
+    String.concat "  "
+      (List.map
+         (fun t ->
+           let name = Repro_core.Technique.name t in
+           Printf.sprintf "%s=%.2f" name (Figview.geomean_of totals ~series:name))
+         (Sweep.techniques sweep))
+  in
+  "Figure 7: warp instructions normalized to SharedOA (breakdown by class)\n"
+  ^ Table.render table ^ "AVG total: " ^ avg ^ "\n"
+
+let csv sweep =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "workload,technique,class,value\n";
+  List.iter
+    (fun (workload, rows) ->
+      List.iter
+        (fun (tech, (m, c, k)) ->
+          Buffer.add_string buf (Printf.sprintf "%s,%s,MEM,%f\n" workload tech m);
+          Buffer.add_string buf (Printf.sprintf "%s,%s,COMPUTE,%f\n" workload tech c);
+          Buffer.add_string buf (Printf.sprintf "%s,%s,CTRL,%f\n" workload tech k))
+        rows)
+    (breakdown sweep);
+  Buffer.contents buf

@@ -1,0 +1,17 @@
+(** Figure 7: dynamic warp instruction breakdown (MEM / COMPUTE / CTRL)
+    normalized to SharedOA (paper: Concord +28 %, COAL +83 %, TP +19 %
+    total instructions). *)
+
+val points : Sweep.t -> Repro_report.Series.point list
+(** Total normalized instructions per (workload, technique) + "AVG". *)
+
+val breakdown :
+  Sweep.t ->
+  (string * (string * (float * float * float)) list) list
+(** Per workload, per technique: (mem, compute, ctrl), each normalized to
+    that workload's SharedOA total. *)
+
+val render : Sweep.t -> string
+
+val csv : Sweep.t -> string
+(** Long-form rows "workload,technique:class,value". *)

@@ -1,0 +1,70 @@
+module W = Repro_workloads
+module Series = Repro_report.Series
+module Table = Repro_report.Table
+
+let short_group name =
+  match String.split_on_char '/' name with
+  | [ suite; short ] ->
+    if String.length suite >= 8 && String.sub suite 0 8 = "GraphChi" then
+      (* Disambiguate the vE/vEN duplicates compactly. *)
+      String.sub suite 9 (String.length suite - 9) ^ "-" ^ short
+    else short
+  | _ -> name
+
+let metric_points sweep metric =
+  List.map
+    (fun (r : W.Harness.run) ->
+      {
+        Series.group = short_group r.W.Harness.workload;
+        series = Repro_core.Technique.name r.W.Harness.technique;
+        value = metric r;
+      })
+    (Sweep.runs sweep)
+
+let mean_row ~label points =
+  let names =
+    List.fold_left
+      (fun acc (p : Series.point) ->
+        if List.mem p.Series.series acc then acc else acc @ [ p.Series.series ])
+      [] points
+  in
+  points
+  @ List.map
+      (fun s ->
+        let vs =
+          List.filter_map
+            (fun (p : Series.point) ->
+              if p.Series.series = s then Some p.Series.value else None)
+            points
+        in
+        { Series.group = label; series = s; value = Repro_util.Mathx.mean vs })
+      names
+
+let render_table ~title ~aggregate_label ~techniques points =
+  let table =
+    Table.create ~columns:(("workload", Table.Left) :: List.map (fun t -> (t, Table.Right)) techniques)
+  in
+  let grouped = Series.by_group points in
+  List.iter
+    (fun (group, cells) ->
+      if group = aggregate_label then Table.add_separator table;
+      Table.add_row table
+        (group
+         :: List.map
+              (fun t ->
+                match List.assoc_opt t cells with
+                | Some v -> Table.cell_f v
+                | None -> "-")
+              techniques))
+    grouped;
+  title ^ "\n" ^ Table.render table
+
+let geomean_of points ~series =
+  let rec last_matching acc = function
+    | [] -> acc
+    | (p : Series.point) :: rest ->
+      last_matching (if p.Series.series = series then Some p.Series.value else acc) rest
+  in
+  match last_matching None points with
+  | Some v -> v
+  | None -> invalid_arg "Figview.geomean_of: series not present"

@@ -1,0 +1,28 @@
+(** Shared rendering for the sweep-derived figures (6–9): extract a
+    metric per run, normalize, add the aggregate row, print a table and
+    a chart. *)
+
+val metric_points :
+  Sweep.t -> (Repro_workloads.Harness.run -> float) -> Repro_report.Series.point list
+(** One point per (workload, technique); the series name is the
+    technique's short name. *)
+
+val short_group : string -> string
+(** Compact workload label ("Dynasoar/TRAF" → "TRAF", keeping the suite
+    prefix only for the BFS/CC/PR duplicates). *)
+
+val render_table :
+  title:string ->
+  aggregate_label:string ->
+  techniques:string list ->
+  Repro_report.Series.point list ->
+  string
+(** Rows = groups (aggregate last), columns = techniques. *)
+
+val mean_row :
+  label:string -> Repro_report.Series.point list -> Repro_report.Series.point list
+(** Append an aggregate group holding the per-series arithmetic mean
+    (Figures 7 and 9 average; Figure 6/8 use the geometric mean). *)
+
+val geomean_of : Repro_report.Series.point list -> series:string -> float
+(** The aggregate-row value for one technique (the row must exist). *)

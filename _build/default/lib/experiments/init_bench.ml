@@ -1,0 +1,48 @@
+module W = Repro_workloads
+module T = Repro_core.Technique
+module Table = Repro_report.Table
+
+type row = {
+  workload : string;
+  objects : int;
+  cuda_cycles : float;
+  shared_oa_cycles : float;
+  speedup : float;
+}
+
+let alloc_cycles (r : W.Harness.run) = r.W.Harness.alloc_stats.Repro_core.Allocator.alloc_cycles
+
+let run ?(scale = Sweep.default_scale) ?(workloads = W.Registry.all) () =
+  List.map
+    (fun w ->
+      let p technique = { (W.Workload.default_params technique) with W.Workload.scale } in
+      let cuda = W.Harness.run w (p T.Cuda) in
+      let shared = W.Harness.run w (p T.Shared_oa) in
+      {
+        workload = Figview.short_group (W.Registry.qualified_name w);
+        objects = shared.W.Harness.n_objects;
+        cuda_cycles = alloc_cycles cuda;
+        shared_oa_cycles = alloc_cycles shared;
+        speedup = alloc_cycles cuda /. alloc_cycles shared;
+      })
+    workloads
+
+let geomean_speedup rows = Repro_util.Mathx.geomean (List.map (fun r -> r.speedup) rows)
+
+let render rows =
+  let table =
+    Table.create
+      ~columns:
+        [ ("workload", Table.Left); ("objects", Table.Right);
+          ("device-side alloc (cycles)", Table.Right);
+          ("SharedOA alloc (cycles)", Table.Right); ("speedup", Table.Right) ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [ r.workload; string_of_int r.objects; Table.cell_f ~digits:0 r.cuda_cycles;
+          Table.cell_f ~digits:0 r.shared_oa_cycles; Table.cell_f ~digits:1 r.speedup ])
+    rows;
+  "Initialization (Sec. 8.2): allocation-phase cost, SharedOA vs device-side new\n"
+  ^ Table.render table
+  ^ Printf.sprintf "geomean speedup: %.0fx (paper: 80x)\n" (geomean_speedup rows)

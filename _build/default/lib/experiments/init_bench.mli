@@ -1,0 +1,19 @@
+(** The Sec. 8.2 initialization comparison: SharedOA performs host-side
+    bump allocation into typed regions, while allocating objects with
+    virtual functions on the device serializes on the CUDA heap —
+    the paper measures SharedOA 80× faster (geomean) over the apps. *)
+
+type row = {
+  workload : string;
+  objects : int;
+  cuda_cycles : float;
+  shared_oa_cycles : float;
+  speedup : float;
+}
+
+val run :
+  ?scale:float -> ?workloads:Repro_workloads.Workload.t list -> unit -> row list
+
+val geomean_speedup : row list -> float
+
+val render : row list -> string

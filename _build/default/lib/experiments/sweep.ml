@@ -1,0 +1,45 @@
+module W = Repro_workloads
+module T = Repro_core.Technique
+
+type t = {
+  runs : W.Harness.run list;
+  workload_names : string list;
+  techniques : T.t list;
+}
+
+let default_scale = 0.25
+
+let run ?(scale = default_scale) ?iterations ?(progress = fun _ -> ())
+    ?(workloads = W.Registry.all) () =
+  let techniques = T.all_paper in
+  let runs =
+    List.concat_map
+      (fun w ->
+        progress (W.Registry.qualified_name w);
+        let p =
+          { (W.Workload.default_params T.Shared_oa) with W.Workload.scale; iterations }
+        in
+        W.Harness.run_techniques w p techniques)
+      workloads
+  in
+  {
+    runs;
+    workload_names = List.map W.Registry.qualified_name workloads;
+    techniques;
+  }
+
+let runs t = t.runs
+
+let workload_names t = t.workload_names
+
+let techniques t = t.techniques
+
+let get t ~workload ~technique =
+  match
+    List.find_opt
+      (fun (r : W.Harness.run) ->
+        r.W.Harness.workload = workload && T.equal r.W.Harness.technique technique)
+      t.runs
+  with
+  | Some r -> r
+  | None -> raise Not_found

@@ -1,0 +1,30 @@
+(** The shared measurement sweep behind Figures 6–9: every workload under
+    every silicon technique, run once and reused by all four figure
+    renderers (they are different views of the same profile, as in the
+    paper). Cross-technique functional equality is asserted while
+    sweeping. *)
+
+type t
+
+val default_scale : float
+(** 0.25. *)
+
+val run :
+  ?scale:float ->
+  ?iterations:int ->
+  ?progress:(string -> unit) ->
+  ?workloads:Repro_workloads.Workload.t list ->
+  unit -> t
+(** Defaults: scale 0.25 (fast but representative; see EXPERIMENTS.md),
+    the paper's five techniques, all eleven workloads. *)
+
+val runs : t -> Repro_workloads.Harness.run list
+
+val workload_names : t -> string list
+(** Qualified names in sweep order. *)
+
+val techniques : t -> Repro_core.Technique.t list
+
+val get : t -> workload:string -> technique:Repro_core.Technique.t ->
+  Repro_workloads.Harness.run
+(** Raises [Not_found]. *)

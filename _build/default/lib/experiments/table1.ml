@@ -1,0 +1,68 @@
+module W = Repro_workloads
+module Stats = Repro_gpu.Stats
+module Label = Repro_gpu.Label
+module T = Repro_core.Technique
+module Table = Repro_report.Table
+
+let analytic =
+  String.concat "\n"
+    [
+      "Table 1: global accesses per virtual call (analytic, as in the paper)";
+      "  Operation      CUDA                 COAL                TypePointer";
+      "  A Get vTable*  Acc ~ NumObjects     Acc ~ NumTypes      0 Acc";
+      "  B Get vFunc*   Acc ~ NumTypes       Acc ~ NumTypes      Acc ~ NumTypes";
+      "  C Call vFunc*  Indirect branch      Indirect branch     Indirect branch";
+      "";
+    ]
+
+type measured = {
+  technique : string;
+  get_vtable_per_kcall : float;
+  get_vfunc_per_kcall : float;
+}
+
+let measure sweep =
+  List.map
+    (fun technique ->
+      let runs =
+        List.filter
+          (fun (r : W.Harness.run) -> T.equal r.W.Harness.technique technique)
+          (Sweep.runs sweep)
+      in
+      let per_kcall label =
+        let num, den =
+          List.fold_left
+            (fun (num, den) (r : W.Harness.run) ->
+              ( num + Stats.load_transactions_for r.W.Harness.stats label,
+                den + r.W.Harness.warp_vcalls ))
+            (0, 0) runs
+        in
+        if den = 0 then 0. else 1000. *. float_of_int num /. float_of_int den
+      in
+      {
+        technique = T.name technique;
+        get_vtable_per_kcall =
+          per_kcall Label.Vtable_load
+          +. per_kcall Label.Coal_lookup
+          +. per_kcall Label.Concord_tag;
+        get_vfunc_per_kcall = per_kcall Label.Vfunc_load;
+      })
+    (Sweep.techniques sweep)
+
+let render sweep =
+  let table =
+    Table.create
+      ~columns:
+        [ ("technique", Table.Left);
+          ("A: get-type transactions / kcall", Table.Right);
+          ("B: get-vFunc transactions / kcall", Table.Right) ]
+  in
+  List.iter
+    (fun m ->
+      Table.add_row table
+        [ m.technique;
+          Table.cell_f ~digits:0 m.get_vtable_per_kcall;
+          Table.cell_f ~digits:0 m.get_vfunc_per_kcall ])
+    (measure sweep);
+  analytic ^ "Measured (per 1000 warp-level virtual calls, sweep average):\n"
+  ^ Table.render table

@@ -1,0 +1,61 @@
+module W = Repro_workloads
+module Table = Repro_report.Table
+
+type row = {
+  workload : string;
+  suite : string;
+  description : string;
+  objects : int;
+  paper_objects : int;
+  types : int;
+  vfuncs : int;
+  vfunc_pki : float;
+}
+
+let rows sweep =
+  List.filter_map
+    (fun name ->
+      match W.Registry.find name with
+      | None -> None
+      | Some w ->
+        let r = Sweep.get sweep ~workload:name ~technique:Repro_core.Technique.Cuda in
+        Some
+          {
+            workload = w.W.Workload.name;
+            suite = w.W.Workload.suite;
+            description = w.W.Workload.description;
+            objects = r.W.Harness.n_objects;
+            paper_objects = w.W.Workload.paper_objects;
+            types = r.W.Harness.n_types;
+            vfuncs = r.W.Harness.n_vfuncs;
+            vfunc_pki = r.W.Harness.vfunc_pki;
+          })
+    (Sweep.workload_names sweep)
+
+let render sweep =
+  let table =
+    Table.create
+      ~columns:
+        [ ("suite", Table.Left); ("workload", Table.Left); ("#objects", Table.Right);
+          ("paper #objects", Table.Right); ("#types", Table.Right);
+          ("vFuncs", Table.Right); ("vFuncPKI", Table.Right) ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [ r.suite; r.workload; string_of_int r.objects; string_of_int r.paper_objects;
+          string_of_int r.types; string_of_int r.vfuncs; Table.cell_f ~digits:1 r.vfunc_pki ])
+    (rows sweep);
+  "Table 2: workload characteristics (measured at the current scale)\n"
+  ^ Table.render table
+
+let csv sweep =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "suite,workload,objects,paper_objects,types,vfuncs,vfunc_pki\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%s,%d,%d,%d,%d,%f\n" r.suite r.workload r.objects
+           r.paper_objects r.types r.vfuncs r.vfunc_pki))
+    (rows sweep);
+  Buffer.contents buf

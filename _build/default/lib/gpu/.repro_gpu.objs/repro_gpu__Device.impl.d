@@ -1,0 +1,1 @@
+lib/gpu/device.ml: Array Config Mem_path Repro_mem Repro_util Sm Stats Warp_ctx

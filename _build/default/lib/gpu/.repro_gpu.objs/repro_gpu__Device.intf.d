@@ -1,0 +1,1 @@
+lib/gpu/device.mli: Config Repro_mem Stats Warp_ctx

@@ -1,0 +1,1 @@
+lib/gpu/instr.mli: Label

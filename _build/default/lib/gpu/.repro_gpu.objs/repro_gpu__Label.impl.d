@@ -1,0 +1,1 @@
+lib/gpu/label.ml: Format List

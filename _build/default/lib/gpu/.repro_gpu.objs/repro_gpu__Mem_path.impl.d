@@ -1,0 +1,1 @@
+lib/gpu/mem_path.ml: Array Cache Coalesce Config Float Stats

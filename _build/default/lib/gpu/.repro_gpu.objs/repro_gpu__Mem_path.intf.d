@@ -1,0 +1,1 @@
+lib/gpu/mem_path.mli: Config Label Stats

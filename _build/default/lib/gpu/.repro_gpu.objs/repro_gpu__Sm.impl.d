@@ -1,0 +1,1 @@
+lib/gpu/sm.ml: Array Config Float Instr Mem_path Repro_util Stats Trace

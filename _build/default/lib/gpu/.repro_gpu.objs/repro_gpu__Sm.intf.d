@@ -1,0 +1,1 @@
+lib/gpu/sm.mli: Config Mem_path Stats Trace

@@ -1,0 +1,1 @@
+lib/gpu/stats.ml: Array Format Instr Label

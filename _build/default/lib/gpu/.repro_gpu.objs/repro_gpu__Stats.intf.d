@@ -1,0 +1,1 @@
+lib/gpu/stats.mli: Format Instr Label

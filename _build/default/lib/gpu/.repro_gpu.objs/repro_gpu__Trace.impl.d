@@ -1,0 +1,1 @@
+lib/gpu/trace.ml: Instr Repro_util

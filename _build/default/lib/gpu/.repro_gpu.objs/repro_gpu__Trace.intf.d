@@ -1,0 +1,1 @@
+lib/gpu/trace.mli: Instr

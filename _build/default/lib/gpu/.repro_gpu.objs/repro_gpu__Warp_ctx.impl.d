@@ -1,0 +1,1 @@
+lib/gpu/warp_ctx.ml: Array Instr List Repro_mem Trace

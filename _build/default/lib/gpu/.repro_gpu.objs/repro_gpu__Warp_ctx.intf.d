@@ -1,0 +1,1 @@
+lib/gpu/warp_ctx.mli: Label Repro_mem Trace

@@ -1,0 +1,97 @@
+type geometry = {
+  size_bytes : int;
+  line_bytes : int;
+  ways : int;
+}
+
+let geometry ~size_bytes ~line_bytes ~ways =
+  if line_bytes <= 0 || line_bytes mod Repro_mem.Vaddr.sector_bytes <> 0 then
+    invalid_arg "Cache.geometry: line size must be a multiple of the sector size";
+  if ways <= 0 then invalid_arg "Cache.geometry: ways must be positive";
+  if size_bytes mod (line_bytes * ways) <> 0 then
+    invalid_arg "Cache.geometry: size must divide into sets";
+  let sets = size_bytes / (line_bytes * ways) in
+  if sets land (sets - 1) <> 0 then
+    invalid_arg "Cache.geometry: the number of sets must be a power of two";
+  { size_bytes; line_bytes; ways }
+
+type t = {
+  geom : geometry;
+  sets : int;
+  sectors_per_line : int;
+  (* Per (set, way): the resident line index (-1 when invalid), a valid
+     bitmask over its sectors, and an LRU stamp. Flat arrays indexed by
+     [set * ways + way] keep this allocation-free on the hot path. *)
+  tags : int array;
+  valid : int array;
+  stamps : int array;
+  mutable clock : int;
+}
+
+let create geom =
+  let sets = geom.size_bytes / (geom.line_bytes * geom.ways) in
+  let slots = sets * geom.ways in
+  {
+    geom;
+    sets;
+    sectors_per_line = geom.line_bytes / Repro_mem.Vaddr.sector_bytes;
+    tags = Array.make slots (-1);
+    valid = Array.make slots 0;
+    stamps = Array.make slots 0;
+    clock = 0;
+  }
+
+let geometry_of t = t.geom
+
+let locate t ~sector =
+  let line = sector / t.sectors_per_line in
+  let sector_in_line = sector mod t.sectors_per_line in
+  let set = line land (t.sets - 1) in
+  (line, sector_in_line, set)
+
+let find_way t ~set ~line =
+  let base = set * t.geom.ways in
+  let rec go way =
+    if way >= t.geom.ways then None
+    else if t.tags.(base + way) = line then Some (base + way)
+    else go (way + 1)
+  in
+  go 0
+
+let lru_slot t ~set =
+  let base = set * t.geom.ways in
+  let best = ref base in
+  for way = 1 to t.geom.ways - 1 do
+    if t.stamps.(base + way) < t.stamps.(!best) then best := base + way
+  done;
+  !best
+
+let access t ~sector =
+  let line, sector_in_line, set = locate t ~sector in
+  t.clock <- t.clock + 1;
+  let bit = 1 lsl sector_in_line in
+  match find_way t ~set ~line with
+  | Some slot ->
+    t.stamps.(slot) <- t.clock;
+    if t.valid.(slot) land bit <> 0 then `Hit
+    else begin
+      t.valid.(slot) <- t.valid.(slot) lor bit;
+      `Miss
+    end
+  | None ->
+    let slot = lru_slot t ~set in
+    t.tags.(slot) <- line;
+    t.valid.(slot) <- bit;
+    t.stamps.(slot) <- t.clock;
+    `Miss
+
+let probe t ~sector =
+  let line, sector_in_line, set = locate t ~sector in
+  match find_way t ~set ~line with
+  | Some slot -> t.valid.(slot) land (1 lsl sector_in_line) <> 0
+  | None -> false
+
+let flush t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.valid 0 (Array.length t.valid) 0;
+  Array.fill t.stamps 0 (Array.length t.stamps) 0

@@ -1,0 +1,14 @@
+let sectors addrs =
+  let s = Array.map Repro_mem.Vaddr.sector_of addrs in
+  Array.sort compare s;
+  let n = Array.length s in
+  let distinct = ref 0 in
+  for i = 0 to n - 1 do
+    if i = 0 || s.(i) <> s.(i - 1) then begin
+      s.(!distinct) <- s.(i);
+      incr distinct
+    end
+  done;
+  Array.sub s 0 !distinct
+
+let transaction_count addrs = Array.length (sectors addrs)

@@ -1,0 +1,15 @@
+(** Per-warp memory-access coalescing.
+
+    NVIDIA GPUs service a warp's global access as a set of 32-byte sector
+    transactions: lanes touching the same sector share one transaction.
+    This is the mechanism behind the whole paper — a diverged vTable*
+    load (32 lanes, 32 different objects) costs up to 32 transactions,
+    while 32 lanes reading the same range-table node cost one. *)
+
+val sectors : int array -> int array
+(** [sectors addrs] is the sorted array of distinct 32 B sector indices
+    touched by the given canonical byte addresses. *)
+
+val transaction_count : int array -> int
+(** [Array.length (sectors addrs)] without building the intermediate
+    array's duplicates; 1..warp-size. *)

@@ -1,0 +1,47 @@
+type t = {
+  cfg : Config.t;
+  heap : Repro_mem.Page_store.t;
+  mem_path : Mem_path.t;
+  stats : Stats.t;
+  mutable launches : int;
+}
+
+let create ?(config = Config.default) ~heap () =
+  Config.validate config;
+  {
+    cfg = config;
+    heap;
+    mem_path = Mem_path.create config;
+    stats = Stats.create ();
+    launches = 0;
+  }
+
+let config t = t.cfg
+
+let heap t = t.heap
+
+let launch t ~n_threads kernel =
+  if n_threads <= 0 then invalid_arg "Device.launch: n_threads must be positive";
+  let warp_size = t.cfg.Config.warp_size in
+  let n_warps = Repro_util.Mathx.ceil_div n_threads warp_size in
+  let traces =
+    Array.init n_warps (fun warp_id ->
+        let first = warp_id * warp_size in
+        let width = min warp_size (n_threads - first) in
+        let lanes = Array.init width (fun lane -> first + lane) in
+        let ctx = Warp_ctx.create ~heap:t.heap ~warp_id ~lanes in
+        kernel ctx;
+        Warp_ctx.trace ctx)
+  in
+  let cycles = Sm.run t.cfg t.mem_path ~stats:t.stats ~traces in
+  Stats.add_cycles t.stats cycles;
+  t.launches <- t.launches + 1
+
+let stats t = t.stats
+
+let reset_stats t =
+  Stats.reset t.stats;
+  Mem_path.reset t.mem_path;
+  t.launches <- 0
+
+let launches t = t.launches

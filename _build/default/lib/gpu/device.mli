@@ -1,0 +1,32 @@
+(** The whole simulated GPU: launch kernels, accumulate statistics.
+
+    A launch proceeds in two phases. Phase 1 (functional) partitions the
+    grid into warps and runs the kernel body once per warp through
+    {!Warp_ctx}, mutating the simulated heap and recording instruction
+    traces — values never depend on timing, so traces are exact. Phase 2
+    ({!Sm.run}) replays the traces through the timing model. Kernels must
+    be data-race-free across warps within a launch (the usual CUDA
+    contract); phase 1 executes warps in grid order. *)
+
+type t
+
+val create : ?config:Config.t -> heap:Repro_mem.Page_store.t -> unit -> t
+
+val config : t -> Config.t
+
+val heap : t -> Repro_mem.Page_store.t
+
+val launch : t -> n_threads:int -> (Warp_ctx.t -> unit) -> unit
+(** Run a kernel over a 1-D grid of [n_threads] threads (the last warp may
+    be partial). Raises [Invalid_argument] when [n_threads <= 0]. *)
+
+val stats : t -> Stats.t
+(** Counters accumulated since creation or the last {!reset_stats},
+    including total cycles across launches. *)
+
+val reset_stats : t -> unit
+(** Also resets the persistent L2 tag state, so timed regions start
+    cold and runs are order-independent. *)
+
+val launches : t -> int
+(** Number of kernel launches since the last reset. *)

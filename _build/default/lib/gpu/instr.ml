@@ -1,0 +1,49 @@
+type kind =
+  | Load of int array
+  | Store of int array
+  | Compute of int
+  | Ctrl of int
+  | Const_load
+  | Call_indirect
+  | Call_direct
+
+type t = {
+  label : Label.t;
+  kind : kind;
+  blocking : bool;
+  active : int;
+}
+
+let load ?(blocking = true) ~label addrs =
+  if Array.length addrs = 0 then invalid_arg "Instr.load: no active lanes";
+  { label; kind = Load addrs; blocking; active = Array.length addrs }
+
+let store ~label addrs =
+  if Array.length addrs = 0 then invalid_arg "Instr.store: no active lanes";
+  { label; kind = Store addrs; blocking = false; active = Array.length addrs }
+
+let compute ?(n = 1) ?(blocking = false) ~label active =
+  if n <= 0 then invalid_arg "Instr.compute: n must be positive";
+  { label; kind = Compute n; blocking; active }
+
+let ctrl ?(n = 1) ~label active =
+  if n <= 0 then invalid_arg "Instr.ctrl: n must be positive";
+  { label; kind = Ctrl n; blocking = false; active }
+
+let const_load ~label active = { label; kind = Const_load; blocking = true; active }
+
+let call_indirect ~label active =
+  { label; kind = Call_indirect; blocking = true; active }
+
+let call_direct ~label active = { label; kind = Call_direct; blocking = true; active }
+
+let instruction_count t =
+  match t.kind with
+  | Compute n | Ctrl n -> n
+  | Load _ | Store _ | Const_load | Call_indirect | Call_direct -> 1
+
+let class_of t =
+  match t.kind with
+  | Load _ | Store _ | Const_load -> `Mem
+  | Compute _ -> `Compute
+  | Ctrl _ | Call_indirect | Call_direct -> `Ctrl

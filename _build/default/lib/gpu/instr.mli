@@ -1,0 +1,52 @@
+(** Abstract warp instructions.
+
+    The functional phase of a kernel records one of these per dynamic warp
+    instruction; the timing phase replays them. A memory instruction
+    carries the canonical (already MMU-stripped) per-active-lane byte
+    addresses; the coalescer turns those into 32 B sector transactions.
+
+    [blocking] marks a true data dependency: the warp cannot issue its next
+    instruction until this one completes. Dispatch chains (vTable* load →
+    vFunc* load → call) and loads whose value feeds the next instruction
+    are blocking; fire-and-forget stores are not. *)
+
+type kind =
+  | Load of int array        (** Global load; payload = per-lane addresses. *)
+  | Store of int array       (** Global store; payload = per-lane addresses. *)
+  | Compute of int           (** [n] dependent ALU operations. *)
+  | Ctrl of int              (** [n] control-flow operations. *)
+  | Const_load               (** Constant-cache access (per-kernel table). *)
+  | Call_indirect            (** Indirect branch through a register. *)
+  | Call_direct              (** Direct call (Concord's switch targets). *)
+
+type t = {
+  label : Label.t;
+  kind : kind;
+  blocking : bool;
+  active : int;              (** Number of active lanes when issued. *)
+}
+
+val load : ?blocking:bool -> label:Label.t -> int array -> t
+(** [load ~label addrs]: [addrs] must be non-empty; its length is the
+    active lane count. *)
+
+val store : label:Label.t -> int array -> t
+
+val compute : ?n:int -> ?blocking:bool -> label:Label.t -> int -> t
+(** [compute ~label active]. *)
+
+val ctrl : ?n:int -> label:Label.t -> int -> t
+
+val const_load : label:Label.t -> int -> t
+
+val call_indirect : label:Label.t -> int -> t
+
+val call_direct : label:Label.t -> int -> t
+
+val instruction_count : t -> int
+(** Dynamic warp-instruction count this record stands for ([n] for
+    [Compute]/[Ctrl], 1 otherwise). *)
+
+val class_of : t -> [ `Mem | `Compute | `Ctrl ]
+(** Classification used by the Figure 7 instruction breakdown. Calls and
+    control flow are [`Ctrl]; constant loads count as [`Mem]. *)

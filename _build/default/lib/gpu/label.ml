@@ -1,0 +1,48 @@
+type t =
+  | Vtable_load
+  | Vfunc_load
+  | Const_indirect
+  | Call
+  | Coal_lookup
+  | Tp_dispatch
+  | Tp_strip
+  | Concord_tag
+  | Concord_switch
+  | Body
+
+let all =
+  [ Vtable_load; Vfunc_load; Const_indirect; Call; Coal_lookup; Tp_dispatch;
+    Tp_strip; Concord_tag; Concord_switch; Body ]
+
+let count = List.length all
+
+let to_index = function
+  | Vtable_load -> 0
+  | Vfunc_load -> 1
+  | Const_indirect -> 2
+  | Call -> 3
+  | Coal_lookup -> 4
+  | Tp_dispatch -> 5
+  | Tp_strip -> 6
+  | Concord_tag -> 7
+  | Concord_switch -> 8
+  | Body -> 9
+
+let of_index i =
+  match List.nth_opt all i with
+  | Some l -> l
+  | None -> invalid_arg "Label.of_index: out of range"
+
+let name = function
+  | Vtable_load -> "load vTable*"
+  | Vfunc_load -> "load vFunc*"
+  | Const_indirect -> "const indirection"
+  | Call -> "call"
+  | Coal_lookup -> "COAL lookup"
+  | Tp_dispatch -> "TypePointer dispatch"
+  | Tp_strip -> "TypePointer strip"
+  | Concord_tag -> "Concord tag load"
+  | Concord_switch -> "Concord switch"
+  | Body -> "body"
+
+let pp ppf t = Format.pp_print_string ppf (name t)

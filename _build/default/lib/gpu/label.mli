@@ -1,0 +1,33 @@
+(** Instruction labels.
+
+    Every emitted warp instruction carries a label identifying which part
+    of the virtual-call machinery (or of the workload body) it belongs to.
+    The timing model attributes stall cycles to labels, which is how we
+    reproduce the paper's Figure 1b PC-sampling breakdown (load vTable*,
+    load vFunc*, indirect call). *)
+
+type t =
+  | Vtable_load     (** A in Fig. 1a: the per-object vTable pointer load. *)
+  | Vfunc_load      (** B in Fig. 1a: the vFunc pointer load from the vTable. *)
+  | Const_indirect  (** The per-kernel constant-memory indirection (Sec. 2). *)
+  | Call            (** C in Fig. 1a: the indirect (or direct) call. *)
+  | Coal_lookup     (** COAL's virtual-range-table walk (Algorithm 1). *)
+  | Tp_dispatch     (** TypePointer's SHR/ADD/LDG sequence (Fig. 5b). *)
+  | Tp_strip        (** Prototype-mode mask instructions at member refs. *)
+  | Concord_tag     (** Concord's embedded type-tag load. *)
+  | Concord_switch  (** Concord's compare/branch switch expansion. *)
+  | Body            (** Workload code outside the dispatch machinery. *)
+
+val count : int
+(** Number of distinct labels; labels index dense arrays. *)
+
+val to_index : t -> int
+
+val of_index : int -> t
+(** Raises [Invalid_argument] out of range. *)
+
+val name : t -> string
+
+val all : t list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,107 @@
+type t = {
+  cfg : Config.t;
+  l1s : Cache.t array;
+  l1_next_free : float array;
+  lsu_next_free : float array;
+  l2 : Cache.t;
+  mutable l2_next_free : float;
+  mutable dram_next_free : float;
+}
+
+let create (cfg : Config.t) =
+  Config.validate cfg;
+  {
+    cfg;
+    l1s = Array.init cfg.n_sms (fun _ -> Cache.create cfg.l1_geometry);
+    l1_next_free = Array.make cfg.n_sms 0.;
+    lsu_next_free = Array.make cfg.n_sms 0.;
+    l2 = Cache.create cfg.l2_geometry;
+    l2_next_free = 0.;
+    dram_next_free = 0.;
+  }
+
+let flush_l1s t = Array.iter Cache.flush t.l1s
+
+let begin_kernel t =
+  flush_l1s t;
+  Array.fill t.l1_next_free 0 (Array.length t.l1_next_free) 0.;
+  Array.fill t.lsu_next_free 0 (Array.length t.lsu_next_free) 0.;
+  t.l2_next_free <- 0.;
+  t.dram_next_free <- 0.
+
+(* One sector through the hierarchy: bandwidth reservation at each level it
+   reaches, cumulative latency down to the level that hits. *)
+let serve_load_sector t ~stats ~sm ~start sector =
+  let cfg = t.cfg in
+  let t1 = Float.max start t.l1_next_free.(sm) in
+  t.l1_next_free.(sm) <- t1 +. (1. /. cfg.l1_sector_throughput);
+  match Cache.access t.l1s.(sm) ~sector with
+  | `Hit ->
+    Stats.count_l1 stats ~hit:true;
+    t1 +. float_of_int cfg.l1_latency
+  | `Miss ->
+    Stats.count_l1 stats ~hit:false;
+    let t2 = Float.max (t1 +. float_of_int cfg.l1_latency) t.l2_next_free in
+    t.l2_next_free <- t2 +. (1. /. cfg.l2_sector_throughput);
+    (match Cache.access t.l2 ~sector with
+     | `Hit ->
+       Stats.count_l2 stats ~hit:true;
+       t2 +. float_of_int cfg.l2_latency
+     | `Miss ->
+       Stats.count_l2 stats ~hit:false;
+       (* DRAM is accessed at 64 B granularity (Volta's L2 fill size):
+          the missing sector and its pair are both fetched and installed.
+          Padded or scattered objects waste the pair half; packed objects
+          find their neighbour in it — a first-order reason type-based
+          packing wins (Sec. 8.2). *)
+       Stats.count_dram_sector stats;
+       Stats.count_dram_sector stats;
+       ignore (Cache.access t.l2 ~sector:(sector lxor 1));
+       let t3 = Float.max (t2 +. float_of_int cfg.l2_latency) t.dram_next_free in
+       t.dram_next_free <- t3 +. (2. /. cfg.dram_sector_throughput);
+       t3 +. float_of_int cfg.dram_latency)
+
+let accept_lsu t ~sm ~start ~n_sectors =
+  let cfg = t.cfg in
+  let t0 = Float.max start t.lsu_next_free.(sm) in
+  let occupancy =
+    Float.max
+      (1. /. cfg.lsu_throughput)
+      (float_of_int n_sectors /. cfg.l1_sector_throughput)
+  in
+  t.lsu_next_free.(sm) <- t0 +. occupancy;
+  t0
+
+let load t ~stats ~sm ~start ~label ~addrs =
+  let sectors = Coalesce.sectors addrs in
+  let n = Array.length sectors in
+  Stats.count_load_transactions stats label n;
+  let t0 = accept_lsu t ~sm ~start ~n_sectors:n in
+  Array.fold_left
+    (fun acc sector -> Float.max acc (serve_load_sector t ~stats ~sm ~start:t0 sector))
+    t0 sectors
+
+let store t ~stats ~sm ~start ~addrs =
+  let cfg = t.cfg in
+  let sectors = Coalesce.sectors addrs in
+  let n = Array.length sectors in
+  Stats.count_store_transactions stats n;
+  let t0 = accept_lsu t ~sm ~start ~n_sectors:n in
+  Array.iter
+    (fun sector ->
+      (* Write-through: every store sector consumes L2 bandwidth and is
+         installed there; an L2 miss additionally consumes DRAM bandwidth. *)
+      let t2 = Float.max t0 t.l2_next_free in
+      t.l2_next_free <- t2 +. (1. /. cfg.l2_sector_throughput);
+      match Cache.access t.l2 ~sector with
+      | `Hit -> ()
+      | `Miss ->
+        let t3 = Float.max t2 t.dram_next_free in
+        t.dram_next_free <- t3 +. (1. /. cfg.dram_sector_throughput))
+    sectors
+
+let reset t =
+  begin_kernel t;
+  Cache.flush t.l2
+
+let l1_probe t ~sm ~sector = Cache.probe t.l1s.(sm) ~sector

@@ -1,0 +1,39 @@
+(** Timing of the L1 → L2 → DRAM path.
+
+    Each level has real tag state (hits are emergent) and a bandwidth
+    reservation clock: a sector transaction starts no earlier than the
+    level's [next_free] time and advances it by the reciprocal throughput.
+    Latency accumulates level by level, so an L1 hit costs the L1 latency
+    while a DRAM access pays all three. The per-SM L1s are flushed at
+    kernel boundaries (CUDA semantics); the L2 persists across launches. *)
+
+type t
+
+val create : Config.t -> t
+
+val flush_l1s : t -> unit
+(** Invalidate the per-SM L1s. *)
+
+val begin_kernel : t -> unit
+(** Kernel-launch boundary: flush the L1s and rewind all bandwidth
+    reservation clocks to time zero (each launch is timed from 0; the L2
+    tag state persists across launches). *)
+
+val load :
+  t -> stats:Stats.t -> sm:int -> start:float -> label:Label.t ->
+  addrs:int array -> float
+(** Service a warp global load issued at [start] on [sm]; returns the
+    completion time (max over its coalesced sectors). Counts load
+    transactions, L1/L2 hits and DRAM sectors in [stats]. *)
+
+val store :
+  t -> stats:Stats.t -> sm:int -> start:float -> addrs:int array -> unit
+(** Service a warp global store (write-through; consumes L2/DRAM bandwidth
+    and installs sectors in the L2, no L1 allocation). *)
+
+val reset : t -> unit
+(** Full reset: {!begin_kernel} plus an L2 flush. Used when a run starts a
+    fresh measurement region. *)
+
+val l1_probe : t -> sm:int -> sector:int -> bool
+(** Test hook. *)

@@ -1,0 +1,93 @@
+module Heap = Repro_util.Heap
+
+type warp_state = {
+  trace : Trace.t;
+  sm : int;
+  mutable pc : int;
+}
+
+let run (cfg : Config.t) mem_path ~stats ~traces =
+  Config.validate cfg;
+  let n_warps = Array.length traces in
+  if n_warps = 0 then 0.
+  else begin
+    Mem_path.begin_kernel mem_path;
+    let issue_clock = Array.make cfg.n_sms 0. in
+    let events : warp_state Heap.t = Heap.create () in
+    (* Warps are dealt round-robin to SMs; each SM activates its first
+       [max_warps_per_sm] immediately and queues the rest. *)
+    let pending = Array.make cfg.n_sms ([] : warp_state list) in
+    let resident = Array.make cfg.n_sms 0 in
+    for i = n_warps - 1 downto 0 do
+      let sm = i mod cfg.n_sms in
+      pending.(sm) <- { trace = traces.(i); sm; pc = 0 } :: pending.(sm)
+    done;
+    let activate sm now =
+      match pending.(sm) with
+      | [] -> ()
+      | w :: rest ->
+        pending.(sm) <- rest;
+        resident.(sm) <- resident.(sm) + 1;
+        Heap.push events ~key:now w
+    in
+    for sm = 0 to cfg.n_sms - 1 do
+      for _ = 1 to cfg.max_warps_per_sm do
+        activate sm 0.
+      done
+    done;
+    let finish_time = ref 0. in
+    let issue_cost = 1. /. float_of_int cfg.issue_width in
+    let latency_of_blocking_kind = function
+      | Instr.Const_load -> float_of_int cfg.const_latency
+      | Instr.Call_indirect -> float_of_int cfg.call_indirect_latency
+      | Instr.Call_direct -> float_of_int cfg.call_direct_latency
+      | Instr.Load _ | Instr.Store _ | Instr.Compute _ | Instr.Ctrl _ -> 0.
+    in
+    let rec drain () =
+      match Heap.pop events with
+      | None -> ()
+      | Some (ready, w) ->
+        if w.pc >= Trace.length w.trace then begin
+          (* Warp retires; its slot frees for a pending warp. *)
+          finish_time := Float.max !finish_time ready;
+          resident.(w.sm) <- resident.(w.sm) - 1;
+          activate w.sm ready;
+          drain ()
+        end
+        else begin
+          let instr = Trace.get w.trace w.pc in
+          w.pc <- w.pc + 1;
+          Stats.count_instr stats instr;
+          let sm = w.sm in
+          let issue_time = Float.max ready issue_clock.(sm) in
+          let slots = float_of_int (Instr.instruction_count instr) *. issue_cost in
+          issue_clock.(sm) <- issue_time +. slots;
+          let next_ready =
+            match instr.Instr.kind with
+            | Instr.Load addrs ->
+              let done_at =
+                Mem_path.load mem_path ~stats ~sm ~start:issue_time
+                  ~label:instr.Instr.label ~addrs
+              in
+              if instr.Instr.blocking then done_at else issue_time +. slots
+            | Instr.Store addrs ->
+              Mem_path.store mem_path ~stats ~sm ~start:issue_time ~addrs;
+              issue_time +. slots
+            | Instr.Compute n ->
+              if instr.Instr.blocking then
+                (* A dependent ALU chain: each op waits on the previous. *)
+                issue_time +. float_of_int (n * cfg.compute_latency)
+              else issue_time +. slots
+            | Instr.Ctrl _ -> issue_time +. float_of_int cfg.ctrl_latency
+            | Instr.Const_load | Instr.Call_indirect | Instr.Call_direct ->
+              issue_time +. latency_of_blocking_kind instr.Instr.kind
+          in
+          let stall = next_ready -. issue_time -. slots in
+          if stall > 0. then Stats.attribute_stall stats instr.Instr.label stall;
+          Heap.push events ~key:next_ready w;
+          drain ()
+        end
+    in
+    drain ();
+    !finish_time
+  end

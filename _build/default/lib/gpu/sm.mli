@@ -1,0 +1,18 @@
+(** Phase-2 timing: the quantized event-driven warp scheduler.
+
+    All SMs are co-simulated in one event loop because they contend for
+    the shared L2 and DRAM. Each SM owns an issue clock (bounding its
+    instructions per cycle), an LSU/L1 (via {!Mem_path}) and a residency
+    limit: warps beyond [max_warps_per_sm] wait and activate as resident
+    warps retire — the wave behaviour of a real launch.
+
+    Blocking instructions stall their warp until completion; the stall
+    (completion minus issue) is attributed to the instruction's label,
+    which is how the Figure 1b latency breakdown is measured. *)
+
+val run :
+  Config.t -> Mem_path.t -> stats:Stats.t -> traces:Trace.t array -> float
+(** Simulate one kernel launch whose warp [i] executes [traces.(i)] on SM
+    [i mod n_sms]; returns the completion time in cycles (0. for an empty
+    launch). Counters (instructions, transactions, hits, stalls) are
+    accumulated into [stats]; the caller adds the returned cycles. *)

@@ -1,0 +1,130 @@
+type t = {
+  mutable cycles : float;
+  mutable mem_instrs : int;
+  mutable compute_instrs : int;
+  mutable ctrl_instrs : int;
+  mutable load_transactions : int;
+  mutable store_transactions : int;
+  mutable l1_hits : int;
+  mutable l1_misses : int;
+  mutable l2_hits : int;
+  mutable l2_misses : int;
+  mutable dram_sectors : int;
+  stalls : float array; (* indexed by Label.to_index *)
+  load_transactions_by_label : int array;
+}
+
+let create () =
+  {
+    cycles = 0.;
+    mem_instrs = 0;
+    compute_instrs = 0;
+    ctrl_instrs = 0;
+    load_transactions = 0;
+    store_transactions = 0;
+    l1_hits = 0;
+    l1_misses = 0;
+    l2_hits = 0;
+    l2_misses = 0;
+    dram_sectors = 0;
+    stalls = Array.make Label.count 0.;
+    load_transactions_by_label = Array.make Label.count 0;
+  }
+
+let reset t =
+  t.cycles <- 0.;
+  t.mem_instrs <- 0;
+  t.compute_instrs <- 0;
+  t.ctrl_instrs <- 0;
+  t.load_transactions <- 0;
+  t.store_transactions <- 0;
+  t.l1_hits <- 0;
+  t.l1_misses <- 0;
+  t.l2_hits <- 0;
+  t.l2_misses <- 0;
+  t.dram_sectors <- 0;
+  Array.fill t.stalls 0 Label.count 0.;
+  Array.fill t.load_transactions_by_label 0 Label.count 0
+
+let add acc x =
+  acc.cycles <- acc.cycles +. x.cycles;
+  acc.mem_instrs <- acc.mem_instrs + x.mem_instrs;
+  acc.compute_instrs <- acc.compute_instrs + x.compute_instrs;
+  acc.ctrl_instrs <- acc.ctrl_instrs + x.ctrl_instrs;
+  acc.load_transactions <- acc.load_transactions + x.load_transactions;
+  acc.store_transactions <- acc.store_transactions + x.store_transactions;
+  acc.l1_hits <- acc.l1_hits + x.l1_hits;
+  acc.l1_misses <- acc.l1_misses + x.l1_misses;
+  acc.l2_hits <- acc.l2_hits + x.l2_hits;
+  acc.l2_misses <- acc.l2_misses + x.l2_misses;
+  acc.dram_sectors <- acc.dram_sectors + x.dram_sectors;
+  Array.iteri (fun i v -> acc.stalls.(i) <- acc.stalls.(i) +. v) x.stalls;
+  Array.iteri
+    (fun i v ->
+      acc.load_transactions_by_label.(i) <- acc.load_transactions_by_label.(i) + v)
+    x.load_transactions_by_label
+
+let count_instr t instr =
+  let n = Instr.instruction_count instr in
+  match Instr.class_of instr with
+  | `Mem -> t.mem_instrs <- t.mem_instrs + n
+  | `Compute -> t.compute_instrs <- t.compute_instrs + n
+  | `Ctrl -> t.ctrl_instrs <- t.ctrl_instrs + n
+
+let count_load_transactions t label n =
+  t.load_transactions <- t.load_transactions + n;
+  let i = Label.to_index label in
+  t.load_transactions_by_label.(i) <- t.load_transactions_by_label.(i) + n
+
+let count_store_transactions t n = t.store_transactions <- t.store_transactions + n
+
+let count_l1 t ~hit =
+  if hit then t.l1_hits <- t.l1_hits + 1 else t.l1_misses <- t.l1_misses + 1
+
+let count_l2 t ~hit =
+  if hit then t.l2_hits <- t.l2_hits + 1 else t.l2_misses <- t.l2_misses + 1
+
+let count_dram_sector t = t.dram_sectors <- t.dram_sectors + 1
+
+let attribute_stall t label cycles =
+  let i = Label.to_index label in
+  t.stalls.(i) <- t.stalls.(i) +. cycles
+
+let add_cycles t c = t.cycles <- t.cycles +. c
+
+let cycles t = t.cycles
+
+let instructions t = function
+  | `Mem -> t.mem_instrs
+  | `Compute -> t.compute_instrs
+  | `Ctrl -> t.ctrl_instrs
+
+let total_instructions t = t.mem_instrs + t.compute_instrs + t.ctrl_instrs
+
+let load_transactions t = t.load_transactions
+
+let load_transactions_for t label = t.load_transactions_by_label.(Label.to_index label)
+
+let store_transactions t = t.store_transactions
+
+let l1_accesses t = t.l1_hits + t.l1_misses
+
+let hit_rate hits misses =
+  let total = hits + misses in
+  if total = 0 then 0. else float_of_int hits /. float_of_int total
+
+let l1_hit_rate t = hit_rate t.l1_hits t.l1_misses
+
+let l2_hit_rate t = hit_rate t.l2_hits t.l2_misses
+
+let dram_sectors t = t.dram_sectors
+
+let stall_cycles t label = t.stalls.(Label.to_index label)
+
+let total_stall_cycles t = Array.fold_left ( +. ) 0. t.stalls
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>cycles=%.0f instrs(mem/cmp/ctl)=%d/%d/%d ld-trans=%d L1=%.1f%% L2=%.1f%% dram=%d@]"
+    t.cycles t.mem_instrs t.compute_instrs t.ctrl_instrs t.load_transactions
+    (100. *. l1_hit_rate t) (100. *. l2_hit_rate t) t.dram_sectors

@@ -1,0 +1,68 @@
+(** Run counters.
+
+    Everything the paper's figures report is derived from these: dynamic
+    warp instructions by class (Fig. 7), global load transactions (Fig. 8),
+    L1 hit rate (Fig. 9), and per-label attributed stall cycles, the
+    PC-sampling stand-in behind Fig. 1b. Counters accumulate across kernel
+    launches until {!reset}. *)
+
+type t
+
+val create : unit -> t
+
+val reset : t -> unit
+
+val add : t -> t -> unit
+(** [add acc x] accumulates [x] into [acc]. *)
+
+(** {2 Recording (used by the timing engine)} *)
+
+val count_instr : t -> Instr.t -> unit
+
+val count_load_transactions : t -> Label.t -> int -> unit
+
+val count_store_transactions : t -> int -> unit
+
+val count_l1 : t -> hit:bool -> unit
+
+val count_l2 : t -> hit:bool -> unit
+
+val count_dram_sector : t -> unit
+
+val attribute_stall : t -> Label.t -> float -> unit
+
+val add_cycles : t -> float -> unit
+
+(** {2 Reading} *)
+
+val cycles : t -> float
+(** Total kernel cycles accumulated (sum over launches of the slowest
+    SM's completion time). *)
+
+val instructions : t -> [ `Mem | `Compute | `Ctrl ] -> int
+
+val total_instructions : t -> int
+
+val load_transactions : t -> int
+(** Global load transactions (32 B sectors requested by loads). *)
+
+val load_transactions_for : t -> Label.t -> int
+(** Transactions attributed to one instruction label (Table 1's
+    per-operation access accounting). *)
+
+val store_transactions : t -> int
+
+val l1_accesses : t -> int
+
+val l1_hit_rate : t -> float
+(** In [0,1]; [0.] when there were no accesses. *)
+
+val l2_hit_rate : t -> float
+
+val dram_sectors : t -> int
+
+val stall_cycles : t -> Label.t -> float
+
+val total_stall_cycles : t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,14 @@
+type t = Instr.t Repro_util.Vec.t
+
+let create () = Repro_util.Vec.create ~capacity:64 ()
+
+let emit t i = Repro_util.Vec.push t i
+
+let length = Repro_util.Vec.length
+
+let get = Repro_util.Vec.get
+
+let iter = Repro_util.Vec.iter
+
+let instruction_total t =
+  Repro_util.Vec.fold_left (fun acc i -> acc + Instr.instruction_count i) 0 t

@@ -1,0 +1,17 @@
+(** Per-warp dynamic instruction traces (phase-1 output, phase-2 input). *)
+
+type t
+
+val create : unit -> t
+
+val emit : t -> Instr.t -> unit
+
+val length : t -> int
+(** Number of trace records (one [Compute n] record counts once here). *)
+
+val get : t -> int -> Instr.t
+
+val iter : (Instr.t -> unit) -> t -> unit
+
+val instruction_total : t -> int
+(** Total dynamic warp instructions (expanding [Compute n]/[Ctrl n]). *)

@@ -1,0 +1,97 @@
+module Vaddr = Repro_mem.Vaddr
+module Page_store = Repro_mem.Page_store
+
+type t = {
+  heap : Page_store.t;
+  trace : Trace.t;
+  warp_id : int;
+  lanes : int array;
+}
+
+let create ~heap ~warp_id ~lanes =
+  if Array.length lanes = 0 then invalid_arg "Warp_ctx.create: empty warp";
+  { heap; trace = Trace.create (); warp_id; lanes }
+
+let trace t = t.trace
+
+let warp_id t = t.warp_id
+
+let tids t = t.lanes
+
+let n_active t = Array.length t.lanes
+
+let check_width t a label =
+  if Array.length a <> n_active t then
+    invalid_arg ("Warp_ctx." ^ label ^ ": per-lane array width mismatch")
+
+let stripped addrs = Array.map Vaddr.strip addrs
+
+let do_load t ~width ~blocking ~label addrs =
+  check_width t addrs "load";
+  let canonical = stripped addrs in
+  Trace.emit t.trace (Instr.load ~blocking ~label canonical);
+  Array.map (fun a -> Page_store.load_byte_width t.heap a ~width) canonical
+
+let load ?(width = 8) t ~label addrs = do_load t ~width ~blocking:true ~label addrs
+
+let load_nonblocking ?(width = 8) t ~label addrs =
+  do_load t ~width ~blocking:false ~label addrs
+
+let store ?(width = 8) t ~label addrs values =
+  check_width t addrs "store";
+  check_width t values "store";
+  let canonical = stripped addrs in
+  Trace.emit t.trace (Instr.store ~label canonical);
+  Array.iteri
+    (fun i a -> Page_store.store_byte_width t.heap a ~width values.(i))
+    canonical
+
+let compute ?(n = 1) ?(blocking = false) t ~label =
+  Trace.emit t.trace (Instr.compute ~n ~blocking ~label (n_active t))
+
+let ctrl ?(n = 1) t ~label =
+  Trace.emit t.trace (Instr.ctrl ~n ~label (n_active t))
+
+let const_load t ~label = Trace.emit t.trace (Instr.const_load ~label (n_active t))
+
+let call_indirect t ~label =
+  Trace.emit t.trace (Instr.call_indirect ~label (n_active t))
+
+let call_direct t ~label =
+  Trace.emit t.trace (Instr.call_direct ~label (n_active t))
+
+let gather idxs a = Array.map (fun i -> a.(i)) idxs
+
+let scatter idxs dst src = Array.iteri (fun k i -> dst.(i) <- src.(k)) idxs
+
+(* Distinct keys in first-occurrence order, with the member indices of each
+   group. Warps are at most 32 lanes wide so association lists are fine. *)
+let group_by_key keys =
+  let groups = ref [] in
+  Array.iteri
+    (fun i key ->
+      match List.assoc_opt key !groups with
+      | Some members -> members := i :: !members
+      | None -> groups := (key, ref [ i ]) :: !groups)
+    keys;
+  List.rev_map (fun (key, members) -> (key, List.rev !members)) !groups
+
+let diverge t ~label ~keys body =
+  check_width t keys "diverge";
+  let groups = group_by_key keys in
+  (* One control instruction decides the branch; each extra executed subset
+     costs a reconvergence-stack push, also modelled as a control op. *)
+  List.iter
+    (fun (key, members) ->
+      let idxs = Array.of_list members in
+      let sub = { t with lanes = gather idxs t.lanes } in
+      ctrl sub ~label;
+      body ~key sub idxs)
+    groups
+
+let if_ t ~label ~pred then_ else_ =
+  check_width t (Array.map (fun b -> if b then 1 else 0) pred) "if_";
+  let keys = Array.map (fun b -> if b then 1 else 0) pred in
+  diverge t ~label ~keys (fun ~key sub idxs ->
+      if key = 1 then then_ sub idxs
+      else match else_ with Some f -> f sub idxs | None -> ())

@@ -1,0 +1,1 @@
+lib/mem/address_space.ml: Format List Page_store String Vaddr

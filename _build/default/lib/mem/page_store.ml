@@ -1,0 +1,109 @@
+let page_bytes = 4096
+let page_words = page_bytes / Vaddr.word_bytes
+
+(* Words are kept as two 32-bit halves so that 4-byte fields round-trip
+   exactly even in the high half of a word (OCaml ints are 63-bit, so a
+   packed 64-bit representation would lose the high field's sign bit).
+   Full 64-bit values are therefore restricted to non-negative ints —
+   pointers, table entries and indices, which is everything the runtime
+   stores at word width. *)
+type t = { pages : (int, int array) Hashtbl.t }
+
+let half_mask = 0xFFFF_FFFF
+
+let create () = { pages = Hashtbl.create 1024 }
+
+let check_addr addr label =
+  if not (Vaddr.is_canonical addr) then
+    invalid_arg ("Page_store." ^ label ^ ": tagged address reached the store");
+  if addr land (Vaddr.word_bytes - 1) <> 0 then
+    invalid_arg ("Page_store." ^ label ^ ": misaligned address")
+
+let page_of addr = addr / page_bytes
+
+let cells_of_page t key =
+  match Hashtbl.find_opt t.pages key with
+  | Some cells -> Some cells
+  | None -> None
+
+let materialize t key =
+  match Hashtbl.find_opt t.pages key with
+  | Some cells -> cells
+  | None ->
+    let cells = Array.make (page_words * 2) 0 in
+    Hashtbl.add t.pages key cells;
+    cells
+
+(* Index of the 32-bit half-cell containing byte [addr]. *)
+let cell_index addr = addr mod page_bytes / 4
+
+let load t addr =
+  check_addr addr "load";
+  match cells_of_page t (page_of addr) with
+  | None -> 0
+  | Some cells ->
+    let i = cell_index addr in
+    (cells.(i + 1) lsl 32) lor cells.(i)
+
+let store t addr v =
+  check_addr addr "store";
+  if v < 0 then invalid_arg "Page_store.store: negative 64-bit stores are unsupported";
+  let cells = materialize t (page_of addr) in
+  let i = cell_index addr in
+  cells.(i) <- v land half_mask;
+  cells.(i + 1) <- (v lsr 32) land half_mask
+
+let check_width width label =
+  match width with
+  | 1 | 2 | 4 | 8 -> ()
+  | _ -> invalid_arg ("Page_store." ^ label ^ ": width must be 1, 2, 4 or 8")
+
+let check_field_alignment addr width label =
+  if addr land (width - 1) <> 0 then
+    invalid_arg ("Page_store." ^ label ^ ": misaligned field")
+
+let load_byte_width t addr ~width =
+  check_width width "load_byte_width";
+  check_field_alignment addr width "load_byte_width";
+  if width = 8 then load t addr
+  else begin
+    match cells_of_page t (page_of addr) with
+    | None -> 0
+    | Some cells ->
+      let half = cells.(cell_index addr) in
+      if width = 4 then half
+      else begin
+        let shift = addr mod 4 * 8 in
+        let mask = (1 lsl (width * 8)) - 1 in
+        (half lsr shift) land mask
+      end
+  end
+
+let store_byte_width t addr ~width v =
+  check_width width "store_byte_width";
+  check_field_alignment addr width "store_byte_width";
+  if width = 8 then store t addr v
+  else begin
+    let cells = materialize t (page_of addr) in
+    let i = cell_index addr in
+    if width = 4 then cells.(i) <- v land half_mask
+    else begin
+      let shift = addr mod 4 * 8 in
+      let mask = ((1 lsl (width * 8)) - 1) lsl shift in
+      cells.(i) <- (cells.(i) land lnot mask lor ((v lsl shift) land mask)) land half_mask
+    end
+  end
+
+let touched_pages t = Hashtbl.length t.pages
+
+let footprint_bytes t = touched_pages t * page_bytes
+
+let iter_words t f =
+  Hashtbl.iter
+    (fun page cells ->
+      let base = page * page_bytes in
+      for w = 0 to page_words - 1 do
+        let v = (cells.((2 * w) + 1) lsl 32) lor cells.(2 * w) in
+        if v <> 0 then f (base + (w * Vaddr.word_bytes)) v
+      done)
+    t.pages

@@ -1,0 +1,44 @@
+(** Sparse backing store for the simulated address space.
+
+    Memory is materialized lazily in 4 KB pages of 64-bit words. Untouched
+    pages cost nothing, so workloads can place objects anywhere in the
+    48-bit space (which SharedOA's region scheme relies on). Loads of
+    never-written words return 0, like zero-fill-on-demand pages.
+
+    Addresses handed to this module must be canonical (tag bits stripped);
+    the MMU model in the [gpu] library is responsible for stripping. *)
+
+type t
+
+val create : unit -> t
+
+val page_bytes : int
+(** Page size in bytes (4096). *)
+
+val load : t -> int -> int
+(** [load t addr] reads the 64-bit word at word-aligned [addr]. Raises
+    [Invalid_argument] on misaligned or tagged addresses. *)
+
+val store : t -> int -> int -> unit
+(** [store t addr v] writes word [v] at word-aligned [addr]. Word-width
+    values must be non-negative (pointers, ids, indices); narrower signed
+    data belongs in byte-width fields. Raises [Invalid_argument]
+    otherwise. *)
+
+val load_byte_width : t -> int -> width:int -> int
+(** [load_byte_width t addr ~width] reads a naturally-aligned [width]-byte
+    field (1, 2, 4 or 8) zero-extended. Used by compact object layouts. *)
+
+val store_byte_width : t -> int -> width:int -> int -> unit
+(** Write counterpart of {!load_byte_width}; values are truncated to
+    [width] bytes. *)
+
+val touched_pages : t -> int
+(** Number of pages that have been materialized (footprint metric). *)
+
+val footprint_bytes : t -> int
+(** [touched_pages * page_bytes]. *)
+
+val iter_words : t -> (int -> int -> unit) -> unit
+(** [iter_words t f] calls [f addr value] for every materialized word with
+    a non-zero value, in unspecified order. Used by checksum helpers. *)

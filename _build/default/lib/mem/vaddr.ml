@@ -1,0 +1,39 @@
+let va_bits = 48
+let tag_bits = 15
+let va_mask = (1 lsl va_bits) - 1
+let max_tag = (1 lsl tag_bits) - 1
+let word_bytes = 8
+let sector_bytes = 32
+
+let is_canonical a = a land lnot va_mask = 0
+
+let strip a = a land va_mask
+
+let tag_of a = (a lsr va_bits) land max_tag
+
+let with_tag a ~tag =
+  if tag < 0 || tag > max_tag then invalid_arg "Vaddr.with_tag: tag out of range";
+  if not (is_canonical a) then invalid_arg "Vaddr.with_tag: address already tagged";
+  a lor (tag lsl va_bits)
+
+let align_up a ~alignment =
+  if alignment <= 0 || alignment land (alignment - 1) <> 0 then
+    invalid_arg "Vaddr.align_up: alignment must be a positive power of two";
+  (a + alignment - 1) land lnot (alignment - 1)
+
+let is_aligned a ~alignment =
+  if alignment <= 0 || alignment land (alignment - 1) <> 0 then
+    invalid_arg "Vaddr.is_aligned: alignment must be a positive power of two";
+  a land (alignment - 1) = 0
+
+let sector_of a = strip a / sector_bytes
+
+let word_index a =
+  let a = strip a in
+  if a land (word_bytes - 1) <> 0 then invalid_arg "Vaddr.word_index: misaligned address";
+  a / word_bytes
+
+let pp ppf a =
+  let tag = tag_of a in
+  if tag = 0 then Format.fprintf ppf "0x%x" a
+  else Format.fprintf ppf "0x%x[tag=%d]" (strip a) tag

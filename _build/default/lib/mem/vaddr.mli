@@ -1,0 +1,57 @@
+(** Virtual addresses of the simulated GPU address space.
+
+    Addresses are plain OCaml [int]s. The usable virtual address space is
+    48 bits (the paper's GPUs use 49), which leaves 15 tag bits — bits 48
+    through 62 — exactly the number TypePointer exploits. OCaml ints are
+    63-bit so the full tagged pointer still fits; the one-bit narrowing of
+    the VA space is recorded as a substitution in DESIGN.md and changes no
+    derived constant (15 tag bits, 32 KB of vTable space, 4 K function
+    pointers). *)
+
+val va_bits : int
+(** Width of the untagged virtual address space (48). *)
+
+val tag_bits : int
+(** Number of tag bits above the VA (15). *)
+
+val va_mask : int
+(** Mask keeping only the VA bits: [(1 lsl va_bits) - 1]. *)
+
+val max_tag : int
+(** Largest representable tag value, [(1 lsl tag_bits) - 1]. *)
+
+val word_bytes : int
+(** Size of a machine word in the simulated memory (8). *)
+
+val sector_bytes : int
+(** Size of a memory-system sector, the unit of L1/L2/DRAM traffic (32),
+    matching NVIDIA's sectored caches. *)
+
+val is_canonical : int -> bool
+(** [is_canonical a] holds when [a] has no tag bits set, i.e. it is a plain
+    untagged address the MMU accepts without TypePointer support. *)
+
+val strip : int -> int
+(** [strip a] clears the tag bits, recovering the canonical address. *)
+
+val tag_of : int -> int
+(** [tag_of a] extracts the 15-bit tag. *)
+
+val with_tag : int -> tag:int -> int
+(** [with_tag a ~tag] installs [tag] in the tag bits of [a]. Raises
+    [Invalid_argument] if [tag] is out of range or [a] is not canonical. *)
+
+val align_up : int -> alignment:int -> int
+(** Round an address up to a power-of-two [alignment]. *)
+
+val is_aligned : int -> alignment:int -> bool
+
+val sector_of : int -> int
+(** Index of the 32-byte sector containing the (canonical) address. *)
+
+val word_index : int -> int
+(** [word_index a] is [a / word_bytes] for a word-aligned canonical [a];
+    raises [Invalid_argument] on misaligned input. *)
+
+val pp : Format.formatter -> int -> unit
+(** Hex-print an address, showing the tag separately when present. *)

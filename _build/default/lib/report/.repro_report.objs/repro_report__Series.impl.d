@@ -1,0 +1,1 @@
+lib/report/series.ml: Buffer List Printf Repro_util

@@ -1,0 +1,50 @@
+let bar ~width ~max_value v =
+  let n =
+    if max_value <= 0. then 0
+    else int_of_float (Float.round (float_of_int width *. v /. max_value))
+  in
+  String.make (max 0 (min width n)) '#'
+
+let bars ?(width = 50) ?(unit_label = "") entries =
+  if entries = [] then ""
+  else begin
+    let max_value = List.fold_left (fun acc (_, v) -> Float.max acc v) 0. entries in
+    let label_width =
+      List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 entries
+    in
+    let buf = Buffer.create 256 in
+    List.iter
+      (fun (label, v) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%-*s %8.2f%s |%s\n" label_width label v unit_label
+             (bar ~width ~max_value v)))
+      entries;
+    Buffer.contents buf
+  end
+
+let grouped ?(width = 40) ~series entries =
+  List.iter
+    (fun (_, vs) ->
+      if List.length vs <> List.length series then
+        invalid_arg "Chart.grouped: ragged input")
+    entries;
+  let max_value =
+    List.fold_left
+      (fun acc (_, vs) -> List.fold_left Float.max acc vs)
+      0. entries
+  in
+  let series_width =
+    List.fold_left (fun acc s -> max acc (String.length s)) 0 series
+  in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (group, vs) ->
+      Buffer.add_string buf (group ^ "\n");
+      List.iteri
+        (fun i v ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %-*s %8.2f |%s\n" series_width (List.nth series i) v
+               (bar ~width ~max_value v)))
+        vs)
+    entries;
+  Buffer.contents buf

@@ -1,0 +1,15 @@
+(** ASCII bar charts, the closest thing to the paper's figures a terminal
+    can render. *)
+
+val bars :
+  ?width:int -> ?unit_label:string -> (string * float) list -> string
+(** Horizontal bars scaled to the maximum value; one row per entry. *)
+
+val grouped :
+  ?width:int ->
+  series:string list ->
+  (string * float list) list ->
+  string
+(** Grouped bars (one group per entry, one bar per series member), as in
+    the per-workload figures. Raises [Invalid_argument] on ragged
+    input. *)

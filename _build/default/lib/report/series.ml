@@ -1,0 +1,65 @@
+type point = {
+  group : string;
+  series : string;
+  value : float;
+}
+
+let groups points =
+  List.fold_left
+    (fun acc p -> if List.mem p.group acc then acc else acc @ [ p.group ])
+    [] points
+
+let series_names points =
+  List.fold_left
+    (fun acc p -> if List.mem p.series acc then acc else acc @ [ p.series ])
+    [] points
+
+let normalize_to ~baseline points =
+  List.map
+    (fun p ->
+      let base =
+        match
+          List.find_opt (fun q -> q.group = p.group && q.series = baseline) points
+        with
+        | Some q when q.value <> 0. -> q.value
+        | Some _ -> failwith ("Series.normalize_to: zero baseline in " ^ p.group)
+        | None -> failwith ("Series.normalize_to: no baseline in " ^ p.group)
+      in
+      { p with value = p.value /. base })
+    points
+
+let invert = List.map (fun p -> { p with value = 1. /. p.value })
+
+let geomean_row ~label points =
+  let by_series =
+    List.map
+      (fun s ->
+        let values =
+          List.filter_map (fun p -> if p.series = s then Some p.value else None) points
+        in
+        { group = label; series = s; value = Repro_util.Mathx.geomean values })
+      (series_names points)
+  in
+  points @ by_series
+
+let by_group points =
+  List.map
+    (fun g ->
+      ( g,
+        List.filter_map
+          (fun p -> if p.group = g then Some (p.series, p.value) else None)
+          points ))
+    (groups points)
+
+let value points ~group ~series =
+  match List.find_opt (fun p -> p.group = group && p.series = series) points with
+  | Some p -> p.value
+  | None -> raise Not_found
+
+let to_csv points =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "group,series,value\n";
+  List.iter
+    (fun p -> Buffer.add_string buf (Printf.sprintf "%s,%s,%f\n" p.group p.series p.value))
+    points;
+  Buffer.contents buf

@@ -1,0 +1,28 @@
+(** Normalization and aggregation helpers for figure data, plus CSV
+    emission so every figure's raw numbers can be post-processed. *)
+
+type point = {
+  group : string;   (** e.g. the workload. *)
+  series : string;  (** e.g. the technique. *)
+  value : float;
+}
+
+val normalize_to : baseline:string -> point list -> point list
+(** Divide every group's points by that group's [baseline]-series value.
+    Raises [Failure] when a group lacks the baseline or it is zero. *)
+
+val invert : point list -> point list
+(** 1/x on every point (cycles → relative performance). *)
+
+val geomean_row : label:string -> point list -> point list
+(** Append one extra group holding the per-series geometric mean
+    (the paper's GM column). *)
+
+val by_group : point list -> (string * (string * float) list) list
+(** Group points preserving first-appearance order (for charts). *)
+
+val value : point list -> group:string -> series:string -> float
+(** Lookup; raises [Not_found]. *)
+
+val to_csv : point list -> string
+(** "group,series,value" lines with a header. *)

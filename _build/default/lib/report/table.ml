@@ -1,0 +1,65 @@
+type align =
+  | Left
+  | Right
+
+type row =
+  | Cells of string list
+  | Separator
+
+type t = {
+  columns : (string * align) list;
+  mutable rows : row list; (* newest first *)
+}
+
+let create ~columns =
+  if columns = [] then invalid_arg "Table.create: no columns";
+  { columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let render t =
+  let headers = List.map fst t.columns in
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i header ->
+        List.fold_left
+          (fun acc row ->
+            match row with
+            | Separator -> acc
+            | Cells cells -> max acc (String.length (List.nth cells i)))
+          (String.length header) rows)
+      headers
+  in
+  let pad align width s =
+    let gap = width - String.length s in
+    if gap <= 0 then s
+    else
+      match align with
+      | Left -> s ^ String.make gap ' '
+      | Right -> String.make gap ' ' ^ s
+  in
+  let render_cells cells =
+    String.concat "  "
+      (List.mapi
+         (fun i cell -> pad (snd (List.nth t.columns i)) (List.nth widths i) cell)
+         cells)
+  in
+  let rule =
+    String.concat "--" (List.map (fun w -> String.make w '-') widths)
+  in
+  let body =
+    List.map
+      (function Separator -> rule | Cells cells -> render_cells cells)
+      rows
+  in
+  String.concat "\n" ((render_cells headers :: rule :: body) @ [ "" ])
+
+let cell_f ?(digits = 2) v = Printf.sprintf "%.*f" digits v
+
+let cell_pct v = Printf.sprintf "%.1f%%" (100. *. v)

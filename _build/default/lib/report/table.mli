@@ -1,0 +1,24 @@
+(** Fixed-width text tables for the figure/table harness output. *)
+
+type align =
+  | Left
+  | Right
+
+type t
+
+val create : columns:(string * align) list -> t
+
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] when the arity differs from [columns]. *)
+
+val add_separator : t -> unit
+
+val render : t -> string
+(** The table with a header row, a rule, and all rows, columns padded to
+    their widest cell. *)
+
+val cell_f : ?digits:int -> float -> string
+(** Format a float cell ([digits] defaults to 2). *)
+
+val cell_pct : float -> string
+(** Format a [0,1] fraction as a percentage with one decimal. *)

@@ -1,0 +1,18 @@
+(** A mutable binary min-heap keyed by float, used by the timing engine's
+    event loop (pop the warp with the earliest ready time). Ties are broken
+    by insertion order so simulation is deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> key:float -> 'a -> unit
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-key element. *)
+
+val peek_key : 'a t -> float option

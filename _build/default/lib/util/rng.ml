@@ -1,0 +1,48 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* 61-bit draws: [1 lsl 61] is still a valid OCaml int (max_int is
+   2^62 - 1), which the rejection bound below relies on. *)
+let draw_bits = 61
+
+let next t = Int64.to_int (Int64.shift_right_logical (next_int64 t) (64 - draw_bits))
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let span = 1 lsl draw_bits in
+  if bound > span then invalid_arg "Rng.int: bound exceeds the 61-bit draw range";
+  (* Rejection sampling to avoid modulo bias. *)
+  let limit = span - (span mod bound) in
+  let rec draw () =
+    let v = next t in
+    if v < limit then v mod bound else draw ()
+  in
+  draw ()
+
+let float t bound =
+  let v = next t in
+  bound *. (float_of_int v /. float_of_int (1 lsl draw_bits))
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let split t = { state = next_int64 t }

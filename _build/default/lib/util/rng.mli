@@ -1,0 +1,38 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the repository flows through this module so that
+    workload setup, graph generation and allocator interleaving are exactly
+    reproducible run-to-run. The generator is SplitMix64, which is fast,
+    has a 64-bit state and passes BigCrush; determinism matters more here
+    than cryptographic quality. *)
+
+type t
+(** A mutable generator. Independent generators never share state. *)
+
+val create : seed:int -> t
+(** [create ~seed] makes a generator whose entire stream is a function of
+    [seed]. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator starting from [t]'s current
+    state. *)
+
+val next : t -> int
+(** [next t] is a uniformly distributed non-negative 61-bit integer. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Raises [Invalid_argument]
+    if [bound <= 0] or [bound > 2^61]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** A fair coin flip. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val split : t -> t
+(** [split t] derives a new generator from [t]'s stream, advancing [t].
+    Use it to give substructures independent streams. *)

@@ -1,0 +1,62 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+}
+
+let create ?(capacity = 16) () = { data = [||]; len = -capacity }
+(* A negative [len] encodes "empty with desired capacity": we cannot build a
+   non-empty ['a array] without a witness value, so growth is deferred to the
+   first [push]. *)
+
+let length t = max t.len 0
+
+let is_empty t = length t = 0
+
+let grow t witness =
+  let desired = if t.len < 0 then -t.len else max 16 (2 * Array.length t.data) in
+  let fresh = Array.make desired witness in
+  if t.len > 0 then Array.blit t.data 0 fresh 0 t.len;
+  t.data <- fresh;
+  if t.len < 0 then t.len <- 0
+
+let push t x =
+  if t.len < 0 || t.len >= Array.length t.data then grow t x;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let check t i label =
+  if i < 0 || i >= length t then invalid_arg ("Vec." ^ label ^ ": index out of bounds")
+
+let get t i =
+  check t i "get";
+  t.data.(i)
+
+let set t i x =
+  check t i "set";
+  t.data.(i) <- x
+
+let clear t = if t.len > 0 then t.len <- 0
+
+let iter f t =
+  for i = 0 to length t - 1 do
+    f t.data.(i)
+  done
+
+let iteri f t =
+  for i = 0 to length t - 1 do
+    f i t.data.(i)
+  done
+
+let fold_left f acc t =
+  let acc = ref acc in
+  for i = 0 to length t - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let to_array t = Array.sub t.data 0 (length t)
+
+let of_array a =
+  let t = create ~capacity:(max 1 (Array.length a)) () in
+  Array.iter (push t) a;
+  t

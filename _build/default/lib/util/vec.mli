@@ -1,0 +1,33 @@
+(** Growable arrays, used for instruction trace buffers where the final
+    length is unknown and allocation churn must stay low. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** A fresh empty vector. [capacity] pre-sizes the backing store. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** Append, amortized O(1). *)
+
+val get : 'a t -> int -> 'a
+(** Raises [Invalid_argument] out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** Raises [Invalid_argument] out of bounds. *)
+
+val clear : 'a t -> unit
+(** Logical clear; keeps capacity. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val to_array : 'a t -> 'a array
+
+val of_array : 'a array -> 'a t

@@ -1,0 +1,1 @@
+lib/workloads/automata.ml: Array Common Float Option Repro_core Repro_gpu Repro_util Workload

@@ -1,0 +1,1 @@
+lib/workloads/common.ml: Array Repro_core Repro_gpu Workload

@@ -1,0 +1,1 @@
+lib/workloads/graphchi.ml: Array Common Graph List Option Printf Repro_core Repro_gpu Workload

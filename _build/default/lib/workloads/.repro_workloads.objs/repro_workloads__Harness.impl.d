@@ -1,0 +1,1 @@
+lib/workloads/harness.ml: List Printf Registry Repro_core Repro_gpu Workload

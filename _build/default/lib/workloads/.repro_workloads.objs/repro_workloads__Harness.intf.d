@@ -1,0 +1,1 @@
+lib/workloads/harness.mli: Repro_core Repro_gpu Workload

@@ -1,0 +1,1 @@
+lib/workloads/raytrace.ml: Array Buffer Common Option Repro_core Repro_gpu Repro_mem Repro_util String Workload

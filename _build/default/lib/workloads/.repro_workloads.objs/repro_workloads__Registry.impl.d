@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Automata Graphchi List Raytrace String Structure Traffic Workload

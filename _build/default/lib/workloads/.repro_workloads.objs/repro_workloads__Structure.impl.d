@@ -1,0 +1,1 @@
+lib/workloads/structure.ml: Array Common Float List Option Repro_core Repro_gpu Workload

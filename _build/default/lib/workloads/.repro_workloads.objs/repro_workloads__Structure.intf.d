@@ -1,0 +1,1 @@
+lib/workloads/structure.mli: Workload

@@ -1,0 +1,1 @@
+lib/workloads/traffic.ml: Array Common List Option Repro_core Repro_gpu Workload

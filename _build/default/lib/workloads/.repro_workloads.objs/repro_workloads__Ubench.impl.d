@@ -1,0 +1,1 @@
+lib/workloads/ubench.ml: Array Common Option Printf Repro_core Repro_gpu Repro_mem Workload

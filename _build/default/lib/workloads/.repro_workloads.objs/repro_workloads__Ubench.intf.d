@@ -1,0 +1,1 @@
+lib/workloads/ubench.mli: Repro_core Repro_gpu Workload

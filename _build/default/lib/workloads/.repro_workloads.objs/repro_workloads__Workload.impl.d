@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Float Repro_core Repro_gpu

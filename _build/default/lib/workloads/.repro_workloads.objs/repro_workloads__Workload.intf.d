@@ -1,0 +1,1 @@
+lib/workloads/workload.mli: Repro_core Repro_gpu

@@ -1,0 +1,16 @@
+(** GOL and GEN: the DynaSOAr cellular-automaton workloads.
+
+    A toroidal grid where every position owns three polymorphic objects —
+    a [Cell] holding the state, an [Alive] agent running the survival
+    rule, and a [Candidate] agent running the birth rule (the static
+    pre-allocation of what DynaSOAr creates and destroys dynamically),
+    under an abstract [Agent] base. Each iteration launches the two agent
+    kernels and a commit kernel over the cells, all virtual calls.
+
+    GOL is Conway's 23/3 rule; GEN ("Generation") extends it with decaying
+    intermediate states (rule 345/2 with 4 states), which adds state
+    transitions and divergence, as in the paper's description. *)
+
+val game_of_life : Workload.t
+
+val generation : Workload.t

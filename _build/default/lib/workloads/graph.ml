@@ -1,0 +1,38 @@
+module Rng = Repro_util.Rng
+
+type t = {
+  n_vertices : int;
+  edges : (int * int) array;
+  out_degree : int array;
+}
+
+let generate ?(seed = 7) ~n_vertices ~n_edges () =
+  if n_vertices < 2 then invalid_arg "Graph.generate: need at least two vertices";
+  if n_edges < 1 then invalid_arg "Graph.generate: need at least one edge";
+  let rng = Rng.create ~seed in
+  let edges = Array.make n_edges (0, 0) in
+  for i = 0 to n_edges - 1 do
+    let src =
+      if i = 0 then 0 (* guarantee the BFS source has an out-edge *)
+      else Rng.int rng n_vertices
+    in
+    (* Preferential attachment flavour: half the time the destination is
+       an earlier edge's endpoint, concentrating in-degree. *)
+    let dst =
+      if i > 0 && Rng.bool rng then snd edges.(Rng.int rng i)
+      else Rng.int rng n_vertices
+    in
+    let dst = if dst = src then (dst + 1) mod n_vertices else dst in
+    edges.(i) <- (src, dst)
+  done;
+  let out_degree = Array.make n_vertices 0 in
+  Array.iter (fun (src, _) -> out_degree.(src) <- out_degree.(src) + 1) edges;
+  { n_vertices; edges; out_degree }
+
+let reachable_within t ~source ~hops =
+  let reach = Array.make t.n_vertices false in
+  reach.(source) <- true;
+  for _ = 1 to hops do
+    Array.iter (fun (src, dst) -> if reach.(src) then reach.(dst) <- true) t.edges
+  done;
+  reach

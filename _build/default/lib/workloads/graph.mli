@@ -1,0 +1,24 @@
+(** Synthetic graph inputs for the GraphChi workloads.
+
+    The paper runs GraphChi's BFS/CC/PageRank over large real graphs; we
+    generate deterministic scale-free-ish directed graphs instead
+    (preferential attachment over a random base), which preserves what
+    matters for the study: skewed degrees, poor locality of neighbor
+    accesses, and #edges >> #vertices. Functional validation is done the
+    way the paper does it — all five techniques must produce identical
+    results — plus algorithmic invariants checked in the tests. *)
+
+type t = {
+  n_vertices : int;
+  edges : (int * int) array;  (** (src, dst), deterministic given the seed. *)
+  out_degree : int array;
+}
+
+val generate : ?seed:int -> n_vertices:int -> n_edges:int -> unit -> t
+(** Self-loops are avoided; multi-edges may occur (as in real inputs).
+    Vertex 0 is guaranteed to have at least one outgoing edge (it is the
+    BFS source). *)
+
+val reachable_within : t -> source:int -> hops:int -> bool array
+(** Reference reachability by at most [hops] relaxation rounds, used by
+    the BFS invariant tests. *)

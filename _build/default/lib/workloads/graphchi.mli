@@ -1,0 +1,24 @@
+(** The GraphChi-derived graph-analytics workloads (Table 2).
+
+    Two framework variants, as in the paper:
+
+    - {b vE} (GraphChi-vE): edges are polymorphic objects ([ChiEdge] →
+      [Edge]); vertex updates are plain code.
+    - {b vEN} (GraphChi-vEN): both edges and vertices are polymorphic
+      ([ChiVertex] → [Vertex] as well), roughly doubling the dynamic
+      virtual-call rate (vFuncPKI 52 vs 36 in the paper).
+
+    Three algorithms each: BFS level propagation, connected components by
+    label propagation (undirected interpretation), and fixed-point
+    PageRank (damping 0.85, ranks scaled by 2^16). All arithmetic is
+    integral so results are exactly comparable across techniques. *)
+
+type algorithm =
+  | Bfs
+  | Cc
+  | Pagerank
+
+val workload : virtual_vertices:bool -> algorithm -> Workload.t
+
+val all : Workload.t list
+(** The six instances, vE first, in the paper's order. *)

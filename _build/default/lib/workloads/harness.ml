@@ -1,0 +1,67 @@
+module R = Repro_core
+module Stats = Repro_gpu.Stats
+
+type run = {
+  workload : string;
+  technique : R.Technique.t;
+  cycles : float;
+  stats : Stats.t;
+  checksum : int;
+  result : int;
+  n_objects : int;
+  n_types : int;
+  n_vfuncs : int;
+  vfunc_pki : float;
+  warp_vcalls : int;
+  alloc_stats : R.Allocator.stats;
+}
+
+let snapshot stats =
+  let copy = Stats.create () in
+  Stats.add copy stats;
+  copy
+
+let run (w : Workload.t) (p : Workload.params) =
+  let inst = w.Workload.build p in
+  let rt = inst.Workload.rt in
+  R.Runtime.reset_stats rt;
+  for i = 0 to inst.Workload.iterations - 1 do
+    inst.Workload.run_iteration i
+  done;
+  {
+    workload = Registry.qualified_name w;
+    technique = p.Workload.technique;
+    cycles = R.Runtime.cycles rt;
+    stats = snapshot (R.Runtime.stats rt);
+    checksum = R.Runtime.checksum rt;
+    result = inst.Workload.result ();
+    n_objects = R.Runtime.n_objects rt;
+    n_types = R.Registry.type_count (R.Runtime.registry rt);
+    n_vfuncs = R.Registry.total_vfunc_slots (R.Runtime.registry rt);
+    vfunc_pki = R.Runtime.vfunc_pki rt;
+    warp_vcalls = R.Runtime.warp_vcalls rt;
+    alloc_stats = (R.Runtime.allocator rt).R.Allocator.stats ();
+  }
+
+let run_techniques w p techniques =
+  let runs =
+    List.map (fun technique -> run w { p with Workload.technique }) techniques
+  in
+  (match runs with
+   | [] -> ()
+   | first :: rest ->
+     List.iter
+       (fun r ->
+         if r.checksum <> first.checksum || r.result <> first.result then
+           failwith
+             (Printf.sprintf
+                "Harness: functional mismatch on %s: %s=(%d,%d) vs %s=(%d,%d)"
+                r.workload
+                (R.Technique.name first.technique)
+                first.checksum first.result
+                (R.Technique.name r.technique)
+                r.checksum r.result))
+       rest);
+  runs
+
+let speedup_vs ~baseline r = baseline.cycles /. r.cycles

@@ -1,0 +1,32 @@
+(** Build-and-measure driver: runs one workload under one technique and
+    collects everything the figures need.
+
+    Setup (allocation, initialization) is untimed; counters are reset at
+    the measurement boundary, then all compute iterations run, exactly as
+    the paper reports kernel time excluding initialization. *)
+
+type run = {
+  workload : string;          (** Qualified name. *)
+  technique : Repro_core.Technique.t;
+  cycles : float;
+  stats : Repro_gpu.Stats.t;  (** Snapshot, detached from the device. *)
+  checksum : int;             (** Heap checksum (cross-technique equal). *)
+  result : int;               (** Workload-level result (ditto). *)
+  n_objects : int;
+  n_types : int;
+  n_vfuncs : int;             (** Total vtable slots. *)
+  vfunc_pki : float;
+  warp_vcalls : int;
+  alloc_stats : Repro_core.Allocator.stats;
+}
+
+val run : Workload.t -> Workload.params -> run
+
+val run_techniques :
+  Workload.t -> Workload.params -> Repro_core.Technique.t list -> run list
+(** Same workload under several techniques (same seed/scale), asserting
+    that checksums and results agree across all of them — the paper's
+    functional validation. Raises [Failure] on a mismatch. *)
+
+val speedup_vs : baseline:run -> run -> float
+(** [cycles baseline / cycles run]: >1 means faster than baseline. *)

@@ -1,0 +1,243 @@
+module R = Repro_core
+module Warp_ctx = Repro_gpu.Warp_ctx
+module Label = Repro_gpu.Label
+module Rng = Repro_util.Rng
+
+(* Sphere fields *)
+let sp_cx = 0
+let sp_cy = 1
+let sp_cz = 2
+let sp_r = 3
+let sp_color = 4
+let sphere_fields = 5
+
+(* Plane fields *)
+let pl_height = 0
+let pl_depth = 1
+let pl_color = 2
+let plane_fields = 3
+
+let t_max = 1 lsl 30
+
+let width_default = 96
+let height_default = 96
+
+(* Per-lane camera ray through the pixel, in fixed-point screen space. *)
+let pixel_uv ~width tid =
+  let x = tid mod width and y = tid / width in
+  (((x - (width / 2)) * 32), ((y - (width / 2)) * 32))
+(* The image is square; height equals width for the uv mapping. *)
+
+let build (p : Workload.params) =
+  let rt = Common.create_runtime p in
+  let width = width_default and height = height_default in
+  let n_pixels = width * height in
+  let n_objects = max 8 (Workload.scaled p 96) in
+  let tbuf = ref None and cbuf = ref None in
+  let the t = Option.get !t in
+
+  (* intersect: project the (shared) object, test the lane's ray, keep
+     the nearest hit in the frame buffers. *)
+  let sphere_intersect (env : R.Env.t) objs =
+    let ctx = env.R.Env.ctx in
+    let tids = Warp_ctx.tids ctx in
+    let n = Array.length tids in
+    let cx = R.Env.field_load env ~objs ~field:sp_cx in
+    let cy = R.Env.field_load env ~objs ~field:sp_cy in
+    let cz = R.Env.field_load env ~objs ~field:sp_cz in
+    let r = R.Env.field_load env ~objs ~field:sp_r in
+    let color = R.Env.field_load env ~objs ~field:sp_color in
+    R.Env.compute env ~n:10;
+    let told = R.Garray.load (the tbuf) ctx ~idxs:tids in
+    let hit = Array.make n false in
+    for i = 0 to n - 1 do
+      let u, v = pixel_uv ~width tids.(i) in
+      let sx = cx.(i) * 1024 / cz.(i) and sy = cy.(i) * 1024 / cz.(i) in
+      let sr = r.(i) * 1024 / cz.(i) in
+      let du = u - sx and dv = v - sy in
+      hit.(i) <- (du * du) + (dv * dv) <= sr * sr && cz.(i) < told.(i)
+    done;
+    Warp_ctx.if_ ctx ~label:Label.Body ~pred:hit
+      (fun sub idxs ->
+        let tids' = Warp_ctx.gather idxs tids in
+        let cz' = Warp_ctx.gather idxs cz in
+        let color' = Warp_ctx.gather idxs color in
+        R.Garray.store (the tbuf) sub ~idxs:tids' cz';
+        R.Garray.store (the cbuf) sub ~idxs:tids' color')
+      None
+  in
+  let plane_intersect (env : R.Env.t) objs =
+    let ctx = env.R.Env.ctx in
+    let tids = Warp_ctx.tids ctx in
+    let n = Array.length tids in
+    let hgt = R.Env.field_load env ~objs ~field:pl_height in
+    let depth = R.Env.field_load env ~objs ~field:pl_depth in
+    let color = R.Env.field_load env ~objs ~field:pl_color in
+    R.Env.compute env ~n:8;
+    let told = R.Garray.load (the tbuf) ctx ~idxs:tids in
+    let hit = Array.make n false in
+    let tval = Array.make n 0 in
+    let shade = Array.make n 0 in
+    for i = 0 to n - 1 do
+      let u, v = pixel_uv ~width tids.(i) in
+      if v > 8 then begin
+        let t = hgt.(i) * 1024 / v in
+        tval.(i) <- t;
+        (* Checkerboard in world space. *)
+        shade.(i) <- color.(i) + (((u * t / 1024 / 256) + (t / 256)) land 1);
+        hit.(i) <- t > depth.(i) && t < told.(i)
+      end
+    done;
+    Warp_ctx.if_ ctx ~label:Label.Body ~pred:hit
+      (fun sub idxs ->
+        let tids' = Warp_ctx.gather idxs tids in
+        R.Garray.store (the tbuf) sub ~idxs:tids' (Warp_ctx.gather idxs tval);
+        R.Garray.store (the cbuf) sub ~idxs:tids' (Warp_ctx.gather idxs shade))
+      None
+  in
+  (* occludes: darken pixels whose hit point lies in the object's shadow
+     (light from the upper left, coarse disc test). *)
+  let sphere_occludes (env : R.Env.t) objs =
+    let ctx = env.R.Env.ctx in
+    let tids = Warp_ctx.tids ctx in
+    let n = Array.length tids in
+    let cx = R.Env.field_load env ~objs ~field:sp_cx in
+    let cy = R.Env.field_load env ~objs ~field:sp_cy in
+    let cz = R.Env.field_load env ~objs ~field:sp_cz in
+    let r = R.Env.field_load env ~objs ~field:sp_r in
+    R.Env.compute env ~n:8;
+    let told = R.Garray.load (the tbuf) ctx ~idxs:tids in
+    let shadowed = Array.make n false in
+    for i = 0 to n - 1 do
+      let u, v = pixel_uv ~width tids.(i) in
+      let sx = (cx.(i) - (r.(i) / 2)) * 1024 / cz.(i) and sy = (cy.(i) - (r.(i) / 2)) * 1024 / cz.(i) in
+      let sr = r.(i) * 1024 / cz.(i) in
+      let du = u - sx and dv = v - sy in
+      shadowed.(i) <- told.(i) > cz.(i) && told.(i) < t_max && (du * du) + (dv * dv) <= sr * sr
+    done;
+    Warp_ctx.if_ ctx ~label:Label.Body ~pred:shadowed
+      (fun sub idxs ->
+        let tids' = Warp_ctx.gather idxs tids in
+        let c = R.Garray.load (the cbuf) sub ~idxs:tids' in
+        Warp_ctx.compute sub ~label:Label.Body;
+        R.Garray.store (the cbuf) sub ~idxs:tids' (Array.map (fun c -> c / 2) c))
+      None
+  in
+  let plane_occludes (_ : R.Env.t) (_ : int array) = () in
+
+  let i_s_int = R.Runtime.register_impl rt ~name:"Sphere.intersect" sphere_intersect in
+  let i_p_int = R.Runtime.register_impl rt ~name:"Plane.intersect" plane_intersect in
+  let i_s_occ = R.Runtime.register_impl rt ~name:"Sphere.occludes" sphere_occludes in
+  let i_p_occ = R.Runtime.register_impl rt ~name:"Plane.occludes" plane_occludes in
+  let renderable_t =
+    R.Runtime.define_type rt ~name:"Renderable" ~field_words:sphere_fields
+      ~slots:[| i_s_int; i_s_occ |] ()
+  in
+  let sphere_t =
+    R.Runtime.define_type rt ~name:"Sphere" ~field_words:sphere_fields
+      ~parent:renderable_t ~slots:[| i_s_int; i_s_occ |] ()
+  in
+  let plane_t =
+    R.Runtime.define_type rt ~name:"Plane" ~field_words:plane_fields
+      ~parent:renderable_t ~slots:[| i_p_int; i_p_occ |] ()
+  in
+
+  let om = R.Runtime.object_model rt in
+  let heap = R.Runtime.heap rt in
+  let rng = Rng.create ~seed:p.Workload.seed in
+  let object_ptr =
+    Array.init n_objects (fun i ->
+        if i mod 4 = 3 then begin
+          let ptr = R.Runtime.new_obj rt plane_t in
+          R.Object_model.field_store_host om heap ~ptr ~field:pl_height
+            (600 + Rng.int rng 400);
+          R.Object_model.field_store_host om heap ~ptr ~field:pl_depth
+            (256 + Rng.int rng 512);
+          R.Object_model.field_store_host om heap ~ptr ~field:pl_color
+            (16 + Rng.int rng 64);
+          ptr
+        end
+        else begin
+          let ptr = R.Runtime.new_obj rt sphere_t in
+          R.Object_model.field_store_host om heap ~ptr ~field:sp_cx
+            (Rng.int rng 2048 - 1024);
+          R.Object_model.field_store_host om heap ~ptr ~field:sp_cy
+            (Rng.int rng 1024 - 512);
+          R.Object_model.field_store_host om heap ~ptr ~field:sp_cz (300 + Rng.int rng 1500);
+          R.Object_model.field_store_host om heap ~ptr ~field:sp_r (80 + Rng.int rng 200);
+          R.Object_model.field_store_host om heap ~ptr ~field:sp_color (64 + Rng.int rng 190);
+          ptr
+        end)
+  in
+  tbuf := Some (Common.garray rt ~name:"tbuf" ~len:n_pixels);
+  cbuf := Some (Common.garray rt ~name:"cbuf" ~len:n_pixels);
+
+  let run_iteration _ =
+    Common.launch rt ~n:n_pixels (fun env ->
+        let ctx = env.R.Env.ctx in
+        let tids = Warp_ctx.tids ctx in
+        let n = Array.length tids in
+        (* Clear the lane's pixel. *)
+        R.Garray.store (the tbuf) ctx ~idxs:tids (Array.make n t_max);
+        R.Garray.store (the cbuf) ctx ~idxs:tids (Array.make n 0);
+        (* Primary rays: every lane visits the same object per call —
+           the converged sites of Sec. 8.1. *)
+        Array.iter
+          (fun ptr ->
+            let objs = Array.make n ptr in
+            env.R.Env.vcall_converged env ~objs ~slot:0)
+          object_ptr;
+        (* Shadow pass. *)
+        Array.iter
+          (fun ptr ->
+            let objs = Array.make n ptr in
+            env.R.Env.vcall_converged env ~objs ~slot:1)
+          object_ptr)
+  in
+  let result () =
+    let acc = ref 0 in
+    for i = 0 to n_pixels - 1 do
+      let c = R.Garray.get (the cbuf) heap i in
+      let t = min (R.Garray.get (the tbuf) heap i) 65535 in
+      acc := (!acc * 31) + c + t land max_int
+    done;
+    !acc land max_int
+  in
+  ignore sphere_t;
+  {
+    Workload.rt;
+    iterations = Option.value p.Workload.iterations ~default:2;
+    run_iteration;
+    result;
+  }
+
+let workload =
+  {
+    Workload.name = "RAY";
+    suite = "RAY";
+    description = "Ray tracer over spheres and planes (converged virtual calls)";
+    paper_objects = 1000;
+    paper_types = 3;
+    build;
+  }
+
+let render_ascii (inst : Workload.instance) ~width ~height =
+  let rt = inst.Workload.rt in
+  let heap = R.Runtime.heap rt in
+  let space = R.Runtime.address_space rt in
+  match Repro_mem.Address_space.find space "cbuf" with
+  | None -> invalid_arg "Raytrace.render_ascii: no frame buffer (not a RAY instance)"
+  | Some arena ->
+    let palette = " .:-=+*#%@" in
+    let buf = Buffer.create (width * height) in
+    for y = 0 to height - 1 do
+      for x = 0 to width - 1 do
+        let idx = (y * width) + x in
+        let addr = arena.Repro_mem.Address_space.base + (idx * 8) in
+        let c = Repro_mem.Page_store.load heap addr in
+        let level = min 9 (max 0 (c / 26)) in
+        Buffer.add_char buf palette.[level]
+      done;
+      Buffer.add_char buf '\n'
+    done;
+    Buffer.contents buf

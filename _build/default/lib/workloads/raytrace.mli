@@ -1,0 +1,14 @@
+(** RAY: the "Ray Tracing in One Weekend"-style renderer (Table 2:
+    1000 objects, 3 types, vFuncPKI ≈ 15).
+
+    Spheres and planes under an abstract [Renderable] base. One thread
+    per pixel; every thread loops over the scene calling the virtual
+    [intersect] (and then a shadow-test [occludes]) on the *same* object —
+    exactly the converged call sites the paper discusses: COAL's static
+    heuristic leaves them un-instrumented, and Concord does well here.
+    Geometry is integer fixed-point so results compare exactly. *)
+
+val workload : Workload.t
+
+val render_ascii : Workload.instance -> width:int -> height:int -> string
+(** Read back the frame buffer as ASCII art (used by the example). *)

@@ -1,0 +1,12 @@
+(** The eleven applications of Table 2, in the paper's order, plus
+    lookup helpers. *)
+
+val all : Workload.t list
+(** TRAF, GOL, STUT, GEN, vE BFS/CC/PR, vEN BFS/CC/PR, RAY. *)
+
+val find : string -> Workload.t option
+(** Case-insensitive lookup by ["name"] or ["suite/name"] (needed for
+    the BFS/CC/PR duplicates). *)
+
+val qualified_name : Workload.t -> string
+(** ["suite/name"], unique across the list. *)

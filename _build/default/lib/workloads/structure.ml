@@ -1,0 +1,201 @@
+module R = Repro_core
+module Warp_ctx = Repro_gpu.Warp_ctx
+module Label = Repro_gpu.Label
+
+(* Node fields (positions/velocities in 1/1024 fixed point) *)
+let n_px = 0
+let n_py = 1
+let n_vx = 2
+let n_vy = 3
+let n_fx = 4
+let n_fy = 5
+let node_fields = 6
+
+(* Spring fields *)
+let s_a = 0
+let s_b = 1
+let s_rest = 2
+let s_broken = 3
+let spring_fields = 4
+
+let unit_len = 1024
+let break_threshold = 700
+let gravity = 12
+
+let build (p : Workload.params) =
+  let rt = Common.create_runtime p in
+  let side =
+    max 8 (int_of_float (Float.round (120. *. sqrt p.Workload.scale)))
+  in
+  let n_nodes = side * side in
+  let nodes = ref None in
+  let node_table () = Option.get !nodes in
+
+  let spring_force (env : R.Env.t) objs =
+    let ctx = env.R.Env.ctx in
+    let broken = R.Env.field_load env ~objs ~field:s_broken in
+    let pred = Array.map (fun b -> b = 0) broken in
+    Warp_ctx.if_ ctx ~label:Label.Body ~pred
+      (fun sub idxs ->
+        let env' = R.Env.restrict env sub in
+        let objs' = Warp_ctx.gather idxs objs in
+        let a = R.Env.field_load env' ~objs:objs' ~field:s_a in
+        let b = R.Env.field_load env' ~objs:objs' ~field:s_b in
+        let rest = R.Env.field_load env' ~objs:objs' ~field:s_rest in
+        let pa = R.Garray.load (node_table ()) sub ~idxs:a in
+        let pb = R.Garray.load (node_table ()) sub ~idxs:b in
+        let ax = R.Env.field_load env' ~objs:pa ~field:n_px in
+        let ay = R.Env.field_load env' ~objs:pa ~field:n_py in
+        let bx = R.Env.field_load env' ~objs:pb ~field:n_px in
+        let by = R.Env.field_load env' ~objs:pb ~field:n_py in
+        let n = Array.length idxs in
+        R.Env.compute env' ~n:6;
+        (* Hooke's law on the Manhattan length (integer-exact). *)
+        let dx = Array.init n (fun i -> bx.(i) - ax.(i)) in
+        let dy = Array.init n (fun i -> by.(i) - ay.(i)) in
+        let dist = Array.init n (fun i -> abs dx.(i) + abs dy.(i)) in
+        let stretch = Array.init n (fun i -> dist.(i) - rest.(i)) in
+        let overloaded = Array.init n (fun i -> abs stretch.(i) > break_threshold) in
+        Warp_ctx.if_ sub ~label:Label.Body ~pred:overloaded
+          (fun sub2 idxs2 ->
+            let objs2 = Warp_ctx.gather idxs2 objs' in
+            R.Env.field_store (R.Env.restrict env' sub2) ~objs:objs2 ~field:s_broken
+              (Array.make (Array.length idxs2) 1))
+          (Some
+             (fun sub2 idxs2 ->
+               let env2 = R.Env.restrict env' sub2 in
+               let gathered arr = Warp_ctx.gather idxs2 arr in
+               let pa2 = gathered pa and pb2 = gathered pb in
+               let dx2 = gathered dx and dy2 = gathered dy in
+               let d2 = gathered dist and st2 = gathered stretch in
+               let m = Array.length idxs2 in
+               R.Env.compute env2 ~n:4;
+               let fx = Array.init m (fun i -> st2.(i) * dx2.(i) / max 1 d2.(i) / 4) in
+               let fy = Array.init m (fun i -> st2.(i) * dy2.(i) / max 1 d2.(i) / 4) in
+               (* Accumulate member forces on both endpoints. *)
+               let add ptrs field delta =
+                 let cur = R.Env.field_load env2 ~objs:ptrs ~field in
+                 R.Env.compute env2;
+                 R.Env.field_store env2 ~objs:ptrs ~field
+                   (Array.init m (fun i -> cur.(i) + delta i))
+               in
+               add pa2 n_fx (fun i -> fx.(i));
+               add pa2 n_fy (fun i -> fy.(i));
+               add pb2 n_fx (fun i -> -fx.(i));
+               add pb2 n_fy (fun i -> -fy.(i))))
+      )
+      None
+  in
+
+  let node_integrate (env : R.Env.t) objs =
+    let fx = R.Env.field_load env ~objs ~field:n_fx in
+    let fy = R.Env.field_load env ~objs ~field:n_fy in
+    let vx = R.Env.field_load env ~objs ~field:n_vx in
+    let vy = R.Env.field_load env ~objs ~field:n_vy in
+    let px = R.Env.field_load env ~objs ~field:n_px in
+    let py = R.Env.field_load env ~objs ~field:n_py in
+    let n = Array.length fx in
+    R.Env.compute env ~n:8;
+    let vx = Array.init n (fun i -> (vx.(i) + (fx.(i) / 8)) * 15 / 16) in
+    let vy = Array.init n (fun i -> (vy.(i) + ((fy.(i) + gravity) / 8)) * 15 / 16) in
+    R.Env.field_store env ~objs ~field:n_vx vx;
+    R.Env.field_store env ~objs ~field:n_vy vy;
+    R.Env.field_store env ~objs ~field:n_px (Array.init n (fun i -> px.(i) + (vx.(i) / 8)));
+    R.Env.field_store env ~objs ~field:n_py (Array.init n (fun i -> py.(i) + (vy.(i) / 8)));
+    let zeros = Array.make n 0 in
+    R.Env.field_store env ~objs ~field:n_fx zeros;
+    R.Env.field_store env ~objs ~field:n_fy zeros
+  in
+
+  let anchor_integrate (env : R.Env.t) objs =
+    (* Pinned: discard accumulated force, never move. *)
+    let n = Array.length objs in
+    R.Env.field_store env ~objs ~field:n_fx (Array.make n 0);
+    R.Env.field_store env ~objs ~field:n_fy (Array.make n 0)
+  in
+
+  let i_spring = R.Runtime.register_impl rt ~name:"Spring.computeForce" spring_force in
+  let i_node = R.Runtime.register_impl rt ~name:"Node.integrate" node_integrate in
+  let i_anchor = R.Runtime.register_impl rt ~name:"AnchorNode.integrate" anchor_integrate in
+  let node_base_t =
+    R.Runtime.define_type rt ~name:"NodeBase" ~field_words:node_fields ~slots:[| i_node |] ()
+  in
+  let node_t =
+    R.Runtime.define_type rt ~name:"Node" ~field_words:node_fields ~parent:node_base_t
+      ~slots:[| i_node |] ()
+  in
+  let anchor_t =
+    R.Runtime.define_type rt ~name:"AnchorNode" ~field_words:node_fields ~parent:node_base_t
+      ~slots:[| i_anchor |] ()
+  in
+  let spring_t =
+    R.Runtime.define_type rt ~name:"Spring" ~field_words:spring_fields ~slots:[| i_spring |] ()
+  in
+
+  (* Mesh construction: row-major, each node followed by the springs that
+     connect it to already-created neighbours. *)
+  let om = R.Runtime.object_model rt in
+  let heap = R.Runtime.heap rt in
+  let node_ptr = Array.make n_nodes 0 in
+  let springs = ref [] in
+  let n_springs = ref 0 in
+  for y = 0 to side - 1 do
+    for x = 0 to side - 1 do
+      let idx = (y * side) + x in
+      let typ = if y = 0 then anchor_t else node_t in
+      node_ptr.(idx) <- R.Runtime.new_obj rt typ;
+      R.Object_model.field_store_host om heap ~ptr:node_ptr.(idx) ~field:n_px (x * unit_len);
+      R.Object_model.field_store_host om heap ~ptr:node_ptr.(idx) ~field:n_py (y * unit_len);
+      let add_spring a b =
+        let ptr = R.Runtime.new_obj rt spring_t in
+        R.Object_model.field_store_host om heap ~ptr ~field:s_a a;
+        R.Object_model.field_store_host om heap ~ptr ~field:s_b b;
+        R.Object_model.field_store_host om heap ~ptr ~field:s_rest unit_len;
+        springs := ptr :: !springs;
+        incr n_springs
+      in
+      if x > 0 then add_spring (idx - 1) idx;
+      if y > 0 then add_spring (idx - side) idx
+    done
+  done;
+  let spring_ptr = Array.of_list (List.rev !springs) in
+  nodes := Some (Common.garray_of_ptrs rt ~name:"nodes" node_ptr);
+  let springs_table = Common.garray_of_ptrs rt ~name:"springs" spring_ptr in
+  let nodes_table = node_table () in
+
+  let run_iteration _ =
+    Common.vcall_all rt ~ptrs:springs_table ~n:!n_springs ~slot:0;
+    Common.vcall_all rt ~ptrs:nodes_table ~n:n_nodes ~slot:0
+  in
+  let result () =
+    let pos =
+      Array.fold_left
+        (fun acc ptr ->
+          acc
+          + R.Object_model.field_load_host om heap ~ptr ~field:n_px
+          + R.Object_model.field_load_host om heap ~ptr ~field:n_py)
+        0 node_ptr
+    in
+    let broken =
+      Array.fold_left
+        (fun acc ptr -> acc + R.Object_model.field_load_host om heap ~ptr ~field:s_broken)
+        0 spring_ptr
+    in
+    (pos land 0xFFFF_FFFF) + (broken * 1_000_000)
+  in
+  {
+    Workload.rt;
+    iterations = Option.value p.Workload.iterations ~default:6;
+    run_iteration;
+    result;
+  }
+
+let workload =
+  {
+    Workload.name = "STUT";
+    suite = "Dynasoar";
+    description = "Finite-element fracture: spring/node mesh with breakage";
+    paper_objects = 525_000;
+    paper_types = 4;
+    build;
+  }

@@ -1,0 +1,10 @@
+(** STUT: finite-element fracture simulation (Table 2: 525 K objects,
+    4 types, vFuncPKI ≈ 30).
+
+    A rectangular mesh of [Node]s (top row pinned as [AnchorNode]s, both
+    under an abstract base) connected by [Spring]s. Each iteration the
+    spring kernel computes member forces and breaks over-stressed
+    springs; the node kernel integrates velocity/position with fixed-
+    point arithmetic. Both kernels dispatch through virtual functions. *)
+
+val workload : Workload.t

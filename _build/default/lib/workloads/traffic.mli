@@ -1,0 +1,11 @@
+(** TRAF: a Nagel–Schreckenberg traffic-flow simulation in the DynaSOAr
+    style (Table 2: 1.57 M objects, 6 types, vFuncPKI ≈ 31).
+
+    The road network is a ring of cells. Six polymorphic types interact
+    each step: plain [Cell]s, [ProducerCell]s that re-inject parked cars,
+    [Car]s that accelerate/brake/move, [TrafficLight]s gating stretches of
+    road, [SignalGroup]s coordinating lights, and [Monitor]s sampling
+    occupancy — each updated by its own virtual function, one GPU thread
+    per object. *)
+
+val workload : Workload.t

@@ -1,0 +1,113 @@
+module R = Repro_core
+module Warp_ctx = Repro_gpu.Warp_ctx
+module Label = Repro_gpu.Label
+
+type variant =
+  | Branch
+  | Technique of R.Technique.t
+
+let default_iterations = 5
+
+(* Every variant computes the same thing: acc(i) += (type(i) + 1) per
+   iteration, with type(i) = i mod n_types, so the per-warp divergence
+   pattern matches across variants and results are comparable. *)
+
+let run_branch ?(iterations = default_iterations) ?config ~n_objects ~n_types () =
+  let heap = Repro_mem.Page_store.create () in
+  let space = Repro_mem.Address_space.create () in
+  let device = Repro_gpu.Device.create ?config ~heap () in
+  let acc = R.Garray.alloc ~space ~name:"branch-acc" ~len:n_objects in
+  for _ = 1 to iterations do
+    Repro_gpu.Device.launch device ~n_threads:n_objects (fun ctx ->
+        let tids = Warp_ctx.tids ctx in
+        let keys = Array.map (fun tid -> tid mod n_types) tids in
+        (* The register-arbitrated switch: one compare per type, then the
+           taken bodies serialize under SIMT. *)
+        Warp_ctx.compute ctx ~n:(max 1 n_types) ~label:Label.Body;
+        Warp_ctx.diverge ctx ~label:Label.Body ~keys (fun ~key sub idxs ->
+            let sub_tids = Warp_ctx.gather idxs tids in
+            let values = R.Garray.load acc sub ~idxs:sub_tids in
+            Warp_ctx.compute sub ~label:Label.Body;
+            let values = Array.map (fun v -> v + key + 1) values in
+            R.Garray.store acc sub ~idxs:sub_tids values))
+  done;
+  let total = ref 0 in
+  for i = 0 to n_objects - 1 do
+    total := !total + R.Garray.get acc heap i
+  done;
+  (Repro_gpu.Stats.cycles (Repro_gpu.Device.stats device), !total)
+
+let build_technique_runtime ?config ~n_objects ~n_types technique =
+  let rt = R.Runtime.create ?config ~technique () in
+  let add_impl type_id (env : R.Env.t) objs =
+    let values = R.Env.field_load env ~objs ~field:0 in
+    R.Env.compute env;
+    let values = Array.map (fun v -> v + type_id + 1) values in
+    R.Env.field_store env ~objs ~field:0 values
+  in
+  let types =
+    Array.init n_types (fun k ->
+        let impl =
+          R.Runtime.register_impl rt ~name:(Printf.sprintf "add%d" k) (add_impl k)
+        in
+        R.Runtime.define_type rt ~name:(Printf.sprintf "T%d" k) ~field_words:1
+          ~slots:[| impl |] ())
+  in
+  let ptrs =
+    Array.init n_objects (fun i -> R.Runtime.new_obj rt types.(i mod n_types))
+  in
+  let table = Common.garray_of_ptrs rt ~name:"ubench-ptrs" ptrs in
+  (rt, table)
+
+let run_technique ?(iterations = default_iterations) ?config ~n_objects ~n_types technique =
+  let rt, table = build_technique_runtime ?config ~n_objects ~n_types technique in
+  R.Runtime.reset_stats rt;
+  for _ = 1 to iterations do
+    Common.vcall_all rt ~ptrs:table ~n:n_objects ~slot:0
+  done;
+  let heap = R.Runtime.heap rt in
+  let om = R.Runtime.object_model rt in
+  let total =
+    Array.fold_left
+      (fun acc (ptr, _typ) -> acc + R.Object_model.field_load_host om heap ~ptr ~field:0)
+      0
+      (R.Runtime.allocations rt)
+  in
+  (R.Runtime.cycles rt, total)
+
+let run ?iterations ?config ~n_objects ~n_types variant =
+  if n_objects <= 0 || n_types <= 0 then invalid_arg "Ubench.run: positive sizes required";
+  match variant with
+  | Branch -> run_branch ?iterations ?config ~n_objects ~n_types ()
+  | Technique technique -> run_technique ?iterations ?config ~n_objects ~n_types technique
+
+let workload =
+  let build (p : Workload.params) =
+    let n_objects = Workload.scaled p 16384 in
+    let n_types = 4 in
+    let rt, table =
+      build_technique_runtime ?config:p.Workload.config ~n_objects ~n_types
+        p.Workload.technique
+    in
+    let iterations = Option.value p.Workload.iterations ~default:default_iterations in
+    {
+      Workload.rt;
+      iterations;
+      run_iteration = (fun _ -> Common.vcall_all rt ~ptrs:table ~n:n_objects ~slot:0);
+      result =
+        (fun () ->
+          let heap = R.Runtime.heap rt in
+          let om = R.Runtime.object_model rt in
+          Array.fold_left
+            (fun acc (ptr, _) -> acc + R.Object_model.field_load_host om heap ~ptr ~field:0)
+            0 (R.Runtime.allocations rt));
+    }
+  in
+  {
+    Workload.name = "UBENCH";
+    suite = "Microbenchmark";
+    description = "High-PKI virtual-call microbenchmark (Sec. 8.3)";
+    paper_objects = 16_000_000;
+    paper_types = 4;
+    build;
+  }

@@ -1,0 +1,27 @@
+(** The Sec. 8.3 scalability microbenchmarks.
+
+    A configurable population of objects spread over [n_types] types, one
+    thread per object, every thread making one virtual call per iteration
+    whose body is a simple addition (high vFuncPKI by construction). The
+    BRANCH variant arbitrates the "type" from register values — no
+    objects, no memory traffic in the dispatch path — and is the idealized
+    baseline both Fig. 12 plots normalize against. *)
+
+type variant =
+  | Branch    (** Register-arbitrated control flow, no objects. *)
+  | Technique of Repro_core.Technique.t
+
+val run :
+  ?iterations:int ->
+  ?config:Repro_gpu.Config.t ->
+  n_objects:int ->
+  n_types:int ->
+  variant ->
+  float * int
+(** [run ~n_objects ~n_types variant] returns (cycles, functional
+    result). The result is identical across variants for equal
+    populations. *)
+
+val workload : Workload.t
+(** The microbenchmark packaged as a Table 2-style workload (used by
+    tests; not part of the paper's 11 apps). *)

@@ -1,0 +1,29 @@
+type params = {
+  technique : Repro_core.Technique.t;
+  scale : float;
+  config : Repro_gpu.Config.t option;
+  chunk_objs : int option;
+  iterations : int option;
+  seed : int;
+}
+
+let default_params technique =
+  { technique; scale = 1.0; config = None; chunk_objs = None; iterations = None; seed = 42 }
+
+type instance = {
+  rt : Repro_core.Runtime.t;
+  iterations : int;
+  run_iteration : int -> unit;
+  result : unit -> int;
+}
+
+type t = {
+  name : string;
+  suite : string;
+  description : string;
+  paper_objects : int;
+  paper_types : int;
+  build : params -> instance;
+}
+
+let scaled params n = max 1 (int_of_float (Float.round (float_of_int n *. params.scale)))

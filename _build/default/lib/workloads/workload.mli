@@ -1,0 +1,44 @@
+(** The workload interface: one record per application of Table 2.
+
+    A workload builds a {!Repro_core.Runtime.t} under any technique
+    (setup — allocation, graph/grid construction — is untimed, matching
+    the paper, which excludes initialization), then runs a fixed number
+    of compute iterations, each a sequence of kernel launches. The same
+    code runs under every technique, so functional results must agree
+    bit-for-bit; {!Harness} checks that. *)
+
+type params = {
+  technique : Repro_core.Technique.t;
+  scale : float;
+      (** Object-count multiplier over the workload's reduced default
+          (1.0 ≈ 1/32 of the paper's sizes; see EXPERIMENTS.md). *)
+  config : Repro_gpu.Config.t option;  (** GPU override. *)
+  chunk_objs : int option;             (** SharedOA initial region size. *)
+  iterations : int option;             (** Override compute iterations. *)
+  seed : int;
+}
+
+val default_params : Repro_core.Technique.t -> params
+
+type instance = {
+  rt : Repro_core.Runtime.t;
+  iterations : int;
+  run_iteration : int -> unit;  (** Launch iteration [i]'s kernels. *)
+  result : unit -> int;
+      (** Workload-level functional result (e.g. total population, sum of
+          ranks) — checked for equality across techniques on top of the
+          heap checksum. *)
+}
+
+type t = {
+  name : string;          (** Paper's short name ("TRAF", "GOL", ...). *)
+  suite : string;         (** "Dynasoar", "GraphChi-vE", "GraphChi-vEN", "RAY". *)
+  description : string;
+  paper_objects : int;    (** Table 2's object count, for reference. *)
+  paper_types : int;
+  build : params -> instance;
+}
+
+val scaled : params -> int -> int
+(** [scaled params n] applies the scale factor to a default count,
+    keeping at least one. *)

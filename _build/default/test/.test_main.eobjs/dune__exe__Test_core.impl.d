@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Fun Gen List Option Printf QCheck QCheck_alcotest Repro_core Repro_gpu Repro_mem Repro_util Result

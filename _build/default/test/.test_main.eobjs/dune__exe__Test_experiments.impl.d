@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Lazy List Option Repro_core Repro_experiments Repro_report Repro_workloads

@@ -1,0 +1,1 @@
+test/test_gpu.ml: Alcotest Array Gen List QCheck QCheck_alcotest Repro_gpu Repro_mem

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Hashtbl Option Repro_core Repro_gpu Repro_mem Repro_workloads String

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_core Test_experiments Test_gpu Test_integration Test_mem Test_report Test_util Test_workloads

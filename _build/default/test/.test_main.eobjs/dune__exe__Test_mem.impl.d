@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest List QCheck QCheck_alcotest Repro_mem

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array List Option Repro_core Repro_workloads String

@@ -1,0 +1,311 @@
+(* Tests for the SIMT timing simulator. *)
+
+module Label = Repro_gpu.Label
+module Instr = Repro_gpu.Instr
+module Coalesce = Repro_gpu.Coalesce
+module Cache = Repro_gpu.Cache
+module Config = Repro_gpu.Config
+module Stats = Repro_gpu.Stats
+module Mem_path = Repro_gpu.Mem_path
+module Trace = Repro_gpu.Trace
+module Warp_ctx = Repro_gpu.Warp_ctx
+module Sm = Repro_gpu.Sm
+module Device = Repro_gpu.Device
+module Page_store = Repro_mem.Page_store
+
+let check = Alcotest.check
+
+(* --- labels --------------------------------------------------------- *)
+
+let test_label_indexing () =
+  List.iter
+    (fun l -> check Alcotest.bool "roundtrip" true (Label.of_index (Label.to_index l) = l))
+    Label.all;
+  check Alcotest.int "count" (List.length Label.all) Label.count
+
+(* --- instructions ---------------------------------------------------- *)
+
+let test_instr_classes () =
+  let load = Instr.load ~label:Label.Body [| 0; 32 |] in
+  check Alcotest.bool "load is mem" true (Instr.class_of load = `Mem);
+  check Alcotest.int "load active" 2 load.Instr.active;
+  check Alcotest.bool "load blocks" true load.Instr.blocking;
+  let c = Instr.compute ~n:5 ~label:Label.Body 4 in
+  check Alcotest.int "compute expands" 5 (Instr.instruction_count c);
+  check Alcotest.bool "compute class" true (Instr.class_of c = `Compute);
+  check Alcotest.bool "call is ctrl" true
+    (Instr.class_of (Instr.call_indirect ~label:Label.Call 8) = `Ctrl);
+  check Alcotest.bool "const load is mem" true
+    (Instr.class_of (Instr.const_load ~label:Label.Const_indirect 8) = `Mem);
+  Alcotest.check_raises "empty load" (Invalid_argument "Instr.load: no active lanes")
+    (fun () -> ignore (Instr.load ~label:Label.Body [||]))
+
+(* --- coalescer -------------------------------------------------------- *)
+
+let test_coalesce_basic () =
+  check Alcotest.int "same sector" 1 (Coalesce.transaction_count [| 0; 8; 16; 31 |]);
+  check Alcotest.int "two sectors" 2 (Coalesce.transaction_count [| 0; 32 |]);
+  check Alcotest.int "fully diverged" 32
+    (Coalesce.transaction_count (Array.init 32 (fun i -> i * 128)));
+  check (Alcotest.array Alcotest.int) "sorted sectors" [| 0; 4 |]
+    (Coalesce.sectors [| 128; 0; 130 |])
+
+let prop_coalesce_bounds =
+  QCheck.Test.make ~name:"coalescer bounds: 1..lanes transactions" ~count:300
+    QCheck.(list_of_size (Gen.int_range 1 32) (int_bound 100_000))
+    (fun addrs ->
+      let n = Coalesce.transaction_count (Array.of_list addrs) in
+      n >= 1 && n <= List.length addrs)
+
+(* --- cache ------------------------------------------------------------ *)
+
+let small_geom = Cache.geometry ~size_bytes:1024 ~line_bytes:128 ~ways:2
+(* 4 sets x 2 ways x 4 sectors *)
+
+let test_cache_hit_after_miss () =
+  let c = Cache.create small_geom in
+  check Alcotest.bool "first is miss" true (Cache.access c ~sector:0 = `Miss);
+  check Alcotest.bool "second is hit" true (Cache.access c ~sector:0 = `Hit)
+
+let test_cache_sector_granularity () =
+  let c = Cache.create small_geom in
+  ignore (Cache.access c ~sector:0);
+  (* Same line (sectors 0-3), different sector: line present, sector miss. *)
+  check Alcotest.bool "sector miss on resident line" true (Cache.access c ~sector:1 = `Miss);
+  check Alcotest.bool "then hits" true (Cache.access c ~sector:1 = `Hit);
+  check Alcotest.bool "first sector still valid" true (Cache.probe c ~sector:0)
+
+let test_cache_lru_eviction () =
+  let c = Cache.create small_geom in
+  (* Three lines mapping to set 0 (line index mod 4 = 0): lines 0, 4, 8. *)
+  let sector_of_line l = l * 4 in
+  ignore (Cache.access c ~sector:(sector_of_line 0));
+  ignore (Cache.access c ~sector:(sector_of_line 4));
+  ignore (Cache.access c ~sector:(sector_of_line 0)); (* refresh line 0 *)
+  ignore (Cache.access c ~sector:(sector_of_line 8)); (* evicts line 4 *)
+  check Alcotest.bool "line 0 kept" true (Cache.probe c ~sector:(sector_of_line 0));
+  check Alcotest.bool "line 4 evicted" false (Cache.probe c ~sector:(sector_of_line 4));
+  check Alcotest.bool "line 8 resident" true (Cache.probe c ~sector:(sector_of_line 8))
+
+let test_cache_flush () =
+  let c = Cache.create small_geom in
+  ignore (Cache.access c ~sector:5);
+  Cache.flush c;
+  check Alcotest.bool "flushed" false (Cache.probe c ~sector:5)
+
+let test_cache_geometry_validation () =
+  Alcotest.check_raises "non power of two sets"
+    (Invalid_argument "Cache.geometry: the number of sets must be a power of two")
+    (fun () -> ignore (Cache.geometry ~size_bytes:(3 * 128 * 2) ~line_bytes:128 ~ways:2))
+
+let prop_cache_hits_bounded =
+  QCheck.Test.make ~name:"cache never reports more hits than accesses" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 200) (int_bound 64))
+    (fun sectors ->
+      let c = Cache.create small_geom in
+      let hits =
+        List.fold_left
+          (fun acc s -> match Cache.access c ~sector:s with `Hit -> acc + 1 | `Miss -> acc)
+          0 sectors
+      in
+      hits < List.length sectors (* the first access is always a miss *))
+
+(* --- mem path --------------------------------------------------------- *)
+
+let cfg = Config.default
+
+let test_mem_path_latencies () =
+  let mp = Mem_path.create cfg in
+  let stats = Stats.create () in
+  let t_miss = Mem_path.load mp ~stats ~sm:0 ~start:0. ~label:Label.Body ~addrs:[| 0 |] in
+  let t_hit = Mem_path.load mp ~stats ~sm:0 ~start:t_miss ~label:Label.Body ~addrs:[| 0 |] in
+  check Alcotest.bool "miss goes to DRAM" true
+    (t_miss >= float_of_int (cfg.Config.l1_latency + cfg.Config.l2_latency + cfg.Config.dram_latency));
+  check Alcotest.bool "hit is L1-latency fast" true
+    (t_hit -. t_miss < float_of_int (cfg.Config.l1_latency + 5));
+  check Alcotest.int "one transaction each" 2 (Stats.load_transactions stats);
+  check Alcotest.int "one l1 hit" 1 (Stats.l1_accesses stats - 1);
+  check Alcotest.bool "l1 rate 50%" true (abs_float (Stats.l1_hit_rate stats -. 0.5) < 1e-9)
+
+let test_mem_path_l1_private_per_sm () =
+  let mp = Mem_path.create cfg in
+  let stats = Stats.create () in
+  ignore (Mem_path.load mp ~stats ~sm:0 ~start:0. ~label:Label.Body ~addrs:[| 0 |]);
+  check Alcotest.bool "sm0 has it" true (Mem_path.l1_probe mp ~sm:0 ~sector:0);
+  check Alcotest.bool "sm1 does not" false (Mem_path.l1_probe mp ~sm:1 ~sector:0)
+
+let test_mem_path_bandwidth_serializes () =
+  let mp = Mem_path.create cfg in
+  let stats = Stats.create () in
+  let diverged = Array.init 32 (fun i -> i * 4096) in
+  let t1 = Mem_path.load mp ~stats ~sm:0 ~start:0. ~label:Label.Body ~addrs:diverged in
+  let diverged2 = Array.init 32 (fun i -> (i + 64) * 4096) in
+  let t2 = Mem_path.load mp ~stats ~sm:1 ~start:0. ~label:Label.Body ~addrs:diverged2 in
+  (* Both warps miss to DRAM; shared DRAM bandwidth must push the second
+     warp's completion past the first's. *)
+  check Alcotest.bool "shared dram contention" true (t2 > t1);
+  check Alcotest.int "dram sectors (64B fills)" 128 (Stats.dram_sectors stats)
+
+let test_mem_path_begin_kernel_flushes_l1_not_l2 () =
+  let mp = Mem_path.create cfg in
+  let stats = Stats.create () in
+  ignore (Mem_path.load mp ~stats ~sm:0 ~start:0. ~label:Label.Body ~addrs:[| 0 |]);
+  Mem_path.begin_kernel mp;
+  check Alcotest.bool "l1 flushed" false (Mem_path.l1_probe mp ~sm:0 ~sector:0);
+  (* The 64 B DRAM fill installed the pair sector in L2 as well. *)
+  let stats2 = Stats.create () in
+  ignore (Mem_path.load mp ~stats:stats2 ~sm:0 ~start:0. ~label:Label.Body ~addrs:[| 0 |]);
+  (* L2 still warm: the reload must be an L2 hit, not a DRAM access. *)
+  check Alcotest.int "no new dram sector" 0 (Stats.dram_sectors stats2);
+  Mem_path.reset mp;
+  let stats3 = Stats.create () in
+  ignore (Mem_path.load mp ~stats:stats3 ~sm:0 ~start:0. ~label:Label.Body ~addrs:[| 0 |]);
+  check Alcotest.int "reset clears l2 too" 2 (Stats.dram_sectors stats3)
+
+(* --- warp ctx / device ------------------------------------------------ *)
+
+let test_warp_ctx_load_store () =
+  let heap = Page_store.create () in
+  Page_store.store heap 64 7;
+  let ctx = Warp_ctx.create ~heap ~warp_id:0 ~lanes:[| 0; 1 |] in
+  let v = Warp_ctx.load ctx ~label:Label.Body [| 64; 72 |] in
+  check (Alcotest.array Alcotest.int) "loaded" [| 7; 0 |] v;
+  Warp_ctx.store ctx ~label:Label.Body [| 72; 80 |] [| 5; 6 |];
+  check Alcotest.int "stored" 5 (Page_store.load heap 72);
+  check Alcotest.int "trace records" 2 (Trace.length (Warp_ctx.trace ctx))
+
+let test_warp_ctx_strips_tags () =
+  let heap = Page_store.create () in
+  Page_store.store heap 64 9;
+  let ctx = Warp_ctx.create ~heap ~warp_id:0 ~lanes:[| 0 |] in
+  let tagged = Repro_mem.Vaddr.with_tag 64 ~tag:77 in
+  let v = Warp_ctx.load ctx ~label:Label.Body [| tagged |] in
+  check (Alcotest.array Alcotest.int) "tag transparent" [| 9 |] v
+
+let test_warp_ctx_diverge () =
+  let heap = Page_store.create () in
+  let ctx = Warp_ctx.create ~heap ~warp_id:0 ~lanes:[| 0; 1; 2; 3 |] in
+  let seen = ref [] in
+  Warp_ctx.diverge ctx ~label:Label.Body ~keys:[| 1; 2; 1; 3 |]
+    (fun ~key sub idxs ->
+      seen := (key, Warp_ctx.tids sub, idxs) :: !seen);
+  let seen = List.rev !seen in
+  check Alcotest.int "three groups" 3 (List.length seen);
+  (match seen with
+   | (k1, tids1, idxs1) :: (k2, _, _) :: (k3, _, _) :: _ ->
+     check Alcotest.int "first-occurrence order" 1 k1;
+     check Alcotest.int "second" 2 k2;
+     check Alcotest.int "third" 3 k3;
+     check (Alcotest.array Alcotest.int) "subset tids" [| 0; 2 |] tids1;
+     check (Alcotest.array Alcotest.int) "parent idxs" [| 0; 2 |] idxs1
+   | _ -> Alcotest.fail "unexpected grouping");
+  (* One ctrl instruction per executed subset. *)
+  check Alcotest.int "ctrl per group" 3 (Trace.length (Warp_ctx.trace ctx))
+
+let test_warp_ctx_if () =
+  let heap = Page_store.create () in
+  let ctx = Warp_ctx.create ~heap ~warp_id:0 ~lanes:[| 10; 11; 12 |] in
+  let then_tids = ref [||] and else_tids = ref [||] in
+  Warp_ctx.if_ ctx ~label:Label.Body ~pred:[| true; false; true |]
+    (fun sub _ -> then_tids := Warp_ctx.tids sub)
+    (Some (fun sub _ -> else_tids := Warp_ctx.tids sub));
+  check (Alcotest.array Alcotest.int) "then lanes" [| 10; 12 |] !then_tids;
+  check (Alcotest.array Alcotest.int) "else lanes" [| 11 |] !else_tids
+
+let test_warp_ctx_width_mismatch () =
+  let heap = Page_store.create () in
+  let ctx = Warp_ctx.create ~heap ~warp_id:0 ~lanes:[| 0; 1 |] in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Warp_ctx.load: per-lane array width mismatch") (fun () ->
+      ignore (Warp_ctx.load ctx ~label:Label.Body [| 0 |]))
+
+let test_device_runs_kernel () =
+  let heap = Page_store.create () in
+  let device = Device.create ~heap () in
+  let out = Repro_mem.Address_space.create () in
+  let arena = Repro_mem.Address_space.reserve out ~name:"buf" ~size:4096 in
+  let base = arena.Repro_mem.Address_space.base in
+  Device.launch device ~n_threads:100 (fun ctx ->
+      let tids = Warp_ctx.tids ctx in
+      let addrs = Array.map (fun t -> base + (8 * t)) tids in
+      Warp_ctx.store ctx ~label:Label.Body addrs (Array.map (fun t -> t * 2) tids));
+  for t = 0 to 99 do
+    check Alcotest.int "thread wrote" (2 * t) (Page_store.load heap (base + (8 * t)))
+  done;
+  check Alcotest.bool "cycles advanced" true (Stats.cycles (Device.stats device) > 0.);
+  check Alcotest.int "one launch" 1 (Device.launches device);
+  (* 100 threads = 4 warps, one store each. *)
+  check Alcotest.int "mem instrs" 4 (Stats.instructions (Device.stats device) `Mem)
+
+let test_device_partial_warp () =
+  let heap = Page_store.create () in
+  let device = Device.create ~heap () in
+  let widths = ref [] in
+  Device.launch device ~n_threads:40 (fun ctx -> widths := Warp_ctx.n_active ctx :: !widths);
+  check (Alcotest.list Alcotest.int) "32 + tail of 8" [ 32; 8 ] (List.rev !widths)
+
+let test_device_reset () =
+  let heap = Page_store.create () in
+  let device = Device.create ~heap () in
+  Device.launch device ~n_threads:32 (fun ctx -> Warp_ctx.compute ctx ~label:Label.Body);
+  Device.reset_stats device;
+  check (Alcotest.float 1e-9) "cycles reset" 0. (Stats.cycles (Device.stats device));
+  check Alcotest.int "launches reset" 0 (Device.launches device)
+
+let test_sm_blocking_latency_attribution () =
+  let heap = Page_store.create () in
+  let device = Device.create ~heap () in
+  Device.launch device ~n_threads:32 (fun ctx ->
+      let addrs = Array.map (fun t -> 1 lsl 20 lor (t * 4096)) (Warp_ctx.tids ctx) in
+      ignore (Warp_ctx.load ctx ~label:Label.Vtable_load addrs));
+  let stats = Device.stats device in
+  check Alcotest.bool "stall attributed to the label" true
+    (Stats.stall_cycles stats Label.Vtable_load > 0.);
+  check (Alcotest.float 1e-9) "no stall on other labels" 0.
+    (Stats.stall_cycles stats Label.Coal_lookup)
+
+let test_more_warps_hide_latency () =
+  (* Same per-thread work; oversubscription must not slow things down
+     proportionally — latency hiding is the GPU's whole premise. *)
+  let run n_threads =
+    let heap = Page_store.create () in
+    let device = Device.create ~heap () in
+    Device.launch device ~n_threads (fun ctx ->
+        let addrs = Array.map (fun t -> (t * 4096) land 0xFFFFF) (Warp_ctx.tids ctx) in
+        ignore (Warp_ctx.load ctx ~label:Label.Body addrs);
+        Warp_ctx.compute ctx ~n:4 ~label:Label.Body);
+    Stats.cycles (Device.stats device)
+  in
+  let one_warp = run 32 in
+  let many_warps = run (32 * 64) in
+  check Alcotest.bool "64x work is far less than 64x time" true
+    (many_warps < one_warp *. 32.)
+
+let suite =
+  [
+    Alcotest.test_case "label indexing" `Quick test_label_indexing;
+    Alcotest.test_case "instr classes" `Quick test_instr_classes;
+    Alcotest.test_case "coalesce basic" `Quick test_coalesce_basic;
+    Alcotest.test_case "cache hit after miss" `Quick test_cache_hit_after_miss;
+    Alcotest.test_case "cache sector granularity" `Quick test_cache_sector_granularity;
+    Alcotest.test_case "cache lru eviction" `Quick test_cache_lru_eviction;
+    Alcotest.test_case "cache flush" `Quick test_cache_flush;
+    Alcotest.test_case "cache geometry validation" `Quick test_cache_geometry_validation;
+    Alcotest.test_case "mem path latencies" `Quick test_mem_path_latencies;
+    Alcotest.test_case "mem path private L1s" `Quick test_mem_path_l1_private_per_sm;
+    Alcotest.test_case "mem path bandwidth" `Quick test_mem_path_bandwidth_serializes;
+    Alcotest.test_case "kernel boundary semantics" `Quick
+      test_mem_path_begin_kernel_flushes_l1_not_l2;
+    Alcotest.test_case "warp ctx load/store" `Quick test_warp_ctx_load_store;
+    Alcotest.test_case "warp ctx strips tags" `Quick test_warp_ctx_strips_tags;
+    Alcotest.test_case "warp ctx diverge" `Quick test_warp_ctx_diverge;
+    Alcotest.test_case "warp ctx if_" `Quick test_warp_ctx_if;
+    Alcotest.test_case "warp ctx width mismatch" `Quick test_warp_ctx_width_mismatch;
+    Alcotest.test_case "device runs kernel" `Quick test_device_runs_kernel;
+    Alcotest.test_case "device partial warp" `Quick test_device_partial_warp;
+    Alcotest.test_case "device reset" `Quick test_device_reset;
+    Alcotest.test_case "stall attribution" `Quick test_sm_blocking_latency_attribution;
+    Alcotest.test_case "latency hiding" `Quick test_more_warps_hide_latency;
+    QCheck_alcotest.to_alcotest prop_coalesce_bounds;
+    QCheck_alcotest.to_alcotest prop_cache_hits_bounded;
+  ]

@@ -1,0 +1,185 @@
+(* Cross-layer integration tests: harness guarantees, scheduler waves,
+   paper-level properties that span modules. *)
+
+module W = Repro_workloads
+module R = Repro_core
+module T = R.Technique
+module Warp_ctx = Repro_gpu.Warp_ctx
+module Label = Repro_gpu.Label
+module Stats = Repro_gpu.Stats
+module Device = Repro_gpu.Device
+module Config = Repro_gpu.Config
+module Page_store = Repro_mem.Page_store
+
+let check = Alcotest.check
+
+(* --- harness ------------------------------------------------------------ *)
+
+(* A deliberately technique-dependent "workload": its result is the
+   dispatch technique's name hash, so cross-technique validation must
+   reject it. Guards the guard. *)
+let treacherous_workload =
+  let build (p : W.Workload.params) =
+    let rt = R.Runtime.create ~technique:p.W.Workload.technique () in
+    let impl = R.Runtime.register_impl rt ~name:"noop" (fun _ _ -> ()) in
+    let t = R.Runtime.define_type rt ~name:"T" ~field_words:1 ~slots:[| impl |] () in
+    ignore (R.Runtime.new_obj rt t);
+    {
+      W.Workload.rt;
+      iterations = 1;
+      run_iteration = (fun _ -> ());
+      result = (fun () -> Hashtbl.hash (T.name p.W.Workload.technique));
+    }
+  in
+  {
+    W.Workload.name = "TREACHEROUS";
+    suite = "test";
+    description = "technique-dependent result, must be rejected";
+    paper_objects = 1;
+    paper_types = 1;
+    build;
+  }
+
+let test_harness_rejects_functional_mismatch () =
+  let p = W.Workload.default_params T.Shared_oa in
+  match W.Harness.run_techniques treacherous_workload p [ T.Cuda; T.Coal ] with
+  | _ -> Alcotest.fail "expected a functional-mismatch failure"
+  | exception Failure msg ->
+    check Alcotest.bool "mentions the mismatch" true
+      (String.length msg > 0
+       && String.sub msg 0 (min 7 (String.length msg)) = "Harness")
+
+let test_harness_speedup_direction () =
+  let w = Option.get (W.Registry.find "GEN") in
+  let p = { (W.Workload.default_params T.Shared_oa) with W.Workload.scale = 0.05 } in
+  let runs = W.Harness.run_techniques w p [ T.Cuda; T.Shared_oa ] in
+  match runs with
+  | [ cuda; shard ] ->
+    check Alcotest.bool "SharedOA speeds GEN up" true
+      (W.Harness.speedup_vs ~baseline:cuda shard > 1.)
+  | _ -> Alcotest.fail "expected two runs"
+
+let test_workload_scaled () =
+  let p = { (W.Workload.default_params T.Cuda) with W.Workload.scale = 0.5 } in
+  check Alcotest.int "halves" 50 (W.Workload.scaled p 100);
+  let tiny = { p with W.Workload.scale = 0.0001 } in
+  check Alcotest.int "floor of one" 1 (W.Workload.scaled tiny 100)
+
+(* --- scheduler waves ------------------------------------------------------ *)
+
+let test_residency_waves_complete () =
+  (* Launch far more warps than the device can host at once; everything
+     must still execute exactly once. *)
+  let heap = Page_store.create () in
+  let cfg = { Config.default with Config.n_sms = 2; max_warps_per_sm = 4 } in
+  let device = Device.create ~config:cfg ~heap () in
+  let space = Repro_mem.Address_space.create () in
+  let arena = Repro_mem.Address_space.reserve space ~name:"out" ~size:(1 lsl 20) in
+  let n_threads = 32 * 64 in
+  Device.launch device ~n_threads (fun ctx ->
+      let tids = Warp_ctx.tids ctx in
+      let addrs = Array.map (fun t -> arena.Repro_mem.Address_space.base + (8 * t)) tids in
+      Warp_ctx.store ctx ~label:Label.Body addrs (Array.map (fun t -> t + 1) tids));
+  let sum = ref 0 in
+  for t = 0 to n_threads - 1 do
+    sum := !sum + Page_store.load heap (arena.Repro_mem.Address_space.base + (8 * t))
+  done;
+  check Alcotest.int "every thread ran once" (n_threads * (n_threads + 1) / 2) !sum
+
+let test_cycles_accumulate_across_launches () =
+  let heap = Page_store.create () in
+  let device = Device.create ~heap () in
+  let kernel ctx = Warp_ctx.compute ctx ~label:Label.Body in
+  Device.launch device ~n_threads:64 kernel;
+  let after_one = Stats.cycles (Device.stats device) in
+  Device.launch device ~n_threads:64 kernel;
+  check Alcotest.bool "cycles accumulate" true
+    (Stats.cycles (Device.stats device) > after_one);
+  check Alcotest.int "two launches" 2 (Device.launches device)
+
+(* --- paper-level cross-workload properties -------------------------------- *)
+
+let tiny p = { (W.Workload.default_params T.Shared_oa) with W.Workload.scale = p }
+
+let test_ven_has_higher_pki_than_ve () =
+  (* Virtualizing the vertices adds calls: vEN's call density must exceed
+     vE's (Table 2: 52.2 vs 35.9 for BFS). *)
+  let pki name =
+    let w = Option.get (W.Registry.find name) in
+    (W.Harness.run w (tiny 0.05)).W.Harness.vfunc_pki
+  in
+  check Alcotest.bool "vEN > vE (BFS)" true
+    (pki "GraphChi-vEN/BFS" > pki "GraphChi-vE/BFS")
+
+let test_traffic_progresses () =
+  let w = Option.get (W.Registry.find "TRAF") in
+  let total_distance iterations =
+    let inst = w.W.Workload.build { (tiny 0.05) with W.Workload.iterations = Some iterations } in
+    for i = 0 to inst.W.Workload.iterations - 1 do
+      inst.W.Workload.run_iteration i
+    done;
+    let rt = inst.W.Workload.rt in
+    let om = R.Runtime.object_model rt in
+    let heap = R.Runtime.heap rt in
+    Array.fold_left
+      (fun acc (ptr, typ) ->
+        if R.Registry.type_name typ = "Car" then
+          acc + R.Object_model.field_load_host om heap ~ptr ~field:3
+        else acc)
+      0
+      (R.Runtime.allocations rt)
+  in
+  let short = total_distance 3 and long = total_distance 10 in
+  check Alcotest.bool "cars keep moving" true (long > short && short > 0)
+
+let test_footprints_reflect_allocators () =
+  (* The default-CUDA model's padding must reserve several times more
+     space than SharedOA for the same population (Sec. 8.2's packing). *)
+  let w = Option.get (W.Registry.find "GEN") in
+  let reserved technique =
+    let p =
+      { (tiny 0.05) with W.Workload.technique = technique; chunk_objs = Some 256 }
+    in
+    let r = W.Harness.run w p in
+    r.W.Harness.alloc_stats.R.Allocator.reserved_bytes
+  in
+  let cuda = reserved T.Cuda and shard = reserved T.Shared_oa in
+  check Alcotest.bool "padding costs space" true (cuda > 3 * shard)
+
+let test_tagged_pointers_never_reach_memory () =
+  (* End-to-end guard: a full TypePointer workload run must never leak a
+     tagged address into the page store (the MMU strip is total). This
+     passes iff every access path strips. *)
+  let w = Option.get (W.Registry.find "GraphChi-vE/BFS") in
+  let r = W.Harness.run w { (tiny 0.05) with W.Workload.technique = T.type_pointer } in
+  check Alcotest.bool "ran" true (r.W.Harness.cycles > 0.)
+
+let test_v100_like_config_runs () =
+  let heap = Page_store.create () in
+  let device = Device.create ~config:Config.v100_like ~heap () in
+  Device.launch device ~n_threads:(32 * 100) (fun ctx ->
+      Warp_ctx.compute ctx ~label:Label.Body);
+  check Alcotest.bool "big config works" true (Stats.cycles (Device.stats device) > 0.)
+
+let test_config_validation () =
+  let bad = { Config.default with Config.issue_width = 0 } in
+  Alcotest.check_raises "invalid config"
+    (Invalid_argument "Config: issue_width must be positive") (fun () ->
+      Config.validate bad)
+
+let suite =
+  [
+    Alcotest.test_case "harness rejects mismatch" `Quick
+      test_harness_rejects_functional_mismatch;
+    Alcotest.test_case "harness speedup direction" `Quick test_harness_speedup_direction;
+    Alcotest.test_case "workload scaled" `Quick test_workload_scaled;
+    Alcotest.test_case "residency waves complete" `Quick test_residency_waves_complete;
+    Alcotest.test_case "cycles accumulate" `Quick test_cycles_accumulate_across_launches;
+    Alcotest.test_case "vEN pki > vE pki" `Quick test_ven_has_higher_pki_than_ve;
+    Alcotest.test_case "traffic progresses" `Quick test_traffic_progresses;
+    Alcotest.test_case "allocator footprints" `Quick test_footprints_reflect_allocators;
+    Alcotest.test_case "tagged pointers stripped end-to-end" `Quick
+      test_tagged_pointers_never_reach_memory;
+    Alcotest.test_case "v100-like config" `Quick test_v100_like_config_runs;
+    Alcotest.test_case "config validation" `Quick test_config_validation;
+  ]

@@ -1,0 +1,14 @@
+(* Entry point aggregating every suite; `dune runtest` runs this. *)
+
+let () =
+  Alcotest.run "gpu-virtual-functions"
+    [
+      ("util", Test_util.suite);
+      ("mem", Test_mem.suite);
+      ("gpu", Test_gpu.suite);
+      ("core", Test_core.suite);
+      ("workloads", Test_workloads.suite);
+      ("report", Test_report.suite);
+      ("experiments", Test_experiments.suite);
+      ("integration", Test_integration.suite);
+    ]

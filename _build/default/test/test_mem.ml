@@ -1,0 +1,142 @@
+(* Tests for the simulated virtual-memory substrate. *)
+
+module Vaddr = Repro_mem.Vaddr
+module Page_store = Repro_mem.Page_store
+module Address_space = Repro_mem.Address_space
+
+let check = Alcotest.check
+
+let test_vaddr_constants () =
+  check Alcotest.int "va bits" 48 Vaddr.va_bits;
+  check Alcotest.int "tag bits" 15 Vaddr.tag_bits;
+  check Alcotest.int "max tag" 32767 Vaddr.max_tag;
+  check Alcotest.int "sector" 32 Vaddr.sector_bytes
+
+let test_vaddr_tagging () =
+  let addr = 0x1234_5678 in
+  let tagged = Vaddr.with_tag addr ~tag:4097 in
+  check Alcotest.bool "tagged not canonical" false (Vaddr.is_canonical tagged);
+  check Alcotest.int "tag recovered" 4097 (Vaddr.tag_of tagged);
+  check Alcotest.int "strip recovers address" addr (Vaddr.strip tagged);
+  check Alcotest.int "canonical tag is 0" 0 (Vaddr.tag_of addr);
+  Alcotest.check_raises "double tag"
+    (Invalid_argument "Vaddr.with_tag: address already tagged") (fun () ->
+      ignore (Vaddr.with_tag tagged ~tag:1));
+  Alcotest.check_raises "tag out of range"
+    (Invalid_argument "Vaddr.with_tag: tag out of range") (fun () ->
+      ignore (Vaddr.with_tag addr ~tag:(Vaddr.max_tag + 1)))
+
+let test_vaddr_alignment () =
+  check Alcotest.int "align up" 128 (Vaddr.align_up 100 ~alignment:128);
+  check Alcotest.int "already aligned" 128 (Vaddr.align_up 128 ~alignment:128);
+  check Alcotest.bool "is_aligned" true (Vaddr.is_aligned 256 ~alignment:128);
+  check Alcotest.bool "not aligned" false (Vaddr.is_aligned 100 ~alignment:128);
+  Alcotest.check_raises "bad alignment"
+    (Invalid_argument "Vaddr.align_up: alignment must be a positive power of two")
+    (fun () -> ignore (Vaddr.align_up 1 ~alignment:3))
+
+let test_vaddr_sectors () =
+  check Alcotest.int "sector 0" 0 (Vaddr.sector_of 31);
+  check Alcotest.int "sector 1" 1 (Vaddr.sector_of 32);
+  check Alcotest.int "tag ignored" 1 (Vaddr.sector_of (Vaddr.with_tag 32 ~tag:5));
+  check Alcotest.int "word index" 2 (Vaddr.word_index 16);
+  Alcotest.check_raises "misaligned word"
+    (Invalid_argument "Vaddr.word_index: misaligned address") (fun () ->
+      ignore (Vaddr.word_index 12))
+
+let test_page_store_roundtrip () =
+  let s = Page_store.create () in
+  check Alcotest.int "default zero" 0 (Page_store.load s 4096);
+  Page_store.store s 4096 42;
+  check Alcotest.int "stored" 42 (Page_store.load s 4096);
+  Page_store.store s 8 ((1 lsl 61) + 5);
+  check Alcotest.int "large word" ((1 lsl 61) + 5) (Page_store.load s 8);
+  Alcotest.check_raises "negative word rejected"
+    (Invalid_argument "Page_store.store: negative 64-bit stores are unsupported")
+    (fun () -> Page_store.store s 8 (-17));
+  check Alcotest.int "two pages touched" 2 (Page_store.touched_pages s);
+  check Alcotest.int "footprint" (2 * Page_store.page_bytes) (Page_store.footprint_bytes s)
+
+let test_page_store_byte_width () =
+  let s = Page_store.create () in
+  Page_store.store_byte_width s 100 ~width:4 0xDEAD;
+  check Alcotest.int "4-byte roundtrip" 0xDEAD (Page_store.load_byte_width s 100 ~width:4);
+  (* Neighbouring 4-byte slot in the same word is untouched. *)
+  Page_store.store_byte_width s 96 ~width:4 7;
+  check Alcotest.int "low half" 7 (Page_store.load_byte_width s 96 ~width:4);
+  check Alcotest.int "high half intact" 0xDEAD (Page_store.load_byte_width s 100 ~width:4);
+  (* Truncation on store. *)
+  Page_store.store_byte_width s 96 ~width:4 (1 lsl 33);
+  check Alcotest.int "truncated" 0 (Page_store.load_byte_width s 96 ~width:4);
+  Alcotest.check_raises "misaligned field"
+    (Invalid_argument "Page_store.load_byte_width: misaligned field") (fun () ->
+      ignore (Page_store.load_byte_width s 98 ~width:4))
+
+let test_page_store_rejects_tagged () =
+  let s = Page_store.create () in
+  Alcotest.check_raises "tagged load"
+    (Invalid_argument "Page_store.load: tagged address reached the store") (fun () ->
+      ignore (Page_store.load s (Vaddr.with_tag 64 ~tag:3)))
+
+let test_page_store_iter_words () =
+  let s = Page_store.create () in
+  Page_store.store s 0 5;
+  Page_store.store s 16 7;
+  let seen = ref [] in
+  Page_store.iter_words s (fun addr v -> seen := (addr, v) :: !seen);
+  check Alcotest.int "two non-zero words" 2 (List.length !seen);
+  check Alcotest.bool "contains both" true
+    (List.mem (0, 5) !seen && List.mem (16, 7) !seen)
+
+let test_address_space_reservations () =
+  let space = Address_space.create () in
+  let a = Address_space.reserve space ~name:"a" ~size:100 in
+  let b = Address_space.reserve space ~name:"b" ~size:5000 in
+  check Alcotest.bool "page aligned" true
+    (Vaddr.is_aligned a.Address_space.base ~alignment:Page_store.page_bytes);
+  check Alcotest.bool "disjoint" true
+    (a.Address_space.base + a.Address_space.size <= b.Address_space.base);
+  check Alcotest.int "rounded size" Page_store.page_bytes a.Address_space.size;
+  check Alcotest.bool "contains" true (Address_space.contains a a.Address_space.base);
+  check Alcotest.bool "not contains" false (Address_space.contains a b.Address_space.base);
+  check Alcotest.bool "find" true (Address_space.find space "b" <> None);
+  check Alcotest.bool "find missing" true (Address_space.find space "zz" = None);
+  check Alcotest.int "two arenas" 2 (List.length (Address_space.arenas space))
+
+let test_address_space_null_guard () =
+  let space = Address_space.create () in
+  let a = Address_space.reserve space ~name:"first" ~size:8 in
+  check Alcotest.bool "never hands out null" true (a.Address_space.base > 0)
+
+let prop_tag_roundtrip =
+  QCheck.Test.make ~name:"vaddr tag encode/decode identity" ~count:500
+    QCheck.(pair (int_bound ((1 lsl 30) - 1)) (int_bound Vaddr.max_tag))
+    (fun (addr, tag) ->
+      let tagged = Vaddr.with_tag addr ~tag in
+      Vaddr.strip tagged = addr && Vaddr.tag_of tagged = tag)
+
+let prop_store_load =
+  QCheck.Test.make ~name:"page store load returns last store" ~count:300
+    QCheck.(pair (int_bound 10_000) int)
+    (fun (word, v) ->
+      let v = abs v in
+      let s = Page_store.create () in
+      let addr = word * 8 in
+      Page_store.store s addr v;
+      Page_store.load s addr = v)
+
+let suite =
+  [
+    Alcotest.test_case "vaddr constants" `Quick test_vaddr_constants;
+    Alcotest.test_case "vaddr tagging" `Quick test_vaddr_tagging;
+    Alcotest.test_case "vaddr alignment" `Quick test_vaddr_alignment;
+    Alcotest.test_case "vaddr sectors" `Quick test_vaddr_sectors;
+    Alcotest.test_case "page store roundtrip" `Quick test_page_store_roundtrip;
+    Alcotest.test_case "page store byte widths" `Quick test_page_store_byte_width;
+    Alcotest.test_case "page store rejects tags" `Quick test_page_store_rejects_tagged;
+    Alcotest.test_case "page store iter words" `Quick test_page_store_iter_words;
+    Alcotest.test_case "address space reservations" `Quick test_address_space_reservations;
+    Alcotest.test_case "address space null guard" `Quick test_address_space_null_guard;
+    QCheck_alcotest.to_alcotest prop_tag_roundtrip;
+    QCheck_alcotest.to_alcotest prop_store_load;
+  ]

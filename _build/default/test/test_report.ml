@@ -1,0 +1,103 @@
+(* Tests for the reporting layer (tables, charts, series math). *)
+
+module Table = Repro_report.Table
+module Chart = Repro_report.Chart
+module Series = Repro_report.Series
+
+let check = Alcotest.check
+
+let test_table_render () =
+  let t = Table.create ~columns:[ ("name", Table.Left); ("value", Table.Right) ] in
+  Table.add_row t [ "alpha"; "1.00" ];
+  Table.add_separator t;
+  Table.add_row t [ "geo"; "12.34" ];
+  let s = Table.render t in
+  check Alcotest.bool "header present" true (String.length s > 0);
+  check Alcotest.bool "row present" true
+    (String.split_on_char '\n' s |> List.exists (fun l -> String.trim l <> "" && String.length l >= 5));
+  (* Right-aligned numbers end in the same column. *)
+  let lines = String.split_on_char '\n' s in
+  let alpha = List.find (fun l -> String.length l > 4 && String.sub l 0 5 = "alpha") lines in
+  let geo = List.find (fun l -> String.length l > 2 && String.sub l 0 3 = "geo") lines in
+  check Alcotest.int "aligned widths" (String.length alpha) (String.length geo)
+
+let test_table_arity () =
+  let t = Table.create ~columns:[ ("a", Table.Left); ("b", Table.Left) ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity mismatch")
+    (fun () -> Table.add_row t [ "only-one" ])
+
+let test_table_cells () =
+  check Alcotest.string "float cell" "1.23" (Table.cell_f 1.234);
+  check Alcotest.string "digits" "1.2340" (Table.cell_f ~digits:4 1.234);
+  check Alcotest.string "pct" "50.0%" (Table.cell_pct 0.5)
+
+let test_chart_bars () =
+  let s = Chart.bars ~width:10 [ ("a", 10.); ("b", 5.) ] in
+  let lines = String.split_on_char '\n' (String.trim s) in
+  (match lines with
+   | [ a; b ] ->
+     let count c str = String.fold_left (fun n ch -> if ch = c then n + 1 else n) 0 str in
+     check Alcotest.int "max bar full width" 10 (count '#' a);
+     check Alcotest.int "half bar" 5 (count '#' b)
+   | _ -> Alcotest.fail "expected two lines");
+  check Alcotest.string "empty input" "" (Chart.bars [])
+
+let test_chart_grouped () =
+  let s = Chart.grouped ~series:[ "x"; "y" ] [ ("g1", [ 1.; 2. ]) ] in
+  check Alcotest.bool "renders" true (String.length s > 0);
+  Alcotest.check_raises "ragged" (Invalid_argument "Chart.grouped: ragged input")
+    (fun () -> ignore (Chart.grouped ~series:[ "x" ] [ ("g", [ 1.; 2. ]) ]))
+
+let points =
+  [
+    { Series.group = "w1"; series = "base"; value = 10. };
+    { Series.group = "w1"; series = "fast"; value = 5. };
+    { Series.group = "w2"; series = "base"; value = 4. };
+    { Series.group = "w2"; series = "fast"; value = 8. };
+  ]
+
+let test_series_normalize_invert () =
+  let n = Series.normalize_to ~baseline:"base" points in
+  check (Alcotest.float 1e-9) "baseline is 1" 1. (Series.value n ~group:"w1" ~series:"base");
+  check (Alcotest.float 1e-9) "w1 fast" 0.5 (Series.value n ~group:"w1" ~series:"fast");
+  check (Alcotest.float 1e-9) "w2 fast" 2. (Series.value n ~group:"w2" ~series:"fast");
+  let inv = Series.invert n in
+  check (Alcotest.float 1e-9) "inverted" 2. (Series.value inv ~group:"w1" ~series:"fast")
+
+let test_series_geomean_row () =
+  let n = Series.normalize_to ~baseline:"base" points |> Series.geomean_row ~label:"GM" in
+  check (Alcotest.float 1e-9) "gm of 0.5 and 2 is 1" 1.
+    (Series.value n ~group:"GM" ~series:"fast");
+  check (Alcotest.float 1e-9) "gm of baseline" 1. (Series.value n ~group:"GM" ~series:"base")
+
+let test_series_by_group_order () =
+  match Series.by_group points with
+  | [ ("w1", _); ("w2", _) ] -> ()
+  | _ -> Alcotest.fail "group order not preserved"
+
+let test_series_missing_baseline () =
+  Alcotest.check_raises "missing baseline"
+    (Failure "Series.normalize_to: no baseline in w3") (fun () ->
+      ignore
+        (Series.normalize_to ~baseline:"base"
+           [ { Series.group = "w3"; series = "other"; value = 1. } ]))
+
+let test_series_csv () =
+  let csv = Series.to_csv points in
+  check Alcotest.bool "header" true
+    (String.length csv >= 18 && String.sub csv 0 18 = "group,series,value");
+  check Alcotest.int "rows" 5 (List.length (String.split_on_char '\n' (String.trim csv)))
+
+let suite =
+  [
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "table arity" `Quick test_table_arity;
+    Alcotest.test_case "table cells" `Quick test_table_cells;
+    Alcotest.test_case "chart bars" `Quick test_chart_bars;
+    Alcotest.test_case "chart grouped" `Quick test_chart_grouped;
+    Alcotest.test_case "series normalize/invert" `Quick test_series_normalize_invert;
+    Alcotest.test_case "series geomean row" `Quick test_series_geomean_row;
+    Alcotest.test_case "series group order" `Quick test_series_by_group_order;
+    Alcotest.test_case "series missing baseline" `Quick test_series_missing_baseline;
+    Alcotest.test_case "series csv" `Quick test_series_csv;
+  ]
