@@ -8,15 +8,28 @@
    Environment:
      REPRO_SCALE   workload scale factor (default 0.25; 1.0 is the full
                    reduced-size configuration documented in EXPERIMENTS.md)
+     REPRO_JOBS    worker domains for the measurement sweeps (default:
+                   the number of cores; output is identical at any value)
+     REPRO_CACHE   if set to a directory, cache results on disk there
      REPRO_CSV_DIR if set, every figure also drops its raw CSV there *)
 
 module E = Repro_experiments
 module W = Repro_workloads
+module X = Repro_exec
 
 let scale =
   match Sys.getenv_opt "REPRO_SCALE" with
   | Some s -> (try float_of_string s with _ -> E.Sweep.default_scale)
   | None -> E.Sweep.default_scale
+
+let jobs =
+  match Sys.getenv_opt "REPRO_JOBS" with
+  | Some s -> (try max 1 (int_of_string s) with _ -> X.Executor.default_jobs ())
+  | None -> X.Executor.default_jobs ()
+
+let cache_dir = Sys.getenv_opt "REPRO_CACHE"
+
+let cache = cache_dir <> None
 
 let csv_dir = Sys.getenv_opt "REPRO_CSV_DIR"
 
@@ -34,8 +47,12 @@ let banner title = Printf.printf "\n=== %s ===\n%!" title
 (* The Figures 6-9 sweep is shared; build it lazily once. *)
 let sweep =
   lazy
-    (banner (Printf.sprintf "Sweep: 11 workloads x 5 techniques (scale %.2f)" scale);
-     E.Sweep.run ~scale ~progress:(fun w -> Printf.printf "  running %s...\n%!" w) ())
+    (banner
+       (Printf.sprintf "Sweep: 11 workloads x 5 techniques (scale %.2f, -j %d)"
+          scale jobs);
+     E.Sweep.exec ~scale ~j:jobs ~cache ?cache_dir
+       ~progress:(fun label -> Printf.eprintf "  running %s...\n%!" label)
+       ())
 
 let run_fig1b () =
   banner "Figure 1b";
@@ -77,13 +94,13 @@ let run_fig9 () =
 
 let run_fig10 () =
   banner "Figure 10 (chunk-size sensitivity; re-runs COAL per size)";
-  let points = E.Fig10.run ~scale () in
+  let points = E.Fig10.run ~scale ~j:jobs ~cache ?cache_dir () in
   print_string (E.Fig10.render points);
   save_csv "fig10" (E.Fig10.csv points)
 
 let run_fig11 () =
   banner "Figure 11";
-  let points = E.Fig11.points ~scale () in
+  let points = E.Fig11.points ~scale ~j:jobs ~cache ?cache_dir () in
   print_string (E.Fig11.render points);
   save_csv "fig11" (E.Fig11.csv points)
 
@@ -91,13 +108,13 @@ let microbench_scale () = Float.min 1.0 (Float.max 0.1 scale)
 
 let run_fig12a () =
   banner "Figure 12a (object scaling)";
-  let points = E.Fig12.run_object_sweep ~scale:(microbench_scale ()) () in
+  let points = E.Fig12.run_object_sweep ~scale:(microbench_scale ()) ~j:jobs () in
   print_string (E.Fig12.render_object_sweep points);
   save_csv "fig12a" (E.Fig12.csv points)
 
 let run_fig12b () =
   banner "Figure 12b (type scaling)";
-  let points = E.Fig12.run_type_sweep ~scale:(microbench_scale ()) () in
+  let points = E.Fig12.run_type_sweep ~scale:(microbench_scale ()) ~j:jobs () in
   print_string (E.Fig12.render_type_sweep points);
   save_csv "fig12b" (E.Fig12.csv points)
 
@@ -106,14 +123,14 @@ let run_ablation () =
   print_string
     (E.Ablation.render
        ~title:"TypePointer: silicon prototype (masks at member refs) vs hardware MMU"
-       (E.Ablation.tp_prototype_vs_hw ~scale ()));
+       (E.Ablation.tp_prototype_vs_hw ~scale ~j:jobs ~cache ?cache_dir ()));
   print_string
     (E.Ablation.render ~title:"TypePointer: tag encodings (Sec. 6.2)"
        [ E.Ablation.tp_encoding () ])
 
 let run_init () =
   banner "Initialization comparison (Sec. 8.2)";
-  print_string (E.Init_bench.render (E.Init_bench.run ~scale ()))
+  print_string (E.Init_bench.render (E.Init_bench.run ~scale ~j:jobs ~cache ?cache_dir ()))
 
 (* --- Bechamel microbenchmarks over the core primitives ---------------- *)
 

@@ -5,11 +5,18 @@
      repro compare -w GOL               one workload under all techniques
      repro figure 6                     regenerate a figure (1b, 6..12b)
      repro table 2                      regenerate a table (1 or 2)
-     repro init                         the Sec. 8.2 allocation comparison *)
+     repro sweep                        the full job matrix, with timings
+     repro init                         the Sec. 8.2 allocation comparison
+
+   Measurement commands take -j N (parallel sweep over N domains; the
+   output is byte-identical at any N) and cache results on disk so that
+   consecutive figure/table regenerations measure once; --no-cache
+   forces re-measurement. *)
 
 module W = Repro_workloads
 module T = Repro_core.Technique
 module E = Repro_experiments
+module X = Repro_exec
 module Stats = Repro_gpu.Stats
 
 open Cmdliner
@@ -41,6 +48,22 @@ let seed_arg =
 let iterations_arg =
   Arg.(value & opt (some int) None & info [ "i"; "iterations" ] ~docv:"N"
          ~doc:"Override the workload's compute-iteration count.")
+
+let jobs_arg =
+  Arg.(value & opt int (X.Executor.default_jobs ()) & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Measure on $(docv) worker domains (default: the number of \
+               cores). Results and output are byte-identical at any N; \
+               1 reproduces the serial sweep.")
+
+let no_cache_arg =
+  Arg.(value & flag & info [ "no-cache" ]
+         ~doc:"Do not read or write the on-disk result cache; re-measure \
+               every job.")
+
+let cache_dir_arg =
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
+         ~doc:"Result-cache directory (default: \\$REPRO_CACHE_DIR or \
+               _repro_cache).")
 
 let params technique scale seed iterations =
   { (W.Workload.default_params technique) with W.Workload.scale; seed; iterations }
@@ -98,15 +121,14 @@ let compare_cmd =
     let runs =
       W.Harness.run_techniques w (params T.Shared_oa scale seed iterations) T.all_paper
     in
-    List.iter print_run runs;
-    match List.find_opt (fun r -> T.equal r.W.Harness.technique T.Shared_oa) runs with
+    List.iter (fun (_, r) -> print_run r) runs;
+    match W.Harness.find runs ~technique:T.Shared_oa with
     | Some base ->
-      Printf.printf "normalized to SharedOA:";
+      Printf.printf "runtime normalized to SharedOA (lower is faster):";
       List.iter
-        (fun r ->
-          Printf.printf "  %s=%.2f" (T.name r.W.Harness.technique)
-            (W.Harness.speedup_vs ~baseline:r base
-             |> fun x -> 1. /. x))
+        (fun (technique, r) ->
+          Printf.printf "  %s=%.2f" (T.name technique)
+            (W.Harness.normalized_cycles ~baseline:base r))
         runs;
       print_newline ()
     | None -> ()
@@ -118,60 +140,130 @@ let compare_cmd =
 
 (* --- figure / table --------------------------------------------------------- *)
 
-let sweep_of scale = E.Sweep.run ~scale ~progress:(fun w -> Printf.eprintf "  %s...\n%!" w) ()
+let sweep_of scale j cache cache_dir =
+  E.Sweep.exec ~scale ~j ~cache ?cache_dir
+    ~progress:(fun label -> Printf.eprintf "  %s...\n%!" label)
+    ()
 
 let figure_cmd =
   let which =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FIG"
            ~doc:"One of: 1b, 6, 7, 8, 9, 10, 11, 12a, 12b.")
   in
-  let run which scale =
+  let run which scale j no_cache cache_dir =
+    let cache = not no_cache in
+    let sweep () = sweep_of scale j cache cache_dir in
     match which with
-    | "1b" -> print_string (E.Fig1b.render (sweep_of scale))
-    | "6" -> print_string (E.Fig6.render (sweep_of scale))
-    | "7" -> print_string (E.Fig7.render (sweep_of scale))
-    | "8" -> print_string (E.Fig8.render (sweep_of scale))
-    | "9" -> print_string (E.Fig9.render (sweep_of scale))
-    | "10" -> print_string (E.Fig10.render (E.Fig10.run ~scale ()))
-    | "11" -> print_string (E.Fig11.render (E.Fig11.points ~scale ()))
-    | "12a" -> print_string (E.Fig12.render_object_sweep (E.Fig12.run_object_sweep ~scale ()))
-    | "12b" -> print_string (E.Fig12.render_type_sweep (E.Fig12.run_type_sweep ~scale ()))
+    | "1b" -> print_string (E.Fig1b.render (sweep ()))
+    | "6" -> print_string (E.Fig6.render (sweep ()))
+    | "7" -> print_string (E.Fig7.render (sweep ()))
+    | "8" -> print_string (E.Fig8.render (sweep ()))
+    | "9" -> print_string (E.Fig9.render (sweep ()))
+    | "10" -> print_string (E.Fig10.render (E.Fig10.run ~scale ~j ~cache ?cache_dir ()))
+    | "11" -> print_string (E.Fig11.render (E.Fig11.points ~scale ~j ~cache ?cache_dir ()))
+    | "12a" -> print_string (E.Fig12.render_object_sweep (E.Fig12.run_object_sweep ~scale ~j ()))
+    | "12b" -> print_string (E.Fig12.render_type_sweep (E.Fig12.run_type_sweep ~scale ~j ()))
     | other -> Printf.eprintf "unknown figure %S\n" other; exit 2
   in
   Cmd.v (Cmd.info "figure" ~doc:"Regenerate one of the paper's figures.")
-    Term.(const run $ which $ scale_arg)
+    Term.(const run $ which $ scale_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg)
 
 let table_cmd =
   let which = Arg.(required & pos 0 (some string) None & info [] ~docv:"TABLE") in
-  let run which scale =
+  let run which scale j no_cache cache_dir =
     match which with
-    | "1" -> print_string (E.Table1.render (sweep_of scale))
-    | "2" -> print_string (E.Table2.render (sweep_of scale))
+    | "1" -> print_string (E.Table1.render (sweep_of scale j (not no_cache) cache_dir))
+    | "2" -> print_string (E.Table2.render (sweep_of scale j (not no_cache) cache_dir))
     | other -> Printf.eprintf "unknown table %S\n" other; exit 2
   in
   Cmd.v (Cmd.info "table" ~doc:"Regenerate Table 1 or Table 2.")
-    Term.(const run $ which $ scale_arg)
+    Term.(const run $ which $ scale_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg)
 
 let ablation_cmd =
-  let run scale =
+  let run scale j no_cache cache_dir =
+    let cache = not no_cache in
     print_string
       (E.Ablation.render
          ~title:"TypePointer: silicon prototype vs hardware MMU"
-         (E.Ablation.tp_prototype_vs_hw ~scale ()));
+         (E.Ablation.tp_prototype_vs_hw ~scale ~j ~cache ?cache_dir ()));
     print_string
       (E.Ablation.render ~title:"TypePointer: tag encodings (Sec. 6.2)"
          [ E.Ablation.tp_encoding () ])
   in
   Cmd.v (Cmd.info "ablation" ~doc:"Design-choice ablations (TypePointer modes and encodings).")
-    Term.(const run $ scale_arg)
+    Term.(const run $ scale_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg)
 
 let init_cmd =
-  let run scale = print_string (E.Init_bench.render (E.Init_bench.run ~scale ())) in
+  let run scale j no_cache cache_dir =
+    print_string
+      (E.Init_bench.render (E.Init_bench.run ~scale ~j ~cache:(not no_cache) ?cache_dir ()))
+  in
   Cmd.v
     (Cmd.info "init" ~doc:"The Sec. 8.2 initialization-cost comparison (SharedOA vs device new).")
-    Term.(const run $ scale_arg)
+    Term.(const run $ scale_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg)
+
+(* --- sweep ----------------------------------------------------------------- *)
+
+let sweep_cmd =
+  let clear =
+    Arg.(value & flag & info [ "clear-cache" ]
+           ~doc:"Drop every cached result before sweeping.")
+  in
+  let run scale j no_cache cache_dir clear =
+    let cache = not no_cache in
+    let dir = Option.value cache_dir ~default:(X.Cache.default_dir ()) in
+    if clear then
+      Printf.eprintf "cleared %d cached result(s) from %s\n%!"
+        (X.Cache.clear ~dir) dir;
+    let params =
+      { (W.Workload.default_params T.Shared_oa) with W.Workload.scale }
+    in
+    let jobs = X.Job.matrix ~techniques:T.all_paper ~params W.Registry.all in
+    let t0 = Unix.gettimeofday () in
+    let outcomes = X.Executor.run ~jobs:j ~cache ~cache_dir:dir jobs in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    Printf.printf "%-22s %-8s %-8s %9s %14s\n" "workload" "tech" "status"
+      "wall(s)" "cycles";
+    List.iter
+      (fun (o : X.Executor.outcome) ->
+        let status = if o.X.Executor.cached then "cached" else "ran" in
+        match o.X.Executor.result with
+        | Ok r ->
+          Printf.printf "%-22s %-8s %-8s %9.3f %14.0f\n"
+            (X.Job.workload_name o.X.Executor.job)
+            (T.name r.W.Harness.technique) status o.X.Executor.wall_s
+            r.W.Harness.cycles
+        | Error msg ->
+          Printf.printf "%-22s %-8s %-8s %9.3f %14s  %s\n"
+            (X.Job.workload_name o.X.Executor.job)
+            (T.name o.X.Executor.job.X.Job.technique) "ERROR"
+            o.X.Executor.wall_s "-" msg)
+      outcomes;
+    let cached =
+      List.length (List.filter (fun o -> o.X.Executor.cached) outcomes)
+    in
+    let failed = List.length (X.Executor.errors outcomes) in
+    Printf.printf
+      "%d jobs on %d worker(s): %d measured, %d cached, %d failed; \
+       job time %.2fs, wall %.2fs\n"
+      (List.length outcomes) j
+      (List.length outcomes - cached)
+      cached failed
+      (X.Executor.total_wall_s outcomes)
+      elapsed;
+    if failed > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Run the full 11x5 job matrix and print per-job status, wall \
+             time and cache hits.")
+    Term.(const run $ scale_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg $ clear)
 
 let () =
   let doc = "Reproduction of 'Judging a Type by Its Pointer' (ASPLOS '21)." in
   let info = Cmd.info "repro" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; compare_cmd; figure_cmd; table_cmd; init_cmd; ablation_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; compare_cmd; figure_cmd; table_cmd; sweep_cmd;
+            init_cmd; ablation_cmd ]))

@@ -17,12 +17,12 @@ let () =
   in
   print_endline "BFS over ~2K vertices / 12K polymorphic edges.\n";
   let runs = W.Harness.run_techniques w params T.all_paper in
-  let base = List.find (fun r -> T.equal r.W.Harness.technique T.Shared_oa) runs in
+  let base = Option.get (W.Harness.find runs ~technique:T.Shared_oa) in
   Printf.printf "%-8s %12s %10s %8s %8s\n" "tech" "cycles" "ld-trans" "L1%" "vs-SHARD";
   List.iter
-    (fun (r : W.Harness.run) ->
+    (fun (technique, (r : W.Harness.run)) ->
       Printf.printf "%-8s %12.0f %10d %7.1f%% %8.2f\n"
-        (T.name r.W.Harness.technique) r.W.Harness.cycles
+        (T.name technique) r.W.Harness.cycles
         (Stats.load_transactions r.W.Harness.stats)
         (100. *. Stats.l1_hit_rate r.W.Harness.stats)
         (base.W.Harness.cycles /. r.W.Harness.cycles))

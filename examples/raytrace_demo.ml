@@ -20,12 +20,10 @@ let () =
 
   print_endline "Technique comparison (normalized to SharedOA):";
   let runs = W.Harness.run_techniques w params T.all_paper in
-  let base =
-    List.find (fun r -> T.equal r.W.Harness.technique T.Shared_oa) runs
-  in
+  let base = Option.get (W.Harness.find runs ~technique:T.Shared_oa) in
   List.iter
-    (fun (r : W.Harness.run) ->
-      Printf.printf "  %-6s %.2f\n" (T.name r.W.Harness.technique)
+    (fun (technique, (r : W.Harness.run)) ->
+      Printf.printf "  %-6s %.2f\n" (T.name technique)
         (base.W.Harness.cycles /. r.W.Harness.cycles))
     runs;
   print_endline

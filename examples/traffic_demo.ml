@@ -43,6 +43,6 @@ let () =
   print_string
     (Repro_report.Chart.bars ~unit_label:" cyc"
        (List.map
-          (fun (r : W.Harness.run) ->
-            (T.name r.W.Harness.technique, r.W.Harness.cycles))
+          (fun (technique, (r : W.Harness.run)) ->
+            (T.name technique, r.W.Harness.cycles))
           runs))

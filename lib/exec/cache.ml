@@ -1,0 +1,56 @@
+module W = Repro_workloads
+
+let default_dir () =
+  match Sys.getenv_opt "REPRO_CACHE_DIR" with
+  | Some d when d <> "" -> d
+  | _ -> "_repro_cache"
+
+let extension = ".job"
+
+let path ~dir job = Filename.concat dir (Job.hash job ^ extension)
+
+(* Each entry marshals the plain-data [Harness.run] record together with
+   the full key string, which lookup re-checks. *)
+type entry = { key : string; run : W.Harness.run }
+
+let lookup ~dir job =
+  if not (Job.cacheable job) then None
+  else
+    let file = path ~dir job in
+    match open_in_bin file with
+    | exception Sys_error _ -> None
+    | ic ->
+      let entry =
+        try
+          let (e : entry) = Marshal.from_channel ic in
+          if String.equal e.key (Job.key job) then Some e.run else None
+        with _ -> None
+      in
+      close_in_noerr ic;
+      entry
+
+let store ~dir job run =
+  if Job.cacheable job then begin
+    try
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let file = path ~dir job in
+      let tmp = Filename.temp_file ~temp_dir:dir "entry" ".tmp" in
+      let oc = open_out_bin tmp in
+      Marshal.to_channel oc { key = Job.key job; run } [];
+      close_out oc;
+      Sys.rename tmp file
+    with Sys_error _ -> ()
+  end
+
+let clear ~dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> 0
+  | files ->
+    Array.fold_left
+      (fun n f ->
+        if Filename.check_suffix f extension then begin
+          (try Sys.remove (Filename.concat dir f) with Sys_error _ -> ());
+          n + 1
+        end
+        else n)
+      0 files

@@ -1,0 +1,28 @@
+(** Opt-in on-disk result cache, one file per job keyed by {!Job.hash}.
+
+    Lets [repro figure 6] followed by [repro figure 7] measure once: both
+    draw from the same sweep, and the second invocation replays it from
+    disk. Strictly best-effort — any I/O or decode problem reads as a
+    miss and never fails the sweep.
+
+    Invalidation rule: the file name digests the full job key (workload,
+    technique variant, scale, seed, iterations, chunk size) plus
+    [Job.schema_version], which is bumped whenever the stored record
+    changes shape. Changing any measurement parameter therefore misses
+    naturally; stale entries are only ever orphaned, never misread. The
+    stored key is re-checked on lookup to guard against digest
+    collisions. Jobs carrying a custom GPU config are never cached
+    ({!Job.cacheable}). *)
+
+val default_dir : unit -> string
+(** [$REPRO_CACHE_DIR] if set, else ["_repro_cache"] under the current
+    directory. *)
+
+val lookup : dir:string -> Job.t -> Repro_workloads.Harness.run option
+
+val store : dir:string -> Job.t -> Repro_workloads.Harness.run -> unit
+(** Atomic (write-to-temp then rename); concurrent writers of the same
+    job are harmless. *)
+
+val clear : dir:string -> int
+(** Delete every cache entry in [dir]; returns how many were removed. *)

@@ -1,0 +1,48 @@
+(** The sweep executor: takes a job list, answers an outcome per job in
+    the same order, regardless of how jobs were scheduled or where their
+    results came from.
+
+    Decouples the measurement surface (what to run) from resource
+    scheduling (how to run it), the same split DynaSOAr and Zorua apply
+    between programming model and resources. Guarantees:
+
+    - {b Deterministic ordering}: [List.nth (run jobs) i] always
+      describes [List.nth jobs i].
+    - {b Serial reproducibility}: [~jobs:1] executes on the calling
+      domain in list order — bit-for-bit the historical serial sweep.
+    - {b Failure isolation}: a raising job becomes [Error] in its own
+      outcome; siblings are unaffected.
+    - {b Caching}: with [~cache:true], hits are served from disk and
+      fresh results written back ({!Cache}). *)
+
+type outcome = {
+  job : Job.t;
+  result : (Repro_workloads.Harness.run, string) result;
+      (** [Error] carries the exception text of the raising job. *)
+  wall_s : float;  (** Wall-clock seconds this job took (0 on a hit). *)
+  cached : bool;   (** Served from the on-disk cache. *)
+}
+
+val default_jobs : unit -> int
+(** Worker count used by the CLI when [-j] is not given:
+    [Domain.recommended_domain_count ()]. *)
+
+val run :
+  ?jobs:int ->
+  ?cache:bool ->
+  ?cache_dir:string ->
+  ?progress:(Job.t -> unit) ->
+  Job.t list ->
+  outcome list
+(** [run jobs] with [?jobs] workers (default 1, i.e. serial) and the
+    cache off by default. [progress] fires as each job starts measuring
+    (not for cache hits); with [jobs > 1] it may be called from worker
+    domains concurrently, so keep it to an atomic write such as a single
+    [eprintf]. *)
+
+val ok_exn : outcome -> Repro_workloads.Harness.run
+(** The run, or [Failure] with the job label and captured error. *)
+
+val total_wall_s : outcome list -> float
+
+val errors : outcome list -> (Job.t * string) list

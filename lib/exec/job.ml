@@ -1,0 +1,61 @@
+module W = Repro_workloads
+module T = Repro_core.Technique
+
+type t = {
+  workload : W.Workload.t;
+  technique : T.t;
+  params : W.Workload.params;
+}
+
+let make workload (params : W.Workload.params) =
+  { workload; technique = params.W.Workload.technique; params }
+
+let matrix ~techniques ~params workloads =
+  List.concat_map
+    (fun w ->
+      List.map
+        (fun technique -> make w { params with W.Workload.technique })
+        techniques)
+    workloads
+
+let workload_name t = W.Registry.qualified_name t.workload
+
+let label t = Printf.sprintf "%s [%s]" (workload_name t) (T.name t.technique)
+
+(* [T.name] collapses some TypePointer configurations (e.g. prototype
+   mode over the CUDA allocator has no paper short name), so the key
+   spells out the full variant. *)
+let technique_id = function
+  | T.Cuda -> "cuda"
+  | T.Concord -> "concord"
+  | T.Shared_oa -> "shared_oa"
+  | T.Coal -> "coal"
+  | T.Type_pointer { mode; on_cuda_alloc } ->
+    Printf.sprintf "tp[%s,%s]"
+      (match mode with T.Prototype -> "proto" | T.Hw_mmu -> "hw")
+      (if on_cuda_alloc then "cuda" else "shared_oa")
+
+let key t =
+  let p = t.params in
+  Printf.sprintf "%s|%s|scale=%.6g|seed=%d|iters=%s|chunk=%s|config=%s"
+    (workload_name t) (technique_id t.technique) p.W.Workload.scale
+    p.W.Workload.seed
+    (match p.W.Workload.iterations with
+     | None -> "default"
+     | Some i -> string_of_int i)
+    (match p.W.Workload.chunk_objs with
+     | None -> "default"
+     | Some c -> string_of_int c)
+    (match p.W.Workload.config with None -> "default" | Some _ -> "custom")
+
+(* Bump whenever [Harness.run] (or anything Marshal reaches through it)
+   changes shape: old cache entries become unreachable, not corrupt. *)
+let schema_version = "repro-exec-v1"
+
+let hash t = Digest.to_hex (Digest.string (schema_version ^ "\n" ^ key t))
+
+let cacheable t = t.params.W.Workload.config = None
+
+let run t = W.Harness.run t.workload t.params
+
+let equal a b = String.equal (key a) (key b)

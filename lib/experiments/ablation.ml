@@ -14,14 +14,20 @@ let make_row name baseline_cycles variant_cycles =
   { name; baseline_cycles; variant_cycles;
     delta = (variant_cycles /. baseline_cycles) -. 1. }
 
-let tp_prototype_vs_hw ?(scale = Sweep.default_scale) () =
-  List.map
-    (fun w ->
-      let run technique =
-        W.Harness.run w { (W.Workload.default_params technique) with W.Workload.scale }
-      in
-      let hw = run T.type_pointer_hw in
-      let proto = run T.type_pointer in
+let tp_prototype_vs_hw ?(scale = Sweep.default_scale) ?(j = 1)
+    ?(cache = false) ?cache_dir () =
+  let params =
+    { (W.Workload.default_params T.type_pointer_hw) with W.Workload.scale }
+  in
+  let jobs =
+    Repro_exec.Job.matrix ~techniques:[ T.type_pointer_hw; T.type_pointer ]
+      ~params W.Registry.all
+  in
+  let outcomes = Repro_exec.Executor.run ~jobs:j ~cache ?cache_dir jobs in
+  List.mapi
+    (fun i w ->
+      let hw = Repro_exec.Executor.ok_exn (List.nth outcomes (2 * i)) in
+      let proto = Repro_exec.Executor.ok_exn (List.nth outcomes ((2 * i) + 1)) in
       if hw.W.Harness.checksum <> proto.W.Harness.checksum then
         failwith ("Ablation: functional mismatch on " ^ hw.W.Harness.workload);
       make_row

@@ -17,7 +17,8 @@ type row = {
   delta : float;  (** variant/baseline - 1, positive = slower. *)
 }
 
-val tp_prototype_vs_hw : ?scale:float -> unit -> row list
+val tp_prototype_vs_hw :
+  ?scale:float -> ?j:int -> ?cache:bool -> ?cache_dir:string -> unit -> row list
 (** Per workload: TypePointer prototype vs hardware MMU on SharedOA. *)
 
 val tp_encoding : ?n_objects:int -> ?n_types:int -> unit -> row

@@ -18,7 +18,10 @@ type point = {
 }
 
 val run :
-  ?scale:float -> ?workloads:Repro_workloads.Workload.t list -> unit -> point list
+  ?scale:float -> ?j:int -> ?cache:bool -> ?cache_dir:string ->
+  ?workloads:Repro_workloads.Workload.t list -> unit -> point list
+(** [j]/[cache] are threaded to {!Repro_exec.Executor.run}; defaults
+    (serial, no cache) reproduce the historical behaviour exactly. *)
 
 val render : point list -> string
 

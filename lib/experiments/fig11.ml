@@ -2,21 +2,34 @@ module W = Repro_workloads
 module T = Repro_core.Technique
 module Series = Repro_report.Series
 
-let points ?(scale = Sweep.default_scale) ?(workloads = W.Registry.all) () =
-  List.concat_map
-    (fun w ->
-      let p = { (W.Workload.default_params T.Cuda) with W.Workload.scale } in
-      let runs = W.Harness.run_techniques w p [ T.Cuda; T.type_pointer_on_cuda ] in
-      let group = Figview.short_group (W.Registry.qualified_name w) in
-      List.map
-        (fun (r : W.Harness.run) ->
-          {
-            Series.group;
-            series = T.name r.W.Harness.technique;
-            value = r.W.Harness.cycles;
-          })
-        runs)
-    workloads
+let points ?(scale = Sweep.default_scale) ?(j = 1) ?(cache = false) ?cache_dir
+    ?(workloads = W.Registry.all) () =
+  let p = { (W.Workload.default_params T.Cuda) with W.Workload.scale } in
+  let jobs =
+    Repro_exec.Job.matrix ~techniques:[ T.Cuda; T.type_pointer_on_cuda ]
+      ~params:p workloads
+  in
+  let outcomes = Repro_exec.Executor.run ~jobs:j ~cache ?cache_dir jobs in
+  let runs = List.map Repro_exec.Executor.ok_exn outcomes in
+  List.concat
+    (List.map2
+       (fun w (cuda, tp) ->
+         W.Harness.validate_equal [ cuda; tp ];
+         let group = Figview.short_group (W.Registry.qualified_name w) in
+         List.map
+           (fun (r : W.Harness.run) ->
+             {
+               Series.group;
+               series = T.name r.W.Harness.technique;
+               value = r.W.Harness.cycles;
+             })
+           [ cuda; tp ])
+       workloads
+       (let rec pairs = function
+          | a :: b :: rest -> (a, b) :: pairs rest
+          | _ -> []
+        in
+        pairs runs))
   |> Series.normalize_to ~baseline:"CUDA"
   |> Series.invert
   |> Series.geomean_row ~label:"GM"

@@ -3,7 +3,8 @@
     how objects are allocated). *)
 
 val points :
-  ?scale:float -> ?workloads:Repro_workloads.Workload.t list -> unit ->
+  ?scale:float -> ?j:int -> ?cache:bool -> ?cache_dir:string ->
+  ?workloads:Repro_workloads.Workload.t list -> unit ->
   Repro_report.Series.point list
 (** Per workload: "CUDA" (1.0) and "TP/CUDA" normalized performance,
     plus the GM row. *)

@@ -22,17 +22,28 @@ let variants =
 
 let scaled scale n = max 1024 (int_of_float (float_of_int n *. scale))
 
-let sweep ~configs =
-  (* configs: (n_objects, n_types) list; normalize to the first BRANCH. *)
+let sweep ?(j = 1) ~configs () =
+  (* configs: (n_objects, n_types) list; normalize to the first BRANCH.
+     The ubench cells don't go through Workload.params, so they use the
+     generic pool directly rather than the Job layer; order is preserved
+     by construction. *)
+  let cells =
+    Array.of_list
+      (List.concat_map
+         (fun (n_objects, n_types) ->
+           List.map
+             (fun (name, variant) -> (name, variant, n_objects, n_types))
+             variants)
+         configs)
+  in
   let raw =
-    List.concat_map
-      (fun (n_objects, n_types) ->
-        List.map
-          (fun (name, variant) ->
-            let cycles, _result = W.Ubench.run ~n_objects ~n_types variant in
-            (name, n_objects, n_types, cycles))
-          variants)
-      configs
+    Repro_exec.Pool.map ~jobs:j
+      ~f:(fun (name, variant, n_objects, n_types) ->
+        let cycles, _result = W.Ubench.run ~n_objects ~n_types variant in
+        (name, n_objects, n_types, cycles))
+      cells
+    |> Array.to_list
+    |> List.map (function Ok cell -> cell | Error e -> raise e)
   in
   let base =
     match raw with
@@ -44,14 +55,14 @@ let sweep ~configs =
       { variant; n_objects; n_types; cycles; norm_time = cycles /. base })
     raw
 
-let sweep_for_test ~configs = sweep ~configs
+let sweep_for_test ~configs = sweep ~configs ()
 
-let run_object_sweep ?(scale = 1.0) () =
-  sweep ~configs:(List.map (fun n -> (scaled scale n, 4)) object_counts)
+let run_object_sweep ?(scale = 1.0) ?j () =
+  sweep ?j ~configs:(List.map (fun n -> (scaled scale n, 4)) object_counts) ()
 
-let run_type_sweep ?(scale = 1.0) () =
+let run_type_sweep ?(scale = 1.0) ?j () =
   let n_objects = scaled scale 524_288 in
-  sweep ~configs:(List.map (fun t -> (n_objects, t)) type_counts)
+  sweep ?j ~configs:(List.map (fun t -> (n_objects, t)) type_counts) ()
 
 let render ~title ~x_label ~x_of points =
   let xs =

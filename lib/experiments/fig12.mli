@@ -20,11 +20,13 @@ val object_counts : int list
 val type_counts : int list
 (** 1 → 32, as in the paper. *)
 
-val run_object_sweep : ?scale:float -> unit -> point list
+val run_object_sweep : ?scale:float -> ?j:int -> unit -> point list
 (** Fig. 12a: [n_types = 4]; norm_time is relative to BRANCH at the
-    smallest object count (the paper's normalization). *)
+    smallest object count (the paper's normalization). [j] bounds the
+    worker domains ({!Repro_exec.Pool}); the point order — and so the
+    normalization base — is identical at any [j]. *)
 
-val run_type_sweep : ?scale:float -> unit -> point list
+val run_type_sweep : ?scale:float -> ?j:int -> unit -> point list
 (** Fig. 12b: fixed object count (half the sweep maximum), types 1–32;
     norm_time relative to BRANCH at 1 type. *)
 

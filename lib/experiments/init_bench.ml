@@ -12,12 +12,17 @@ type row = {
 
 let alloc_cycles (r : W.Harness.run) = r.W.Harness.alloc_stats.Repro_core.Allocator.alloc_cycles
 
-let run ?(scale = Sweep.default_scale) ?(workloads = W.Registry.all) () =
-  List.map
-    (fun w ->
-      let p technique = { (W.Workload.default_params technique) with W.Workload.scale } in
-      let cuda = W.Harness.run w (p T.Cuda) in
-      let shared = W.Harness.run w (p T.Shared_oa) in
+let run ?(scale = Sweep.default_scale) ?(j = 1) ?(cache = false) ?cache_dir
+    ?(workloads = W.Registry.all) () =
+  let params = { (W.Workload.default_params T.Cuda) with W.Workload.scale } in
+  let jobs =
+    Repro_exec.Job.matrix ~techniques:[ T.Cuda; T.Shared_oa ] ~params workloads
+  in
+  let outcomes = Repro_exec.Executor.run ~jobs:j ~cache ?cache_dir jobs in
+  List.mapi
+    (fun i w ->
+      let cuda = Repro_exec.Executor.ok_exn (List.nth outcomes (2 * i)) in
+      let shared = Repro_exec.Executor.ok_exn (List.nth outcomes ((2 * i) + 1)) in
       {
         workload = Figview.short_group (W.Registry.qualified_name w);
         objects = shared.W.Harness.n_objects;

@@ -12,7 +12,8 @@ type row = {
 }
 
 val run :
-  ?scale:float -> ?workloads:Repro_workloads.Workload.t list -> unit -> row list
+  ?scale:float -> ?j:int -> ?cache:bool -> ?cache_dir:string ->
+  ?workloads:Repro_workloads.Workload.t list -> unit -> row list
 
 val geomean_speedup : row list -> float
 

@@ -1,7 +1,9 @@
 module W = Repro_workloads
 module T = Repro_core.Technique
+module X = Repro_exec
 
 type t = {
+  outcomes : X.Executor.outcome list;
   runs : W.Harness.run list;
   workload_names : string list;
   techniques : T.t list;
@@ -9,24 +11,50 @@ type t = {
 
 let default_scale = 0.25
 
-let run ?(scale = default_scale) ?iterations ?(progress = fun _ -> ())
-    ?(workloads = W.Registry.all) () =
+let exec ?(scale = default_scale) ?iterations ?(j = 1) ?(cache = false)
+    ?cache_dir ?(progress = fun _ -> ()) ?(workloads = W.Registry.all) () =
   let techniques = T.all_paper in
-  let runs =
-    List.concat_map
-      (fun w ->
-        progress (W.Registry.qualified_name w);
-        let p =
-          { (W.Workload.default_params T.Shared_oa) with W.Workload.scale; iterations }
-        in
-        W.Harness.run_techniques w p techniques)
-      workloads
+  let params =
+    { (W.Workload.default_params T.Shared_oa) with W.Workload.scale; iterations }
   in
+  let jobs = X.Job.matrix ~techniques ~params workloads in
+  let outcomes =
+    X.Executor.run ~jobs:j ~cache ?cache_dir
+      ~progress:(fun job -> progress (X.Job.label job))
+      jobs
+  in
+  (match X.Executor.errors outcomes with
+   | [] -> ()
+   | errs ->
+     failwith
+       (Printf.sprintf "Sweep: %d job(s) failed: %s" (List.length errs)
+          (String.concat "; "
+             (List.map
+                (fun (job, msg) -> X.Job.label job ^ ": " ^ msg)
+                errs))));
+  let runs = List.map X.Executor.ok_exn outcomes in
+  (* The paper's functional validation, per workload across techniques.
+     Jobs are workload-major, so each workload's runs are contiguous. *)
+  let n_techniques = List.length techniques in
+  let rec validate = function
+    | [] -> ()
+    | rest ->
+      let group = List.filteri (fun i _ -> i < n_techniques) rest in
+      W.Harness.validate_equal group;
+      validate (List.filteri (fun i _ -> i >= n_techniques) rest)
+  in
+  validate runs;
   {
+    outcomes;
     runs;
     workload_names = List.map W.Registry.qualified_name workloads;
     techniques;
   }
+
+let run ?scale ?iterations ?progress ?workloads () =
+  exec ?scale ?iterations ~j:1 ~cache:false ?progress ?workloads ()
+
+let outcomes t = t.outcomes
 
 let runs t = t.runs
 

@@ -1,13 +1,35 @@
 (** The shared measurement sweep behind Figures 6–9: every workload under
     every silicon technique, run once and reused by all four figure
     renderers (they are different views of the same profile, as in the
-    paper). Cross-technique functional equality is asserted while
-    sweeping. *)
+    paper). Cross-technique functional equality is asserted after
+    sweeping.
+
+    Built on {!Repro_exec}: the sweep is a workload-major job matrix
+    handed to the parallel executor. Results come back in matrix order
+    whatever the schedule, so figure output is byte-identical at any
+    [?j]; with the cache on, consecutive figure/table regenerations
+    measure once. *)
 
 type t
 
 val default_scale : float
 (** 0.25. *)
+
+val exec :
+  ?scale:float ->
+  ?iterations:int ->
+  ?j:int ->
+  ?cache:bool ->
+  ?cache_dir:string ->
+  ?progress:(string -> unit) ->
+  ?workloads:Repro_workloads.Workload.t list ->
+  unit -> t
+(** Defaults: scale 0.25 (fast but representative; see EXPERIMENTS.md),
+    the paper's five techniques, all eleven workloads, serial ([j = 1]),
+    cache off. [progress] receives each job's label as it starts
+    measuring; with [j > 1] it may fire concurrently from worker
+    domains. Raises [Failure] naming every failed job (after all jobs
+    finished), or on a cross-technique functional mismatch. *)
 
 val run :
   ?scale:float ->
@@ -15,8 +37,15 @@ val run :
   ?progress:(string -> unit) ->
   ?workloads:Repro_workloads.Workload.t list ->
   unit -> t
-(** Defaults: scale 0.25 (fast but representative; see EXPERIMENTS.md),
-    the paper's five techniques, all eleven workloads. *)
+[@@ocaml.deprecated
+  "Sweep.run is the pre-job-API serial entry point; use Sweep.exec \
+   (identical results at ~j:1). It will be removed next release."]
+(** Exactly [exec ~j:1 ~cache:false]: the historical serial signature,
+    kept as a shim for one release. *)
+
+val outcomes : t -> Repro_exec.Executor.outcome list
+(** Per-job scheduling detail (wall time, cache hits), in matrix order —
+    what [repro sweep] prints. *)
 
 val runs : t -> Repro_workloads.Harness.run list
 

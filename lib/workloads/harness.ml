@@ -43,25 +43,36 @@ let run (w : Workload.t) (p : Workload.params) =
     alloc_stats = (R.Runtime.allocator rt).R.Allocator.stats ();
   }
 
+let validate_equal runs =
+  match runs with
+  | [] -> ()
+  | first :: rest ->
+    List.iter
+      (fun r ->
+        if r.checksum <> first.checksum || r.result <> first.result then
+          failwith
+            (Printf.sprintf
+               "Harness: functional mismatch on %s: %s=(%d,%d) vs %s=(%d,%d)"
+               r.workload
+               (R.Technique.name first.technique)
+               first.checksum first.result
+               (R.Technique.name r.technique)
+               r.checksum r.result))
+      rest
+
 let run_techniques w p techniques =
   let runs =
-    List.map (fun technique -> run w { p with Workload.technique }) techniques
+    List.map
+      (fun technique -> (technique, run w { p with Workload.technique }))
+      techniques
   in
-  (match runs with
-   | [] -> ()
-   | first :: rest ->
-     List.iter
-       (fun r ->
-         if r.checksum <> first.checksum || r.result <> first.result then
-           failwith
-             (Printf.sprintf
-                "Harness: functional mismatch on %s: %s=(%d,%d) vs %s=(%d,%d)"
-                r.workload
-                (R.Technique.name first.technique)
-                first.checksum first.result
-                (R.Technique.name r.technique)
-                r.checksum r.result))
-       rest);
+  validate_equal (List.map snd runs);
   runs
 
+let find runs ~technique =
+  Option.map snd
+    (List.find_opt (fun (t, _) -> R.Technique.equal t technique) runs)
+
 let speedup_vs ~baseline r = baseline.cycles /. r.cycles
+
+let normalized_cycles ~baseline r = r.cycles /. baseline.cycles

@@ -1,0 +1,230 @@
+(* The job API and parallel executor: determinism across worker counts
+   (the core guarantee the figures depend on), failure isolation, the
+   on-disk cache, and key/hash stability. *)
+
+module W = Repro_workloads
+module T = Repro_core.Technique
+module X = Repro_exec
+module E = Repro_experiments
+
+let check = Alcotest.check
+
+let params ?iterations ?(seed = 42) ~scale technique =
+  { (W.Workload.default_params technique) with
+    W.Workload.scale; seed; iterations }
+
+let fingerprint (r : W.Harness.run) =
+  (r.W.Harness.workload, r.W.Harness.checksum, r.W.Harness.result,
+   r.W.Harness.cycles)
+
+(* --- pool ---------------------------------------------------------------- *)
+
+let test_pool_preserves_order () =
+  let inputs = Array.init 100 (fun i -> i) in
+  let f i = (i * i) + 1 in
+  let serial = X.Pool.map ~jobs:1 ~f inputs in
+  let parallel = X.Pool.map ~jobs:4 ~f inputs in
+  check Alcotest.bool "same results in input order" true (serial = parallel);
+  Array.iteri
+    (fun i result -> check Alcotest.bool "slot i holds f i" true (result = Ok (f i)))
+    parallel
+
+let test_pool_captures_exceptions () =
+  let inputs = Array.init 10 (fun i -> i) in
+  let f i = if i mod 3 = 0 then failwith "boom" else i in
+  let results = X.Pool.map ~jobs:4 ~f inputs in
+  Array.iteri
+    (fun i result ->
+      if i mod 3 = 0 then
+        check Alcotest.bool "raising slot is Error" true
+          (match result with
+           | Error (Failure msg) -> String.equal msg "boom"
+           | _ -> false)
+      else check Alcotest.bool "sibling survives" true (result = Ok i))
+    results
+
+(* --- job identity -------------------------------------------------------- *)
+
+let test_job_key_stability () =
+  let gol = Option.get (W.Registry.find "GOL") in
+  let job scale seed = X.Job.make gol (params ~scale ~seed T.Coal) in
+  check Alcotest.bool "same params, same key" true
+    (X.Job.equal (job 0.1 1) (job 0.1 1));
+  check Alcotest.string "same params, same hash" (X.Job.hash (job 0.1 1))
+    (X.Job.hash (job 0.1 1));
+  check Alcotest.bool "seed changes the key" false
+    (X.Job.equal (job 0.1 1) (job 0.1 2));
+  check Alcotest.bool "scale changes the key" false
+    (X.Job.equal (job 0.1 1) (job 0.2 1));
+  let tp_proto = X.Job.make gol (params ~scale:0.1 T.type_pointer) in
+  let tp_hw = X.Job.make gol (params ~scale:0.1 T.type_pointer_hw) in
+  check Alcotest.bool "TP modes get distinct keys" false
+    (X.Job.equal tp_proto tp_hw);
+  let custom =
+    X.Job.make gol
+      { (params ~scale:0.1 T.Coal) with
+        W.Workload.config = Some Repro_gpu.Config.default }
+  in
+  check Alcotest.bool "custom config is uncacheable" false
+    (X.Job.cacheable custom);
+  check Alcotest.bool "plain job is cacheable" true
+    (X.Job.cacheable (job 0.1 1))
+
+(* --- executor determinism ------------------------------------------------ *)
+
+let small_matrix ~seed ~scale =
+  let workloads =
+    List.filter_map W.Registry.find [ "GOL"; "TRAF"; "GraphChi-vE/CC" ]
+  in
+  X.Job.matrix ~techniques:[ T.Cuda; T.Coal ]
+    ~params:(params ~iterations:1 ~seed ~scale T.Cuda) workloads
+
+let test_parallel_equals_serial_qcheck () =
+  let arb =
+    QCheck.make
+      ~print:(fun (seed, scale) -> Printf.sprintf "seed=%d scale=%f" seed scale)
+      QCheck.Gen.(pair (int_range 1 1000) (oneofl [ 0.02; 0.03; 0.05 ]))
+  in
+  let prop (seed, scale) =
+    let outcomes j = X.Executor.run ~jobs:j (small_matrix ~seed ~scale) in
+    let runs j = List.map X.Executor.ok_exn (outcomes j) in
+    List.map fingerprint (runs 1) = List.map fingerprint (runs 4)
+  in
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:3
+       ~name:"parallel (-j 4) == serial (-j 1): checksum, result, cycles, order"
+       arb prop)
+
+let failing_workload =
+  {
+    W.Workload.name = "FAIL";
+    suite = "test";
+    description = "always raises in build";
+    paper_objects = 0;
+    paper_types = 0;
+    build = (fun _ -> failwith "deliberate failure");
+  }
+
+let test_failing_job_isolated () =
+  let gol = Option.get (W.Registry.find "GOL") in
+  let p = params ~iterations:1 ~scale:0.02 T.Coal in
+  let jobs =
+    [ X.Job.make gol p; X.Job.make failing_workload p; X.Job.make gol p ]
+  in
+  let outcomes = X.Executor.run ~jobs:2 jobs in
+  check Alcotest.int "one outcome per job" 3 (List.length outcomes);
+  (match List.map (fun (o : X.Executor.outcome) -> o.X.Executor.result) outcomes with
+   | [ Ok _; Error msg; Ok _ ] ->
+     check Alcotest.bool "error text captured" true
+       (String.length msg > 0)
+   | _ -> Alcotest.fail "expected [Ok; Error; Ok] in job order");
+  check Alcotest.int "errors lists exactly the failing job" 1
+    (List.length (X.Executor.errors outcomes))
+
+(* --- cache --------------------------------------------------------------- *)
+
+let with_temp_cache f =
+  let dir = Filename.temp_dir "repro-exec-cache" "" in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun file -> try Sys.remove (Filename.concat dir file) with _ -> ())
+        (try Sys.readdir dir with _ -> [||]);
+      try Sys.rmdir dir with _ -> ())
+    (fun () -> f dir)
+
+let test_cache_round_trip () =
+  with_temp_cache (fun dir ->
+      let jobs = small_matrix ~seed:7 ~scale:0.02 in
+      let first = X.Executor.run ~jobs:2 ~cache:true ~cache_dir:dir jobs in
+      check Alcotest.bool "first pass measures" true
+        (List.for_all (fun (o : X.Executor.outcome) -> not o.X.Executor.cached) first);
+      let second = X.Executor.run ~jobs:2 ~cache:true ~cache_dir:dir jobs in
+      check Alcotest.bool "second pass is all hits" true
+        (List.for_all (fun (o : X.Executor.outcome) -> o.X.Executor.cached) second);
+      check Alcotest.bool "hits replay the measurement exactly" true
+        (List.map (fun o -> fingerprint (X.Executor.ok_exn o)) first
+         = List.map (fun o -> fingerprint (X.Executor.ok_exn o)) second);
+      let no_cache = X.Executor.run ~jobs:2 ~cache_dir:dir jobs in
+      check Alcotest.bool "cache off re-measures" true
+        (List.for_all
+           (fun (o : X.Executor.outcome) -> not o.X.Executor.cached)
+           no_cache);
+      let other_seed =
+        X.Executor.run ~cache:true ~cache_dir:dir
+          (small_matrix ~seed:8 ~scale:0.02)
+      in
+      check Alcotest.bool "different seed misses" true
+        (List.for_all
+           (fun (o : X.Executor.outcome) -> not o.X.Executor.cached)
+           other_seed);
+      check Alcotest.bool "clear removes entries" true (X.Cache.clear ~dir > 0);
+      let after_clear = X.Executor.run ~cache:true ~cache_dir:dir jobs in
+      check Alcotest.bool "cleared cache re-measures" true
+        (List.for_all
+           (fun (o : X.Executor.outcome) -> not o.X.Executor.cached)
+           after_clear))
+
+let test_cache_ignores_corrupt_entries () =
+  with_temp_cache (fun dir ->
+      let job = List.hd (small_matrix ~seed:9 ~scale:0.02) in
+      let file = Filename.concat dir (X.Job.hash job ^ ".job") in
+      let oc = open_out_bin file in
+      output_string oc "not a marshalled entry";
+      close_out oc;
+      check Alcotest.bool "corrupt entry reads as a miss" true
+        (X.Cache.lookup ~dir job = None))
+
+(* --- sweep over the executor --------------------------------------------- *)
+
+let sweep_workloads = List.filter_map W.Registry.find [ "GOL"; "TRAF" ]
+
+let test_sweep_exec_parallel_matches_serial () =
+  let sweep j =
+    E.Sweep.exec ~scale:0.03 ~iterations:1 ~j ~workloads:sweep_workloads ()
+  in
+  check Alcotest.bool "identical sweeps" true
+    (List.map fingerprint (E.Sweep.runs (sweep 1))
+     = List.map fingerprint (E.Sweep.runs (sweep 4)))
+
+let test_sweep_run_shim_matches_exec () =
+  let viaexec =
+    E.Sweep.exec ~scale:0.03 ~iterations:1 ~workloads:sweep_workloads ()
+  in
+  let viashim =
+    (E.Sweep.run [@warning "-3"]) (* the deprecated one-release shim *)
+      ~scale:0.03 ~iterations:1 ~workloads:sweep_workloads ()
+  in
+  check Alcotest.bool "shim == exec ~j:1" true
+    (List.map fingerprint (E.Sweep.runs viashim)
+     = List.map fingerprint (E.Sweep.runs viaexec))
+
+let test_sweep_outcomes_shape () =
+  let s = E.Sweep.exec ~scale:0.03 ~iterations:1 ~j:2 ~workloads:sweep_workloads () in
+  let outcomes = E.Sweep.outcomes s in
+  check Alcotest.int "one outcome per run" (List.length (E.Sweep.runs s))
+    (List.length outcomes);
+  List.iter2
+    (fun (o : X.Executor.outcome) (r : W.Harness.run) ->
+      check Alcotest.string "outcomes line up with runs"
+        (X.Job.workload_name o.X.Executor.job) r.W.Harness.workload;
+      check Alcotest.bool "wall time nonnegative" true (o.X.Executor.wall_s >= 0.))
+    outcomes (E.Sweep.runs s)
+
+let suite =
+  [
+    Alcotest.test_case "pool preserves order" `Quick test_pool_preserves_order;
+    Alcotest.test_case "pool captures exceptions" `Quick test_pool_captures_exceptions;
+    Alcotest.test_case "job key stability" `Quick test_job_key_stability;
+    Alcotest.test_case "parallel == serial (qcheck)" `Slow
+      test_parallel_equals_serial_qcheck;
+    Alcotest.test_case "failing job isolated" `Quick test_failing_job_isolated;
+    Alcotest.test_case "cache round trip" `Quick test_cache_round_trip;
+    Alcotest.test_case "cache ignores corrupt entries" `Quick
+      test_cache_ignores_corrupt_entries;
+    Alcotest.test_case "sweep: parallel == serial" `Slow
+      test_sweep_exec_parallel_matches_serial;
+    Alcotest.test_case "sweep: deprecated shim == exec" `Quick
+      test_sweep_run_shim_matches_exec;
+    Alcotest.test_case "sweep: outcomes shape" `Quick test_sweep_outcomes_shape;
+  ]

@@ -10,12 +10,14 @@ let check = Alcotest.check
 
 (* A small but non-trivial sweep shared by the shape tests: two memory-
    bound apps plus RAY (the converged outlier). *)
+(* Built through the parallel executor (j = 2) — identical to a serial
+   sweep by the determinism guarantee, which test_exec checks directly. *)
 let sweep =
   lazy
     (let workloads =
        List.filter_map W.Registry.find [ "GOL"; "GraphChi-vE/CC"; "RAY" ]
      in
-     E.Sweep.run ~scale:0.08 ~iterations:2 ~workloads ())
+     E.Sweep.exec ~scale:0.08 ~iterations:2 ~j:2 ~workloads ())
 
 let geomean points series = E.Figview.geomean_of points ~series
 

@@ -54,7 +54,7 @@ let test_harness_speedup_direction () =
   let p = { (W.Workload.default_params T.Shared_oa) with W.Workload.scale = 0.05 } in
   let runs = W.Harness.run_techniques w p [ T.Cuda; T.Shared_oa ] in
   match runs with
-  | [ cuda; shard ] ->
+  | [ (_, cuda); (_, shard) ] ->
     check Alcotest.bool "SharedOA speeds GEN up" true
       (W.Harness.speedup_vs ~baseline:cuda shard > 1.)
   | _ -> Alcotest.fail "expected two runs"

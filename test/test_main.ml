@@ -8,6 +8,7 @@ let () =
       ("gpu", Test_gpu.suite);
       ("core", Test_core.suite);
       ("workloads", Test_workloads.suite);
+      ("exec", Test_exec.suite);
       ("report", Test_report.suite);
       ("experiments", Test_experiments.suite);
       ("integration", Test_integration.suite);

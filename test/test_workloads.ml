@@ -290,9 +290,46 @@ let test_ubench_branch_is_fastest () =
   check Alcotest.bool "virtual dispatch costs over BRANCH" true
     (cuda_cycles > branch_cycles)
 
+let test_harness_normalization () =
+  (* The `repro compare` normalization: normalized_cycles is the direct
+     runtime ratio cycles(r)/cycles(baseline) — no double inversion —
+     and the exact reciprocal of speedup_vs. *)
+  let w = Option.get (W.Registry.find "GEN") in
+  let r = Harness.run w (tiny_params ~iterations:1 T.Shared_oa) in
+  let base = { r with Harness.cycles = 100. } in
+  let fast = { r with Harness.cycles = 50. } in
+  let slow = { r with Harness.cycles = 400. } in
+  check (Alcotest.float 1e-9) "baseline maps to 1" 1.
+    (Harness.normalized_cycles ~baseline:base base);
+  check (Alcotest.float 1e-9) "half the cycles -> 0.5" 0.5
+    (Harness.normalized_cycles ~baseline:base fast);
+  check (Alcotest.float 1e-9) "4x the cycles -> 4" 4.
+    (Harness.normalized_cycles ~baseline:base slow);
+  check (Alcotest.float 1e-9) "reciprocal of speedup_vs" 1.
+    (Harness.normalized_cycles ~baseline:base slow
+     *. Harness.speedup_vs ~baseline:base slow)
+
+let test_harness_find_keyed_runs () =
+  let w = Option.get (W.Registry.find "GEN") in
+  let runs =
+    Harness.run_techniques w (tiny_params ~iterations:1 T.Shared_oa)
+      [ T.Cuda; T.Shared_oa ]
+  in
+  check Alcotest.bool "finds SHARD" true
+    (Harness.find runs ~technique:T.Shared_oa <> None);
+  check Alcotest.bool "keys match payloads" true
+    (List.for_all
+       (fun (technique, (r : Harness.run)) ->
+         T.equal technique r.Harness.technique)
+       runs);
+  check Alcotest.bool "absent technique is None" true
+    (Harness.find runs ~technique:T.Coal = None)
+
 let suite =
   [
     Alcotest.test_case "graph deterministic" `Quick test_graph_deterministic;
+    Alcotest.test_case "harness normalization" `Quick test_harness_normalization;
+    Alcotest.test_case "harness keyed runs" `Quick test_harness_find_keyed_runs;
     Alcotest.test_case "graph shape" `Quick test_graph_shape;
     Alcotest.test_case "graph reachability" `Quick test_graph_reachability;
     Alcotest.test_case "registry covers the paper" `Quick test_registry_covers_paper_apps;
