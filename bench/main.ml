@@ -11,11 +11,18 @@
      REPRO_JOBS    worker domains for the measurement sweeps (default:
                    the number of cores; output is identical at any value)
      REPRO_CACHE   if set to a directory, cache results on disk there
-     REPRO_CSV_DIR if set, every figure also drops its raw CSV there *)
+     REPRO_CSV_DIR if set, every figure also drops its raw CSV there
+     REPRO_BENCH_LABEL  label for the BENCH_<label>.json trajectory file
+                   every run writes (default "repro")
+
+   Besides the text output, a run writes BENCH_<label>.json holding the
+   series data of every figure job that ran — the machine-readable
+   trajectory of the whole harness invocation. *)
 
 module E = Repro_experiments
 module W = Repro_workloads
 module X = Repro_exec
+module O = Repro_obs
 
 let scale =
   match Sys.getenv_opt "REPRO_SCALE" with
@@ -44,6 +51,13 @@ let save_csv name contents =
 
 let banner title = Printf.printf "\n=== %s ===\n%!" title
 
+(* Figure series recorded as jobs run, dumped as BENCH_<label>.json. *)
+let trajectory : (string * O.Json.t) list ref = ref []
+
+let record name series =
+  trajectory :=
+    (name, O.Json.List (List.map O.Sink.series_to_json series)) :: !trajectory
+
 (* The Figures 6-9 sweep is shared; build it lazily once. *)
 let sweep =
   lazy
@@ -56,7 +70,9 @@ let sweep =
 
 let run_fig1b () =
   banner "Figure 1b";
-  print_string (E.Fig1b.render (Lazy.force sweep))
+  let s = Lazy.force sweep in
+  print_string (E.Fig1b.render s);
+  record "fig1b" [ E.Fig1b.series s ]
 
 let run_table1 () =
   banner "Table 1";
@@ -72,37 +88,43 @@ let run_fig6 () =
   banner "Figure 6";
   let s = Lazy.force sweep in
   print_string (E.Fig6.render s);
-  save_csv "fig6" (E.Fig6.csv s)
+  save_csv "fig6" (E.Fig6.csv s);
+  record "fig6" [ E.Fig6.series s ]
 
 let run_fig7 () =
   banner "Figure 7";
   let s = Lazy.force sweep in
   print_string (E.Fig7.render s);
-  save_csv "fig7" (E.Fig7.csv s)
+  save_csv "fig7" (E.Fig7.csv s);
+  record "fig7" [ E.Fig7.series s; E.Fig7.breakdown_series s ]
 
 let run_fig8 () =
   banner "Figure 8";
   let s = Lazy.force sweep in
   print_string (E.Fig8.render s);
-  save_csv "fig8" (E.Fig8.csv s)
+  save_csv "fig8" (E.Fig8.csv s);
+  record "fig8" [ E.Fig8.series s ]
 
 let run_fig9 () =
   banner "Figure 9";
   let s = Lazy.force sweep in
   print_string (E.Fig9.render s);
-  save_csv "fig9" (E.Fig9.csv s)
+  save_csv "fig9" (E.Fig9.csv s);
+  record "fig9" [ E.Fig9.series s ]
 
 let run_fig10 () =
   banner "Figure 10 (chunk-size sensitivity; re-runs COAL per size)";
   let points = E.Fig10.run ~scale ~j:jobs ~cache ?cache_dir () in
   print_string (E.Fig10.render points);
-  save_csv "fig10" (E.Fig10.csv points)
+  save_csv "fig10" (E.Fig10.csv points);
+  record "fig10" [ E.Fig10.series_perf points; E.Fig10.series_frag points ]
 
 let run_fig11 () =
   banner "Figure 11";
   let points = E.Fig11.points ~scale ~j:jobs ~cache ?cache_dir () in
   print_string (E.Fig11.render points);
-  save_csv "fig11" (E.Fig11.csv points)
+  save_csv "fig11" (E.Fig11.csv points);
+  record "fig11" [ E.Fig11.series points ]
 
 let microbench_scale () = Float.min 1.0 (Float.max 0.1 scale)
 
@@ -110,13 +132,15 @@ let run_fig12a () =
   banner "Figure 12a (object scaling)";
   let points = E.Fig12.run_object_sweep ~scale:(microbench_scale ()) ~j:jobs () in
   print_string (E.Fig12.render_object_sweep points);
-  save_csv "fig12a" (E.Fig12.csv points)
+  save_csv "fig12a" (E.Fig12.csv points);
+  record "fig12a" [ E.Fig12.object_series points ]
 
 let run_fig12b () =
   banner "Figure 12b (type scaling)";
   let points = E.Fig12.run_type_sweep ~scale:(microbench_scale ()) ~j:jobs () in
   print_string (E.Fig12.render_type_sweep points);
-  save_csv "fig12b" (E.Fig12.csv points)
+  save_csv "fig12b" (E.Fig12.csv points);
+  record "fig12b" [ E.Fig12.type_series points ]
 
 let run_ablation () =
   banner "Ablations (Sec. 5/6 design choices)";
@@ -200,6 +224,26 @@ let run_bechamel () =
       | _ -> Printf.printf "  %-45s (no estimate)\n" name)
     (List.sort compare !rows)
 
+let write_trajectory () =
+  let label =
+    match Sys.getenv_opt "REPRO_BENCH_LABEL" with
+    | Some l when l <> "" -> l
+    | _ -> "repro"
+  in
+  let path = Printf.sprintf "BENCH_%s.json" label in
+  O.Sink.write_file ~path
+    (O.Json.to_string ~pretty:true
+       (O.Json.Obj
+          [
+            ("label", O.Json.String label);
+            ("scale", O.Json.Float scale);
+            ("workers", O.Json.Int jobs);
+            ("generated_unix", O.Json.Float (Unix.time ()));
+            ("entries", O.Json.Obj (List.rev !trajectory));
+          ]));
+  Printf.printf "trajectory: %s (%d figure entries)\n" path
+    (List.length !trajectory)
+
 let jobs =
   [
     ("fig1b", run_fig1b); ("table1", run_table1); ("table2", run_table2);
@@ -224,4 +268,5 @@ let () =
           (String.concat ", " (List.map fst jobs));
         exit 2)
     requested;
+  write_trajectory ();
   Printf.printf "\nDone.\n"

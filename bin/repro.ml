@@ -2,6 +2,7 @@
 
      repro list                         all workloads
      repro run -w TRAF -t coal          one workload under one technique
+     repro profile -w TRAF -t tp        per-kernel counter timeline
      repro compare -w GOL               one workload under all techniques
      repro figure 6                     regenerate a figure (1b, 6..12b)
      repro table 2                      regenerate a table (1 or 2)
@@ -11,13 +12,16 @@
    Measurement commands take -j N (parallel sweep over N domains; the
    output is byte-identical at any N) and cache results on disk so that
    consecutive figure/table regenerations measure once; --no-cache
-   forces re-measurement. *)
+   forces re-measurement. figure/table/sweep/compare/profile take
+   --json PATH (and profile/figure also --csv PATH) to export the exact
+   data behind the text rendering. *)
 
 module W = Repro_workloads
 module T = Repro_core.Technique
 module E = Repro_experiments
 module X = Repro_exec
-module Stats = Repro_gpu.Stats
+module O = Repro_obs
+module Series = Repro_report.Series
 
 open Cmdliner
 
@@ -65,18 +69,36 @@ let cache_dir_arg =
          ~doc:"Result-cache directory (default: \\$REPRO_CACHE_DIR or \
                _repro_cache).")
 
+let json_arg =
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH"
+         ~doc:"Also write the data behind the text output as JSON to $(docv).")
+
+let csv_arg =
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"PATH"
+         ~doc:"Also write the data behind the text output as CSV to $(docv).")
+
 let params technique scale seed iterations =
   { (W.Workload.default_params technique) with W.Workload.scale; seed; iterations }
 
+let write_json path json =
+  O.Sink.write_file ~path (O.Json.to_string ~pretty:true json);
+  Printf.eprintf "wrote %s\n%!" path
+
+let write_csv path contents =
+  O.Sink.write_file ~path contents;
+  Printf.eprintf "wrote %s\n%!" path
+
+let metric r = O.Metric.to_float r
+
 let print_run (r : W.Harness.run) =
   Printf.printf
-    "%-22s %-7s cycles=%12.0f  ld-trans=%10d  L1=%5.1f%%  instr=%10d  pki=%5.1f\n"
+    "%-22s %-7s cycles=%12.0f  ld-trans=%10.0f  L1=%5.1f%%  instr=%10.0f  pki=%5.1f\n"
     r.W.Harness.workload
     (T.name r.W.Harness.technique)
     r.W.Harness.cycles
-    (Stats.load_transactions r.W.Harness.stats)
-    (100. *. Stats.l1_hit_rate r.W.Harness.stats)
-    (Stats.total_instructions r.W.Harness.stats)
+    (metric O.Metric.load_transactions r.W.Harness.stats)
+    (100. *. metric O.Metric.l1_hit_rate r.W.Harness.stats)
+    (metric O.Metric.instructions_total r.W.Harness.stats)
     r.W.Harness.vfunc_pki
 
 (* --- list ---------------------------------------------------------------- *)
@@ -105,11 +127,48 @@ let run_cmd =
            ~doc:"cuda | con | shard | coal | tp | tp-hw | tp/cuda.")
   in
   let run w t scale seed iterations =
-    print_run (W.Harness.run w (params t scale seed iterations))
+    let r = W.Harness.run w (params t scale seed iterations) in
+    print_run r;
+    (* The full registry breakdown (every metric, including per-label
+       stall attribution and store transactions). *)
+    Format.printf "%a@." O.Metric.pp_stats r.W.Harness.stats
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one workload under one technique and print its profile.")
     Term.(const run $ workload $ technique $ scale_arg $ seed_arg $ iterations_arg)
+
+(* --- profile --------------------------------------------------------------- *)
+
+let profile_cmd =
+  let workload =
+    Arg.(required & opt (some workload_conv) None & info [ "w"; "workload" ] ~docv:"NAME"
+           ~doc:"Workload name (see $(b,repro list)).")
+  in
+  let technique =
+    Arg.(value & opt technique_conv T.Shared_oa & info [ "t"; "technique" ] ~docv:"TECH"
+           ~doc:"cuda | con | shard | coal | tp | tp-hw | tp/cuda.")
+  in
+  let run w t scale seed iterations json csv =
+    let r = W.Harness.run w (params t scale seed iterations) in
+    let profile =
+      O.Profile.make ~workload:r.W.Harness.workload
+        ~technique:(T.name r.W.Harness.technique)
+        ~kernel_stats:r.W.Harness.kernel_stats ~total:r.W.Harness.stats
+    in
+    (match O.Profile.consistent profile with
+     | Ok () -> ()
+     | Error msg ->
+       Printf.eprintf "warning: per-kernel deltas disagree with totals: %s\n%!" msg);
+    print_string (O.Profile.render profile);
+    Option.iter (fun path -> write_json path (O.Profile.to_json profile)) json;
+    Option.iter (fun path -> write_csv path (O.Profile.to_csv profile)) csv
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Run one workload under one technique and print its per-kernel \
+             counter timeline (the simulator's nvprof).")
+    Term.(const run $ workload $ technique $ scale_arg $ seed_arg $ iterations_arg
+          $ json_arg $ csv_arg)
 
 (* --- compare --------------------------------------------------------------- *)
 
@@ -117,67 +176,199 @@ let compare_cmd =
   let workload =
     Arg.(required & opt (some workload_conv) None & info [ "w"; "workload" ] ~docv:"NAME")
   in
-  let run w scale seed iterations =
+  let run w scale seed iterations json =
     let runs =
       W.Harness.run_techniques w (params T.Shared_oa scale seed iterations) T.all_paper
     in
     List.iter (fun (_, r) -> print_run r) runs;
-    match W.Harness.find runs ~technique:T.Shared_oa with
-    | Some base ->
-      Printf.printf "runtime normalized to SharedOA (lower is faster):";
-      List.iter
-        (fun (technique, r) ->
-          Printf.printf "  %s=%.2f" (T.name technique)
-            (W.Harness.normalized_cycles ~baseline:base r))
-        runs;
-      print_newline ()
-    | None -> ()
+    let base = W.Harness.find runs ~technique:T.Shared_oa in
+    (match base with
+     | Some base ->
+       Printf.printf "runtime normalized to SharedOA (lower is faster):";
+       List.iter
+         (fun (technique, r) ->
+           Printf.printf "  %s=%.2f" (T.name technique)
+             (W.Harness.normalized_cycles ~baseline:base r))
+         runs;
+       print_newline ()
+     | None -> ());
+    Option.iter
+      (fun path ->
+        write_json path
+          (O.Json.Obj
+             [
+               ("workload", O.Json.String (W.Registry.qualified_name w));
+               ("scale", O.Json.Float scale);
+               ( "runs",
+                 O.Json.List
+                   (List.map
+                      (fun (technique, (r : W.Harness.run)) ->
+                        O.Json.Obj
+                          [
+                            ("technique", O.Json.String (T.name technique));
+                            ("cycles", O.Json.Float r.W.Harness.cycles);
+                            ( "normalized_to_shard",
+                              match base with
+                              | Some b ->
+                                O.Json.Float
+                                  (W.Harness.normalized_cycles ~baseline:b r)
+                              | None -> O.Json.Null );
+                            ("metrics", O.Metric.to_json r.W.Harness.stats);
+                          ])
+                      runs) );
+             ]))
+      json
   in
   Cmd.v
     (Cmd.info "compare"
        ~doc:"Run one workload under all five techniques (validating results agree).")
-    Term.(const run $ workload $ scale_arg $ seed_arg $ iterations_arg)
+    Term.(const run $ workload $ scale_arg $ seed_arg $ iterations_arg $ json_arg)
 
 (* --- figure / table --------------------------------------------------------- *)
 
 let sweep_of scale j cache cache_dir =
-  E.Sweep.exec ~scale ~j ~cache ?cache_dir
-    ~progress:(fun label -> Printf.eprintf "  %s...\n%!" label)
-    ()
+  let sweep =
+    E.Sweep.exec ~scale ~j ~cache ?cache_dir
+      ~progress:(fun label -> Printf.eprintf "  %s...\n%!" label)
+      ()
+  in
+  let outcomes = E.Sweep.outcomes sweep in
+  let cached = List.length (List.filter (fun o -> o.X.Executor.cached) outcomes) in
+  Printf.eprintf "sweep: %d jobs (%d measured, %d cached), job time %.2fs\n%!"
+    (List.length outcomes)
+    (List.length outcomes - cached)
+    cached
+    (X.Executor.total_wall_s outcomes);
+  sweep
+
+let series_json ~kind ~which series =
+  O.Json.Obj
+    [
+      (kind, O.Json.String which);
+      ("series", O.Json.List (List.map O.Sink.series_to_json series));
+    ]
+
+let series_csv = function
+  | [ s ] -> O.Sink.series_to_csv s
+  | many ->
+    String.concat "\n"
+      (List.map
+         (fun (s : Series.t) ->
+           "# " ^ s.Series.name ^ "\n" ^ O.Sink.series_to_csv s)
+         many)
 
 let figure_cmd =
   let which =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FIG"
            ~doc:"One of: 1b, 6, 7, 8, 9, 10, 11, 12a, 12b.")
   in
-  let run which scale j no_cache cache_dir =
+  let run which scale j no_cache cache_dir json csv =
     let cache = not no_cache in
     let sweep () = sweep_of scale j cache cache_dir in
-    match which with
-    | "1b" -> print_string (E.Fig1b.render (sweep ()))
-    | "6" -> print_string (E.Fig6.render (sweep ()))
-    | "7" -> print_string (E.Fig7.render (sweep ()))
-    | "8" -> print_string (E.Fig8.render (sweep ()))
-    | "9" -> print_string (E.Fig9.render (sweep ()))
-    | "10" -> print_string (E.Fig10.render (E.Fig10.run ~scale ~j ~cache ?cache_dir ()))
-    | "11" -> print_string (E.Fig11.render (E.Fig11.points ~scale ~j ~cache ?cache_dir ()))
-    | "12a" -> print_string (E.Fig12.render_object_sweep (E.Fig12.run_object_sweep ~scale ~j ()))
-    | "12b" -> print_string (E.Fig12.render_type_sweep (E.Fig12.run_type_sweep ~scale ~j ()))
-    | other -> Printf.eprintf "unknown figure %S\n" other; exit 2
+    let text, series =
+      match which with
+      | "1b" ->
+        let s = sweep () in
+        (E.Fig1b.render s, [ E.Fig1b.series s ])
+      | "6" ->
+        let s = sweep () in
+        (E.Fig6.render s, [ E.Fig6.series s ])
+      | "7" ->
+        let s = sweep () in
+        (E.Fig7.render s, [ E.Fig7.series s; E.Fig7.breakdown_series s ])
+      | "8" ->
+        let s = sweep () in
+        (E.Fig8.render s, [ E.Fig8.series s ])
+      | "9" ->
+        let s = sweep () in
+        (E.Fig9.render s, [ E.Fig9.series s ])
+      | "10" ->
+        let ps = E.Fig10.run ~scale ~j ~cache ?cache_dir () in
+        (E.Fig10.render ps, [ E.Fig10.series_perf ps; E.Fig10.series_frag ps ])
+      | "11" ->
+        let ps = E.Fig11.points ~scale ~j ~cache ?cache_dir () in
+        (E.Fig11.render ps, [ E.Fig11.series ps ])
+      | "12a" ->
+        let ps = E.Fig12.run_object_sweep ~scale ~j () in
+        (E.Fig12.render_object_sweep ps, [ E.Fig12.object_series ps ])
+      | "12b" ->
+        let ps = E.Fig12.run_type_sweep ~scale ~j () in
+        (E.Fig12.render_type_sweep ps, [ E.Fig12.type_series ps ])
+      | other ->
+        Printf.eprintf "unknown figure %S\n" other;
+        exit 2
+    in
+    print_string text;
+    Option.iter
+      (fun path -> write_json path (series_json ~kind:"figure" ~which series))
+      json;
+    Option.iter (fun path -> write_csv path (series_csv series)) csv
   in
   Cmd.v (Cmd.info "figure" ~doc:"Regenerate one of the paper's figures.")
-    Term.(const run $ which $ scale_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg)
+    Term.(const run $ which $ scale_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg
+          $ json_arg $ csv_arg)
+
+let table1_json sweep =
+  O.Json.Obj
+    [
+      ("table", O.Json.String "1");
+      ( "measured",
+        O.Json.List
+          (List.map
+             (fun (m : E.Table1.measured) ->
+               O.Json.Obj
+                 [
+                   ("technique", O.Json.String m.E.Table1.technique);
+                   ( "get_vtable_per_kcall",
+                     O.Json.Float m.E.Table1.get_vtable_per_kcall );
+                   ( "get_vfunc_per_kcall",
+                     O.Json.Float m.E.Table1.get_vfunc_per_kcall );
+                 ])
+             (E.Table1.measure sweep)) );
+    ]
+
+let table2_json sweep =
+  O.Json.Obj
+    [
+      ("table", O.Json.String "2");
+      ( "rows",
+        O.Json.List
+          (List.map
+             (fun (r : E.Table2.row) ->
+               O.Json.Obj
+                 [
+                   ("suite", O.Json.String r.E.Table2.suite);
+                   ("workload", O.Json.String r.E.Table2.workload);
+                   ("objects", O.Json.Int r.E.Table2.objects);
+                   ("paper_objects", O.Json.Int r.E.Table2.paper_objects);
+                   ("types", O.Json.Int r.E.Table2.types);
+                   ("vfuncs", O.Json.Int r.E.Table2.vfuncs);
+                   ("vfunc_pki", O.Json.Float r.E.Table2.vfunc_pki);
+                 ])
+             (E.Table2.rows sweep)) );
+    ]
 
 let table_cmd =
   let which = Arg.(required & pos 0 (some string) None & info [] ~docv:"TABLE") in
-  let run which scale j no_cache cache_dir =
-    match which with
-    | "1" -> print_string (E.Table1.render (sweep_of scale j (not no_cache) cache_dir))
-    | "2" -> print_string (E.Table2.render (sweep_of scale j (not no_cache) cache_dir))
-    | other -> Printf.eprintf "unknown table %S\n" other; exit 2
+  let run which scale j no_cache cache_dir json =
+    let text, table_json =
+      match which with
+      | "1" ->
+        let s = sweep_of scale j (not no_cache) cache_dir in
+        (E.Table1.render s, table1_json s)
+      | "2" ->
+        let s = sweep_of scale j (not no_cache) cache_dir in
+        (E.Table2.render s, table2_json s)
+      | other ->
+        Printf.eprintf "unknown table %S\n" other;
+        exit 2
+    in
+    print_string text;
+    Option.iter (fun path -> write_json path table_json) json
   in
   Cmd.v (Cmd.info "table" ~doc:"Regenerate Table 1 or Table 2.")
-    Term.(const run $ which $ scale_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg)
+    Term.(const run $ which $ scale_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg
+          $ json_arg)
 
 let ablation_cmd =
   let run scale j no_cache cache_dir =
@@ -204,12 +395,31 @@ let init_cmd =
 
 (* --- sweep ----------------------------------------------------------------- *)
 
+let outcome_json (o : X.Executor.outcome) =
+  let base =
+    [
+      ("workload", O.Json.String (X.Job.workload_name o.X.Executor.job));
+      ("technique", O.Json.String (T.name o.X.Executor.job.X.Job.technique));
+      ("cached", O.Json.Bool o.X.Executor.cached);
+      ("wall_s", O.Json.Float o.X.Executor.wall_s);
+    ]
+  in
+  match o.X.Executor.result with
+  | Ok r ->
+    O.Json.Obj
+      (base
+       @ [
+           ("cycles", O.Json.Float r.W.Harness.cycles);
+           ("metrics", O.Metric.to_json r.W.Harness.stats);
+         ])
+  | Error msg -> O.Json.Obj (base @ [ ("error", O.Json.String msg) ])
+
 let sweep_cmd =
   let clear =
     Arg.(value & flag & info [ "clear-cache" ]
            ~doc:"Drop every cached result before sweeping.")
   in
-  let run scale j no_cache cache_dir clear =
+  let run scale j no_cache cache_dir clear json =
     let cache = not no_cache in
     let dir = Option.value cache_dir ~default:(X.Cache.default_dir ()) in
     if clear then
@@ -251,13 +461,29 @@ let sweep_cmd =
       cached failed
       (X.Executor.total_wall_s outcomes)
       elapsed;
+    Option.iter
+      (fun path ->
+        write_json path
+          (O.Json.Obj
+             [
+               ("scale", O.Json.Float scale);
+               ("jobs", O.Json.Int (List.length outcomes));
+               ("measured", O.Json.Int (List.length outcomes - cached));
+               ("cached", O.Json.Int cached);
+               ("failed", O.Json.Int failed);
+               ("job_time_s", O.Json.Float (X.Executor.total_wall_s outcomes));
+               ("wall_s", O.Json.Float elapsed);
+               ("outcomes", O.Json.List (List.map outcome_json outcomes));
+             ]))
+      json;
     if failed > 0 then exit 1
   in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Run the full 11x5 job matrix and print per-job status, wall \
              time and cache hits.")
-    Term.(const run $ scale_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg $ clear)
+    Term.(const run $ scale_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg $ clear
+          $ json_arg)
 
 let () =
   let doc = "Reproduction of 'Judging a Type by Its Pointer' (ASPLOS '21)." in
@@ -265,5 +491,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; compare_cmd; figure_cmd; table_cmd; sweep_cmd;
-            init_cmd; ablation_cmd ]))
+          [ list_cmd; run_cmd; profile_cmd; compare_cmd; figure_cmd; table_cmd;
+            sweep_cmd; init_cmd; ablation_cmd ]))

@@ -123,6 +123,8 @@ let launch t ~n_threads kernel =
 
 let stats t = Device.stats t.device
 
+let kernel_timeline t = Device.kernel_timeline t.device
+
 let cycles t = Repro_gpu.Stats.cycles (Device.stats t.device)
 
 let reset_stats t =

@@ -53,6 +53,10 @@ val launch : t -> n_threads:int -> (Env.t -> unit) -> unit
 
 val stats : t -> Repro_gpu.Stats.t
 
+val kernel_timeline : t -> Repro_gpu.Stats.t list
+(** Per-launch counter deltas since the last {!reset_stats}, in launch
+    order (see {!Repro_gpu.Device.kernel_timeline}). *)
+
 val cycles : t -> float
 
 val reset_stats : t -> unit

@@ -1,6 +1,6 @@
 module W = Repro_workloads
 module T = Repro_core.Technique
-module Table = Repro_report.Table
+module Series = Repro_report.Series
 
 let chunk_sizes = [ 128; 512; 2048; 8192; 32768; 131072 ]
 
@@ -54,42 +54,27 @@ let run ?(scale = Sweep.default_scale) ?(j = 1) ?(cache = false) ?cache_dir
 
 let chunk_label c = if c >= 1024 then Printf.sprintf "%dK" (c / 1024) else string_of_int c
 
+let points_of select ps =
+  List.map
+    (fun p ->
+      { Series.group = p.workload; series = chunk_label p.chunk_objs; value = select p })
+    ps
+
+let series_perf ps =
+  Series.make ~name:"fig10a"
+    ~title:"Figure 10a: COAL performance vs CUDA across initial chunk sizes (objects)"
+    (points_of (fun p -> p.perf_vs_cuda) ps)
+
+let series_frag ps =
+  Series.make ~name:"fig10b"
+    ~title:"Figure 10b: SharedOA external fragmentation across initial chunk sizes"
+    ~aggregate:"AVG"
+    (Series.mean_row ~label:"AVG" (points_of (fun p -> p.fragmentation) ps))
+
 let render points =
-  let workloads =
-    List.fold_left
-      (fun acc p -> if List.mem p.workload acc then acc else acc @ [ p.workload ])
-      [] points
-  in
-  let columns =
-    ("workload", Table.Left)
-    :: List.map (fun c -> (chunk_label c, Table.Right)) chunk_sizes
-  in
-  let cell select w c =
-    match
-      List.find_opt (fun p -> p.workload = w && p.chunk_objs = c) points
-    with
-    | Some p -> Table.cell_f (select p)
-    | None -> "-"
-  in
-  let table_of select =
-    let t = Table.create ~columns in
-    List.iter
-      (fun w -> Table.add_row t (w :: List.map (cell select w) chunk_sizes))
-      workloads;
-    t
-  in
-  let avg_frag c =
-    let vs = List.filter_map (fun p -> if p.chunk_objs = c then Some p.fragmentation else None) points in
-    if vs = [] then 0. else Repro_util.Mathx.mean vs
-  in
-  "Figure 10a: COAL performance vs CUDA across initial chunk sizes (objects)\n"
-  ^ Table.render (table_of (fun p -> p.perf_vs_cuda))
-  ^ "\nFigure 10b: SharedOA external fragmentation across initial chunk sizes\n"
-  ^ Table.render (table_of (fun p -> p.fragmentation))
-  ^ "average fragmentation: "
-  ^ String.concat "  "
-      (List.map (fun c -> Printf.sprintf "%s=%.0f%%" (chunk_label c) (100. *. avg_frag c)) chunk_sizes)
+  Figview.render_table (series_perf points)
   ^ "\n"
+  ^ Figview.render_table (series_frag points)
 
 let csv points =
   let buf = Buffer.create 512 in

@@ -23,6 +23,12 @@ val run :
 (** [j]/[cache] are threaded to {!Repro_exec.Executor.run}; defaults
     (serial, no cache) reproduce the historical behaviour exactly. *)
 
+val series_perf : point list -> Repro_report.Series.t
+(** 10a as a series: group = workload, series = chunk-size label. *)
+
+val series_frag : point list -> Repro_report.Series.t
+(** 10b likewise, with an "AVG" mean row appended. *)
+
 val render : point list -> string
 
 val csv : point list -> string

@@ -34,11 +34,13 @@ let points ?(scale = Sweep.default_scale) ?(j = 1) ?(cache = false) ?cache_dir
   |> Series.invert
   |> Series.geomean_row ~label:"GM"
 
-let render points =
-  Figview.render_table
+let series points =
+  Series.make ~name:"fig11"
     ~title:
       "Figure 11: TypePointer on the default CUDA allocator (simulation), \
        normalized to CUDA"
-    ~aggregate_label:"GM" ~techniques:[ "CUDA"; "TP/CUDA" ] points
+    ~aggregate:"GM" points
 
-let csv = Series.to_csv
+let render points = Figview.render_table (series points)
+
+let csv points = Series.csv (series points)

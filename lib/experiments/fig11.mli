@@ -9,6 +9,9 @@ val points :
 (** Per workload: "CUDA" (1.0) and "TP/CUDA" normalized performance,
     plus the GM row. *)
 
+val series : Repro_report.Series.point list -> Repro_report.Series.t
+(** {!points} with the figure's name/title/aggregate attached. *)
+
 val render : Repro_report.Series.point list -> string
 
 val csv : Repro_report.Series.point list -> string

@@ -1,6 +1,6 @@
 module W = Repro_workloads
 module T = Repro_core.Technique
-module Table = Repro_report.Table
+module Series = Repro_report.Series
 
 type point = {
   variant : string;
@@ -64,44 +64,34 @@ let run_type_sweep ?(scale = 1.0) ?j () =
   let n_objects = scaled scale 524_288 in
   sweep ?j ~configs:(List.map (fun t -> (n_objects, t)) type_counts) ()
 
-let render ~title ~x_label ~x_of points =
-  let xs =
-    List.fold_left
-      (fun acc p -> if List.mem (x_of p) acc then acc else acc @ [ x_of p ])
-      [] points
-  in
-  let table =
-    Table.create
-      ~columns:((x_label, Table.Right) :: List.map (fun (v, _) -> (v, Table.Right)) variants)
-  in
-  List.iter
-    (fun x ->
-      Table.add_row table
-        (string_of_int x
-         :: List.map
-              (fun (v, _) ->
-                match
-                  List.find_opt (fun p -> p.variant = v && x_of p = x) points
-                with
-                | Some p -> Table.cell_f p.norm_time
-                | None -> "-")
-              variants))
-    xs;
-  title ^ "\n" ^ Table.render table
+let series_of ~name ~title ~group_label ~x_of points =
+  Series.make ~name ~title ~group_label
+    (List.map
+       (fun p ->
+         {
+           Series.group = string_of_int (x_of p);
+           series = p.variant;
+           value = p.norm_time;
+         })
+       points)
 
-let render_object_sweep points =
-  render
+let object_series points =
+  series_of ~name:"fig12a"
     ~title:
       "Figure 12a: execution time normalized to BRANCH at the smallest size \
        (4 types; object scaling)"
-    ~x_label:"objects" ~x_of:(fun p -> p.n_objects) points
+    ~group_label:"objects" ~x_of:(fun p -> p.n_objects) points
 
-let render_type_sweep points =
-  render
+let type_series points =
+  series_of ~name:"fig12b"
     ~title:
       "Figure 12b: execution time normalized to BRANCH with 1 type (fixed \
        objects; type scaling)"
-    ~x_label:"types" ~x_of:(fun p -> p.n_types) points
+    ~group_label:"types" ~x_of:(fun p -> p.n_types) points
+
+let render_object_sweep points = Figview.render_table (object_series points)
+
+let render_type_sweep points = Figview.render_table (type_series points)
 
 let csv points =
   let buf = Buffer.create 512 in

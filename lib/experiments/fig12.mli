@@ -34,6 +34,13 @@ val sweep_for_test : configs:(int * int) list -> point list
 (** Arbitrary (objects, types) grid; first config's BRANCH run is the
     normalization base. Exposed for the integration tests. *)
 
+val object_series : point list -> Repro_report.Series.t
+(** 12a as a series: group = object count, series = variant, value =
+    normalized time. *)
+
+val type_series : point list -> Repro_report.Series.t
+(** 12b likewise over type counts. *)
+
 val render_object_sweep : point list -> string
 
 val render_type_sweep : point list -> string

@@ -1,6 +1,7 @@
 module W = Repro_workloads
-module Stats = Repro_gpu.Stats
 module Label = Repro_gpu.Label
+module Metric = Repro_obs.Metric
+module Series = Repro_report.Series
 
 type breakdown = {
   vtable_share : float;
@@ -9,7 +10,7 @@ type breakdown = {
 }
 
 let of_run (r : W.Harness.run) =
-  let stall l = Stats.stall_cycles r.W.Harness.stats l in
+  let stall l = Metric.to_float (Metric.stall_cycles l) r.W.Harness.stats in
   let a = stall Label.Vtable_load in
   let b = stall Label.Vfunc_load +. stall Label.Const_indirect in
   let c = stall Label.Call in
@@ -33,17 +34,28 @@ let average sweep =
     call_share = sum (fun b -> b.call_share) /. n;
   }
 
-let render sweep =
+let series sweep =
   let avg = average sweep in
+  Series.make ~name:"fig1b"
+    ~title:"Figure 1b: share of virtual-call latency (CUDA, average over apps)"
+    ~group_label:"operation"
+    [
+      { Series.group = "Load vTable* (A)"; series = "share"; value = avg.vtable_share };
+      { Series.group = "Load vFunc*  (B)"; series = "share"; value = avg.vfunc_share };
+      { Series.group = "Indirect call(C)"; series = "share"; value = avg.call_share };
+    ]
+
+let render sweep =
+  let s = series sweep in
   let chart =
     Repro_report.Chart.bars ~unit_label:"%"
-      [
-        ("Load vTable* (A)", 100. *. avg.vtable_share);
-        ("Load vFunc*  (B)", 100. *. avg.vfunc_share);
-        ("Indirect call(C)", 100. *. avg.call_share);
-      ]
+      (List.map
+         (fun (p : Series.point) -> (p.Series.group, 100. *. p.Series.value))
+         s.Series.points)
   in
-  "Figure 1b: share of virtual-call latency (CUDA, average over apps)\n"
-  ^ chart
+  let measured_a =
+    100. *. Series.value s.Series.points ~group:"Load vTable* (A)" ~series:"share"
+  in
+  s.Series.title ^ "\n" ^ chart
   ^ Printf.sprintf "(paper: A=87%% of the direct cost; measured A=%.0f%%)\n"
-      (100. *. avg.vtable_share)
+      measured_a

@@ -20,4 +20,8 @@ val of_run : Repro_workloads.Harness.run -> breakdown
 val average : Sweep.t -> breakdown
 (** Mean share over every workload's CUDA run. *)
 
+val series : Sweep.t -> Repro_report.Series.t
+(** {!average} as points (group = operation, series ["share"], values in
+    [0,1]) — what {!render} charts and the sinks export. *)
+
 val render : Sweep.t -> string

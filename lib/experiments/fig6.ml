@@ -7,12 +7,11 @@ let points sweep =
   |> Series.invert
   |> Series.geomean_row ~label:"GM"
 
-let technique_names sweep =
-  List.map Repro_core.Technique.name (Sweep.techniques sweep)
-
-let render sweep =
-  Figview.render_table
+let series sweep =
+  Series.make ~name:"fig6"
     ~title:"Figure 6: performance normalized to SharedOA (higher is better)"
-    ~aggregate_label:"GM" ~techniques:(technique_names sweep) (points sweep)
+    ~aggregate:"GM" (points sweep)
 
-let csv sweep = Series.to_csv (points sweep)
+let render sweep = Figview.render_table (series sweep)
+
+let csv sweep = Series.csv (series sweep)

@@ -5,6 +5,10 @@
 val points : Sweep.t -> Repro_report.Series.point list
 (** Normalized performance (higher is better), including the "GM" row. *)
 
+val series : Sweep.t -> Repro_report.Series.t
+(** {!points} with the figure's name/title/aggregate attached — the one
+    value both {!render} and the JSON/CSV sinks consume. *)
+
 val render : Sweep.t -> string
 
 val csv : Sweep.t -> string

@@ -1,13 +1,23 @@
 module W = Repro_workloads
 module Series = Repro_report.Series
-module Stats = Repro_gpu.Stats
+module Metric = Repro_obs.Metric
 module Table = Repro_report.Table
 
 let points sweep =
   Figview.metric_points sweep (fun r ->
-      float_of_int (Stats.total_instructions r.W.Harness.stats))
+      Metric.to_float Metric.instructions_total r.W.Harness.stats)
   |> Series.normalize_to ~baseline:"SHARD"
-  |> Figview.mean_row ~label:"AVG"
+  |> Series.mean_row ~label:"AVG"
+
+let series sweep =
+  Series.make ~name:"fig7"
+    ~title:"Figure 7: total warp instructions normalized to SharedOA"
+    ~aggregate:"AVG" (points sweep)
+
+let class_metric = function
+  | `Mem -> Metric.instructions_mem
+  | `Compute -> Metric.instructions_compute
+  | `Ctrl -> Metric.instructions_ctrl
 
 let breakdown sweep =
   let techniques = Sweep.techniques sweep in
@@ -16,17 +26,32 @@ let breakdown sweep =
       let base =
         Sweep.get sweep ~workload ~technique:Repro_core.Technique.Shared_oa
       in
-      let total = float_of_int (Stats.total_instructions base.W.Harness.stats) in
+      let total = Metric.to_float Metric.instructions_total base.W.Harness.stats in
       ( Figview.short_group workload,
         List.map
           (fun technique ->
             let r = Sweep.get sweep ~workload ~technique in
             let part cls =
-              float_of_int (Stats.instructions r.W.Harness.stats cls) /. total
+              Metric.to_float (class_metric cls) r.W.Harness.stats /. total
             in
             (Repro_core.Technique.name technique, (part `Mem, part `Compute, part `Ctrl)))
           techniques ))
     (Sweep.workload_names sweep)
+
+let breakdown_series sweep =
+  Series.make ~name:"fig7.breakdown"
+    ~title:"Figure 7: warp instructions normalized to SharedOA (breakdown by class)"
+    (List.concat_map
+       (fun (workload, rows) ->
+         List.concat_map
+           (fun (tech, (m, c, k)) ->
+             [
+               { Series.group = workload; series = tech ^ ":MEM"; value = m };
+               { Series.group = workload; series = tech ^ ":COMPUTE"; value = c };
+               { Series.group = workload; series = tech ^ ":CTRL"; value = k };
+             ])
+           rows)
+       (breakdown sweep))
 
 let render sweep =
   let table =

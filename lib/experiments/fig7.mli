@@ -5,6 +5,13 @@
 val points : Sweep.t -> Repro_report.Series.point list
 (** Total normalized instructions per (workload, technique) + "AVG". *)
 
+val series : Sweep.t -> Repro_report.Series.t
+(** {!points} as the named total-instructions series. *)
+
+val breakdown_series : Sweep.t -> Repro_report.Series.t
+(** {!breakdown} flattened to points: group = workload, series =
+    ["TECH:CLASS"] — the figure's full data for the export sinks. *)
+
 val breakdown :
   Sweep.t ->
   (string * (string * (float * float * float)) list) list

@@ -1,17 +1,20 @@
 module W = Repro_workloads
 module Series = Repro_report.Series
+module Metric = Repro_obs.Metric
 
 let points sweep =
   Figview.metric_points sweep (fun r ->
-      float_of_int (Repro_gpu.Stats.load_transactions r.W.Harness.stats))
+      Metric.to_float Metric.load_transactions r.W.Harness.stats)
   |> Series.normalize_to ~baseline:"SHARD"
   |> Series.geomean_row ~label:"GM"
 
-let render sweep =
-  Figview.render_table
-    ~title:"Figure 8: global load transactions normalized to SharedOA (lower is better)"
-    ~aggregate_label:"GM"
-    ~techniques:(List.map Repro_core.Technique.name (Sweep.techniques sweep))
-    (points sweep)
+let series sweep =
+  Series.make ~name:"fig8"
+    ~title:
+      "Figure 8: global load transactions normalized to SharedOA (lower is \
+       better)"
+    ~aggregate:"GM" (points sweep)
 
-let csv sweep = Series.to_csv (points sweep)
+let render sweep = Figview.render_table (series sweep)
+
+let csv sweep = Series.csv (series sweep)

@@ -1,15 +1,17 @@
 module W = Repro_workloads
 module Series = Repro_report.Series
+module Metric = Repro_obs.Metric
 
 let points sweep =
   Figview.metric_points sweep (fun r ->
-      Repro_gpu.Stats.l1_hit_rate r.W.Harness.stats)
-  |> Figview.mean_row ~label:"AVG"
+      Metric.to_float Metric.l1_hit_rate r.W.Harness.stats)
+  |> Series.mean_row ~label:"AVG"
 
-let render sweep =
-  Figview.render_table ~title:"Figure 9: L1 cache hit rate (fraction of load sectors)"
-    ~aggregate_label:"AVG"
-    ~techniques:(List.map Repro_core.Technique.name (Sweep.techniques sweep))
-    (points sweep)
+let series sweep =
+  Series.make ~name:"fig9"
+    ~title:"Figure 9: L1 cache hit rate (fraction of load sectors)"
+    ~aggregate:"AVG" (points sweep)
 
-let csv sweep = Series.to_csv (points sweep)
+let render sweep = Figview.render_table (series sweep)
+
+let csv sweep = Series.csv (series sweep)

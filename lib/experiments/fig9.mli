@@ -5,6 +5,9 @@
 val points : Sweep.t -> Repro_report.Series.point list
 (** Hit rates in [0,1], plus an "AVG" arithmetic-mean row. *)
 
+val series : Sweep.t -> Repro_report.Series.t
+(** {!points} with the figure's name/title/aggregate attached. *)
+
 val render : Sweep.t -> string
 
 val csv : Sweep.t -> string

@@ -21,43 +21,28 @@ let metric_points sweep metric =
       })
     (Sweep.runs sweep)
 
-let mean_row ~label points =
-  let names =
-    List.fold_left
-      (fun acc (p : Series.point) ->
-        if List.mem p.Series.series acc then acc else acc @ [ p.Series.series ])
-      [] points
-  in
-  points
-  @ List.map
-      (fun s ->
-        let vs =
-          List.filter_map
-            (fun (p : Series.point) ->
-              if p.Series.series = s then Some p.Series.value else None)
-            points
-        in
-        { Series.group = label; series = s; value = Repro_util.Mathx.mean vs })
-      names
-
-let render_table ~title ~aggregate_label ~techniques points =
+let render_table (s : Series.t) =
+  let columns = Series.series_names s.Series.points in
   let table =
-    Table.create ~columns:(("workload", Table.Left) :: List.map (fun t -> (t, Table.Right)) techniques)
+    Table.create
+      ~columns:
+        ((s.Series.group_label, Table.Left)
+         :: List.map (fun c -> (c, Table.Right)) columns)
   in
-  let grouped = Series.by_group points in
+  let grouped = Series.by_group s.Series.points in
   List.iter
     (fun (group, cells) ->
-      if group = aggregate_label then Table.add_separator table;
+      if s.Series.aggregate = Some group then Table.add_separator table;
       Table.add_row table
         (group
          :: List.map
-              (fun t ->
-                match List.assoc_opt t cells with
+              (fun c ->
+                match List.assoc_opt c cells with
                 | Some v -> Table.cell_f v
                 | None -> "-")
-              techniques))
+              columns))
     grouped;
-  title ^ "\n" ^ Table.render table
+  s.Series.title ^ "\n" ^ Table.render table
 
 let geomean_of points ~series =
   let rec last_matching acc = function

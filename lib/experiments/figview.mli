@@ -1,6 +1,6 @@
-(** Shared rendering for the sweep-derived figures (6–9): extract a
-    metric per run, normalize, add the aggregate row, print a table and
-    a chart. *)
+(** Shared rendering for the figure harness: extract a metric per sweep
+    run as series points, and render any {!Repro_report.Series.t} as a
+    text table (the same value the JSON/CSV sinks consume). *)
 
 val metric_points :
   Sweep.t -> (Repro_workloads.Harness.run -> float) -> Repro_report.Series.point list
@@ -11,18 +11,10 @@ val short_group : string -> string
 (** Compact workload label ("Dynasoar/TRAF" → "TRAF", keeping the suite
     prefix only for the BFS/CC/PR duplicates). *)
 
-val render_table :
-  title:string ->
-  aggregate_label:string ->
-  techniques:string list ->
-  Repro_report.Series.point list ->
-  string
-(** Rows = groups (aggregate last), columns = techniques. *)
-
-val mean_row :
-  label:string -> Repro_report.Series.point list -> Repro_report.Series.point list
-(** Append an aggregate group holding the per-series arithmetic mean
-    (Figures 7 and 9 average; Figure 6/8 use the geometric mean). *)
+val render_table : Repro_report.Series.t -> string
+(** Title line, then rows = groups and columns = series names (both in
+    first-appearance order); the aggregate row, when the series names
+    one, is set off by a separator. *)
 
 val geomean_of : Repro_report.Series.point list -> series:string -> float
 (** The aggregate-row value for one technique (the row must exist). *)

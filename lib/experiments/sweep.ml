@@ -51,9 +51,6 @@ let exec ?(scale = default_scale) ?iterations ?(j = 1) ?(cache = false)
     techniques;
   }
 
-let run ?scale ?iterations ?progress ?workloads () =
-  exec ?scale ?iterations ~j:1 ~cache:false ?progress ?workloads ()
-
 let outcomes t = t.outcomes
 
 let runs t = t.runs

@@ -31,18 +31,6 @@ val exec :
     domains. Raises [Failure] naming every failed job (after all jobs
     finished), or on a cross-technique functional mismatch. *)
 
-val run :
-  ?scale:float ->
-  ?iterations:int ->
-  ?progress:(string -> unit) ->
-  ?workloads:Repro_workloads.Workload.t list ->
-  unit -> t
-[@@ocaml.deprecated
-  "Sweep.run is the pre-job-API serial entry point; use Sweep.exec \
-   (identical results at ~j:1). It will be removed next release."]
-(** Exactly [exec ~j:1 ~cache:false]: the historical serial signature,
-    kept as a shim for one release. *)
-
 val outcomes : t -> Repro_exec.Executor.outcome list
 (** Per-job scheduling detail (wall time, cache hits), in matrix order —
     what [repro sweep] prints. *)

@@ -1,5 +1,5 @@
 module W = Repro_workloads
-module Stats = Repro_gpu.Stats
+module Metric = Repro_obs.Metric
 module Label = Repro_gpu.Label
 module T = Repro_core.Technique
 module Table = Repro_report.Table
@@ -30,14 +30,15 @@ let measure sweep =
           (Sweep.runs sweep)
       in
       let per_kcall label =
+        let metric = Metric.load_transactions_for label in
         let num, den =
           List.fold_left
             (fun (num, den) (r : W.Harness.run) ->
-              ( num + Stats.load_transactions_for r.W.Harness.stats label,
+              ( num +. Metric.to_float metric r.W.Harness.stats,
                 den + r.W.Harness.warp_vcalls ))
-            (0, 0) runs
+            (0., 0) runs
         in
-        if den = 0 then 0. else 1000. *. float_of_int num /. float_of_int den
+        if den = 0 then 0. else 1000. *. num /. float_of_int den
       in
       {
         technique = T.name technique;

@@ -3,6 +3,7 @@ type t = {
   heap : Repro_mem.Page_store.t;
   mem_path : Mem_path.t;
   stats : Stats.t;
+  mutable timeline : Stats.t list; (* per-launch deltas, newest first *)
   mutable launches : int;
 }
 
@@ -13,6 +14,7 @@ let create ?(config = Config.default) ~heap () =
     heap;
     mem_path = Mem_path.create config;
     stats = Stats.create ();
+    timeline = [];
     launches = 0;
   }
 
@@ -33,15 +35,24 @@ let launch t ~n_threads kernel =
         kernel ctx;
         Warp_ctx.trace ctx)
   in
-  let cycles = Sm.run t.cfg t.mem_path ~stats:t.stats ~traces in
-  Stats.add_cycles t.stats cycles;
+  (* Each launch counts into its own [Stats.t] which is then folded into
+     the cumulative totals, so the per-kernel deltas of [kernel_timeline]
+     sum (bit-for-bit, including the float counters) to [stats]. *)
+  let launch_stats = Stats.create () in
+  let cycles = Sm.run t.cfg t.mem_path ~stats:launch_stats ~traces in
+  Stats.add_cycles launch_stats cycles;
+  Stats.add t.stats launch_stats;
+  t.timeline <- launch_stats :: t.timeline;
   t.launches <- t.launches + 1
 
 let stats t = t.stats
 
+let kernel_timeline t = List.rev t.timeline
+
 let reset_stats t =
   Stats.reset t.stats;
   Mem_path.reset t.mem_path;
+  t.timeline <- [];
   t.launches <- 0
 
 let launches t = t.launches

@@ -24,9 +24,16 @@ val stats : t -> Stats.t
 (** Counters accumulated since creation or the last {!reset_stats},
     including total cycles across launches. *)
 
+val kernel_timeline : t -> Stats.t list
+(** One counter snapshot per kernel launch since creation or the last
+    {!reset_stats}, in launch order — the simulator analogue of an NVProf
+    timeline. Each entry holds only that launch's contribution (its
+    [cycles] is the launch duration); accumulating the entries in order
+    reproduces {!stats} exactly, float counters included. *)
+
 val reset_stats : t -> unit
 (** Also resets the persistent L2 tag state, so timed regions start
-    cold and runs are order-independent. *)
+    cold and runs are order-independent. Clears the kernel timeline. *)
 
 val launches : t -> int
 (** Number of kernel launches since the last reset. *)

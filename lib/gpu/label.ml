@@ -33,6 +33,18 @@ let of_index i =
   | Some l -> l
   | None -> invalid_arg "Label.of_index: out of range"
 
+let slug = function
+  | Vtable_load -> "vtable_load"
+  | Vfunc_load -> "vfunc_load"
+  | Const_indirect -> "const_indirect"
+  | Call -> "call"
+  | Coal_lookup -> "coal_lookup"
+  | Tp_dispatch -> "tp_dispatch"
+  | Tp_strip -> "tp_strip"
+  | Concord_tag -> "concord_tag"
+  | Concord_switch -> "concord_switch"
+  | Body -> "body"
+
 let name = function
   | Vtable_load -> "load vTable*"
   | Vfunc_load -> "load vFunc*"

@@ -27,6 +27,11 @@ val of_index : int -> t
 (** Raises [Invalid_argument] out of range. *)
 
 val name : t -> string
+(** Display name, as the paper spells it (may contain spaces and [*]). *)
+
+val slug : t -> string
+(** Stable machine-readable identifier ([vtable_load], [coal_lookup], ...)
+    used in metric names and JSON/CSV exports. *)
 
 val all : t list
 

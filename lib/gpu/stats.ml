@@ -64,6 +64,11 @@ let add acc x =
       acc.load_transactions_by_label.(i) <- acc.load_transactions_by_label.(i) + v)
     x.load_transactions_by_label
 
+let copy t =
+  let c = create () in
+  add c t;
+  c
+
 let count_instr t instr =
   let n = Instr.instruction_count instr in
   match Instr.class_of instr with
@@ -107,6 +112,14 @@ let load_transactions_for t label = t.load_transactions_by_label.(Label.to_index
 
 let store_transactions t = t.store_transactions
 
+let l1_hits t = t.l1_hits
+
+let l1_misses t = t.l1_misses
+
+let l2_hits t = t.l2_hits
+
+let l2_misses t = t.l2_misses
+
 let l1_accesses t = t.l1_hits + t.l1_misses
 
 let hit_rate hits misses =
@@ -125,6 +138,21 @@ let total_stall_cycles t = Array.fold_left ( +. ) 0. t.stalls
 
 let pp ppf t =
   Format.fprintf ppf
-    "@[<v>cycles=%.0f instrs(mem/cmp/ctl)=%d/%d/%d ld-trans=%d L1=%.1f%% L2=%.1f%% dram=%d@]"
+    "@[<v>cycles=%.0f instrs(mem/cmp/ctl)=%d/%d/%d ld-trans=%d st-trans=%d \
+     L1=%.1f%% L2=%.1f%% dram=%d"
     t.cycles t.mem_instrs t.compute_instrs t.ctrl_instrs t.load_transactions
-    (100. *. l1_hit_rate t) (100. *. l2_hit_rate t) t.dram_sectors
+    t.store_transactions (100. *. l1_hit_rate t) (100. *. l2_hit_rate t)
+    t.dram_sectors;
+  (* Stall attribution, driven by the label enumeration rather than one
+     format string per label (the registry view lives in Repro_obs.Metric). *)
+  let total_stalls = total_stall_cycles t in
+  if total_stalls > 0. then begin
+    Format.fprintf ppf "@,stalls:";
+    List.iter
+      (fun l ->
+        let s = stall_cycles t l in
+        if s > 0. then
+          Format.fprintf ppf " %s=%.1f%%" (Label.slug l) (100. *. s /. total_stalls))
+      Label.all
+  end;
+  Format.fprintf ppf "@]"

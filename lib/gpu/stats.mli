@@ -15,6 +15,9 @@ val reset : t -> unit
 val add : t -> t -> unit
 (** [add acc x] accumulates [x] into [acc]. *)
 
+val copy : t -> t
+(** A detached snapshot (fresh arrays, same values). *)
+
 (** {2 Recording (used by the timing engine)} *)
 
 val count_instr : t -> Instr.t -> unit
@@ -52,6 +55,14 @@ val load_transactions_for : t -> Label.t -> int
 
 val store_transactions : t -> int
 
+val l1_hits : t -> int
+
+val l1_misses : t -> int
+
+val l2_hits : t -> int
+
+val l2_misses : t -> int
+
 val l1_accesses : t -> int
 
 val l1_hit_rate : t -> float
@@ -66,3 +77,6 @@ val stall_cycles : t -> Label.t -> float
 val total_stall_cycles : t -> float
 
 val pp : Format.formatter -> t -> unit
+(** One-line counter summary plus, when any stalls were attributed, a
+    per-label stall-share breakdown (driven by {!Label.all}). The full
+    enumerable metric view lives in [Repro_obs.Metric]. *)

@@ -1,0 +1,44 @@
+(** Minimal JSON values, writer and reader.
+
+    The toolchain has no JSON library, and the exports ({!Sink},
+    {!Profile}, [repro --json]) need only this much: a value type, a
+    serializer whose floats round-trip exactly (shortest representation
+    that parses back to the same IEEE double), and a strict parser for
+    reading our own output back in tests and post-processing scripts. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val float_repr : float -> string
+(** Shortest decimal form that parses back to exactly the same double,
+    always with a ['.'] or exponent (also used for CSV cells). *)
+
+val to_string : ?pretty:bool -> t -> string
+(** Compact by default; [~pretty:true] indents with two spaces and ends
+    with a newline. Floats always carry a ['.'] or exponent so they parse
+    back as [Float]; NaN and infinities become [null]. *)
+
+val of_string : string -> (t, string) result
+(** Strict parse of a complete JSON document. [Float]/[Int] distinction
+    follows the lexical form: a number with a fraction or exponent is a
+    [Float]. *)
+
+(** {2 Accessors} — all total, [None] on a type mismatch. *)
+
+val member : string -> t -> t option
+(** Field of an [Obj]. *)
+
+val list_opt : t -> t list option
+
+val string_opt : t -> string option
+
+val int_opt : t -> int option
+
+val float_opt : t -> float option
+(** Accepts [Int] too (JSON numbers without a fraction part). *)

@@ -1,0 +1,191 @@
+module Stats = Repro_gpu.Stats
+module Label = Repro_gpu.Label
+
+type value = Int of int | Float of float
+
+type t = {
+  name : string;
+  units : string;
+  extract : Stats.t -> value;
+}
+
+let name m = m.name
+let units m = m.units
+
+let value m stats = m.extract stats
+
+let to_float m stats =
+  match m.extract stats with Int i -> float_of_int i | Float f -> f
+
+(* {2 Raw counters: one metric per Stats field} *)
+
+let cycles =
+  { name = "cycles"; units = "cycles"; extract = (fun s -> Float (Stats.cycles s)) }
+
+let instructions_mem =
+  {
+    name = "instructions.mem";
+    units = "warp_instructions";
+    extract = (fun s -> Int (Stats.instructions s `Mem));
+  }
+
+let instructions_compute =
+  {
+    name = "instructions.compute";
+    units = "warp_instructions";
+    extract = (fun s -> Int (Stats.instructions s `Compute));
+  }
+
+let instructions_ctrl =
+  {
+    name = "instructions.ctrl";
+    units = "warp_instructions";
+    extract = (fun s -> Int (Stats.instructions s `Ctrl));
+  }
+
+let load_transactions =
+  {
+    name = "load_transactions";
+    units = "sectors";
+    extract = (fun s -> Int (Stats.load_transactions s));
+  }
+
+let store_transactions =
+  {
+    name = "store_transactions";
+    units = "sectors";
+    extract = (fun s -> Int (Stats.store_transactions s));
+  }
+
+let l1_hits =
+  { name = "l1.hits"; units = "accesses"; extract = (fun s -> Int (Stats.l1_hits s)) }
+
+let l1_misses =
+  {
+    name = "l1.misses";
+    units = "accesses";
+    extract = (fun s -> Int (Stats.l1_misses s));
+  }
+
+let l2_hits =
+  { name = "l2.hits"; units = "accesses"; extract = (fun s -> Int (Stats.l2_hits s)) }
+
+let l2_misses =
+  {
+    name = "l2.misses";
+    units = "accesses";
+    extract = (fun s -> Int (Stats.l2_misses s));
+  }
+
+let dram_sectors =
+  {
+    name = "dram.sectors";
+    units = "sectors";
+    extract = (fun s -> Int (Stats.dram_sectors s));
+  }
+
+let scalars =
+  [
+    cycles;
+    instructions_mem;
+    instructions_compute;
+    instructions_ctrl;
+    load_transactions;
+    store_transactions;
+    l1_hits;
+    l1_misses;
+    l2_hits;
+    l2_misses;
+    dram_sectors;
+  ]
+
+let stall_cycles label =
+  {
+    name = "stall_cycles." ^ Label.slug label;
+    units = "cycles";
+    extract = (fun s -> Float (Stats.stall_cycles s label));
+  }
+
+let load_transactions_for label =
+  {
+    name = "load_transactions." ^ Label.slug label;
+    units = "sectors";
+    extract = (fun s -> Int (Stats.load_transactions_for s label));
+  }
+
+let per_label =
+  List.map stall_cycles Label.all @ List.map load_transactions_for Label.all
+
+let counters = scalars @ per_label
+
+(* {2 Derived metrics} *)
+
+let instructions_total =
+  {
+    name = "instructions.total";
+    units = "warp_instructions";
+    extract = (fun s -> Int (Stats.total_instructions s));
+  }
+
+let l1_hit_rate =
+  {
+    name = "l1.hit_rate";
+    units = "ratio";
+    extract = (fun s -> Float (Stats.l1_hit_rate s));
+  }
+
+let l2_hit_rate =
+  {
+    name = "l2.hit_rate";
+    units = "ratio";
+    extract = (fun s -> Float (Stats.l2_hit_rate s));
+  }
+
+let stall_cycles_total =
+  {
+    name = "stall_cycles.total";
+    units = "cycles";
+    extract = (fun s -> Float (Stats.total_stall_cycles s));
+  }
+
+let derived = [ instructions_total; l1_hit_rate; l2_hit_rate; stall_cycles_total ]
+
+let all = counters @ derived
+
+let find name = List.find_opt (fun m -> m.name = name) all
+
+let json_value = function Int i -> Json.Int i | Float f -> Json.Float f
+
+let to_json ?(metrics = all) stats =
+  Json.Obj (List.map (fun m -> (m.name, json_value (m.extract stats))) metrics)
+
+(* {2 Rendering} *)
+
+let pp_value ppf = function
+  | Int i -> Format.fprintf ppf "%d" i
+  | Float f ->
+    if Float.is_integer f && Float.abs f < 1e15 then Format.fprintf ppf "%.0f" f
+    else Format.fprintf ppf "%.4g" f
+
+let pp_stats ppf stats =
+  let width =
+    List.fold_left (fun acc m -> max acc (String.length m.name)) 0 all
+  in
+  Format.pp_open_vbox ppf 0;
+  let first = ref true in
+  List.iter
+    (fun m ->
+      let v = m.extract stats in
+      let skip =
+        (* Per-label zeros would drown the signal: a run under one
+           technique exercises only that technique's labels. *)
+        (match v with Int i -> i = 0 | Float f -> f = 0.)
+        && List.exists (fun pm -> pm.name = m.name) per_label
+      in
+      if not skip then begin
+        if not !first then Format.pp_print_cut ppf ();
+        first := false;
+        Format.fprintf ppf "%-*s  %a [%s]" width m.name pp_value v m.units
+      end)
+    all;
+  Format.pp_close_box ppf ()

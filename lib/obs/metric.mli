@@ -1,0 +1,86 @@
+(** The metric registry: every counter {!Repro_gpu.Stats} records, as an
+    enumerable value with a stable name, units, and an extractor.
+
+    This is the single read surface over the simulator's counters —
+    figures, the profile subcommand, JSON/CSV exports, and the [repro
+    run] breakdown all enumerate or look up metrics here instead of
+    calling per-field getters, so a counter added to [Stats] becomes
+    visible everywhere by registering it once (and the registry-coverage
+    test fails until it is). *)
+
+type value = Int of int | Float of float
+
+type t
+(** A named view of one counter (or derived quantity). *)
+
+val name : t -> string
+(** Stable dotted identifier, e.g. ["l1.hits"], ["stall_cycles.vtable_load"]. *)
+
+val units : t -> string
+
+val value : t -> Repro_gpu.Stats.t -> value
+
+val to_float : t -> Repro_gpu.Stats.t -> float
+
+(** {2 Raw scalar counters} — one per scalar [Stats] field. *)
+
+val cycles : t
+val instructions_mem : t
+val instructions_compute : t
+val instructions_ctrl : t
+val load_transactions : t
+val store_transactions : t
+val l1_hits : t
+val l1_misses : t
+val l2_hits : t
+val l2_misses : t
+val dram_sectors : t
+
+val scalars : t list
+(** All of the above; the coverage test pins its length to the number of
+    scalar fields in [Stats.t]. *)
+
+(** {2 Per-label counters} — the two [Label]-indexed arrays in [Stats]. *)
+
+val stall_cycles : Repro_gpu.Label.t -> t
+(** ["stall_cycles.<slug>"]. *)
+
+val load_transactions_for : Repro_gpu.Label.t -> t
+(** ["load_transactions.<slug>"]. *)
+
+val per_label : t list
+(** Both families over {!Repro_gpu.Label.all} — [2 * Label.count] metrics. *)
+
+val counters : t list
+(** [scalars @ per_label]: the additive counters. Summing a metric in
+    this list over per-kernel deltas yields the run total (the
+    {!Profile.consistent} invariant); derived metrics (rates) are not
+    additive and are excluded. *)
+
+(** {2 Derived metrics} — computed from counters, not additive. *)
+
+val instructions_total : t
+
+val l1_hit_rate : t
+(** In [0,1]. *)
+
+val l2_hit_rate : t
+val stall_cycles_total : t
+
+val derived : t list
+
+val all : t list
+(** [counters @ derived]. *)
+
+val find : string -> t option
+(** Look up by {!name} in {!all}. *)
+
+val to_json : ?metrics:t list -> Repro_gpu.Stats.t -> Json.t
+(** Object mapping metric name to value; [metrics] defaults to {!all}. *)
+
+val pp_value : Format.formatter -> value -> unit
+
+val pp_stats : Format.formatter -> Repro_gpu.Stats.t -> unit
+(** Registry-driven full breakdown: one aligned [name value [units]]
+    line per metric, omitting per-label entries whose value is zero
+    (a run exercises only its own technique's labels). *)

@@ -1,0 +1,118 @@
+module Stats = Repro_gpu.Stats
+module Table = Repro_report.Table
+
+type kernel = {
+  index : int;
+  cycles : float;
+  stats : Stats.t;
+}
+
+type t = {
+  workload : string;
+  technique : string;
+  kernels : kernel list;
+  total : Stats.t;
+}
+
+let make ~workload ~technique ~kernel_stats ~total =
+  {
+    workload;
+    technique;
+    kernels =
+      List.mapi
+        (fun index stats -> { index; cycles = Stats.cycles stats; stats })
+        kernel_stats;
+    total = Stats.copy total;
+  }
+
+let consistent t =
+  (* Replay the device's own accumulation: folding the per-launch deltas
+     with [Stats.add] performs the identical sequence of additions, so
+     even the float counters must match bit-for-bit. *)
+  let acc = Stats.create () in
+  List.iter (fun k -> Stats.add acc k.stats) t.kernels;
+  let mismatches =
+    List.filter_map
+      (fun m ->
+        let summed = Metric.value m acc and total = Metric.value m t.total in
+        if summed = total then None
+        else
+          Some
+            (Format.asprintf "%s: kernels sum to %a, total is %a" (Metric.name m)
+               Metric.pp_value summed Metric.pp_value total))
+      Metric.counters
+  in
+  match mismatches with
+  | [] -> Ok ()
+  | ms -> Error (String.concat "; " ms)
+
+let kernel_to_json k =
+  Json.Obj
+    [
+      ("launch", Json.Int k.index);
+      ("cycles", Json.Float k.cycles);
+      ("metrics", Metric.to_json ~metrics:Metric.counters k.stats);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("workload", Json.String t.workload);
+      ("technique", Json.String t.technique);
+      ("kernels", Json.List (List.map kernel_to_json t.kernels));
+      ("total", Metric.to_json t.total);
+    ]
+
+let csv_value = function
+  | Metric.Int i -> string_of_int i
+  | Metric.Float f -> Json.float_repr f
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "launch,metric,value\n";
+  let row launch stats metrics =
+    List.iter
+      (fun m ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s,%s,%s\n" launch (Metric.name m)
+             (csv_value (Metric.value m stats))))
+      metrics
+  in
+  List.iter
+    (fun k -> row (string_of_int k.index) k.stats Metric.counters)
+    t.kernels;
+  row "total" t.total Metric.all;
+  Buffer.contents buf
+
+let render t =
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("launch", Table.Right);
+          ("cycles", Table.Right);
+          ("instr", Table.Right);
+          ("ld-trans", Table.Right);
+          ("st-trans", Table.Right);
+          ("L1%", Table.Right);
+          ("dram", Table.Right);
+        ]
+  in
+  let cell m stats = Format.asprintf "%a" Metric.pp_value (Metric.value m stats) in
+  let row label stats =
+    Table.add_row table
+      [
+        label;
+        Table.cell_f ~digits:0 (Metric.to_float Metric.cycles stats);
+        cell Metric.instructions_total stats;
+        cell Metric.load_transactions stats;
+        cell Metric.store_transactions stats;
+        Table.cell_pct (Metric.to_float Metric.l1_hit_rate stats);
+        cell Metric.dram_sectors stats;
+      ]
+  in
+  List.iter (fun k -> row (string_of_int k.index) k.stats) t.kernels;
+  Table.add_separator table;
+  row "total" t.total;
+  Printf.sprintf "profile: %s under %s — %d kernel launches\n%s" t.workload
+    t.technique (List.length t.kernels) (Table.render table)

@@ -1,0 +1,43 @@
+(** Per-kernel profiles: the counter timeline of one measured run.
+
+    Built from {!Repro_workloads.Harness.run}'s [kernel_stats] (via the
+    plain strings/stats so this library needn't depend on the workload
+    layer), a profile is the simulator's answer to an nvprof/Nsight
+    kernel timeline — one counter-delta row per kernel launch plus the
+    run totals, exported as text, JSON or CSV. *)
+
+type kernel = {
+  index : int;          (** Launch index within the measured region. *)
+  cycles : float;       (** This launch's duration. *)
+  stats : Repro_gpu.Stats.t;  (** This launch's counter deltas. *)
+}
+
+type t = {
+  workload : string;
+  technique : string;
+  kernels : kernel list;
+  total : Repro_gpu.Stats.t;
+}
+
+val make :
+  workload:string -> technique:string ->
+  kernel_stats:Repro_gpu.Stats.t list -> total:Repro_gpu.Stats.t -> t
+(** [kernel_stats] in launch order; [total] is copied. *)
+
+val consistent : t -> (unit, string) result
+(** Check that every counter in {!Metric.counters} summed over the
+    kernels equals the total — exactly, floats included (the deltas and
+    the total are produced by the same [Stats.add] fold). [Error]
+    lists the mismatching metrics. *)
+
+val to_json : t -> Json.t
+(** [{workload, technique, kernels: [{launch, cycles, metrics}], total}];
+    kernel metrics are the additive {!Metric.counters}, the total also
+    carries the derived metrics. *)
+
+val to_csv : t -> string
+(** Long-form [launch,metric,value] rows (launch ["total"] for the run
+    totals). *)
+
+val render : t -> string
+(** Text table: one row per launch and a separated totals row. *)

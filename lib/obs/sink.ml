@@ -1,0 +1,63 @@
+module Series = Repro_report.Series
+
+let series_to_json (s : Series.t) =
+  Json.Obj
+    [
+      ("name", Json.String s.Series.name);
+      ("title", Json.String s.Series.title);
+      ("group_label", Json.String s.Series.group_label);
+      ( "aggregate",
+        match s.Series.aggregate with
+        | None -> Json.Null
+        | Some a -> Json.String a );
+      ( "points",
+        Json.List
+          (List.map
+             (fun (p : Series.point) ->
+               Json.Obj
+                 [
+                   ("group", Json.String p.Series.group);
+                   ("series", Json.String p.Series.series);
+                   ("value", Json.Float p.Series.value);
+                 ])
+             s.Series.points) );
+    ]
+
+let series_of_json json =
+  let ( let* ) r f = Result.bind r f in
+  let field name conv j =
+    match Option.bind (Json.member name j) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "Sink.series_of_json: bad field %S" name)
+  in
+  let* name = field "name" Json.string_opt json in
+  let* title = field "title" Json.string_opt json in
+  let* group_label = field "group_label" Json.string_opt json in
+  let* aggregate =
+    match Json.member "aggregate" json with
+    | Some Json.Null | None -> Ok None
+    | Some j -> (
+      match Json.string_opt j with
+      | Some a -> Ok (Some a)
+      | None -> Error "Sink.series_of_json: bad field \"aggregate\"")
+  in
+  let* points = field "points" Json.list_opt json in
+  let* points =
+    List.fold_left
+      (fun acc p ->
+        let* acc = acc in
+        let* group = field "group" Json.string_opt p in
+        let* series = field "series" Json.string_opt p in
+        let* value = field "value" Json.float_opt p in
+        Ok ({ Series.group; series; value } :: acc))
+      (Ok []) points
+  in
+  Ok (Series.make ~name ~title ~group_label ?aggregate (List.rev points))
+
+let series_to_csv = Series.csv
+
+let write_file ~path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)

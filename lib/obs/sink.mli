@@ -1,0 +1,21 @@
+(** Export sinks: turn figure {!Repro_report.Series.t} values into
+    machine-readable artifacts.
+
+    The figures build their data once as a [Series.t]; the text
+    renderers ([Chart]/[Figview]) and these sinks consume the same
+    value, so [--json]/[--csv] always emit exactly the numbers the text
+    rendering shows. *)
+
+val series_to_json : Repro_report.Series.t -> Json.t
+(** [{name, title, group_label, aggregate, points: [{group, series,
+    value}]}]; [aggregate] is [null] when the series carries no
+    aggregate row. *)
+
+val series_of_json : Json.t -> (Repro_report.Series.t, string) result
+(** Inverse of {!series_to_json} (round-trip tested). *)
+
+val series_to_csv : Repro_report.Series.t -> string
+(** [group,series,value] lines with a header. *)
+
+val write_file : path:string -> string -> unit
+(** Write (truncate) a text file. *)

@@ -4,6 +4,17 @@ type point = {
   value : float;
 }
 
+type t = {
+  name : string;
+  title : string;
+  group_label : string;
+  aggregate : string option;
+  points : point list;
+}
+
+let make ~name ~title ?(group_label = "workload") ?aggregate points =
+  { name; title; group_label; aggregate; points }
+
 let groups points =
   List.fold_left
     (fun acc p -> if List.mem p.group acc then acc else acc @ [ p.group ])
@@ -30,17 +41,22 @@ let normalize_to ~baseline points =
 
 let invert = List.map (fun p -> { p with value = 1. /. p.value })
 
-let geomean_row ~label points =
+let aggregate_row ~label ~f points =
   let by_series =
     List.map
       (fun s ->
         let values =
           List.filter_map (fun p -> if p.series = s then Some p.value else None) points
         in
-        { group = label; series = s; value = Repro_util.Mathx.geomean values })
+        { group = label; series = s; value = f values })
       (series_names points)
   in
   points @ by_series
+
+let geomean_row ~label points =
+  aggregate_row ~label ~f:Repro_util.Mathx.geomean points
+
+let mean_row ~label points = aggregate_row ~label ~f:Repro_util.Mathx.mean points
 
 let by_group points =
   List.map
@@ -63,3 +79,5 @@ let to_csv points =
     (fun p -> Buffer.add_string buf (Printf.sprintf "%s,%s,%f\n" p.group p.series p.value))
     points;
   Buffer.contents buf
+
+let csv t = to_csv t.points

@@ -1,11 +1,42 @@
-(** Normalization and aggregation helpers for figure data, plus CSV
-    emission so every figure's raw numbers can be post-processed. *)
+(** The one data structure behind every figure and table.
+
+    A figure is built once as a named [t] — a list of (group, series,
+    value) points plus presentation metadata — and then rendered N ways:
+    as ASCII charts ({!Chart}), as text tables ({!Table} via
+    [Figview.render_table]), or exported as JSON/CSV by
+    [Repro_obs.Sink]. The normalization and aggregation helpers below
+    operate on the raw point lists figures are assembled from. *)
 
 type point = {
   group : string;   (** e.g. the workload. *)
   series : string;  (** e.g. the technique. *)
   value : float;
 }
+
+type t = {
+  name : string;            (** Stable id, e.g. ["fig6"]. *)
+  title : string;           (** Human caption for rendering. *)
+  group_label : string;     (** Header for the group column. *)
+  aggregate : string option;
+  (** Group label of an appended aggregate row ("GM"/"AVG"), when one
+      was added with {!geomean_row} or {!mean_row}. *)
+  points : point list;
+}
+
+val make :
+  name:string -> title:string -> ?group_label:string ->
+  ?aggregate:string -> point list -> t
+(** [group_label] defaults to ["workload"]. *)
+
+val csv : t -> string
+(** {!to_csv} on the points. *)
+
+val groups : point list -> string list
+(** Distinct group names in first-appearance order. *)
+
+val series_names : point list -> string list
+(** Distinct series names in first-appearance order (e.g. the technique
+    columns of a figure, in sweep order). *)
 
 val normalize_to : baseline:string -> point list -> point list
 (** Divide every group's points by that group's [baseline]-series value.
@@ -17,6 +48,9 @@ val invert : point list -> point list
 val geomean_row : label:string -> point list -> point list
 (** Append one extra group holding the per-series geometric mean
     (the paper's GM column). *)
+
+val mean_row : label:string -> point list -> point list
+(** Like {!geomean_row} with the arithmetic mean (AVG rows). *)
 
 val by_group : point list -> (string * (string * float) list) list
 (** Group points preserving first-appearance order (for charts). *)

@@ -6,6 +6,7 @@ type run = {
   technique : R.Technique.t;
   cycles : float;
   stats : Stats.t;
+  kernel_stats : Stats.t list;
   checksum : int;
   result : int;
   n_objects : int;
@@ -16,10 +17,7 @@ type run = {
   alloc_stats : R.Allocator.stats;
 }
 
-let snapshot stats =
-  let copy = Stats.create () in
-  Stats.add copy stats;
-  copy
+let snapshot = Stats.copy
 
 let run (w : Workload.t) (p : Workload.params) =
   let inst = w.Workload.build p in
@@ -33,6 +31,7 @@ let run (w : Workload.t) (p : Workload.params) =
     technique = p.Workload.technique;
     cycles = R.Runtime.cycles rt;
     stats = snapshot (R.Runtime.stats rt);
+    kernel_stats = List.map snapshot (R.Runtime.kernel_timeline rt);
     checksum = R.Runtime.checksum rt;
     result = inst.Workload.result ();
     n_objects = R.Runtime.n_objects rt;

@@ -10,6 +10,11 @@ type run = {
   technique : Repro_core.Technique.t;
   cycles : float;
   stats : Repro_gpu.Stats.t;  (** Snapshot, detached from the device. *)
+  kernel_stats : Repro_gpu.Stats.t list;
+  (** Per-kernel-launch counter deltas inside the measured region, in
+      launch order. Accumulating them with [Stats.add] into a fresh
+      [Stats.t] reproduces [stats] exactly (float fields bit-for-bit),
+      which [Repro_obs.Profile.consistent] checks. *)
   checksum : int;             (** Heap checksum (cross-technique equal). *)
   result : int;               (** Workload-level result (ditto). *)
   n_objects : int;

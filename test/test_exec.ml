@@ -187,18 +187,6 @@ let test_sweep_exec_parallel_matches_serial () =
     (List.map fingerprint (E.Sweep.runs (sweep 1))
      = List.map fingerprint (E.Sweep.runs (sweep 4)))
 
-let test_sweep_run_shim_matches_exec () =
-  let viaexec =
-    E.Sweep.exec ~scale:0.03 ~iterations:1 ~workloads:sweep_workloads ()
-  in
-  let viashim =
-    (E.Sweep.run [@warning "-3"]) (* the deprecated one-release shim *)
-      ~scale:0.03 ~iterations:1 ~workloads:sweep_workloads ()
-  in
-  check Alcotest.bool "shim == exec ~j:1" true
-    (List.map fingerprint (E.Sweep.runs viashim)
-     = List.map fingerprint (E.Sweep.runs viaexec))
-
 let test_sweep_outcomes_shape () =
   let s = E.Sweep.exec ~scale:0.03 ~iterations:1 ~j:2 ~workloads:sweep_workloads () in
   let outcomes = E.Sweep.outcomes s in
@@ -224,7 +212,5 @@ let suite =
       test_cache_ignores_corrupt_entries;
     Alcotest.test_case "sweep: parallel == serial" `Slow
       test_sweep_exec_parallel_matches_serial;
-    Alcotest.test_case "sweep: deprecated shim == exec" `Quick
-      test_sweep_run_shim_matches_exec;
     Alcotest.test_case "sweep: outcomes shape" `Quick test_sweep_outcomes_shape;
   ]

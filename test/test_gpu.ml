@@ -252,6 +252,34 @@ let test_device_reset () =
   check (Alcotest.float 1e-9) "cycles reset" 0. (Stats.cycles (Device.stats device));
   check Alcotest.int "launches reset" 0 (Device.launches device)
 
+let test_device_kernel_timeline () =
+  let heap = Page_store.create () in
+  let device = Device.create ~heap () in
+  let kernel ctx =
+    let addrs = Array.map (fun t -> 1 lsl 20 lor (t * 64)) (Warp_ctx.tids ctx) in
+    ignore (Warp_ctx.load ctx ~label:Label.Vtable_load addrs);
+    Warp_ctx.compute ctx ~label:Label.Body
+  in
+  Device.launch device ~n_threads:64 kernel;
+  Device.launch device ~n_threads:32 kernel;
+  let timeline = Device.kernel_timeline device in
+  check Alcotest.int "one entry per launch" 2 (List.length timeline);
+  (* Accumulating the per-launch deltas reproduces the device totals
+     exactly, float counters included — same add sequence, same result. *)
+  let acc = Stats.create () in
+  List.iter (Stats.add acc) timeline;
+  let total = Device.stats device in
+  check Alcotest.bool "cycles bit-exact" true
+    (Stats.cycles acc = Stats.cycles total);
+  check Alcotest.int "load transactions" (Stats.load_transactions total)
+    (Stats.load_transactions acc);
+  check Alcotest.bool "stall cycles bit-exact" true
+    (Stats.stall_cycles acc Label.Vtable_load
+     = Stats.stall_cycles total Label.Vtable_load);
+  Device.reset_stats device;
+  check Alcotest.int "reset clears timeline" 0
+    (List.length (Device.kernel_timeline device))
+
 let test_sm_blocking_latency_attribution () =
   let heap = Page_store.create () in
   let device = Device.create ~heap () in
@@ -304,6 +332,7 @@ let suite =
     Alcotest.test_case "device runs kernel" `Quick test_device_runs_kernel;
     Alcotest.test_case "device partial warp" `Quick test_device_partial_warp;
     Alcotest.test_case "device reset" `Quick test_device_reset;
+    Alcotest.test_case "device kernel timeline" `Quick test_device_kernel_timeline;
     Alcotest.test_case "stall attribution" `Quick test_sm_blocking_latency_attribution;
     Alcotest.test_case "latency hiding" `Quick test_more_warps_hide_latency;
     QCheck_alcotest.to_alcotest prop_coalesce_bounds;

@@ -10,6 +10,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("exec", Test_exec.suite);
       ("report", Test_report.suite);
+      ("obs", Test_obs.suite);
       ("experiments", Test_experiments.suite);
       ("integration", Test_integration.suite);
     ]

@@ -1,0 +1,281 @@
+(* Tests for the observability layer: JSON writer/reader, the metric
+   registry's coverage of Stats, per-kernel profiles, export sinks. *)
+
+module O = Repro_obs
+module Json = Repro_obs.Json
+module Metric = Repro_obs.Metric
+module Stats = Repro_gpu.Stats
+module Label = Repro_gpu.Label
+module Series = Repro_report.Series
+module W = Repro_workloads
+module T = Repro_core.Technique
+
+let check = Alcotest.check
+
+(* --- json ------------------------------------------------------------- *)
+
+let sample_json =
+  Json.Obj
+    [
+      ("null", Json.Null);
+      ("flag", Json.Bool true);
+      ("int", Json.Int (-42));
+      ("third", Json.Float (1. /. 3.));
+      ("tenth", Json.Float 0.1);
+      ("whole", Json.Float 4096.);
+      ("tiny", Json.Float 1.2345678901234e-12);
+      ("text", Json.String "quote \" slash \\ newline \n tab \t end");
+      ("list", Json.List [ Json.Int 1; Json.Float 2.5; Json.String "x"; Json.Null ]);
+      ("empty_list", Json.List []);
+      ("empty_obj", Json.Obj []);
+    ]
+
+let test_json_round_trip () =
+  List.iter
+    (fun pretty ->
+      match Json.of_string (Json.to_string ~pretty sample_json) with
+      | Ok parsed ->
+        check Alcotest.bool
+          (if pretty then "pretty round-trips" else "compact round-trips")
+          true (parsed = sample_json)
+      | Error msg -> Alcotest.failf "parse error: %s" msg)
+    [ false; true ]
+
+let test_json_float_exactness () =
+  (* Every emitted float must parse back to the identical IEEE double. *)
+  let floats =
+    [ 0.1; 1. /. 3.; 1e300; 5e-324; 1.5; 0.; -0.7; 123456789.123456789 ]
+  in
+  List.iter
+    (fun f ->
+      match Json.of_string (Json.to_string (Json.Float f)) with
+      | Ok (Json.Float g) ->
+        check Alcotest.bool (Printf.sprintf "%h exact" f) true (g = f)
+      | Ok _ -> Alcotest.failf "%h did not parse back as a float" f
+      | Error msg -> Alcotest.failf "parse error on %h: %s" f msg)
+    floats
+
+let test_json_parse_errors () =
+  List.iter
+    (fun input ->
+      match Json.of_string input with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed input %S" input)
+    [ ""; "{"; "[1,]"; "nul"; "\"unterminated"; "{\"a\" 1}"; "1 2"; "+" ]
+
+let test_json_accessors () =
+  let j = sample_json in
+  check Alcotest.bool "member" true (Json.member "int" j = Some (Json.Int (-42)));
+  check Alcotest.bool "member missing" true (Json.member "nope" j = None);
+  check Alcotest.bool "int_opt" true (Json.int_opt (Json.Int 3) = Some 3);
+  check Alcotest.bool "float_opt accepts int" true
+    (Json.float_opt (Json.Int 3) = Some 3.);
+  check Alcotest.bool "string_opt rejects int" true
+    (Json.string_opt (Json.Int 3) = None)
+
+(* --- metric registry --------------------------------------------------- *)
+
+let test_registry_covers_stats () =
+  (* Stats.t is a record of scalar counters plus two Label-indexed
+     arrays. If a counter field is added without a registry entry, this
+     count goes stale and the test fails — the registry must stay the
+     complete read surface. *)
+  let stats_fields = Obj.size (Obj.repr (Stats.create ())) in
+  check Alcotest.int "one scalar metric per scalar Stats field"
+    (stats_fields - 2) (List.length Metric.scalars);
+  check Alcotest.int "both per-label families over every label"
+    (2 * Label.count) (List.length Metric.per_label)
+
+let test_registry_names_unique () =
+  let names = List.map Metric.name Metric.all in
+  check Alcotest.int "no duplicate metric names"
+    (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_registry_find () =
+  (match Metric.find "l1.hits" with
+   | Some m -> check Alcotest.string "find by name" "l1.hits" (Metric.name m)
+   | None -> Alcotest.fail "l1.hits not found");
+  check Alcotest.bool "unknown name" true (Metric.find "no.such.metric" = None);
+  check Alcotest.bool "per-label name" true
+    (Metric.find "stall_cycles.vtable_load" <> None)
+
+let test_registry_values_match_getters () =
+  let s = Stats.create () in
+  Stats.count_load_transactions s Label.Vtable_load 7;
+  Stats.count_store_transactions s 3;
+  Stats.count_l1 s ~hit:true;
+  Stats.count_l1 s ~hit:false;
+  Stats.add_cycles s 12.5;
+  Stats.attribute_stall s Label.Call 4.25;
+  check Alcotest.bool "load_transactions" true
+    (Metric.value Metric.load_transactions s = Metric.Int 7);
+  check Alcotest.bool "store_transactions" true
+    (Metric.value Metric.store_transactions s = Metric.Int 3);
+  check Alcotest.bool "cycles" true (Metric.value Metric.cycles s = Metric.Float 12.5);
+  check Alcotest.bool "per-label load" true
+    (Metric.value (Metric.load_transactions_for Label.Vtable_load) s = Metric.Int 7);
+  check Alcotest.bool "per-label stall" true
+    (Metric.value (Metric.stall_cycles Label.Call) s = Metric.Float 4.25);
+  check (Alcotest.float 1e-9) "derived hit rate" 0.5
+    (Metric.to_float Metric.l1_hit_rate s)
+
+(* --- profiles ---------------------------------------------------------- *)
+
+let traf_run =
+  lazy
+    (let w =
+       match W.Registry.find "TRAF" with
+       | Some w -> w
+       | None -> Alcotest.fail "TRAF workload missing"
+     in
+     let params =
+       { (W.Workload.default_params T.type_pointer) with W.Workload.scale = 0.03 }
+     in
+     W.Harness.run w params)
+
+let profile_of (r : W.Harness.run) =
+  O.Profile.make ~workload:r.W.Harness.workload
+    ~technique:(T.name r.W.Harness.technique)
+    ~kernel_stats:r.W.Harness.kernel_stats ~total:r.W.Harness.stats
+
+let test_profile_deltas_sum_to_totals () =
+  let r = Lazy.force traf_run in
+  check Alcotest.bool "multi-kernel workload" true
+    (List.length r.W.Harness.kernel_stats > 1);
+  let p = profile_of r in
+  (match O.Profile.consistent p with
+   | Ok () -> ()
+   | Error msg -> Alcotest.failf "deltas disagree with totals: %s" msg);
+  (* The cycles of the timeline sum exactly (not approximately). *)
+  let summed =
+    List.fold_left
+      (fun acc k -> acc +. k.O.Profile.cycles)
+      0. p.O.Profile.kernels
+  in
+  check Alcotest.bool "cycles bit-exact" true (summed = r.W.Harness.cycles)
+
+let test_profile_detects_tampering () =
+  let r = Lazy.force traf_run in
+  let p = profile_of r in
+  (match p.O.Profile.kernels with
+   | k :: _ -> Stats.add_cycles k.O.Profile.stats 1.
+   | [] -> Alcotest.fail "no kernels");
+  match O.Profile.consistent p with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "tampered profile reported consistent"
+
+let test_profile_json_round_trip () =
+  let r = Lazy.force traf_run in
+  let p = profile_of r in
+  let json_text = Json.to_string ~pretty:true (O.Profile.to_json p) in
+  match Json.of_string json_text with
+  | Error msg -> Alcotest.failf "profile JSON does not parse: %s" msg
+  | Ok j ->
+    check Alcotest.bool "workload" true
+      (Option.bind (Json.member "workload" j) Json.string_opt
+       = Some r.W.Harness.workload);
+    let kernels =
+      match Option.bind (Json.member "kernels" j) Json.list_opt with
+      | Some ks -> ks
+      | None -> Alcotest.fail "kernels missing"
+    in
+    check Alcotest.int "one entry per launch"
+      (List.length r.W.Harness.kernel_stats)
+      (List.length kernels);
+    (* Exported floats are exact: total cycles read back from JSON must
+       equal the measured value bitwise. *)
+    let total_cycles =
+      Option.bind (Json.member "total" j) (fun t ->
+          Option.bind (Json.member "cycles" t) Json.float_opt)
+    in
+    check Alcotest.bool "total cycles exact" true
+      (total_cycles = Some r.W.Harness.cycles)
+
+let test_profile_csv_shape () =
+  let r = Lazy.force traf_run in
+  let p = profile_of r in
+  let lines =
+    String.split_on_char '\n' (String.trim (O.Profile.to_csv p))
+  in
+  check Alcotest.string "header" "launch,metric,value" (List.hd lines);
+  let n_counters = List.length Metric.counters in
+  let expected =
+    1
+    + (n_counters * List.length r.W.Harness.kernel_stats)
+    + List.length Metric.all
+  in
+  check Alcotest.int "rows: kernels x counters + totals" expected
+    (List.length lines)
+
+(* --- sinks ------------------------------------------------------------- *)
+
+let test_series_json_round_trip () =
+  let s =
+    Series.make ~name:"fig6" ~title:"Figure 6" ~group_label:"workload"
+      ~aggregate:"GM"
+      [
+        { Series.group = "TRAF"; series = "CUDA"; value = 0.89 };
+        { Series.group = "TRAF"; series = "TP"; value = 1. /. 3. };
+        { Series.group = "GM"; series = "CUDA"; value = 0.83 };
+      ]
+  in
+  let json = O.Sink.series_to_json s in
+  (match Json.of_string (Json.to_string ~pretty:true json) with
+   | Ok parsed -> check Alcotest.bool "json round-trips" true (parsed = json)
+   | Error msg -> Alcotest.failf "series JSON does not parse: %s" msg);
+  match O.Sink.series_of_json json with
+  | Ok s' -> check Alcotest.bool "series round-trips" true (s' = s)
+  | Error msg -> Alcotest.failf "series_of_json: %s" msg
+
+let test_series_of_json_rejects_garbage () =
+  List.iter
+    (fun j ->
+      match O.Sink.series_of_json j with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "accepted malformed series JSON")
+    [
+      Json.Null;
+      Json.Obj [ ("name", Json.String "x") ];
+      Json.Obj
+        [
+          ("name", Json.String "x");
+          ("title", Json.String "x");
+          ("group_label", Json.String "g");
+          ("points", Json.List [ Json.Obj [ ("group", Json.Int 3) ] ]);
+        ];
+    ]
+
+let test_write_file () =
+  let path = Filename.temp_file "repro_obs" ".json" in
+  O.Sink.write_file ~path "{\"ok\":true}";
+  let ic = open_in path in
+  let contents = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  check Alcotest.string "written" "{\"ok\":true}" contents
+
+let suite =
+  [
+    Alcotest.test_case "json round trip" `Quick test_json_round_trip;
+    Alcotest.test_case "json float exactness" `Quick test_json_float_exactness;
+    Alcotest.test_case "json parse errors" `Quick test_json_parse_errors;
+    Alcotest.test_case "json accessors" `Quick test_json_accessors;
+    Alcotest.test_case "registry covers every Stats field" `Quick
+      test_registry_covers_stats;
+    Alcotest.test_case "registry names unique" `Quick test_registry_names_unique;
+    Alcotest.test_case "registry find" `Quick test_registry_find;
+    Alcotest.test_case "registry values match getters" `Quick
+      test_registry_values_match_getters;
+    Alcotest.test_case "profile deltas sum to totals" `Quick
+      test_profile_deltas_sum_to_totals;
+    Alcotest.test_case "profile detects tampering" `Quick
+      test_profile_detects_tampering;
+    Alcotest.test_case "profile json round trip" `Quick
+      test_profile_json_round_trip;
+    Alcotest.test_case "profile csv shape" `Quick test_profile_csv_shape;
+    Alcotest.test_case "series json round trip" `Quick test_series_json_round_trip;
+    Alcotest.test_case "series json rejects garbage" `Quick
+      test_series_of_json_rejects_garbage;
+    Alcotest.test_case "sink write file" `Quick test_write_file;
+  ]

@@ -88,6 +88,27 @@ let test_series_csv () =
     (String.length csv >= 18 && String.sub csv 0 18 = "group,series,value");
   check Alcotest.int "rows" 5 (List.length (String.split_on_char '\n' (String.trim csv)))
 
+let test_series_make () =
+  let s = Series.make ~name:"fig6" ~title:"Figure 6" points in
+  check Alcotest.string "default group label" "workload" s.Series.group_label;
+  check Alcotest.bool "no aggregate by default" true (s.Series.aggregate = None);
+  check Alcotest.string "record csv matches point csv" (Series.to_csv points)
+    (Series.csv s);
+  let agg =
+    Series.make ~name:"fig6" ~title:"Figure 6" ~group_label:"operation"
+      ~aggregate:"GM"
+      (Series.geomean_row ~label:"GM" points)
+  in
+  check Alcotest.bool "aggregate recorded" true (agg.Series.aggregate = Some "GM");
+  check Alcotest.string "group label kept" "operation" agg.Series.group_label
+
+let test_series_mean_row () =
+  let m = Series.mean_row ~label:"AVG" points in
+  check (Alcotest.float 1e-9) "avg of 10 and 4" 7.
+    (Series.value m ~group:"AVG" ~series:"base");
+  check (Alcotest.float 1e-9) "avg of 5 and 8" 6.5
+    (Series.value m ~group:"AVG" ~series:"fast")
+
 let suite =
   [
     Alcotest.test_case "table render" `Quick test_table_render;
@@ -100,4 +121,6 @@ let suite =
     Alcotest.test_case "series group order" `Quick test_series_by_group_order;
     Alcotest.test_case "series missing baseline" `Quick test_series_missing_baseline;
     Alcotest.test_case "series csv" `Quick test_series_csv;
+    Alcotest.test_case "series make" `Quick test_series_make;
+    Alcotest.test_case "series mean row" `Quick test_series_mean_row;
   ]
