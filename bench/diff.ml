@@ -1,0 +1,86 @@
+(* Compares two BENCH_<label>.json trajectory files written by
+   bench/main.exe.
+
+   Usage: diff.exe BASELINE CURRENT
+
+   The harness is deterministic at a fixed scale, so any change in the
+   series data is a real behavioural change; the volatile metadata
+   ("label", "workers", "generated_unix") is ignored. Exit 0 when the
+   trajectories match, 1 when they differ, 2 on usage or parse errors. *)
+
+module Json = Repro_obs.Json
+
+let usage_error fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "bench-diff: %s\n" msg;
+      exit 2)
+    fmt
+
+let volatile = [ "label"; "workers"; "generated_unix" ]
+
+let load path =
+  if not (Sys.file_exists path) then usage_error "no such file: %s" path;
+  let ic = open_in_bin path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Json.of_string contents with
+  | Ok (Json.Obj fields) ->
+    Json.Obj (List.filter (fun (k, _) -> not (List.mem k volatile)) fields)
+  | Ok _ -> usage_error "%s: expected a JSON object at top level" path
+  | Error e -> usage_error "%s: %s" path e
+
+(* Structural diff, collecting a JSON-pointer-ish path per mismatch. *)
+let rec diff path a b acc =
+  match (a, b) with
+  | Json.Obj xs, Json.Obj ys ->
+    let keys =
+      List.sort_uniq compare (List.map fst xs @ List.map fst ys)
+    in
+    List.fold_left
+      (fun acc k ->
+        let sub = path ^ "/" ^ k in
+        match (List.assoc_opt k xs, List.assoc_opt k ys) with
+        | Some x, Some y -> diff sub x y acc
+        | Some _, None -> (sub, "present in baseline, missing now") :: acc
+        | None, Some _ -> (sub, "absent from baseline, present now") :: acc
+        | None, None -> acc)
+      acc keys
+  | Json.List xs, Json.List ys ->
+    if List.length xs <> List.length ys then
+      ( path,
+        Printf.sprintf "length %d in baseline, %d now" (List.length xs)
+          (List.length ys) )
+      :: acc
+    else
+      List.fold_left
+        (fun (i, acc) (x, y) ->
+          (i + 1, diff (Printf.sprintf "%s/%d" path i) x y acc))
+        (0, acc)
+        (List.combine xs ys)
+      |> snd
+  | _ ->
+    if a = b then acc
+    else
+      ( path,
+        Printf.sprintf "baseline %s, now %s" (Json.to_string a)
+          (Json.to_string b) )
+      :: acc
+
+let () =
+  let baseline_path, current_path =
+    match Sys.argv with
+    | [| _; a; b |] -> (a, b)
+    | _ -> usage_error "usage: diff.exe BASELINE CURRENT"
+  in
+  let mismatches =
+    List.rev (diff "" (load baseline_path) (load current_path) [])
+  in
+  match mismatches with
+  | [] ->
+    Printf.printf "bench-diff: %s matches %s\n" current_path baseline_path
+  | ms ->
+    List.iter (fun (path, what) -> Printf.printf "  %s: %s\n" path what) ms;
+    Printf.printf "bench-diff: %d difference(s) against %s\n" (List.length ms)
+      baseline_path;
+    exit 1

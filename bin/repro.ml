@@ -25,22 +25,33 @@ module Series = Repro_report.Series
 
 open Cmdliner
 
-let technique_conv =
-  let parse s = Result.map_error (fun e -> `Msg e) (T.of_string s) in
-  Arg.conv (parse, T.pp)
+(* Workload/technique names are resolved in the command body, not by an
+   [Arg.conv]: an unknown name is a user mistake, not a malformed command
+   line, so it gets a short message listing the valid names and exit
+   code 2 instead of cmdliner's usage dump. *)
 
-let workload_conv =
-  let parse s =
-    match W.Registry.find s with
-    | Some w -> Ok w
-    | None ->
-      Error
-        (`Msg
-           (Printf.sprintf "unknown workload %S (try one of: %s)" s
-              (String.concat ", " (List.map W.Registry.qualified_name W.Registry.all))))
-  in
-  let pp ppf w = Format.pp_print_string ppf (W.Registry.qualified_name w) in
-  Arg.conv (parse, pp)
+let cli_error fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "repro: %s\n%!" msg;
+      exit 2)
+    fmt
+
+let technique_names = [ "cuda"; "con"; "shard"; "coal"; "tp"; "tp-hw"; "tp/cuda" ]
+
+let resolve_technique s =
+  match T.of_string s with
+  | Ok t -> t
+  | Error _ ->
+    cli_error "unknown technique %S; valid techniques: %s" s
+      (String.concat ", " technique_names)
+
+let resolve_workload s =
+  match W.Registry.find s with
+  | Some w -> w
+  | None ->
+    cli_error "unknown workload %S; valid workloads: %s" s
+      (String.concat ", " (List.map W.Registry.qualified_name W.Registry.all))
 
 let scale_arg =
   Arg.(value & opt float E.Sweep.default_scale & info [ "s"; "scale" ] ~docv:"SCALE"
@@ -119,14 +130,15 @@ let list_cmd =
 
 let run_cmd =
   let workload =
-    Arg.(required & opt (some workload_conv) None & info [ "w"; "workload" ] ~docv:"NAME"
+    Arg.(required & opt (some string) None & info [ "w"; "workload" ] ~docv:"NAME"
            ~doc:"Workload name (see $(b,repro list)).")
   in
   let technique =
-    Arg.(value & opt technique_conv T.Shared_oa & info [ "t"; "technique" ] ~docv:"TECH"
+    Arg.(value & opt string "shard" & info [ "t"; "technique" ] ~docv:"TECH"
            ~doc:"cuda | con | shard | coal | tp | tp-hw | tp/cuda.")
   in
   let run w t scale seed iterations =
+    let w = resolve_workload w and t = resolve_technique t in
     let r = W.Harness.run w (params t scale seed iterations) in
     print_run r;
     (* The full registry breakdown (every metric, including per-label
@@ -141,14 +153,15 @@ let run_cmd =
 
 let profile_cmd =
   let workload =
-    Arg.(required & opt (some workload_conv) None & info [ "w"; "workload" ] ~docv:"NAME"
+    Arg.(required & opt (some string) None & info [ "w"; "workload" ] ~docv:"NAME"
            ~doc:"Workload name (see $(b,repro list)).")
   in
   let technique =
-    Arg.(value & opt technique_conv T.Shared_oa & info [ "t"; "technique" ] ~docv:"TECH"
+    Arg.(value & opt string "shard" & info [ "t"; "technique" ] ~docv:"TECH"
            ~doc:"cuda | con | shard | coal | tp | tp-hw | tp/cuda.")
   in
   let run w t scale seed iterations json csv =
+    let w = resolve_workload w and t = resolve_technique t in
     let r = W.Harness.run w (params t scale seed iterations) in
     let profile =
       O.Profile.make ~workload:r.W.Harness.workload
@@ -174,9 +187,10 @@ let profile_cmd =
 
 let compare_cmd =
   let workload =
-    Arg.(required & opt (some workload_conv) None & info [ "w"; "workload" ] ~docv:"NAME")
+    Arg.(required & opt (some string) None & info [ "w"; "workload" ] ~docv:"NAME")
   in
   let run w scale seed iterations json =
+    let w = resolve_workload w in
     let runs =
       W.Harness.run_techniques w (params T.Shared_oa scale seed iterations) T.all_paper
     in
@@ -393,6 +407,152 @@ let init_cmd =
     (Cmd.info "init" ~doc:"The Sec. 8.2 initialization-cost comparison (SharedOA vs device new).")
     Term.(const run $ scale_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg)
 
+(* --- check ----------------------------------------------------------------- *)
+
+let violation_json (v : Repro_san.Violation.t) =
+  O.Json.Obj
+    [
+      ("kind", O.Json.String (Repro_san.Violation.kind_slug v.Repro_san.Violation.kind));
+      ("warp", O.Json.Int v.Repro_san.Violation.warp);
+      ("lane", O.Json.Int v.Repro_san.Violation.lane);
+      ("addr", O.Json.String (Printf.sprintf "0x%x" v.Repro_san.Violation.addr));
+      ("access", O.Json.String v.Repro_san.Violation.access);
+      ("detail", O.Json.String v.Repro_san.Violation.detail);
+    ]
+
+let technique_report_json (tr : X.Check.technique_report) =
+  O.Json.Obj
+    [
+      ("technique", O.Json.String (T.name tr.X.Check.technique));
+      ("clean", O.Json.Bool (X.Check.technique_clean tr));
+      ( "error",
+        match tr.X.Check.error with
+        | Some e -> O.Json.String e
+        | None -> O.Json.Null );
+      ("dispatches", O.Json.Int tr.X.Check.dispatches);
+      ( "violations",
+        O.Json.Obj
+          (List.map
+             (fun k ->
+               ( Repro_san.Violation.kind_slug k,
+                 O.Json.Int tr.X.Check.counts.(Repro_san.Violation.kind_index k) ))
+             Repro_san.Violation.kinds) );
+      ( "total_violations",
+        O.Json.Int (Array.fold_left ( + ) 0 tr.X.Check.counts) );
+      ("samples", O.Json.List (List.map violation_json tr.X.Check.samples));
+      ( "divergence",
+        match tr.X.Check.divergence with
+        | None -> O.Json.Null
+        | Some d ->
+          O.Json.Obj
+            [
+              ( "index",
+                match d.X.Check.index with
+                | Some i -> O.Json.Int i
+                | None -> O.Json.Null );
+              ("summary", O.Json.String d.X.Check.summary);
+              ( "context",
+                match d.X.Check.context with
+                | Some c -> O.Json.String c
+                | None -> O.Json.Null );
+            ] );
+    ]
+
+let check_json ~scale ~mutation reports =
+  O.Json.Obj
+    [
+      ("scale", O.Json.Float scale);
+      ( "mutation",
+        match mutation with
+        | Some m -> O.Json.String (Repro_san.Mutation.to_string m)
+        | None -> O.Json.Null );
+      ("clean", O.Json.Bool (X.Check.all_clean reports));
+      ( "workloads",
+        O.Json.List
+          (List.map
+             (fun (r : X.Check.report) ->
+               O.Json.Obj
+                 [
+                   ("workload", O.Json.String r.X.Check.workload);
+                   ("clean", O.Json.Bool (X.Check.clean r));
+                   ( "techniques",
+                     O.Json.List
+                       (List.map technique_report_json r.X.Check.techniques) );
+                 ])
+             reports) );
+    ]
+
+let check_cmd =
+  let workload =
+    Arg.(value & opt (some string) None & info [ "w"; "workload" ] ~docv:"NAME"
+           ~doc:"Check one workload (see $(b,repro list)).")
+  in
+  let technique =
+    Arg.(value & opt (some string) None & info [ "t"; "technique" ] ~docv:"TECH"
+           ~doc:"Check only $(docv) against the CUDA reference (default: \
+                 all five techniques).")
+  in
+  let all =
+    Arg.(value & flag & info [ "all" ]
+           ~doc:"Check every workload (the full matrix against the CUDA \
+                 reference).")
+  in
+  let mutate =
+    Arg.(value & opt (some string) None & info [ "mutate" ] ~docv:"BUG"
+           ~doc:"Seed one deliberate bookkeeping bug (self-test mode): \
+                 $(b,tag) records a wrong TypePointer tag, $(b,region) \
+                 shrinks a shadow extent, $(b,uaf) marks an allocation \
+                 dead, $(b,range) skews COAL's range-table leaves. The \
+                 matching detector must fire, so the command exits 1.")
+  in
+  let run w t all mutate scale seed iterations j json =
+    let workloads =
+      match (w, all) with
+      | Some _, true -> cli_error "pass either -w NAME or --all, not both"
+      | Some name, false -> [ resolve_workload name ]
+      | None, true -> W.Registry.all
+      | None, false ->
+        cli_error "nothing to check: pass -w NAME or --all"
+    in
+    let techniques =
+      match t with
+      | None -> T.all_paper
+      | Some name -> [ resolve_technique name ]
+    in
+    let mutation =
+      Option.map
+        (fun name ->
+          match Repro_san.Mutation.of_string name with
+          | Ok m -> m
+          | Error _ ->
+            cli_error "unknown mutation %S; valid mutations: %s" name
+              (String.concat ", " Repro_san.Mutation.names))
+        mutate
+    in
+    let params =
+      { (W.Workload.default_params T.Cuda) with W.Workload.scale; seed; iterations }
+    in
+    let reports = X.Check.run ~jobs:j ?mutation ~techniques ~params workloads in
+    List.iter (Format.printf "%a@." X.Check.pp_report) reports;
+    let clean = X.Check.all_clean reports in
+    Printf.printf "check: %s (%d workload(s) x %d technique(s))\n"
+      (if clean then "clean" else "VIOLATIONS")
+      (List.length reports)
+      (List.length
+         (match reports with r :: _ -> r.X.Check.techniques | [] -> []));
+    Option.iter
+      (fun path -> write_json path (check_json ~scale ~mutation reports))
+      json;
+    if not clean then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Run the shadow-heap sanitizer and the cross-technique \
+             dispatch oracle: every access checked against the shadow \
+             map, every dispatch compared with the CUDA reference.")
+    Term.(const run $ workload $ technique $ all $ mutate $ scale_arg $ seed_arg
+          $ iterations_arg $ jobs_arg $ json_arg)
+
 (* --- sweep ----------------------------------------------------------------- *)
 
 let outcome_json (o : X.Executor.outcome) =
@@ -491,5 +651,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; profile_cmd; compare_cmd; figure_cmd; table_cmd;
-            sweep_cmd; init_cmd; ablation_cmd ]))
+          [ list_cmd; run_cmd; profile_cmd; compare_cmd; check_cmd; figure_cmd;
+            table_cmd; sweep_cmd; init_cmd; ablation_cmd ]))

@@ -15,9 +15,15 @@ type state = {
   mutable alloc_cycles : float;
 }
 
-let create ?(slabs = default_slabs) ?(arena_bytes = 1 lsl 30) ~space () =
+let create ?shadow ?(slabs = default_slabs) ?(arena_bytes = 1 lsl 30) ~space () =
   if slabs <= 0 then invalid_arg "Cuda_alloc.create: slabs must be positive";
   let arena = Repro_mem.Address_space.reserve space ~name:"cuda-heap" ~size:arena_bytes in
+  (match shadow with
+   | Some sh ->
+     Repro_san.Shadow_heap.add_heap_range sh
+       ~base:arena.Repro_mem.Address_space.base
+       ~size:arena.Repro_mem.Address_space.size
+   | None -> ());
   (* The slab step must not be a multiple of the caches' set period
      (sets * line, at most 32 KB here), or same-position objects in every
      slab would collide on one set — a power-of-two-stride artifact a
@@ -41,7 +47,7 @@ let create ?(slabs = default_slabs) ?(arena_bytes = 1 lsl 30) ~space () =
       alloc_cycles = 0.;
     }
   in
-  let alloc ~typ:_ ~size_bytes =
+  let alloc ~typ ~size_bytes =
     if size_bytes <= 0 then invalid_arg "Cuda_alloc.alloc: size must be positive";
     let padded = Vaddr.align_up size_bytes ~alignment:granule_bytes in
     let slab = st.next_slab in
@@ -54,6 +60,13 @@ let create ?(slabs = default_slabs) ?(arena_bytes = 1 lsl 30) ~space () =
     st.used_bytes <- st.used_bytes + size_bytes;
     st.reserved_bytes <- st.reserved_bytes + padded;
     st.alloc_cycles <- st.alloc_cycles +. cycles_per_alloc;
+    (match shadow with
+     | Some sh ->
+       (* The granule padding stays outside the registered extent, so a
+          touch there classifies as a heap hole, not part of the object. *)
+       Repro_san.Shadow_heap.register sh ~base:addr ~size:size_bytes
+         ~type_id:(Registry.type_id typ)
+     | None -> ());
     addr
   in
   let stats () =

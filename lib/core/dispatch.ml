@@ -8,15 +8,17 @@ type t = {
   vtspace : Vtable_space.t;
   range_table : Range_table.t option;
   heap : Repro_mem.Page_store.t;
+  san : Repro_san.Checker.t option;
   mutable warp_vcalls : int;
   mutable thread_vcalls : int;
 }
 
-let create ~registry ~om ~vtspace ~range_table ~heap =
+let create ?san ~registry ~om ~vtspace ~range_table ~heap () =
   (match (Object_model.technique om, range_table) with
    | Technique.Coal, None -> invalid_arg "Dispatch.create: COAL needs a range table"
    | _ -> ());
-  { registry; om; vtspace; range_table; heap; warp_vcalls = 0; thread_vcalls = 0 }
+  { registry; om; vtspace; range_table; heap; san;
+    warp_vcalls = 0; thread_vcalls = 0 }
 
 let warp_vcalls t = t.warp_vcalls
 
@@ -30,6 +32,11 @@ let reset_counters t =
    subset: SIMT divergence on the (in)direct branch. *)
 let branch_and_execute t env ~indirect ~objs impl_ids =
   let ctx = env.Env.ctx in
+  (match t.san with
+   | Some san ->
+     Repro_san.Checker.record_dispatch san ~warp:(Warp_ctx.warp_id ctx)
+       ~tids:(Warp_ctx.tids ctx) ~objs ~targets:impl_ids
+   | None -> ());
   Warp_ctx.diverge ctx ~label:Label.Call ~keys:impl_ids (fun ~key sub idxs ->
       if indirect then Warp_ctx.call_indirect sub ~label:Label.Call
       else Warp_ctx.call_direct sub ~label:Label.Call;
@@ -86,6 +93,13 @@ let coal t env ~objs ~slot =
 
 let type_pointer t env ~objs ~slot =
   let ctx = env.Env.ctx in
+  (* The tag is consumed here without the MMU ever seeing it, so its
+     integrity must be checked at this point, not on the load path. *)
+  (match t.san with
+   | Some san ->
+     Repro_san.Checker.check_tagged_ptrs san ~warp:(Warp_ctx.warp_id ctx)
+       ~tids:(Warp_ctx.tids ctx) ~ptrs:objs
+   | None -> ());
   (* SHR to recover the tag, ADD onto vTablesStartAddr (Fig. 5b lines
      1-2); a dependent ALU chain. *)
   Warp_ctx.compute ctx ~n:2 ~blocking:true ~label:Label.Tp_dispatch;

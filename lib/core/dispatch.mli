@@ -24,13 +24,18 @@
 type t
 
 val create :
+  ?san:Repro_san.Checker.t ->
   registry:Registry.t ->
   om:Object_model.t ->
   vtspace:Vtable_space.t ->
   range_table:Range_table.t option ->
   heap:Repro_mem.Page_store.t ->
+  unit ->
   t
-(** [range_table] must be present for {!Technique.Coal}. *)
+(** [range_table] must be present for {!Technique.Coal}. When [san] is
+    given, every dynamic dispatch reports its per-lane resolved targets
+    to the oracle, and TypePointer dispatches additionally cross-check
+    each receiver's tag against the shadow map. *)
 
 val make_env : t -> Repro_gpu.Warp_ctx.t -> Env.t
 (** The environment whose [vcall]/[vcall_converged] closures implement

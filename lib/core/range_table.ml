@@ -128,6 +128,50 @@ let node_addr b idx = b.node_base + (idx * node_bytes)
 
 let leaf_addr b leaf = b.leaf_base + (leaf * b.leaf_stride)
 
+(* Swap the embedded vtables of the first two leaves whose types differ
+   in some slot's implementation: lookups landing in either region now
+   resolve the other type's methods. The region bounds stay intact, so
+   only the dispatch oracle (not the walk itself) can notice. *)
+let skew_leaves t ~registry =
+  match t.built with
+  | None -> false
+  | Some b ->
+    let count = Array.length b.sorted in
+    let slots_of leaf =
+      Registry.n_slots
+        (Registry.find_type registry b.sorted.(leaf).Region.type_id)
+    in
+    let differs i j =
+      let ti = Registry.find_type registry b.sorted.(i).Region.type_id in
+      let tj = Registry.find_type registry b.sorted.(j).Region.type_id in
+      let n = min (Registry.n_slots ti) (Registry.n_slots tj) in
+      let rec go slot =
+        slot < n
+        && (Registry.impl_of_slot ti ~slot <> Registry.impl_of_slot tj ~slot
+            || go (slot + 1))
+      in
+      go 0
+    in
+    let rec pick i j =
+      if i >= count then None
+      else if j >= count then pick (i + 1) (i + 2)
+      else if differs i j then Some (i, j)
+      else pick i (j + 1)
+    in
+    (match pick 0 1 with
+     | None -> false
+     | Some (i, j) ->
+       let n = min (slots_of i) (slots_of j) in
+       for slot = 0 to n - 1 do
+         let ai = leaf_addr b i + ((leaf_header_words + slot) * Vaddr.word_bytes) in
+         let aj = leaf_addr b j + ((leaf_header_words + slot) * Vaddr.word_bytes) in
+         let vi = Page_store.load t.heap ai in
+         let vj = Page_store.load t.heap aj in
+         Page_store.store t.heap ai vj;
+         Page_store.store t.heap aj vi
+       done;
+       true)
+
 let lookup_emit t ctx ~objs ~slot =
   let b = require_built t in
   let n = Array.length objs in

@@ -31,6 +31,13 @@ val depth : t -> int
 val find_region_host : t -> int -> Region.t option
 (** Untimed host-side lookup (tests, validation). *)
 
+val skew_leaves : t -> registry:Registry.t -> bool
+(** Seeded-bug hook: swap the embedded vtables of two leaves whose types
+    resolve at least one slot differently, leaving the region bounds
+    intact — a corruption only the cross-technique dispatch oracle can
+    observe. Returns [false] when no such leaf pair exists (or before the
+    first {!rebuild}). *)
+
 val lookup_emit :
   t -> Repro_gpu.Warp_ctx.t -> objs:int array -> slot:int -> int array
 (** The instrumented ObjectRangeLookup: walks the tree emitting one

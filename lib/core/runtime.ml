@@ -15,20 +15,31 @@ type t = {
   allocator : Allocator.t;
   range_table : Range_table.t option;
   dispatch : Dispatch.t;
+  san : Repro_san.Checker.t option;
   allocations : (int * Registry.typ) Vec.t;
   mutable regions_dirty : bool;
 }
 
-let create ?config ?(chunk_objs = Shared_oa.default_chunk_objs) ?vt_encoding ~technique () =
+let create ?config ?(chunk_objs = Shared_oa.default_chunk_objs) ?vt_encoding ?san
+    ~technique () =
+  (match san with
+   | Some checker
+     when Repro_san.Checker.tags_expected checker
+          <> Technique.tags_pointers technique ->
+     invalid_arg
+       "Runtime.create: sanitizer tags_expected disagrees with the technique"
+   | _ -> ());
   let heap = Page_store.create () in
   let space = Address_space.create () in
-  let device = Device.create ?config ~heap () in
+  let device = Device.create ?config ?san ~heap () in
   let registry = Registry.create ~heap in
   let vtspace = Vtable_space.create ?encoding:vt_encoding ~heap ~space () in
   let om = Object_model.create technique in
+  let shadow = Option.map Repro_san.Checker.shadow san in
   let allocator =
-    if Technique.uses_shared_oa technique then Shared_oa.create ~chunk_objs ~space ()
-    else Cuda_alloc.create ~space ()
+    if Technique.uses_shared_oa technique then
+      Shared_oa.create ?shadow ~chunk_objs ~space ()
+    else Cuda_alloc.create ?shadow ~space ()
   in
   let range_table =
     match technique with
@@ -36,7 +47,7 @@ let create ?config ?(chunk_objs = Shared_oa.default_chunk_objs) ?vt_encoding ~te
     | Technique.Cuda | Technique.Concord | Technique.Shared_oa
     | Technique.Type_pointer _ -> None
   in
-  let dispatch = Dispatch.create ~registry ~om ~vtspace ~range_table ~heap in
+  let dispatch = Dispatch.create ?san ~registry ~om ~vtspace ~range_table ~heap () in
   {
     technique;
     heap;
@@ -48,11 +59,13 @@ let create ?config ?(chunk_objs = Shared_oa.default_chunk_objs) ?vt_encoding ~te
     allocator;
     range_table;
     dispatch;
+    san;
     allocations = Vec.create ();
     regions_dirty = true;
   }
 
 let technique t = t.technique
+let san t = t.san
 let registry t = t.registry
 let heap t = t.heap
 let device t = t.device
@@ -94,9 +107,15 @@ let new_obj t typ =
   let addr = t.allocator.Allocator.alloc ~typ ~size_bytes in
   write_headers t typ addr;
   let ptr =
-    if Technique.tags_pointers t.technique then
+    if Technique.tags_pointers t.technique then begin
       let tag = Vtable_space.tag_of_vtable t.vtspace ~vtable:(Registry.gpu_vtable typ) in
+      (match t.san with
+       | Some san ->
+         Repro_san.Shadow_heap.note_tag (Repro_san.Checker.shadow san)
+           ~base:addr ~tag
+       | None -> ());
       Vaddr.with_tag addr ~tag
+    end
     else addr
   in
   Vec.push t.allocations (ptr, typ);
@@ -116,6 +135,12 @@ let launch t ~n_threads kernel =
    | Some table when t.regions_dirty ->
      Range_table.rebuild table ~registry:t.registry
        ~regions:(t.allocator.Allocator.regions ());
+     (* A seeded range-table bug must survive rebuilds, so it is
+        re-applied after each one. *)
+     (match t.san with
+      | Some san when Repro_san.Checker.mutation san = Some Repro_san.Mutation.Skew_range ->
+        ignore (Range_table.skew_leaves table ~registry:t.registry)
+      | _ -> ());
      t.regions_dirty <- false
    | Some _ | None -> ());
   Device.launch t.device ~n_threads (fun ctx ->

@@ -15,10 +15,18 @@ val create :
   ?config:Repro_gpu.Config.t ->
   ?chunk_objs:int ->
   ?vt_encoding:Vtable_space.encoding ->
+  ?san:Repro_san.Checker.t ->
   technique:Technique.t ->
   unit -> t
 (** [chunk_objs] is SharedOA's initial region size in objects (Fig. 10
-    sweeps it). *)
+    sweeps it). [san] attaches a sanitizer to the whole runtime: the
+    allocator feeds its shadow heap, the device checks every access, the
+    dispatcher records resolved targets, and a seeded [Skew_range]
+    mutation is applied to COAL's range table after each rebuild. Raises
+    [Invalid_argument] when the checker's [tags_expected] disagrees with
+    whether [technique] tags pointers. *)
+
+val san : t -> Repro_san.Checker.t option
 
 val technique : t -> Technique.t
 val registry : t -> Registry.t

@@ -24,7 +24,7 @@ type state = {
   mutable alloc_cycles : float;
 }
 
-let grow st ts ~size_bytes =
+let grow st ~shadow ts ~size_bytes =
   let objs = ts.next_chunk_objs in
   ts.next_chunk_objs <- ts.next_chunk_objs * 2;
   let bytes = objs * size_bytes in
@@ -33,6 +33,9 @@ let grow st ts ~size_bytes =
   let base = arena.Repro_mem.Address_space.base in
   let size = arena.Repro_mem.Address_space.size in
   st.reserved_bytes <- st.reserved_bytes + size;
+  (match shadow with
+   | Some sh -> Repro_san.Shadow_heap.add_heap_range sh ~base ~size
+   | None -> ());
   (* The chunk's capacity is the requested object count; the page-rounding
      tail is pure fragmentation. *)
   match ts.chunks with
@@ -47,7 +50,7 @@ let grow st ts ~size_bytes =
       { base; limit = base + bytes; reserved_end = base + size; cursor = base }
       :: ts.chunks
 
-let create ?(chunk_objs = default_chunk_objs) ~space () =
+let create ?shadow ?(chunk_objs = default_chunk_objs) ~space () =
   if chunk_objs <= 0 then invalid_arg "Shared_oa.create: chunk_objs must be positive";
   let st =
     {
@@ -74,13 +77,18 @@ let create ?(chunk_objs = default_chunk_objs) ~space () =
     let ts = state_of typ in
     (match ts.chunks with
      | head :: _ when head.cursor + size_bytes <= head.limit -> ()
-     | _ -> grow st ts ~size_bytes);
+     | _ -> grow st ~shadow ts ~size_bytes);
     let head = List.hd ts.chunks in
     let addr = head.cursor in
     head.cursor <- head.cursor + size_bytes;
     st.objects <- st.objects + 1;
     st.used_bytes <- st.used_bytes + size_bytes;
     st.alloc_cycles <- st.alloc_cycles +. cycles_per_alloc;
+    (match shadow with
+     | Some sh ->
+       Repro_san.Shadow_heap.register sh ~base:addr ~size:size_bytes
+         ~type_id:ts.type_id
+     | None -> ());
     addr
   in
   let regions () =

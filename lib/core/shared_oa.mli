@@ -18,9 +18,11 @@ val cycles_per_alloc : float
 (** Modelled host-side allocation cost per object. *)
 
 val create :
+  ?shadow:Repro_san.Shadow_heap.t ->
   ?chunk_objs:int ->
   space:Repro_mem.Address_space.t ->
   unit -> Allocator.t
 (** Regions are reserved lazily per type from [space]. The returned
     allocator's [regions] are sorted by base address and merged where
-    adjacent. *)
+    adjacent. When [shadow] is given, every reservation is declared a
+    heap range and every placement registered in the shadow map. *)

@@ -1,0 +1,171 @@
+module W = Repro_workloads
+module T = Repro_core.Technique
+module San = Repro_san
+
+let reference = T.Cuda
+
+type divergence = {
+  index : int option;
+  summary : string;
+  context : string option;
+}
+
+type technique_report = {
+  technique : T.t;
+  error : string option;
+  counts : int array;
+  samples : San.Violation.t list;
+  dispatches : int;
+  divergence : divergence option;
+}
+
+type report = {
+  workload : string;
+  mutation : San.Mutation.t option;
+  techniques : technique_report list;
+}
+
+let technique_clean tr =
+  tr.error = None
+  && Array.for_all (fun c -> c = 0) tr.counts
+  && tr.divergence = None
+
+let clean r = List.for_all technique_clean r.techniques
+
+let all_clean = List.for_all clean
+
+let checker_for ?mutation ?capture technique =
+  San.Checker.create ?mutation ?capture
+    ~tags_expected:(T.tags_pointers technique) ()
+
+let with_san (params : W.Workload.params) ~technique checker =
+  { params with W.Workload.technique; san = Some checker }
+
+(* Digest streams say only *that* dispatch [index] diverged; recovering
+   the per-lane context means re-running both sides serially with the
+   oracle capturing that dispatch. Check runs are small (seconds), so
+   the second pass is cheaper than retaining every dispatch of every
+   technique would have been. *)
+let capture_context ?mutation ~params workload ~technique index =
+  let cap tech =
+    let checker = checker_for ?mutation ~capture:index tech in
+    match W.Harness.run workload (with_san params ~technique:tech checker) with
+    | _ -> San.Oracle.captured (San.Checker.oracle checker)
+    | exception _ -> None
+  in
+  match (cap reference, cap technique) with
+  | Some ref_d, Some act_d ->
+    Some (San.Oracle.describe_details ~reference:ref_d act_d)
+  | _ -> None
+
+let run ?jobs ?mutation ?(techniques = T.all_paper) ~params workloads =
+  let techniques =
+    if List.exists (T.equal reference) techniques then techniques
+    else reference :: techniques
+  in
+  let units =
+    List.concat_map
+      (fun w ->
+        List.map
+          (fun tech ->
+            let checker = checker_for ?mutation tech in
+            (w, tech, checker, Job.make w (with_san params ~technique:tech checker)))
+          techniques)
+      workloads
+  in
+  let outcomes =
+    Executor.run ?jobs ~cache:false (List.map (fun (_, _, _, j) -> j) units)
+  in
+  let paired =
+    List.map2 (fun (w, tech, checker, _) o -> (w, tech, checker, o)) units outcomes
+  in
+  List.map
+    (fun w ->
+      let mine = List.filter (fun (w', _, _, _) -> w' == w) paired in
+      let ref_ok, ref_oracle =
+        match List.find_opt (fun (_, t, _, _) -> T.equal t reference) mine with
+        | Some (_, _, c, (o : Executor.outcome)) ->
+          ( (match o.Executor.result with Ok _ -> true | Error _ -> false),
+            San.Checker.oracle c )
+        | None -> assert false (* the reference is always in [techniques] *)
+      in
+      let technique_reports =
+        List.map
+          (fun (_, tech, checker, (o : Executor.outcome)) ->
+            let error =
+              match o.Executor.result with Ok _ -> None | Error e -> Some e
+            in
+            let divergence =
+              if T.equal tech reference || error <> None || not ref_ok then None
+              else
+                match
+                  San.Oracle.diff ~reference:ref_oracle (San.Checker.oracle checker)
+                with
+                | None -> None
+                | Some d ->
+                  let summary = Format.asprintf "%a" San.Oracle.pp_divergence d in
+                  (match d with
+                   | San.Oracle.Target_mismatch { index } ->
+                     Some
+                       {
+                         index = Some index;
+                         summary;
+                         context =
+                           capture_context ?mutation ~params w ~technique:tech
+                             index;
+                       }
+                   | San.Oracle.Length_mismatch _ ->
+                     Some { index = None; summary; context = None })
+            in
+            {
+              technique = tech;
+              error;
+              counts =
+                Array.init San.Violation.kind_count (fun i ->
+                    San.Checker.count checker (San.Violation.kind_of_index i));
+              samples = San.Checker.samples checker;
+              dispatches = San.Oracle.length (San.Checker.oracle checker);
+              divergence;
+            })
+          mine
+      in
+      {
+        workload = W.Registry.qualified_name w;
+        mutation;
+        techniques = technique_reports;
+      })
+    workloads
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>%s%s:" r.workload
+    (match r.mutation with
+     | None -> ""
+     | Some m -> Format.asprintf " (mutation %a)" San.Mutation.pp m);
+  List.iter
+    (fun tr ->
+      let total = Array.fold_left ( + ) 0 tr.counts in
+      Format.fprintf ppf "@,  %-8s %d dispatches" (T.name tr.technique)
+        tr.dispatches;
+      (match tr.error with
+       | Some e -> Format.fprintf ppf " ERROR: %s" e
+       | None -> ());
+      if total > 0 then begin
+        Format.fprintf ppf " violations:";
+        List.iter
+          (fun k ->
+            let n = tr.counts.(San.Violation.kind_index k) in
+            if n > 0 then
+              Format.fprintf ppf " %s=%d" (San.Violation.kind_slug k) n)
+          San.Violation.kinds
+      end;
+      (match tr.divergence with
+       | Some d ->
+         Format.fprintf ppf "@,    DIVERGES from %s: %s" (T.name reference)
+           d.summary;
+         (match d.context with
+          | Some c -> Format.fprintf ppf "@,    %s" c
+          | None -> ())
+       | None -> ());
+      if technique_clean tr then Format.fprintf ppf " ok")
+    r.techniques;
+  Format.fprintf ppf "@]"

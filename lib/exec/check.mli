@@ -1,0 +1,67 @@
+(** The cross-technique check driver behind [repro check].
+
+    Runs each workload under every technique with a {!Repro_san.Checker}
+    attached, through the same {!Executor} that powers measurement sweeps
+    (cache off — the product is the mutable checker, not the timing).
+    Per workload it then
+
+    - aggregates the shadow-heap violation counts each technique's
+      checker accumulated, and
+    - diffs every technique's dispatch-oracle digest stream against the
+      CUDA reference: all five techniques must resolve the identical
+      per-warp, per-call-site targets over the identical objects. On the
+      first mismatch the pair is re-run serially with the oracle
+      capturing that dispatch, recovering warp/lane/address context.
+
+    An optional seeded {!Repro_san.Mutation} turns the run into a
+    sanitizer self-test: the corresponding detector must fire. *)
+
+val reference : Repro_core.Technique.t
+(** The dispatch oracle's ground truth: {!Repro_core.Technique.Cuda}. *)
+
+type divergence = {
+  index : int option;
+      (** Index of the first diverging dispatch ([None] when the streams
+          have different lengths). *)
+  summary : string;
+  context : string option;
+      (** First diverging lane with object/address detail, recovered by
+          the capture re-run; [None] if the re-run could not capture. *)
+}
+
+type technique_report = {
+  technique : Repro_core.Technique.t;
+  error : string option;  (** The run raised (workload failure). *)
+  counts : int array;     (** By {!Repro_san.Violation.kind_index}. *)
+  samples : Repro_san.Violation.t list;
+  dispatches : int;       (** Warp dispatches the oracle recorded. *)
+  divergence : divergence option;
+}
+
+type report = {
+  workload : string;
+  mutation : Repro_san.Mutation.t option;
+  techniques : technique_report list;
+}
+
+val technique_clean : technique_report -> bool
+(** No error, zero violations, no divergence. *)
+
+val clean : report -> bool
+
+val all_clean : report list -> bool
+
+val run :
+  ?jobs:int ->
+  ?mutation:Repro_san.Mutation.t ->
+  ?techniques:Repro_core.Technique.t list ->
+  params:Repro_workloads.Workload.params ->
+  Repro_workloads.Workload.t list ->
+  report list
+(** [run ~params workloads] checks each workload under [techniques]
+    (default {!Repro_core.Technique.all_paper}; the CUDA reference is
+    added if missing). [params.technique] and [params.san] are
+    overridden per job. [jobs] sets the executor's worker count.
+    Reports are in [workloads] order, techniques in [techniques] order. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -37,7 +37,7 @@ let technique_id = function
 
 let key t =
   let p = t.params in
-  Printf.sprintf "%s|%s|scale=%.6g|seed=%d|iters=%s|chunk=%s|config=%s"
+  Printf.sprintf "%s|%s|scale=%.6g|seed=%d|iters=%s|chunk=%s|config=%s|san=%s"
     (workload_name t) (technique_id t.technique) p.W.Workload.scale
     p.W.Workload.seed
     (match p.W.Workload.iterations with
@@ -47,6 +47,7 @@ let key t =
      | None -> "default"
      | Some c -> string_of_int c)
     (match p.W.Workload.config with None -> "default" | Some _ -> "custom")
+    (match p.W.Workload.san with None -> "off" | Some _ -> "on")
 
 (* Bump whenever [Harness.run] (or anything Marshal reaches through it)
    changes shape: old cache entries become unreachable, not corrupt. *)
@@ -54,7 +55,11 @@ let schema_version = "repro-exec-v2"
 
 let hash t = Digest.to_hex (Digest.string (schema_version ^ "\n" ^ key t))
 
-let cacheable t = t.params.W.Workload.config = None
+(* Sanitized jobs are never cached: the measurement's real product is
+   the mutable checker threaded through params, which a cache hit would
+   leave untouched. *)
+let cacheable t =
+  t.params.W.Workload.config = None && t.params.W.Workload.san = None
 
 let run t = W.Harness.run t.workload t.params
 

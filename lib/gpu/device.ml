@@ -3,17 +3,19 @@ type t = {
   heap : Repro_mem.Page_store.t;
   mem_path : Mem_path.t;
   stats : Stats.t;
+  san : Repro_san.Checker.t option;
   mutable timeline : Stats.t list; (* per-launch deltas, newest first *)
   mutable launches : int;
 }
 
-let create ?(config = Config.default) ~heap () =
+let create ?(config = Config.default) ?san ~heap () =
   Config.validate config;
   {
     cfg = config;
     heap;
     mem_path = Mem_path.create config;
     stats = Stats.create ();
+    san;
     timeline = [];
     launches = 0;
   }
@@ -31,7 +33,7 @@ let launch t ~n_threads kernel =
         let first = warp_id * warp_size in
         let width = min warp_size (n_threads - first) in
         let lanes = Array.init width (fun lane -> first + lane) in
-        let ctx = Warp_ctx.create ~heap:t.heap ~warp_id ~lanes in
+        let ctx = Warp_ctx.create ?san:t.san ~heap:t.heap ~warp_id ~lanes () in
         kernel ctx;
         Warp_ctx.trace ctx)
   in
@@ -41,6 +43,14 @@ let launch t ~n_threads kernel =
   let launch_stats = Stats.create () in
   let cycles = Sm.run t.cfg t.mem_path ~stats:launch_stats ~traces in
   Stats.add_cycles launch_stats cycles;
+  (* Sanitizer violations detected during this launch's functional phase
+     belong to this launch's delta, keeping the timeline-sums-to-totals
+     invariant intact. *)
+  (match t.san with
+   | None -> ()
+   | Some san ->
+     Stats.count_san_violations launch_stats
+       (Repro_san.Checker.take_kernel_delta san));
   Stats.add t.stats launch_stats;
   t.timeline <- launch_stats :: t.timeline;
   t.launches <- t.launches + 1

@@ -10,7 +10,12 @@
 
 type t
 
-val create : ?config:Config.t -> heap:Repro_mem.Page_store.t -> unit -> t
+val create :
+  ?config:Config.t -> ?san:Repro_san.Checker.t ->
+  heap:Repro_mem.Page_store.t -> unit -> t
+(** When [san] is given, every launch threads it through the warp
+    contexts and folds the checker's per-launch violation delta into that
+    launch's counters (so the timeline invariant below still holds). *)
 
 val config : t -> Config.t
 

@@ -12,6 +12,7 @@ type t = {
   mutable dram_sectors : int;
   stalls : float array; (* indexed by Label.to_index *)
   load_transactions_by_label : int array;
+  san_violations : int array; (* indexed by Repro_san.Violation.kind_index *)
 }
 
 let create () =
@@ -29,6 +30,7 @@ let create () =
     dram_sectors = 0;
     stalls = Array.make Label.count 0.;
     load_transactions_by_label = Array.make Label.count 0;
+    san_violations = Array.make Repro_san.Violation.kind_count 0;
   }
 
 let reset t =
@@ -44,7 +46,8 @@ let reset t =
   t.l2_misses <- 0;
   t.dram_sectors <- 0;
   Array.fill t.stalls 0 Label.count 0.;
-  Array.fill t.load_transactions_by_label 0 Label.count 0
+  Array.fill t.load_transactions_by_label 0 Label.count 0;
+  Array.fill t.san_violations 0 Repro_san.Violation.kind_count 0
 
 let add acc x =
   acc.cycles <- acc.cycles +. x.cycles;
@@ -62,7 +65,10 @@ let add acc x =
   Array.iteri
     (fun i v ->
       acc.load_transactions_by_label.(i) <- acc.load_transactions_by_label.(i) + v)
-    x.load_transactions_by_label
+    x.load_transactions_by_label;
+  Array.iteri
+    (fun i v -> acc.san_violations.(i) <- acc.san_violations.(i) + v)
+    x.san_violations
 
 let copy t =
   let c = create () in
@@ -90,6 +96,18 @@ let count_l2 t ~hit =
   if hit then t.l2_hits <- t.l2_hits + 1 else t.l2_misses <- t.l2_misses + 1
 
 let count_dram_sector t = t.dram_sectors <- t.dram_sectors + 1
+
+let count_san_violations t deltas =
+  if Array.length deltas <> Repro_san.Violation.kind_count then
+    invalid_arg "Stats.count_san_violations: delta width mismatch";
+  Array.iteri
+    (fun i v -> t.san_violations.(i) <- t.san_violations.(i) + v)
+    deltas
+
+let san_violations_for t kind =
+  t.san_violations.(Repro_san.Violation.kind_index kind)
+
+let total_san_violations t = Array.fold_left ( + ) 0 t.san_violations
 
 let attribute_stall t label cycles =
   let i = Label.to_index label in
@@ -154,5 +172,14 @@ let pp ppf t =
         if s > 0. then
           Format.fprintf ppf " %s=%.1f%%" (Label.slug l) (100. *. s /. total_stalls))
       Label.all
+  end;
+  if total_san_violations t > 0 then begin
+    Format.fprintf ppf "@,san violations:";
+    List.iter
+      (fun k ->
+        let n = san_violations_for t k in
+        if n > 0 then
+          Format.fprintf ppf " %s=%d" (Repro_san.Violation.kind_slug k) n)
+      Repro_san.Violation.kinds
   end;
   Format.fprintf ppf "@]"

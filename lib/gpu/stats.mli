@@ -36,6 +36,11 @@ val attribute_stall : t -> Label.t -> float -> unit
 
 val add_cycles : t -> float -> unit
 
+val count_san_violations : t -> int array -> unit
+(** Accumulate a per-kind sanitizer violation delta, indexed by
+    [Repro_san.Violation.kind_index] (the device feeds each launch's
+    {!Repro_san.Checker.take_kernel_delta} here). *)
+
 (** {2 Reading} *)
 
 val cycles : t -> float
@@ -75,6 +80,10 @@ val dram_sectors : t -> int
 val stall_cycles : t -> Label.t -> float
 
 val total_stall_cycles : t -> float
+
+val san_violations_for : t -> Repro_san.Violation.kind -> int
+
+val total_san_violations : t -> int
 
 val pp : Format.formatter -> t -> unit
 (** One-line counter summary plus, when any stalls were attributed, a

@@ -6,11 +6,12 @@ type t = {
   trace : Trace.t;
   warp_id : int;
   lanes : int array;
+  san : Repro_san.Checker.t option;
 }
 
-let create ~heap ~warp_id ~lanes =
+let create ?san ~heap ~warp_id ~lanes () =
   if Array.length lanes = 0 then invalid_arg "Warp_ctx.create: empty warp";
-  { heap; trace = Trace.create (); warp_id; lanes }
+  { heap; trace = Trace.create (); warp_id; lanes; san }
 
 let trace t = t.trace
 
@@ -26,8 +27,23 @@ let check_width t a label =
 
 let stripped addrs = Array.map Vaddr.strip addrs
 
+let san_access_of_label label =
+  match label with
+  | Label.Vtable_load -> Repro_san.Checker.Vtable
+  | Label.Vfunc_load -> Repro_san.Checker.Vfunc
+  | _ -> Repro_san.Checker.Other
+
+let sanitize t ~label ~width addrs =
+  match t.san with
+  | None -> ()
+  | Some san ->
+    Repro_san.Checker.check_access san ~warp:t.warp_id ~tids:t.lanes
+      ~access:(san_access_of_label label) ~what:(Label.slug label) ~width
+      ~addrs
+
 let do_load t ~width ~blocking ~label addrs =
   check_width t addrs "load";
+  sanitize t ~label ~width addrs;
   let canonical = stripped addrs in
   Trace.emit t.trace (Instr.load ~blocking ~label canonical);
   Array.map (fun a -> Page_store.load_byte_width t.heap a ~width) canonical
@@ -40,6 +56,7 @@ let load_nonblocking ?(width = 8) t ~label addrs =
 let store ?(width = 8) t ~label addrs values =
   check_width t addrs "store";
   check_width t values "store";
+  sanitize t ~label ~width addrs;
   let canonical = stripped addrs in
   Trace.emit t.trace (Instr.store ~label canonical);
   Array.iteri

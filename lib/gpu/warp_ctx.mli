@@ -19,9 +19,12 @@
 type t
 
 val create :
-  heap:Repro_mem.Page_store.t -> warp_id:int -> lanes:int array -> t
+  ?san:Repro_san.Checker.t ->
+  heap:Repro_mem.Page_store.t -> warp_id:int -> lanes:int array -> unit -> t
 (** Used by the device launch path; [lanes] are the global thread ids of
-    the active lanes (≤ warp size, non-empty). *)
+    the active lanes (≤ warp size, non-empty). When [san] is given, every
+    {!load} and {!store} reports its raw (pre-strip) per-lane addresses to
+    the sanitizer before the heap sees them. *)
 
 val trace : t -> Trace.t
 

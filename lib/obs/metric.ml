@@ -1,5 +1,6 @@
 module Stats = Repro_gpu.Stats
 module Label = Repro_gpu.Label
+module Violation = Repro_san.Violation
 
 type value = Int of int | Float of float
 
@@ -116,7 +117,16 @@ let load_transactions_for label =
 let per_label =
   List.map stall_cycles Label.all @ List.map load_transactions_for Label.all
 
-let counters = scalars @ per_label
+let san_violations_for kind =
+  {
+    name = "san_violations." ^ Violation.kind_slug kind;
+    units = "violations";
+    extract = (fun s -> Int (Stats.san_violations_for s kind));
+  }
+
+let san = List.map san_violations_for Violation.kinds
+
+let counters = scalars @ per_label @ san
 
 (* {2 Derived metrics} *)
 
@@ -178,9 +188,10 @@ let pp_stats ppf stats =
       let v = m.extract stats in
       let skip =
         (* Per-label zeros would drown the signal: a run under one
-           technique exercises only that technique's labels. *)
+           technique exercises only that technique's labels. Sanitizer
+           counters likewise only matter when something fired. *)
         (match v with Int i -> i = 0 | Float f -> f = 0.)
-        && List.exists (fun pm -> pm.name = m.name) per_label
+        && List.exists (fun pm -> pm.name = m.name) (per_label @ san)
       in
       if not skip then begin
         if not !first then Format.pp_print_cut ppf ();

@@ -51,9 +51,17 @@ val load_transactions_for : Repro_gpu.Label.t -> t
 val per_label : t list
 (** Both families over {!Repro_gpu.Label.all} — [2 * Label.count] metrics. *)
 
+(** {2 Sanitizer counters} — the violation-kind-indexed array in [Stats]. *)
+
+val san_violations_for : Repro_san.Violation.kind -> t
+(** ["san_violations.<slug>"]. *)
+
+val san : t list
+(** The family over {!Repro_san.Violation.kinds}. *)
+
 val counters : t list
-(** [scalars @ per_label]: the additive counters. Summing a metric in
-    this list over per-kernel deltas yields the run total (the
+(** [scalars @ per_label @ san]: the additive counters. Summing a metric
+    in this list over per-kernel deltas yields the run total (the
     {!Profile.consistent} invariant); derived metrics (rates) are not
     additive and are excluded. *)
 

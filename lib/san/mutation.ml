@@ -1,0 +1,26 @@
+type t =
+  | Retag of { victim : int }
+  | Truncate of { victim : int }
+  | Kill of { victim : int }
+  | Skew_range
+
+let names = [ "tag"; "region"; "uaf"; "range" ]
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "tag" -> Ok (Retag { victim = 0 })
+  | "region" -> Ok (Truncate { victim = 0 })
+  | "uaf" -> Ok (Kill { victim = 0 })
+  | "range" -> Ok Skew_range
+  | other ->
+    Error
+      (Printf.sprintf "unknown mutation %S (try one of: %s)" other
+         (String.concat ", " names))
+
+let to_string = function
+  | Retag _ -> "tag"
+  | Truncate _ -> "region"
+  | Kill _ -> "uaf"
+  | Skew_range -> "range"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

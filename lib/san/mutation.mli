@@ -1,0 +1,38 @@
+(** Seeded-bug directives for sanitizer self-tests.
+
+    A mutation deliberately corrupts one piece of bookkeeping so that the
+    matching detector can be shown to fire — the sanitizer's analogue of
+    mutation testing. [Retag]/[Truncate]/[Kill] distort the shadow map's
+    record of the [victim]-th allocation (in program allocation order) at
+    registration time; [Skew_range] corrupts a COAL range-table leaf's
+    embedded vTable after every rebuild, which only the cross-technique
+    dispatch oracle can catch. *)
+
+type t =
+  | Retag of { victim : int }
+      (** Record wrong TypePointer tags from the [victim]-th allocation
+          onward: the tag-integrity check must report
+          {!Violation.Tag_mismatch} on their dispatches (applied to a
+          suffix so the corruption reaches a dispatched object no matter
+          which allocations a workload vcalls). *)
+  | Truncate of { victim : int }
+      (** Record the allocation as header-only: user-field accesses must
+          report {!Violation.Out_of_bounds}. *)
+  | Kill of { victim : int }
+      (** Record the allocation as dead: any access must report
+          {!Violation.Use_after_free}. *)
+  | Skew_range
+      (** Swap the embedded vTables of two range-table leaves of
+          different types: COAL dispatch diverges from the CUDA
+          reference. *)
+
+val of_string : string -> (t, string) result
+(** Parses ["tag"], ["region"], ["uaf"], ["range"] (victim defaults
+    to 0); the CLI surface. *)
+
+val to_string : t -> string
+
+val names : string list
+(** The accepted {!of_string} spellings. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,106 @@
+module Vec = Repro_util.Vec
+module Vaddr = Repro_mem.Vaddr
+
+type detail = {
+  warp : int;
+  tids : int array;
+  objs : int array;
+  alloc_idx : int array;
+  targets : int array;
+}
+
+type t = {
+  capture : int option;
+  digests : int Vec.t;
+  mutable captured : detail option;
+}
+
+let create ?capture () = { capture; digests = Vec.create (); captured = None }
+
+(* SplitMix-style mixing, as in [Runtime.checksum]. *)
+let mix h v =
+  let h = h lxor (v + 0x9e3779b9 + (h lsl 6) + (h lsr 2)) in
+  h land max_int
+
+let alloc_index_of shadow ptr =
+  match Shadow_heap.find shadow ptr with
+  | Some r -> r.Shadow_heap.index
+  | None -> -1
+
+let record t ~shadow ~warp ~tids ~objs ~targets =
+  let n = Array.length tids in
+  let digest = ref (mix warp n) in
+  for i = 0 to n - 1 do
+    digest := mix !digest tids.(i);
+    digest := mix !digest (alloc_index_of shadow objs.(i));
+    digest := mix !digest targets.(i)
+  done;
+  let index = Vec.length t.digests in
+  Vec.push t.digests !digest;
+  match t.capture with
+  | Some c when c = index ->
+    t.captured <-
+      Some
+        {
+          warp;
+          tids = Array.copy tids;
+          objs = Array.copy objs;
+          alloc_idx = Array.map (alloc_index_of shadow) objs;
+          targets = Array.copy targets;
+        }
+  | _ -> ()
+
+let length t = Vec.length t.digests
+
+let captured t = t.captured
+
+type divergence =
+  | Target_mismatch of { index : int }
+  | Length_mismatch of { reference : int; actual : int }
+
+let diff ~reference t =
+  let nr = Vec.length reference.digests and na = Vec.length t.digests in
+  let n = min nr na in
+  let rec go i =
+    if i >= n then
+      if nr = na then None
+      else Some (Length_mismatch { reference = nr; actual = na })
+    else if Vec.get reference.digests i <> Vec.get t.digests i then
+      Some (Target_mismatch { index = i })
+    else go (i + 1)
+  in
+  go 0
+
+let pp_divergence ppf = function
+  | Target_mismatch { index } ->
+    Format.fprintf ppf "dispatch #%d resolved different targets" index
+  | Length_mismatch { reference; actual } ->
+    Format.fprintf ppf "dispatch count differs: %d (reference) vs %d" reference
+      actual
+
+let describe_details ~reference actual =
+  let buf = Buffer.create 128 in
+  let n = min (Array.length reference.tids) (Array.length actual.tids) in
+  let found = ref false in
+  for i = 0 to n - 1 do
+    if
+      (not !found)
+      && (reference.alloc_idx.(i) <> actual.alloc_idx.(i)
+          || reference.targets.(i) <> actual.targets.(i)
+          || reference.tids.(i) <> actual.tids.(i))
+    then begin
+      found := true;
+      Buffer.add_string buf
+        (Format.asprintf
+           "warp %d lane tid %d: object #%d at %a -> impl %d, reference has \
+            object #%d at %a -> impl %d"
+           actual.warp actual.tids.(i) actual.alloc_idx.(i) Vaddr.pp
+           actual.objs.(i) actual.targets.(i) reference.alloc_idx.(i) Vaddr.pp
+           reference.objs.(i) reference.targets.(i))
+    end
+  done;
+  if not !found then
+    Buffer.add_string buf
+      (Printf.sprintf "warp %d: active lane sets differ (%d vs %d lanes)"
+         actual.warp (Array.length reference.tids) (Array.length actual.tids));
+  Buffer.contents buf

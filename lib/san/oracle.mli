@@ -1,0 +1,52 @@
+(** The cross-technique dispatch oracle.
+
+    All five techniques must resolve every dynamic virtual call to the
+    same targets. The oracle records, per warp-level dispatch in
+    execution order, a digest of (warp, active lanes, per-lane receiver
+    identity, per-lane resolved implementation id). Receivers are
+    identified by their program-order allocation index (via the shadow
+    map), not their address — addresses differ across allocators, the
+    allocation order does not.
+
+    Digest streams are compact (one int per dispatch), so whole-run
+    comparison is cheap; when two streams first disagree, the runs are
+    repeated in capture mode for that one index to recover full
+    warp/lane/address context. *)
+
+type detail = {
+  warp : int;
+  tids : int array;       (** Global thread ids of the active lanes. *)
+  objs : int array;       (** Raw per-lane receiver pointers. *)
+  alloc_idx : int array;  (** Allocation index per lane (-1 if unknown). *)
+  targets : int array;    (** Resolved implementation id per lane. *)
+}
+
+type t
+
+val create : ?capture:int -> unit -> t
+(** [capture] stores full {!detail} for that event index (0-based) in
+    addition to the digests. *)
+
+val record :
+  t -> shadow:Shadow_heap.t -> warp:int -> tids:int array ->
+  objs:int array -> targets:int array -> unit
+
+val length : t -> int
+(** Dispatches recorded. *)
+
+val captured : t -> detail option
+
+type divergence =
+  | Target_mismatch of { index : int }
+      (** Digest streams first differ at dispatch [index]. *)
+  | Length_mismatch of { reference : int; actual : int }
+      (** One run performed more dispatches than the other. *)
+
+val diff : reference:t -> t -> divergence option
+(** First divergence of [t] against [reference], if any. *)
+
+val pp_divergence : Format.formatter -> divergence -> unit
+
+val describe_details : reference:detail -> detail -> string
+(** Lane-level explanation of a captured divergent dispatch: the first
+    lane whose (receiver, target) pair differs, with addresses. *)

@@ -1,0 +1,142 @@
+module Vaddr = Repro_mem.Vaddr
+module Vec = Repro_util.Vec
+
+type record = {
+  base : int;
+  size : int;
+  type_id : int;
+  index : int;
+  mutable tag : int;
+  mutable shadow_size : int;
+  mutable live : bool;
+}
+
+type t = {
+  mutation : Mutation.t option;
+  records : record Vec.t;          (* in registration (program) order *)
+  by_base : (int, record) Hashtbl.t;
+  mutable sorted : record array;   (* by base; rebuilt lazily *)
+  mutable sorted_dirty : bool;
+  ranges : (int * int) Vec.t;      (* heap arenas as (base, limit) *)
+  mutable ranges_sorted : (int * int) array;
+  mutable ranges_dirty : bool;
+}
+
+let create ?mutation () =
+  {
+    mutation;
+    records = Vec.create ();
+    by_base = Hashtbl.create 1024;
+    sorted = [||];
+    sorted_dirty = false;
+    ranges = Vec.create ();
+    ranges_sorted = [||];
+    ranges_dirty = false;
+  }
+
+let mutation t = t.mutation
+
+let n_allocations t = Vec.length t.records
+
+let register t ~base ~size ~type_id =
+  if not (Vaddr.is_canonical base) then
+    invalid_arg "Shadow_heap.register: non-canonical base";
+  if size <= 0 then invalid_arg "Shadow_heap.register: size must be positive";
+  let index = Vec.length t.records in
+  let r = { base; size; type_id; index; tag = 0; shadow_size = size; live = true } in
+  (match t.mutation with
+   | Some (Mutation.Truncate { victim }) when victim = index ->
+     (* Shrink the checked extent to one word: the header's first word
+        stays valid, everything past it is out of bounds. *)
+     r.shadow_size <- Vaddr.word_bytes
+   | Some (Mutation.Kill { victim }) when victim = index -> r.live <- false
+   | _ -> ());
+  Vec.push t.records r;
+  Hashtbl.replace t.by_base base r;
+  t.sorted_dirty <- true
+
+let add_heap_range t ~base ~size =
+  if size <= 0 then invalid_arg "Shadow_heap.add_heap_range: size must be positive";
+  Vec.push t.ranges (base, base + size);
+  t.ranges_dirty <- true
+
+let note_tag t ~base ~tag =
+  match Hashtbl.find_opt t.by_base base with
+  | None -> ()
+  | Some r ->
+    r.tag <-
+      (match t.mutation with
+       | Some (Mutation.Retag { victim }) when r.index >= victim ->
+         (* Record a wrong tag: flipping the low bit always lands on a
+            different (still in-range) tag value. Applied from the victim
+            onward so the corruption reaches a dispatched object no
+            matter which allocations a workload actually vcalls. *)
+         tag lxor 1
+       | _ -> tag)
+
+let ensure_sorted t =
+  if t.sorted_dirty then begin
+    let a = Array.make (Vec.length t.records) (Vec.get t.records 0) in
+    Vec.iteri (fun i r -> a.(i) <- r) t.records;
+    Array.sort (fun a b -> compare a.base b.base) a;
+    t.sorted <- a;
+    t.sorted_dirty <- false
+  end
+
+let ensure_ranges_sorted t =
+  if t.ranges_dirty then begin
+    let a = Array.make (Vec.length t.ranges) (0, 0) in
+    Vec.iteri (fun i r -> a.(i) <- r) t.ranges;
+    Array.sort compare a;
+    t.ranges_sorted <- a;
+    t.ranges_dirty <- false
+  end
+
+(* Greatest element with [base <= addr], by binary search. *)
+let find_le sorted key_of addr =
+  let n = Array.length sorted in
+  let rec go lo hi best =
+    if lo >= hi then best
+    else begin
+      let mid = (lo + hi) / 2 in
+      if key_of sorted.(mid) <= addr then go (mid + 1) hi (Some sorted.(mid))
+      else go lo mid best
+    end
+  in
+  go 0 n None
+
+let find t addr =
+  if Vec.is_empty t.records then None
+  else begin
+    ensure_sorted t;
+    let addr = Vaddr.strip addr in
+    match find_le t.sorted (fun r -> r.base) addr with
+    | Some r when addr < r.base + r.size -> Some r
+    | _ -> None
+  end
+
+let in_heap_range t addr =
+  ensure_ranges_sorted t;
+  match find_le t.ranges_sorted fst addr with
+  | Some (_, limit) -> addr < limit
+  | None -> false
+
+type classification =
+  | Object of record
+  | Dead of record
+  | Clipped of record
+  | Heap_hole
+  | Unmodelled
+
+let classify t ~addr ~width =
+  match find t addr with
+  | Some r ->
+    if not r.live then Dead r
+    else if addr + width <= r.base + r.shadow_size then Object r
+    else Clipped r
+  | None -> if in_heap_range t addr then Heap_hole else Unmodelled
+
+let kill t ~base =
+  match Hashtbl.find_opt t.by_base base with
+  | Some r -> r.live <- false
+  | None -> invalid_arg "Shadow_heap.kill: unknown base"

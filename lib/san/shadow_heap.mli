@@ -1,0 +1,71 @@
+(** The shadow heap: a map over the simulated address space recording
+    every object allocation and every allocator arena.
+
+    Allocators register each placement (base, size, type id) and the
+    arenas they carve objects from; the runtime adds the TypePointer tag
+    once it is known. Lookups classify a canonical address as inside a
+    live allocation, inside a dead one, in allocator-owned space but
+    outside any allocation, or outside the object heap entirely (vTable
+    arena, global arrays, range table — which the sanitizer does not
+    model; GPUArmor-style tag checking covers only the object heap).
+
+    Allocations happen host-side between kernels and lookups happen
+    during kernels, so the index is sorted lazily: registration appends
+    and marks the map dirty, the first lookup after a change re-sorts. *)
+
+type record = private {
+  base : int;           (** Canonical base address. *)
+  size : int;           (** True extent in bytes. *)
+  type_id : int;
+  index : int;          (** Program-order allocation number — the
+                            cross-technique identity of the object. *)
+  mutable tag : int;    (** Recorded TypePointer tag (0 when untagged). *)
+  mutable shadow_size : int;  (** Checked extent; normally [size], smaller
+                                  after a [Truncate] mutation. *)
+  mutable live : bool;
+}
+
+type t
+
+val create : ?mutation:Mutation.t -> unit -> t
+(** [mutation] seeds one deliberate bookkeeping bug (self-test mode);
+    shadow-map mutations are applied as the victim allocation is
+    registered. *)
+
+val mutation : t -> Mutation.t option
+
+val register : t -> base:int -> size:int -> type_id:int -> unit
+(** Record one allocation. Raises [Invalid_argument] on a non-canonical
+    base or non-positive size. *)
+
+val add_heap_range : t -> base:int -> size:int -> unit
+(** Declare [base, base+size) allocator-owned (an arena objects are
+    placed in): addresses there that match no live allocation are
+    violations rather than unmodelled memory. *)
+
+val note_tag : t -> base:int -> tag:int -> unit
+(** Attach the pointer tag the runtime issued for the allocation at
+    [base]. No-op if the base is unknown (the allocation was placed
+    before the shadow map was attached). *)
+
+val n_allocations : t -> int
+
+val find : t -> int -> record option
+(** [find t addr] is the allocation whose [\[base, base+size)] contains
+    the canonical [addr], live or dead. *)
+
+type classification =
+  | Object of record   (** Inside a live allocation's checked extent. *)
+  | Dead of record     (** Inside an allocation marked dead. *)
+  | Clipped of record  (** Inside a live allocation's true extent but past
+                           its checked (shadow) extent. *)
+  | Heap_hole          (** Allocator-owned space outside any allocation. *)
+  | Unmodelled         (** Outside every registered heap range. *)
+
+val classify : t -> addr:int -> width:int -> classification
+(** Classify the [width]-byte access at canonical [addr]. An access
+    straddling a live allocation's end classifies as [Clipped]. *)
+
+val kill : t -> base:int -> unit
+(** Mark the allocation at [base] dead (test hook; the simulated
+    allocators never free). *)

@@ -1,0 +1,51 @@
+type kind =
+  | Out_of_bounds
+  | Use_after_free
+  | Misaligned_vtable
+  | Non_canonical
+  | Tag_mismatch
+
+type t = {
+  kind : kind;
+  warp : int;
+  lane : int;
+  addr : int;
+  access : string;
+  detail : string;
+}
+
+let kinds =
+  [ Out_of_bounds; Use_after_free; Misaligned_vtable; Non_canonical; Tag_mismatch ]
+
+let kind_count = List.length kinds
+
+let kind_index = function
+  | Out_of_bounds -> 0
+  | Use_after_free -> 1
+  | Misaligned_vtable -> 2
+  | Non_canonical -> 3
+  | Tag_mismatch -> 4
+
+let kind_of_index i =
+  match List.nth_opt kinds i with
+  | Some k -> k
+  | None -> invalid_arg "Violation.kind_of_index: out of range"
+
+let kind_slug = function
+  | Out_of_bounds -> "oob"
+  | Use_after_free -> "uaf"
+  | Misaligned_vtable -> "misaligned_vtable"
+  | Non_canonical -> "non_canonical"
+  | Tag_mismatch -> "tag_mismatch"
+
+let kind_name = function
+  | Out_of_bounds -> "out-of-bounds access"
+  | Use_after_free -> "use-after-free"
+  | Misaligned_vtable -> "misaligned vTable load"
+  | Non_canonical -> "non-canonical address at MMU"
+  | Tag_mismatch -> "pointer-tag / type mismatch"
+
+let pp ppf v =
+  Format.fprintf ppf "%s: warp %d lane %d %s %a%s" (kind_name v.kind) v.warp
+    v.lane v.access Repro_mem.Vaddr.pp v.addr
+    (if v.detail = "" then "" else " (" ^ v.detail ^ ")")

@@ -1,0 +1,47 @@
+(** Sanitizer violations.
+
+    One {!t} describes a single detected misuse of the simulated address
+    space, with enough context (warp, lane, address) to locate the
+    offending access. Kinds are a closed, densely indexed enumeration so
+    that per-kind counters can live in plain arrays — the same scheme
+    [Repro_gpu.Stats] uses for instruction labels. *)
+
+type kind =
+  | Out_of_bounds     (** Access inside a heap arena but outside any live
+                          allocation, or past an allocation's end. *)
+  | Use_after_free    (** Access to an allocation marked dead. *)
+  | Misaligned_vtable (** A vTable* or vFunc* load whose address is not
+                          8-byte aligned. *)
+  | Non_canonical     (** A tagged address reached an MMU with no
+                          TypePointer support. *)
+  | Tag_mismatch      (** A TypePointer tag disagrees with the shadow
+                          map's recorded type — type confusion. *)
+
+type t = {
+  kind : kind;
+  warp : int;        (** Warp id of the offending access. *)
+  lane : int;        (** Global thread id of the offending lane. *)
+  addr : int;        (** The raw (possibly tagged) address. *)
+  access : string;   (** What the access was ("vtable_load", "body", ...). *)
+  detail : string;   (** Human-readable context. *)
+}
+
+val kind_count : int
+(** Number of kinds; kinds index dense arrays. *)
+
+val kind_index : kind -> int
+
+val kind_of_index : int -> kind
+(** Raises [Invalid_argument] out of range. *)
+
+val kinds : kind list
+(** All kinds, in index order. *)
+
+val kind_slug : kind -> string
+(** Stable machine-readable identifier ([oob], [uaf], [misaligned_vtable],
+    [non_canonical], [tag_mismatch]) used in metric names and JSON. *)
+
+val kind_name : kind -> string
+(** Display name. *)
+
+val pp : Format.formatter -> t -> unit

@@ -5,10 +5,12 @@ type params = {
   chunk_objs : int option;
   iterations : int option;
   seed : int;
+  san : Repro_san.Checker.t option;
 }
 
 let default_params technique =
-  { technique; scale = 1.0; config = None; chunk_objs = None; iterations = None; seed = 42 }
+  { technique; scale = 1.0; config = None; chunk_objs = None; iterations = None;
+    seed = 42; san = None }
 
 type instance = {
   rt : Repro_core.Runtime.t;

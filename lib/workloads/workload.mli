@@ -16,6 +16,9 @@ type params = {
   chunk_objs : int option;             (** SharedOA initial region size. *)
   iterations : int option;             (** Override compute iterations. *)
   seed : int;
+  san : Repro_san.Checker.t option;
+      (** Sanitizer instance threaded through the runtime ([repro check]
+          and the mutation self-tests; [None] for measurement runs). *)
 }
 
 val default_params : Repro_core.Technique.t -> params

@@ -74,7 +74,7 @@ let test_object_model_strip_charge () =
   let heap = Page_store.create () in
   let count_strips technique =
     let om = Object_model.create technique in
-    let ctx = Warp_ctx.create ~heap ~warp_id:0 ~lanes:[| 0 |] in
+    let ctx = Warp_ctx.create ~heap ~warp_id:0 ~lanes:[| 0 |] () in
     ignore (Object_model.field_load om ctx ~objs:[| 4096 |] ~field:0);
     let strips = ref 0 in
     Trace.iter
@@ -244,6 +244,72 @@ let test_shared_oa_interleaved_regions_sorted () =
   in
   check Alcotest.bool "sorted and disjoint" true (sorted_disjoint regions)
 
+(* A type that reached [n] objects with chunks doubling from
+   [chunk_objs] took at most that many grows — merging only shrinks the
+   region list further. *)
+let region_bound ~chunk_objs n =
+  let rec go cap grows = if cap >= n then grows else go (2 * cap) (grows + 1) in
+  go chunk_objs 1
+
+let test_shared_oa_logarithmic_regions () =
+  let _, space, _, t1, t2 = dummy_registry () in
+  let alloc = Shared_oa.create ~chunk_objs:2 ~space () in
+  let n = 200 in
+  for _ = 1 to n do
+    ignore (alloc.Allocator.alloc ~typ:t1 ~size_bytes:24);
+    ignore (alloc.Allocator.alloc ~typ:t2 ~size_bytes:32)
+  done;
+  let regions = alloc.Allocator.regions () in
+  let count ty =
+    List.length
+      (List.filter (fun r -> r.Region.type_id = Registry.type_id ty) regions)
+  in
+  let bound = region_bound ~chunk_objs:2 n in
+  check Alcotest.bool "t1 region count logarithmic" true (count t1 <= bound);
+  check Alcotest.bool "t2 region count logarithmic" true (count t2 <= bound)
+
+let prop_shared_oa_regions_invariant =
+  QCheck.Test.make
+    ~name:"shared_oa regions sorted, disjoint, logarithmically many" ~count:50
+    QCheck.(pair (int_range 1 150) (int_range 1 150))
+    (fun (n1, n2) ->
+      let _, space, _, t1, t2 = dummy_registry () in
+      let alloc = Shared_oa.create ~chunk_objs:2 ~space () in
+      for i = 0 to max n1 n2 - 1 do
+        if i < n1 then ignore (alloc.Allocator.alloc ~typ:t1 ~size_bytes:24);
+        if i < n2 then ignore (alloc.Allocator.alloc ~typ:t2 ~size_bytes:32)
+      done;
+      let regions = alloc.Allocator.regions () in
+      let rec sorted_disjoint = function
+        | a :: (b :: _ as rest) ->
+          a.Region.limit <= b.Region.base && sorted_disjoint rest
+        | _ -> true
+      in
+      let count ty =
+        List.length
+          (List.filter (fun r -> r.Region.type_id = Registry.type_id ty) regions)
+      in
+      sorted_disjoint regions
+      && count t1 <= region_bound ~chunk_objs:2 n1
+      && count t2 <= region_bound ~chunk_objs:2 n2)
+
+let test_shared_oa_feeds_shadow () =
+  let module Shadow_heap = Repro_san.Shadow_heap in
+  let _, space, _, t1, _ = dummy_registry () in
+  let shadow = Shadow_heap.create () in
+  let alloc = Shared_oa.create ~shadow ~chunk_objs:4 ~space () in
+  let a = alloc.Allocator.alloc ~typ:t1 ~size_bytes:24 in
+  check Alcotest.int "allocation registered" 1 (Shadow_heap.n_allocations shadow);
+  (match Shadow_heap.find shadow (a + 8) with
+   | Some r ->
+     check Alcotest.int "type recorded" (Registry.type_id t1)
+       r.Shadow_heap.type_id
+   | None -> Alcotest.fail "allocation missing from shadow map");
+  (* The rest of the reserved chunk is heap, but no live object. *)
+  match Shadow_heap.classify shadow ~addr:(a + 24) ~width:8 with
+  | Shadow_heap.Heap_hole -> ()
+  | _ -> Alcotest.fail "past the object should classify as a heap hole"
+
 let test_alloc_cost_model () =
   check Alcotest.bool "80x init gap" true
     (Cuda_alloc.cycles_per_alloc /. Shared_oa.cycles_per_alloc = 80.)
@@ -311,7 +377,7 @@ let test_range_table_lookup_emit () =
   let heap, table, reg =
     build_range_table [ (0x1000, 0x2000, 0); (0x3000, 0x5000, 1) ]
   in
-  let ctx = Warp_ctx.create ~heap ~warp_id:0 ~lanes:[| 0; 1; 2 |] in
+  let ctx = Warp_ctx.create ~heap ~warp_id:0 ~lanes:[| 0; 1; 2 |] () in
   let encoded =
     Range_table.lookup_emit table ctx ~objs:[| 0x1100; 0x3100; 0x1200 |] ~slot:0
   in
@@ -334,7 +400,7 @@ let test_range_table_lookup_emit () =
 
 let test_range_table_rejects_stray_address () =
   let heap, table, _ = build_range_table [ (0x1000, 0x2000, 0) ] in
-  let ctx = Warp_ctx.create ~heap ~warp_id:0 ~lanes:[| 0 |] in
+  let ctx = Warp_ctx.create ~heap ~warp_id:0 ~lanes:[| 0 |] () in
   Alcotest.check_raises "no region"
     (Failure "Range_table.lookup_emit: address in no region") (fun () ->
       ignore (Range_table.lookup_emit table ctx ~objs:[| 0x9999 |] ~slot:0))
@@ -568,7 +634,7 @@ let test_garray () =
   let arr = Garray.alloc ~space ~name:"g" ~len:10 in
   Garray.set arr heap 3 42;
   check Alcotest.int "host roundtrip" 42 (Garray.get arr heap 3);
-  let ctx = Warp_ctx.create ~heap ~warp_id:0 ~lanes:[| 0; 1 |] in
+  let ctx = Warp_ctx.create ~heap ~warp_id:0 ~lanes:[| 0; 1 |] () in
   let v = Garray.load arr ctx ~idxs:[| 3; 4 |] in
   check (Alcotest.array Alcotest.int) "warp load" [| 42; 0 |] v;
   Garray.store arr ctx ~idxs:[| 0; 1 |] [| 7; 8 |];
@@ -642,6 +708,7 @@ let prop_diverge_group_count =
       let ctx =
         Warp_ctx.create ~heap ~warp_id:0
           ~lanes:(Array.init (List.length keys) Fun.id)
+          ()
       in
       let groups = ref 0 in
       Warp_ctx.diverge ctx ~label:Label.Call ~keys:(Array.of_list keys)
@@ -670,6 +737,10 @@ let suite =
       test_shared_oa_doubling_and_merge;
     Alcotest.test_case "shared oa interleaved regions" `Quick
       test_shared_oa_interleaved_regions_sorted;
+    Alcotest.test_case "shared oa logarithmic regions" `Quick
+      test_shared_oa_logarithmic_regions;
+    Alcotest.test_case "shared oa feeds shadow heap" `Quick
+      test_shared_oa_feeds_shadow;
     Alcotest.test_case "allocation cost model" `Quick test_alloc_cost_model;
     Alcotest.test_case "range table host lookup" `Quick test_range_table_host_lookup;
     Alcotest.test_case "range table lookup emit" `Quick test_range_table_lookup_emit;
@@ -691,6 +762,7 @@ let suite =
       test_cross_technique_functional_equality;
     Alcotest.test_case "garray" `Quick test_garray;
     QCheck_alcotest.to_alcotest prop_shared_oa_address_type_consistency;
+    QCheck_alcotest.to_alcotest prop_shared_oa_regions_invariant;
     QCheck_alcotest.to_alcotest prop_range_table_matches_linear_scan;
     QCheck_alcotest.to_alcotest prop_random_programs_technique_invariant;
     QCheck_alcotest.to_alcotest prop_diverge_group_count;

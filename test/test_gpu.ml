@@ -167,7 +167,7 @@ let test_mem_path_begin_kernel_flushes_l1_not_l2 () =
 let test_warp_ctx_load_store () =
   let heap = Page_store.create () in
   Page_store.store heap 64 7;
-  let ctx = Warp_ctx.create ~heap ~warp_id:0 ~lanes:[| 0; 1 |] in
+  let ctx = Warp_ctx.create ~heap ~warp_id:0 ~lanes:[| 0; 1 |] () in
   let v = Warp_ctx.load ctx ~label:Label.Body [| 64; 72 |] in
   check (Alcotest.array Alcotest.int) "loaded" [| 7; 0 |] v;
   Warp_ctx.store ctx ~label:Label.Body [| 72; 80 |] [| 5; 6 |];
@@ -177,14 +177,14 @@ let test_warp_ctx_load_store () =
 let test_warp_ctx_strips_tags () =
   let heap = Page_store.create () in
   Page_store.store heap 64 9;
-  let ctx = Warp_ctx.create ~heap ~warp_id:0 ~lanes:[| 0 |] in
+  let ctx = Warp_ctx.create ~heap ~warp_id:0 ~lanes:[| 0 |] () in
   let tagged = Repro_mem.Vaddr.with_tag 64 ~tag:77 in
   let v = Warp_ctx.load ctx ~label:Label.Body [| tagged |] in
   check (Alcotest.array Alcotest.int) "tag transparent" [| 9 |] v
 
 let test_warp_ctx_diverge () =
   let heap = Page_store.create () in
-  let ctx = Warp_ctx.create ~heap ~warp_id:0 ~lanes:[| 0; 1; 2; 3 |] in
+  let ctx = Warp_ctx.create ~heap ~warp_id:0 ~lanes:[| 0; 1; 2; 3 |] () in
   let seen = ref [] in
   Warp_ctx.diverge ctx ~label:Label.Body ~keys:[| 1; 2; 1; 3 |]
     (fun ~key sub idxs ->
@@ -204,7 +204,7 @@ let test_warp_ctx_diverge () =
 
 let test_warp_ctx_if () =
   let heap = Page_store.create () in
-  let ctx = Warp_ctx.create ~heap ~warp_id:0 ~lanes:[| 10; 11; 12 |] in
+  let ctx = Warp_ctx.create ~heap ~warp_id:0 ~lanes:[| 10; 11; 12 |] () in
   let then_tids = ref [||] and else_tids = ref [||] in
   Warp_ctx.if_ ctx ~label:Label.Body ~pred:[| true; false; true |]
     (fun sub _ -> then_tids := Warp_ctx.tids sub)
@@ -214,7 +214,7 @@ let test_warp_ctx_if () =
 
 let test_warp_ctx_width_mismatch () =
   let heap = Page_store.create () in
-  let ctx = Warp_ctx.create ~heap ~warp_id:0 ~lanes:[| 0; 1 |] in
+  let ctx = Warp_ctx.create ~heap ~warp_id:0 ~lanes:[| 0; 1 |] () in
   Alcotest.check_raises "mismatch"
     (Invalid_argument "Warp_ctx.load: per-lane array width mismatch") (fun () ->
       ignore (Warp_ctx.load ctx ~label:Label.Body [| 0 |]))

@@ -5,6 +5,7 @@ let () =
     [
       ("util", Test_util.suite);
       ("mem", Test_mem.suite);
+      ("san", Test_san.suite);
       ("gpu", Test_gpu.suite);
       ("core", Test_core.suite);
       ("workloads", Test_workloads.suite);

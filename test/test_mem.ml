@@ -115,6 +115,60 @@ let prop_tag_roundtrip =
       let tagged = Vaddr.with_tag addr ~tag in
       Vaddr.strip tagged = addr && Vaddr.tag_of tagged = tag)
 
+let prop_tag_rejects_out_of_range =
+  QCheck.Test.make ~name:"vaddr with_tag rejects out-of-range tags" ~count:200
+    QCheck.(
+      pair
+        (int_bound ((1 lsl 30) - 1))
+        (map (fun n -> Vaddr.max_tag + 1 + n) (int_bound 1000)))
+    (fun (addr, tag) ->
+      match Vaddr.with_tag addr ~tag with
+      | exception Invalid_argument _ -> true
+      | _ -> false)
+
+let prop_tag_rejects_tagged_input =
+  QCheck.Test.make ~name:"vaddr with_tag rejects non-canonical input" ~count:200
+    QCheck.(
+      pair
+        (int_bound ((1 lsl 30) - 1))
+        (pair (int_range 1 Vaddr.max_tag) (int_bound Vaddr.max_tag)))
+    (fun (addr, (tag, tag')) ->
+      let tagged = Vaddr.with_tag addr ~tag in
+      (not (Vaddr.is_canonical tagged))
+      &&
+      match Vaddr.with_tag tagged ~tag:tag' with
+      | exception Invalid_argument _ -> true
+      | _ -> false)
+
+let prop_strip_canonicalizes =
+  QCheck.Test.make ~name:"vaddr strip is canonical and idempotent" ~count:500
+    QCheck.(pair (int_bound ((1 lsl 30) - 1)) (int_bound Vaddr.max_tag))
+    (fun (addr, tag) ->
+      let tagged = Vaddr.with_tag addr ~tag in
+      let stripped = Vaddr.strip tagged in
+      Vaddr.is_canonical stripped
+      && Vaddr.strip stripped = stripped
+      && Vaddr.tag_of stripped = 0)
+
+let prop_align_up_bounds =
+  QCheck.Test.make ~name:"vaddr align_up lands on nearest boundary" ~count:500
+    QCheck.(
+      pair (int_bound ((1 lsl 30) - 1)) (map (fun k -> 1 lsl k) (int_bound 12)))
+    (fun (addr, alignment) ->
+      let up = Vaddr.align_up addr ~alignment in
+      Vaddr.is_aligned up ~alignment
+      && up >= addr
+      && up - addr < alignment
+      && Vaddr.align_up up ~alignment = up)
+
+let prop_sector_boundaries =
+  QCheck.Test.make ~name:"vaddr sector_of constant within a sector" ~count:500
+    QCheck.(pair (int_bound ((1 lsl 20) - 1)) (int_bound (Vaddr.sector_bytes - 1)))
+    (fun (sector, offset) ->
+      let base = sector * Vaddr.sector_bytes in
+      Vaddr.sector_of (base + offset) = sector
+      && Vaddr.sector_of (base + Vaddr.sector_bytes) = sector + 1)
+
 let prop_store_load =
   QCheck.Test.make ~name:"page store load returns last store" ~count:300
     QCheck.(pair (int_bound 10_000) int)
@@ -138,5 +192,10 @@ let suite =
     Alcotest.test_case "address space reservations" `Quick test_address_space_reservations;
     Alcotest.test_case "address space null guard" `Quick test_address_space_null_guard;
     QCheck_alcotest.to_alcotest prop_tag_roundtrip;
+    QCheck_alcotest.to_alcotest prop_tag_rejects_out_of_range;
+    QCheck_alcotest.to_alcotest prop_tag_rejects_tagged_input;
+    QCheck_alcotest.to_alcotest prop_strip_canonicalizes;
+    QCheck_alcotest.to_alcotest prop_align_up_bounds;
+    QCheck_alcotest.to_alcotest prop_sector_boundaries;
     QCheck_alcotest.to_alcotest prop_store_load;
   ]

@@ -77,14 +77,17 @@ let test_json_accessors () =
 
 let test_registry_covers_stats () =
   (* Stats.t is a record of scalar counters plus two Label-indexed
-     arrays. If a counter field is added without a registry entry, this
-     count goes stale and the test fails — the registry must stay the
-     complete read surface. *)
+     arrays and one violation-kind-indexed array. If a counter field is
+     added without a registry entry, this count goes stale and the test
+     fails — the registry must stay the complete read surface. *)
   let stats_fields = Obj.size (Obj.repr (Stats.create ())) in
   check Alcotest.int "one scalar metric per scalar Stats field"
-    (stats_fields - 2) (List.length Metric.scalars);
+    (stats_fields - 3) (List.length Metric.scalars);
   check Alcotest.int "both per-label families over every label"
-    (2 * Label.count) (List.length Metric.per_label)
+    (2 * Label.count) (List.length Metric.per_label);
+  check Alcotest.int "san family covers every violation kind"
+    Repro_san.Violation.kind_count
+    (List.length Metric.san)
 
 let test_registry_names_unique () =
   let names = List.map Metric.name Metric.all in
