@@ -96,6 +96,7 @@ let store t ~stats ~sm ~start ~addrs =
       match Cache.access t.l2 ~sector with
       | `Hit -> ()
       | `Miss ->
+        Stats.count_dram_sector stats;
         let t3 = Float.max t2 t.dram_next_free in
         t.dram_next_free <- t3 +. (1. /. cfg.dram_sector_throughput))
     sectors
