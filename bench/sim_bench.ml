@@ -1,0 +1,189 @@
+(* Replay-throughput benchmark for the SoA trace engine.
+
+   For every (workload, technique) cell of the paper matrix this runs the
+   functional phase once with trace retention on, then re-times the
+   retained traces through a fresh memory hierarchy several times,
+   reporting simulated instructions and cycles per wall-second and minor
+   words allocated per replayed instruction (the zero-allocation
+   invariant makes the last ~0). A synthetic canned-trace job with a
+   fixed instruction mix is included as a machine-independent reference
+   point across commits.
+
+   Usage: bench/sim_bench.exe
+   Environment:
+     REPRO_SCALE     workload scale factor (default 0.05)
+     REPRO_SIM_REPS  timed replay repetitions per job (default 5)
+     REPRO_SIM_OUT   output JSON path (default SIM_BENCH.json)
+
+   Replays here re-run [Sm.run] on traces recorded once, so their cache
+   state differs from a real multi-iteration run — the numbers measure
+   engine speed, not workload figures (bench/main.exe does those). *)
+
+module G = Repro_gpu
+module R = Repro_core
+module W = Repro_workloads
+module O = Repro_obs
+module Rng = Repro_util.Rng
+
+let scale =
+  match Sys.getenv_opt "REPRO_SCALE" with
+  | Some s -> (try float_of_string s with _ -> 0.05)
+  | None -> 0.05
+
+let reps =
+  match Sys.getenv_opt "REPRO_SIM_REPS" with
+  | Some s -> (try max 1 (int_of_string s) with _ -> 5)
+  | None -> 5
+
+let out_path =
+  match Sys.getenv_opt "REPRO_SIM_OUT" with
+  | Some p -> p
+  | None -> "SIM_BENCH.json"
+
+type result = {
+  job : string;
+  launches : int;
+  instrs : int;         (* simulated warp instructions per replay pass *)
+  cycles : float;       (* simulated cycles per replay pass *)
+  wall_s : float;       (* for [reps] passes *)
+  minor_words : float;  (* for [reps] passes *)
+}
+
+let minstr_per_s r = float_of_int (r.instrs * reps) /. r.wall_s /. 1e6
+let mcyc_per_s r = r.cycles *. float_of_int reps /. r.wall_s /. 1e6
+let words_per_instr r = r.minor_words /. float_of_int (r.instrs * reps)
+
+(* Replay [launches] through a fresh hierarchy [reps] times; one untimed
+   warm-up pass first so code and data are hot. *)
+let time_replay ~job ~cfg launches =
+  let mp = G.Mem_path.create cfg in
+  let stats = G.Stats.create () in
+  let instrs =
+    List.fold_left
+      (fun acc traces ->
+        Array.fold_left
+          (fun acc t -> acc + G.Trace.instruction_total t)
+          acc traces)
+      0 launches
+  in
+  let replay_once () =
+    let cycles = ref 0. in
+    List.iter
+      (fun traces -> cycles := !cycles +. G.Sm.run cfg mp ~stats ~traces)
+      launches;
+    !cycles
+  in
+  let cycles = replay_once () in
+  Gc.full_major ();
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    ignore (replay_once ())
+  done;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let minor_words = Gc.minor_words () -. w0 in
+  { job; launches = List.length launches; instrs; cycles; wall_s; minor_words }
+
+let workload_job (w : W.Workload.t) technique =
+  let params = { (W.Workload.default_params technique) with scale } in
+  let inst = w.W.Workload.build params in
+  let dev = R.Runtime.device inst.W.Workload.rt in
+  G.Device.retain_traces dev true;
+  for i = 0 to inst.W.Workload.iterations - 1 do
+    inst.W.Workload.run_iteration i
+  done;
+  let launches = G.Device.retained_traces dev in
+  G.Device.retain_traces dev false;
+  let job = Printf.sprintf "%s/%s" w.W.Workload.name (R.Technique.name technique) in
+  time_replay ~job ~cfg:(G.Device.config dev) launches
+
+(* Fixed-mix synthetic traces (one aligned load, one aligned store, a
+   short compute chain, a branch, a virtual call — repeating), so the
+   reference job has a stable instruction distribution at any scale. *)
+let canned_job () =
+  let cfg = G.Config.default in
+  let heap = Repro_mem.Page_store.create () in
+  let rng = Rng.create ~seed:42 in
+  let n_warps = 64 and n_instrs = 2000 in
+  let traces =
+    Array.init n_warps (fun warp_id ->
+        let lanes = Array.init 32 (fun l -> (warp_id * 32) + l) in
+        let ctx = G.Warp_ctx.create ~heap ~warp_id ~lanes () in
+        for i = 0 to n_instrs - 1 do
+          match i mod 5 with
+          | 0 ->
+            let base = Rng.int rng (1 lsl 20) * 8 in
+            let addrs = Array.map (fun l -> base + (8 * (l land 31))) lanes in
+            ignore (G.Warp_ctx.load ctx ~label:G.Label.Body addrs)
+          | 1 ->
+            let base = Rng.int rng (1 lsl 22) * 8 in
+            let addrs = Array.map (fun l -> base + (8 * (l land 31))) lanes in
+            G.Warp_ctx.store ctx ~label:G.Label.Body addrs lanes
+          | 2 -> G.Warp_ctx.compute ctx ~n:3 ~label:G.Label.Body
+          | 3 -> G.Warp_ctx.ctrl ctx ~label:G.Label.Body
+          | _ -> G.Warp_ctx.call_indirect ctx ~label:G.Label.Call
+        done;
+        G.Warp_ctx.trace ctx)
+  in
+  time_replay ~job:"canned/mix" ~cfg [ traces ]
+
+let result_json r =
+  O.Json.Obj
+    [
+      ("job", O.Json.String r.job);
+      ("launches", O.Json.Int r.launches);
+      ("instructions", O.Json.Int r.instrs);
+      ("cycles", O.Json.Float r.cycles);
+      ("reps", O.Json.Int reps);
+      ("wall_s", O.Json.Float r.wall_s);
+      ("minstr_per_s", O.Json.Float (minstr_per_s r));
+      ("mcycles_per_s", O.Json.Float (mcyc_per_s r));
+      ("minor_words_per_instr", O.Json.Float (words_per_instr r));
+    ]
+
+let () =
+  Printf.printf "sim_bench: scale=%g reps=%d\n%!" scale reps;
+  Printf.printf "%-18s %10s %9s %9s %9s %12s\n" "job" "instrs" "Minstr/s"
+    "Mcyc/s" "wall(s)" "words/instr";
+  let results = ref [] in
+  let emit r =
+    results := r :: !results;
+    Printf.printf "%-18s %10d %9.2f %9.2f %9.3f %12.3f\n%!" r.job r.instrs
+      (minstr_per_s r) (mcyc_per_s r) r.wall_s (words_per_instr r)
+  in
+  emit (canned_job ());
+  List.iter
+    (fun (w : W.Workload.t) ->
+      List.iter (fun t -> emit (workload_job w t)) R.Technique.all_paper)
+    W.Registry.all;
+  let results = List.rev !results in
+  let total_instrs =
+    List.fold_left (fun a r -> a + (r.instrs * reps)) 0 results
+  in
+  let total_wall = List.fold_left (fun a r -> a +. r.wall_s) 0. results in
+  let total_words = List.fold_left (fun a r -> a +. r.minor_words) 0. results in
+  Printf.printf
+    "aggregate: %.2f Minstr/s over %d jobs, %.3f minor words/instr\n%!"
+    (float_of_int total_instrs /. total_wall /. 1e6)
+    (List.length results)
+    (total_words /. float_of_int total_instrs);
+  let json =
+    O.Json.Obj
+      [
+        ("scale", O.Json.Float scale);
+        ("reps", O.Json.Int reps);
+        ( "aggregate",
+          O.Json.Obj
+            [
+              ( "minstr_per_s",
+                O.Json.Float (float_of_int total_instrs /. total_wall /. 1e6) );
+              ( "minor_words_per_instr",
+                O.Json.Float (total_words /. float_of_int total_instrs) );
+            ] );
+        ("jobs", O.Json.List (List.map result_json results));
+      ]
+  in
+  let oc = open_out out_path in
+  output_string oc (O.Json.to_string ~pretty:true json);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out_path

@@ -162,7 +162,9 @@ let profile_cmd =
   in
   let run w t scale seed iterations json csv =
     let w = resolve_workload w and t = resolve_technique t in
+    let t0 = Unix.gettimeofday () in
     let r = W.Harness.run w (params t scale seed iterations) in
+    let wall_s = Unix.gettimeofday () -. t0 in
     let profile =
       O.Profile.make ~workload:r.W.Harness.workload
         ~technique:(T.name r.W.Harness.technique)
@@ -173,7 +175,32 @@ let profile_cmd =
      | Error msg ->
        Printf.eprintf "warning: per-kernel deltas disagree with totals: %s\n%!" msg);
     print_string (O.Profile.render profile);
-    Option.iter (fun path -> write_json path (O.Profile.to_json profile)) json;
+    let instrs = Repro_gpu.Stats.total_instructions r.W.Harness.stats in
+    if wall_s > 0. then
+      Printf.printf
+        "simulator throughput: %.2f Mcycles/s, %.2f Minstr/s (%.3fs wall)\n"
+        (r.W.Harness.cycles /. wall_s /. 1e6)
+        (float_of_int instrs /. wall_s /. 1e6)
+        wall_s;
+    let profile_json =
+      match O.Profile.to_json profile with
+      | O.Json.Obj fields when wall_s > 0. ->
+        O.Json.Obj
+          (fields
+           @ [
+               ( "throughput",
+                 O.Json.Obj
+                   [
+                     ("wall_s", O.Json.Float wall_s);
+                     ( "mcycles_per_s",
+                       O.Json.Float (r.W.Harness.cycles /. wall_s /. 1e6) );
+                     ( "instr_per_s",
+                       O.Json.Float (float_of_int instrs /. wall_s) );
+                   ] );
+             ])
+      | j -> j
+    in
+    Option.iter (fun path -> write_json path profile_json) json;
     Option.iter (fun path -> write_csv path (O.Profile.to_csv profile)) csv
   in
   Cmd.v
@@ -566,12 +593,25 @@ let outcome_json (o : X.Executor.outcome) =
   in
   match o.X.Executor.result with
   | Ok r ->
+    let throughput =
+      if o.X.Executor.wall_s > 0. then
+        [
+          ( "mcycles_per_s",
+            O.Json.Float (r.W.Harness.cycles /. o.X.Executor.wall_s /. 1e6) );
+          ( "instr_per_s",
+            O.Json.Float
+              (float_of_int (Repro_gpu.Stats.total_instructions r.W.Harness.stats)
+               /. o.X.Executor.wall_s) );
+        ]
+      else []
+    in
     O.Json.Obj
       (base
        @ [
            ("cycles", O.Json.Float r.W.Harness.cycles);
            ("metrics", O.Metric.to_json r.W.Harness.stats);
-         ])
+         ]
+       @ throughput)
   | Error msg -> O.Json.Obj (base @ [ ("error", O.Json.String msg) ])
 
 let sweep_cmd =
@@ -592,17 +632,27 @@ let sweep_cmd =
     let t0 = Unix.gettimeofday () in
     let outcomes = X.Executor.run ~jobs:j ~cache ~cache_dir:dir jobs in
     let elapsed = Unix.gettimeofday () -. t0 in
-    Printf.printf "%-22s %-8s %-8s %9s %14s\n" "workload" "tech" "status"
-      "wall(s)" "cycles";
+    Printf.printf "%-22s %-8s %-8s %9s %14s %8s %9s\n" "workload" "tech"
+      "status" "wall(s)" "cycles" "Mcyc/s" "Minstr/s";
     List.iter
       (fun (o : X.Executor.outcome) ->
         let status = if o.X.Executor.cached then "cached" else "ran" in
         match o.X.Executor.result with
         | Ok r ->
-          Printf.printf "%-22s %-8s %-8s %9.3f %14.0f\n"
+          let mcyc, minstr =
+            if o.X.Executor.wall_s > 0. then
+              ( Printf.sprintf "%8.2f"
+                  (r.W.Harness.cycles /. o.X.Executor.wall_s /. 1e6),
+                Printf.sprintf "%9.2f"
+                  (float_of_int
+                     (Repro_gpu.Stats.total_instructions r.W.Harness.stats)
+                   /. o.X.Executor.wall_s /. 1e6) )
+            else (Printf.sprintf "%8s" "-", Printf.sprintf "%9s" "-")
+          in
+          Printf.printf "%-22s %-8s %-8s %9.3f %14.0f %s %s\n"
             (X.Job.workload_name o.X.Executor.job)
             (T.name r.W.Harness.technique) status o.X.Executor.wall_s
-            r.W.Harness.cycles
+            r.W.Harness.cycles mcyc minstr
         | Error msg ->
           Printf.printf "%-22s %-8s %-8s %9.3f %14s  %s\n"
             (X.Job.workload_name o.X.Executor.job)

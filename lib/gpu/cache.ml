@@ -4,21 +4,34 @@ type geometry = {
   ways : int;
 }
 
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
 let geometry ~size_bytes ~line_bytes ~ways =
   if line_bytes <= 0 || line_bytes mod Repro_mem.Vaddr.sector_bytes <> 0 then
     invalid_arg "Cache.geometry: line size must be a multiple of the sector size";
+  if not (is_pow2 (line_bytes / Repro_mem.Vaddr.sector_bytes)) then
+    invalid_arg "Cache.geometry: sectors per line must be a power of two";
   if ways <= 0 then invalid_arg "Cache.geometry: ways must be positive";
   if size_bytes mod (line_bytes * ways) <> 0 then
     invalid_arg "Cache.geometry: size must divide into sets";
   let sets = size_bytes / (line_bytes * ways) in
-  if sets land (sets - 1) <> 0 then
+  if not (is_pow2 sets) then
     invalid_arg "Cache.geometry: the number of sets must be a power of two";
   { size_bytes; line_bytes; ways }
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
 
 type t = {
   geom : geometry;
   sets : int;
-  sectors_per_line : int;
+  (* Sector -> (line, sector-in-line) is a shift/mask pair: geometry
+     validation forces the sector count per line (and the set count) to a
+     power of two, so no div/mod survives on the lookup path. *)
+  sector_shift : int;
+  sector_mask : int;
+  set_mask : int;
   (* Per (set, way): the resident line index (-1 when invalid), a valid
      bitmask over its sectors, and an LRU stamp. Flat arrays indexed by
      [set * ways + way] keep this allocation-free on the hot path. *)
@@ -31,10 +44,13 @@ type t = {
 let create geom =
   let sets = geom.size_bytes / (geom.line_bytes * geom.ways) in
   let slots = sets * geom.ways in
+  let sectors_per_line = geom.line_bytes / Repro_mem.Vaddr.sector_bytes in
   {
     geom;
     sets;
-    sectors_per_line = geom.line_bytes / Repro_mem.Vaddr.sector_bytes;
+    sector_shift = log2 sectors_per_line;
+    sector_mask = sectors_per_line - 1;
+    set_mask = sets - 1;
     tags = Array.make slots (-1);
     valid = Array.make slots 0;
     stamps = Array.make slots 0;
@@ -43,20 +59,17 @@ let create geom =
 
 let geometry_of t = t.geom
 
-let locate t ~sector =
-  let line = sector / t.sectors_per_line in
-  let sector_in_line = sector mod t.sectors_per_line in
-  let set = line land (t.sets - 1) in
-  (line, sector_in_line, set)
+(* Way holding [line] in [set], as a slot index; -1 when absent. Returning
+   an int rather than an option keeps the lookup allocation-free; the scan
+   is a top-level recursion because a local [let rec] capturing its
+   environment would allocate a closure per lookup. *)
+let rec scan_ways (tags : int array) base ways line way =
+  if way >= ways then -1
+  else if tags.(base + way) = line then base + way
+  else scan_ways tags base ways line (way + 1)
 
-let find_way t ~set ~line =
-  let base = set * t.geom.ways in
-  let rec go way =
-    if way >= t.geom.ways then None
-    else if t.tags.(base + way) = line then Some (base + way)
-    else go (way + 1)
-  in
-  go 0
+let find_slot t ~set ~line =
+  scan_ways t.tags (set * t.geom.ways) t.geom.ways line 0
 
 let lru_slot t ~set =
   let base = set * t.geom.ways in
@@ -67,29 +80,32 @@ let lru_slot t ~set =
   !best
 
 let access t ~sector =
-  let line, sector_in_line, set = locate t ~sector in
+  let line = sector lsr t.sector_shift in
+  let set = line land t.set_mask in
   t.clock <- t.clock + 1;
-  let bit = 1 lsl sector_in_line in
-  match find_way t ~set ~line with
-  | Some slot ->
+  let bit = 1 lsl (sector land t.sector_mask) in
+  let slot = find_slot t ~set ~line in
+  if slot >= 0 then begin
     t.stamps.(slot) <- t.clock;
     if t.valid.(slot) land bit <> 0 then `Hit
     else begin
       t.valid.(slot) <- t.valid.(slot) lor bit;
       `Miss
     end
-  | None ->
+  end
+  else begin
     let slot = lru_slot t ~set in
     t.tags.(slot) <- line;
     t.valid.(slot) <- bit;
     t.stamps.(slot) <- t.clock;
     `Miss
+  end
 
 let probe t ~sector =
-  let line, sector_in_line, set = locate t ~sector in
-  match find_way t ~set ~line with
-  | Some slot -> t.valid.(slot) land (1 lsl sector_in_line) <> 0
-  | None -> false
+  let line = sector lsr t.sector_shift in
+  let set = line land t.set_mask in
+  let slot = find_slot t ~set ~line in
+  slot >= 0 && t.valid.(slot) land (1 lsl (sector land t.sector_mask)) <> 0
 
 let flush t =
   Array.fill t.tags 0 (Array.length t.tags) (-1);

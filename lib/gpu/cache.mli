@@ -15,7 +15,9 @@ type geometry = {
 }
 
 val geometry : size_bytes:int -> line_bytes:int -> ways:int -> geometry
-(** Validates divisibility and power-of-two set counts. *)
+(** Validates divisibility and that both the set count and the sector
+    count per line are powers of two — the lookup path is pure shift/mask,
+    no div/mod. *)
 
 type t
 

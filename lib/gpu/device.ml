@@ -6,6 +6,8 @@ type t = {
   san : Repro_san.Checker.t option;
   mutable timeline : Stats.t list; (* per-launch deltas, newest first *)
   mutable launches : int;
+  mutable keep_traces : bool;
+  mutable kept : Trace.t array list; (* retained launches, newest first *)
 }
 
 let create ?(config = Config.default) ?san ~heap () =
@@ -18,6 +20,8 @@ let create ?(config = Config.default) ?san ~heap () =
     san;
     timeline = [];
     launches = 0;
+    keep_traces = false;
+    kept = [];
   }
 
 let config t = t.cfg
@@ -53,7 +57,14 @@ let launch t ~n_threads kernel =
        (Repro_san.Checker.take_kernel_delta san));
   Stats.add t.stats launch_stats;
   t.timeline <- launch_stats :: t.timeline;
-  t.launches <- t.launches + 1
+  t.launches <- t.launches + 1;
+  if t.keep_traces then t.kept <- traces :: t.kept
+
+let retain_traces t keep =
+  t.keep_traces <- keep;
+  if not keep then t.kept <- []
+
+let retained_traces t = List.rev t.kept
 
 let stats t = t.stats
 
@@ -63,6 +74,7 @@ let reset_stats t =
   Stats.reset t.stats;
   Mem_path.reset t.mem_path;
   t.timeline <- [];
-  t.launches <- 0
+  t.launches <- 0;
+  t.kept <- []
 
 let launches t = t.launches

@@ -42,3 +42,14 @@ val reset_stats : t -> unit
 
 val launches : t -> int
 (** Number of kernel launches since the last reset. *)
+
+val retain_traces : t -> bool -> unit
+(** When enabled, every subsequent launch's per-warp traces are kept (in
+    launch order) for offline replay — the hook [bench/sim_bench.exe]
+    uses to re-time real workload traces without re-running the
+    functional phase. Disabling drops anything retained. Off by
+    default; retention costs memory proportional to the traces. *)
+
+val retained_traces : t -> Trace.t array list
+(** Retained launches in launch order (empty unless {!retain_traces} is
+    on). Cleared by {!reset_stats}. *)

@@ -1,0 +1,107 @@
+(* Flat binary min-heap for the replay event loop: float keys in a bare
+   float array, int payloads, FIFO tie-break via an insertion sequence —
+   the same ordering contract as Repro_util.Heap, monomorphized so that a
+   push/pop cycle allocates nothing (floats cross the API through the
+   [key_cell] mailbox instead of boxed arguments and results). *)
+
+type t = {
+  mutable keys : float array;
+  mutable seqs : int array;
+  mutable vals : int array;
+  mutable len : int;
+  mutable next_seq : int;
+  cell : float array; (* length 1: key in for push, key out for pop *)
+}
+
+let create ?(capacity = 16) () =
+  let capacity = max 1 capacity in
+  {
+    keys = Array.make capacity 0.;
+    seqs = Array.make capacity 0;
+    vals = Array.make capacity 0;
+    len = 0;
+    next_seq = 0;
+    cell = [| 0. |];
+  }
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let key_cell t = t.cell
+
+let clear t =
+  t.len <- 0;
+  t.next_seq <- 0
+
+(* less-than of entries i and j: (key, seq) lexicographic. *)
+let less t i j =
+  t.keys.(i) < t.keys.(j) || (t.keys.(i) = t.keys.(j) && t.seqs.(i) < t.seqs.(j))
+
+let swap t i j =
+  let k = t.keys.(i) in
+  t.keys.(i) <- t.keys.(j);
+  t.keys.(j) <- k;
+  let s = t.seqs.(i) in
+  t.seqs.(i) <- t.seqs.(j);
+  t.seqs.(j) <- s;
+  let v = t.vals.(i) in
+  t.vals.(i) <- t.vals.(j);
+  t.vals.(j) <- v
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less t i parent then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && less t l !smallest then smallest := l;
+  if r < t.len && less t r !smallest then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let grow t =
+  let cap = max 16 (2 * Array.length t.keys) in
+  let keys = Array.make cap 0. in
+  Array.blit t.keys 0 keys 0 t.len;
+  t.keys <- keys;
+  let seqs = Array.make cap 0 in
+  Array.blit t.seqs 0 seqs 0 t.len;
+  t.seqs <- seqs;
+  let vals = Array.make cap 0 in
+  Array.blit t.vals 0 vals 0 t.len;
+  t.vals <- vals
+
+let push t v =
+  if t.len >= Array.length t.keys then grow t;
+  let i = t.len in
+  t.keys.(i) <- t.cell.(0);
+  t.seqs.(i) <- t.next_seq;
+  t.vals.(i) <- v;
+  t.next_seq <- t.next_seq + 1;
+  t.len <- i + 1;
+  sift_up t i
+
+let pop t =
+  if t.len = 0 then -1
+  else begin
+    let v = t.vals.(0) in
+    t.cell.(0) <- t.keys.(0);
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      let n = t.len in
+      t.keys.(0) <- t.keys.(n);
+      t.seqs.(0) <- t.seqs.(n);
+      t.vals.(0) <- t.vals.(n);
+      sift_down t 0
+    end;
+    v
+  end

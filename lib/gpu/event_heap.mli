@@ -1,0 +1,33 @@
+(** Flat binary min-heap for the replay event loop.
+
+    Same ordering contract as [Repro_util.Heap] — pop order is
+    lexicographic in (key, insertion sequence), so equal-key entries come
+    out FIFO — but monomorphized to float keys and int payloads stored in
+    bare arrays. Keys cross the API through the {!key_cell} mailbox (a
+    one-element float array) rather than as boxed arguments/results, so a
+    push/pop cycle performs no allocation; only capacity growth allocates,
+    and capacity is bounded by the peak number of queued entries (resident
+    warps), not by trace length. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val length : t -> int
+
+val is_empty : t -> bool
+
+val clear : t -> unit
+(** Empty the heap and restart the insertion sequence. *)
+
+val key_cell : t -> float array
+(** The key mailbox: write [key_cell.(0)] before {!push}; {!pop} writes the
+    popped entry's key there. *)
+
+val push : t -> int -> unit
+(** [push t v] inserts payload [v] with key [key_cell t].(0). *)
+
+val pop : t -> int
+(** Remove the minimum-(key, seq) entry: returns its payload and stores its
+    key in [key_cell t].(0). Returns [-1] when empty (payloads are warp
+    indices, always non-negative). *)

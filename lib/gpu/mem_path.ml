@@ -1,12 +1,43 @@
+(* Timing of the L1 -> L2 -> DRAM path.
+
+   The replay-path entry points ([load_soa]/[store_soa]) are written to
+   allocate nothing: reciprocal throughputs and latencies are precomputed
+   once at [create] time, bandwidth clocks live in flat float arrays
+   (mutable boxed-float record fields would re-box on every store), the
+   coalesced sectors go through a reusable scratch buffer, and the
+   issue/completion times cross the [Sm] boundary through the two-slot
+   [io] float array instead of boxed argument/return floats. *)
+
 type t = {
   cfg : Config.t;
   l1s : Cache.t array;
   l1_next_free : float array;
   lsu_next_free : float array;
   l2 : Cache.t;
-  mutable l2_next_free : float;
-  mutable dram_next_free : float;
+  (* clk.(0) = L2 next-free, clk.(1) = DRAM next-free. *)
+  clk : float array;
+  (* io.(0): issue time in; io.(1): load completion time out. *)
+  io : float array;
+  (* Coalescer scratch, warp_size entries. *)
+  scratch : int array;
+  (* Precomputed per-level costs. Reading a float field never allocates;
+     only these are read on the replay path, never written. *)
+  inv_l1_tp : float;
+  inv_l2_tp : float;
+  inv_lsu_tp : float;
+  inv_dram_cost : float;   (* 1 sector's DRAM occupancy (stores) *)
+  dram_pair_cost : float;  (* 64 B fill = 2 sectors (loads) *)
+  l1_lat : float;
+  l2_lat : float;
+  dram_lat : float;
+  (* n_over_l1.(n) = float n /. l1_sector_throughput, n in 0..warp_size:
+     the LSU occupancy term without a float_of_int/div per access. *)
+  n_over_l1 : float array;
 }
+
+(* Bit-identical to [Float.max] on this module's domain: times and costs
+   are non-NaN and never negative zero. *)
+let fmax (a : float) (b : float) = if a >= b then a else b
 
 let create (cfg : Config.t) =
   Config.validate cfg;
@@ -16,9 +47,23 @@ let create (cfg : Config.t) =
     l1_next_free = Array.make cfg.n_sms 0.;
     lsu_next_free = Array.make cfg.n_sms 0.;
     l2 = Cache.create cfg.l2_geometry;
-    l2_next_free = 0.;
-    dram_next_free = 0.;
+    clk = Array.make 2 0.;
+    io = Array.make 2 0.;
+    scratch = Array.make cfg.warp_size 0;
+    inv_l1_tp = 1. /. cfg.l1_sector_throughput;
+    inv_l2_tp = 1. /. cfg.l2_sector_throughput;
+    inv_lsu_tp = 1. /. cfg.lsu_throughput;
+    inv_dram_cost = 1. /. cfg.dram_sector_throughput;
+    dram_pair_cost = 2. /. cfg.dram_sector_throughput;
+    l1_lat = float_of_int cfg.l1_latency;
+    l2_lat = float_of_int cfg.l2_latency;
+    dram_lat = float_of_int cfg.dram_latency;
+    n_over_l1 =
+      Array.init (cfg.warp_size + 1) (fun n ->
+          float_of_int n /. cfg.l1_sector_throughput);
   }
+
+let io t = t.io
 
 let flush_l1s t = Array.iter Cache.flush t.l1s
 
@@ -26,80 +71,95 @@ let begin_kernel t =
   flush_l1s t;
   Array.fill t.l1_next_free 0 (Array.length t.l1_next_free) 0.;
   Array.fill t.lsu_next_free 0 (Array.length t.lsu_next_free) 0.;
-  t.l2_next_free <- 0.;
-  t.dram_next_free <- 0.
+  t.clk.(0) <- 0.;
+  t.clk.(1) <- 0.
 
-(* One sector through the hierarchy: bandwidth reservation at each level it
-   reaches, cumulative latency down to the level that hits. *)
-let serve_load_sector t ~stats ~sm ~start sector =
-  let cfg = t.cfg in
-  let t1 = Float.max start t.l1_next_free.(sm) in
-  t.l1_next_free.(sm) <- t1 +. (1. /. cfg.l1_sector_throughput);
-  match Cache.access t.l1s.(sm) ~sector with
-  | `Hit ->
-    Stats.count_l1 stats ~hit:true;
-    t1 +. float_of_int cfg.l1_latency
-  | `Miss ->
-    Stats.count_l1 stats ~hit:false;
-    let t2 = Float.max (t1 +. float_of_int cfg.l1_latency) t.l2_next_free in
-    t.l2_next_free <- t2 +. (1. /. cfg.l2_sector_throughput);
-    (match Cache.access t.l2 ~sector with
-     | `Hit ->
-       Stats.count_l2 stats ~hit:true;
-       t2 +. float_of_int cfg.l2_latency
-     | `Miss ->
-       Stats.count_l2 stats ~hit:false;
-       (* DRAM is accessed at 64 B granularity (Volta's L2 fill size):
-          the missing sector and its pair are both fetched and installed.
-          Padded or scattered objects waste the pair half; packed objects
-          find their neighbour in it — a first-order reason type-based
-          packing wins (Sec. 8.2). *)
-       Stats.count_dram_sector stats;
-       Stats.count_dram_sector stats;
-       ignore (Cache.access t.l2 ~sector:(sector lxor 1));
-       let t3 = Float.max (t2 +. float_of_int cfg.l2_latency) t.dram_next_free in
-       t.dram_next_free <- t3 +. (2. /. cfg.dram_sector_throughput);
-       t3 +. float_of_int cfg.dram_latency)
+(* The LSU acceptance step (the warp access starts no earlier than the
+   SM's LSU is free and occupies it for max(issue slot, sector drain)) is
+   written out in both entry points rather than shared: a non-inlined
+   function returning a float would box its result on every access. *)
 
-let accept_lsu t ~sm ~start ~n_sectors =
-  let cfg = t.cfg in
-  let t0 = Float.max start t.lsu_next_free.(sm) in
-  let occupancy =
-    Float.max
-      (1. /. cfg.lsu_throughput)
-      (float_of_int n_sectors /. cfg.l1_sector_throughput)
-  in
-  t.lsu_next_free.(sm) <- t0 +. occupancy;
-  t0
+let load_soa t ~stats ~label_idx ~sm ~arena ~off ~len =
+  let n = Coalesce.sectors_into ~buf:t.scratch arena ~off ~len in
+  Stats.count_load_transactions_idx stats label_idx n;
+  let t0 = fmax t.io.(0) t.lsu_next_free.(sm) in
+  t.lsu_next_free.(sm) <- t0 +. fmax t.inv_lsu_tp t.n_over_l1.(n);
+  t.io.(1) <- t0;
+  for i = 0 to n - 1 do
+    let sector = t.scratch.(i) in
+    (* One sector through the hierarchy: bandwidth reservation at each
+       level it reaches, cumulative latency down to the level that hits.
+       The completion time folds into io.(1) by replace-if-greater at
+       each leaf so no float crosses a join point. *)
+    let t1 = fmax t0 t.l1_next_free.(sm) in
+    t.l1_next_free.(sm) <- t1 +. t.inv_l1_tp;
+    match Cache.access t.l1s.(sm) ~sector with
+    | `Hit ->
+      Stats.count_l1 stats ~hit:true;
+      let c = t1 +. t.l1_lat in
+      if c > t.io.(1) then t.io.(1) <- c
+    | `Miss ->
+      Stats.count_l1 stats ~hit:false;
+      let t2 = fmax (t1 +. t.l1_lat) t.clk.(0) in
+      t.clk.(0) <- t2 +. t.inv_l2_tp;
+      (match Cache.access t.l2 ~sector with
+       | `Hit ->
+         Stats.count_l2 stats ~hit:true;
+         let c = t2 +. t.l2_lat in
+         if c > t.io.(1) then t.io.(1) <- c
+       | `Miss ->
+         Stats.count_l2 stats ~hit:false;
+         (* DRAM is accessed at 64 B granularity (Volta's L2 fill size):
+            the missing sector and its pair are both fetched and
+            installed. Padded or scattered objects waste the pair half;
+            packed objects find their neighbour in it — a first-order
+            reason type-based packing wins (Sec. 8.2). *)
+         Stats.count_dram_sector stats;
+         Stats.count_dram_sector stats;
+         ignore (Cache.access t.l2 ~sector:(sector lxor 1));
+         let t3 = fmax (t2 +. t.l2_lat) t.clk.(1) in
+         t.clk.(1) <- t3 +. t.dram_pair_cost;
+         let c = t3 +. t.dram_lat in
+         if c > t.io.(1) then t.io.(1) <- c)
+  done
+
+let store_soa t ~stats ~sm ~arena ~off ~len =
+  let n = Coalesce.sectors_into ~buf:t.scratch arena ~off ~len in
+  Stats.count_store_transactions stats n;
+  let t0 = fmax t.io.(0) t.lsu_next_free.(sm) in
+  t.lsu_next_free.(sm) <- t0 +. fmax t.inv_lsu_tp t.n_over_l1.(n);
+  for i = 0 to n - 1 do
+    let sector = t.scratch.(i) in
+    (* Write-through: every store sector consumes L2 bandwidth and is
+       installed there; an L2 miss additionally consumes DRAM bandwidth. *)
+    let t2 = fmax t0 t.clk.(0) in
+    t.clk.(0) <- t2 +. t.inv_l2_tp;
+    match Cache.access t.l2 ~sector with
+    | `Hit -> ()
+    | `Miss ->
+      Stats.count_dram_sector stats;
+      let t3 = fmax t2 t.clk.(1) in
+      t.clk.(1) <- t3 +. t.inv_dram_cost
+  done
+
+(* Legacy array-of-addresses entry points, kept for tests and non-hot
+   callers; they route through the SoA path via the io mailbox. *)
+
+let check_lanes name addrs scratch =
+  if Array.length addrs > Array.length scratch then
+    invalid_arg (name ^ ": more lanes than the warp size")
 
 let load t ~stats ~sm ~start ~label ~addrs =
-  let sectors = Coalesce.sectors addrs in
-  let n = Array.length sectors in
-  Stats.count_load_transactions stats label n;
-  let t0 = accept_lsu t ~sm ~start ~n_sectors:n in
-  Array.fold_left
-    (fun acc sector -> Float.max acc (serve_load_sector t ~stats ~sm ~start:t0 sector))
-    t0 sectors
+  check_lanes "Mem_path.load" addrs t.scratch;
+  t.io.(0) <- start;
+  load_soa t ~stats ~label_idx:(Label.to_index label) ~sm ~arena:addrs ~off:0
+    ~len:(Array.length addrs);
+  t.io.(1)
 
 let store t ~stats ~sm ~start ~addrs =
-  let cfg = t.cfg in
-  let sectors = Coalesce.sectors addrs in
-  let n = Array.length sectors in
-  Stats.count_store_transactions stats n;
-  let t0 = accept_lsu t ~sm ~start ~n_sectors:n in
-  Array.iter
-    (fun sector ->
-      (* Write-through: every store sector consumes L2 bandwidth and is
-         installed there; an L2 miss additionally consumes DRAM bandwidth. *)
-      let t2 = Float.max t0 t.l2_next_free in
-      t.l2_next_free <- t2 +. (1. /. cfg.l2_sector_throughput);
-      match Cache.access t.l2 ~sector with
-      | `Hit -> ()
-      | `Miss ->
-        Stats.count_dram_sector stats;
-        let t3 = Float.max t2 t.dram_next_free in
-        t.dram_next_free <- t3 +. (1. /. cfg.dram_sector_throughput))
-    sectors
+  check_lanes "Mem_path.store" addrs t.scratch;
+  t.io.(0) <- start;
+  store_soa t ~stats ~sm ~arena:addrs ~off:0 ~len:(Array.length addrs)
 
 let reset t =
   begin_kernel t;

@@ -5,11 +5,24 @@
     level's [next_free] time and advances it by the reciprocal throughput.
     Latency accumulates level by level, so an L1 hit costs the L1 latency
     while a DRAM access pays all three. The per-SM L1s are flushed at
-    kernel boundaries (CUDA semantics); the L2 persists across launches. *)
+    kernel boundaries (CUDA semantics); the L2 persists across launches.
+
+    The [_soa] entry points are the replay path: they read lane addresses
+    straight out of a trace arena slice, coalesce into an internal scratch
+    buffer, and exchange issue/completion times through the {!io} mailbox
+    — no allocation per instruction. The array-based {!load}/{!store} are
+    compatibility wrappers over them. *)
 
 type t
 
 val create : Config.t -> t
+
+val io : t -> float array
+(** Two-slot float mailbox used by the SoA entry points: the caller
+    writes the issue time to [io.(0)] before the call; {!load_soa} writes
+    the completion time to [io.(1)]. Communicating times through a float
+    array keeps them unboxed across the module boundary (a [float]
+    argument or return at a non-inlined call is boxed by ocamlopt). *)
 
 val flush_l1s : t -> unit
 (** Invalidate the per-SM L1s. *)
@@ -19,17 +32,32 @@ val begin_kernel : t -> unit
     reservation clocks to time zero (each launch is timed from 0; the L2
     tag state persists across launches). *)
 
+val load_soa :
+  t -> stats:Stats.t -> label_idx:int -> sm:int -> arena:int array ->
+  off:int -> len:int -> unit
+(** Service a warp global load whose lane addresses are
+    [arena.(off .. off+len-1)], issued at [io.(0)] on [sm]; writes the
+    completion time (max over its coalesced sectors) to [io.(1)]. Counts
+    load transactions (under label index [label_idx]), L1/L2 hits and
+    DRAM sectors in [stats]. Allocation-free. *)
+
+val store_soa :
+  t -> stats:Stats.t -> sm:int -> arena:int array -> off:int -> len:int ->
+  unit
+(** Service a warp global store from an arena slice, issued at [io.(0)]
+    (write-through; consumes L2/DRAM bandwidth and installs sectors in
+    the L2, no L1 allocation). Allocation-free. *)
+
 val load :
   t -> stats:Stats.t -> sm:int -> start:float -> label:Label.t ->
   addrs:int array -> float
-(** Service a warp global load issued at [start] on [sm]; returns the
-    completion time (max over its coalesced sectors). Counts load
-    transactions, L1/L2 hits and DRAM sectors in [stats]. *)
+(** Array-based wrapper over {!load_soa}; returns the completion time.
+    Raises [Invalid_argument] when [addrs] has more lanes than the
+    configured warp size. *)
 
 val store :
   t -> stats:Stats.t -> sm:int -> start:float -> addrs:int array -> unit
-(** Service a warp global store (write-through; consumes L2/DRAM bandwidth
-    and installs sectors in the L2, no L1 allocation). *)
+(** Array-based wrapper over {!store_soa}. *)
 
 val reset : t -> unit
 (** Full reset: {!begin_kernel} plus an L2 flush. Used when a run starts a

@@ -1,10 +1,15 @@
-module Heap = Repro_util.Heap
+(* The event-driven warp scheduler, written as a zero-allocation replay
+   loop: warp state is a pair of int arrays (program counter, and the
+   round-robin SM is recomputed from the warp index), the ready queue is
+   the flat {!Event_heap} with warp indices as payloads, and floats cross
+   the [Mem_path] boundary through its [io] mailbox. Nothing on the
+   per-instruction path builds a record, option, closure or boxed float;
+   the only allocations are per-warp (activation list, heap growth),
+   constant for a fixed launch shape regardless of trace length. *)
 
-type warp_state = {
-  trace : Trace.t;
-  sm : int;
-  mutable pc : int;
-}
+(* Bit-identical to [Float.max] on this domain (non-NaN, no negative
+   zero): simulated times only grow from 0 by positive increments. *)
+let fmax (a : float) (b : float) = if a >= b then a else b
 
 let run (cfg : Config.t) mem_path ~stats ~traces =
   Config.validate cfg;
@@ -13,81 +18,96 @@ let run (cfg : Config.t) mem_path ~stats ~traces =
   else begin
     Mem_path.begin_kernel mem_path;
     let issue_clock = Array.make cfg.n_sms 0. in
-    let events : warp_state Heap.t = Heap.create () in
+    let pcs = Array.make n_warps 0 in
+    let events = Event_heap.create ~capacity:n_warps () in
+    let kc = Event_heap.key_cell events in
+    let io = Mem_path.io mem_path in
+    let stalls = Stats.stall_accumulator stats in
+    (* finish.(0) is the kernel completion time; a float array cell
+       rather than a [float ref], whose every [:=] would box. *)
+    let finish = Array.make 1 0. in
     (* Warps are dealt round-robin to SMs; each SM activates its first
        [max_warps_per_sm] immediately and queues the rest. *)
-    let pending = Array.make cfg.n_sms ([] : warp_state list) in
-    let resident = Array.make cfg.n_sms 0 in
+    let pending = Array.make cfg.n_sms ([] : int list) in
     for i = n_warps - 1 downto 0 do
       let sm = i mod cfg.n_sms in
-      pending.(sm) <- { trace = traces.(i); sm; pc = 0 } :: pending.(sm)
+      pending.(sm) <- i :: pending.(sm)
     done;
     let activate sm now =
       match pending.(sm) with
       | [] -> ()
       | w :: rest ->
         pending.(sm) <- rest;
-        resident.(sm) <- resident.(sm) + 1;
-        Heap.push events ~key:now w
+        kc.(0) <- now;
+        Event_heap.push events w
     in
     for sm = 0 to cfg.n_sms - 1 do
       for _ = 1 to cfg.max_warps_per_sm do
         activate sm 0.
       done
     done;
-    let finish_time = ref 0. in
     let issue_cost = 1. /. float_of_int cfg.issue_width in
-    let latency_of_blocking_kind = function
-      | Instr.Const_load -> float_of_int cfg.const_latency
-      | Instr.Call_indirect -> float_of_int cfg.call_indirect_latency
-      | Instr.Call_direct -> float_of_int cfg.call_direct_latency
-      | Instr.Load _ | Instr.Store _ | Instr.Compute _ | Instr.Ctrl _ -> 0.
-    in
+    let ctrl_lat = float_of_int cfg.ctrl_latency in
+    let const_lat = float_of_int cfg.const_latency in
+    let call_ind_lat = float_of_int cfg.call_indirect_latency in
+    let call_dir_lat = float_of_int cfg.call_direct_latency in
     let rec drain () =
-      match Heap.pop events with
-      | None -> ()
-      | Some (ready, w) ->
-        if w.pc >= Trace.length w.trace then begin
+      let w = Event_heap.pop events in
+      if w >= 0 then begin
+        let ready = kc.(0) in
+        let tr = traces.(w) in
+        let pc = pcs.(w) in
+        let sm = w mod cfg.n_sms in
+        if pc >= Trace.length tr then begin
           (* Warp retires; its slot frees for a pending warp. *)
-          finish_time := Float.max !finish_time ready;
-          resident.(w.sm) <- resident.(w.sm) - 1;
-          activate w.sm ready;
-          drain ()
+          if ready > finish.(0) then finish.(0) <- ready;
+          activate sm ready
         end
         else begin
-          let instr = Trace.get w.trace w.pc in
-          w.pc <- w.pc + 1;
-          Stats.count_instr stats instr;
-          let sm = w.sm in
-          let issue_time = Float.max ready issue_clock.(sm) in
-          let slots = float_of_int (Instr.instruction_count instr) *. issue_cost in
+          pcs.(w) <- pc + 1;
+          let op = Trace.op tr pc in
+          let lbl = Trace.label_index tr pc in
+          let rep = Trace.repeat tr pc in
+          Stats.count_classified stats
+            (if op = Trace.op_compute then `Compute
+             else if op = Trace.op_ctrl || op >= Trace.op_call_indirect then `Ctrl
+             else `Mem)
+            rep;
+          let issue_time = fmax ready issue_clock.(sm) in
+          let slots = float_of_int rep *. issue_cost in
           issue_clock.(sm) <- issue_time +. slots;
           let next_ready =
-            match instr.Instr.kind with
-            | Instr.Load addrs ->
-              let done_at =
-                Mem_path.load mem_path ~stats ~sm ~start:issue_time
-                  ~label:instr.Instr.label ~addrs
-              in
-              if instr.Instr.blocking then done_at else issue_time +. slots
-            | Instr.Store addrs ->
-              Mem_path.store mem_path ~stats ~sm ~start:issue_time ~addrs;
+            if op = Trace.op_load then begin
+              io.(0) <- issue_time;
+              Mem_path.load_soa mem_path ~stats ~label_idx:lbl ~sm
+                ~arena:(Trace.arena tr) ~off:(Trace.addr_off tr pc)
+                ~len:(Trace.active tr pc);
+              if Trace.is_blocking tr pc then io.(1) else issue_time +. slots
+            end
+            else if op = Trace.op_store then begin
+              io.(0) <- issue_time;
+              Mem_path.store_soa mem_path ~stats ~sm ~arena:(Trace.arena tr)
+                ~off:(Trace.addr_off tr pc) ~len:(Trace.active tr pc);
               issue_time +. slots
-            | Instr.Compute n ->
-              if instr.Instr.blocking then
+            end
+            else if op = Trace.op_compute then
+              if Trace.is_blocking tr pc then
                 (* A dependent ALU chain: each op waits on the previous. *)
-                issue_time +. float_of_int (n * cfg.compute_latency)
+                issue_time +. float_of_int (rep * cfg.compute_latency)
               else issue_time +. slots
-            | Instr.Ctrl _ -> issue_time +. float_of_int cfg.ctrl_latency
-            | Instr.Const_load | Instr.Call_indirect | Instr.Call_direct ->
-              issue_time +. latency_of_blocking_kind instr.Instr.kind
+            else if op = Trace.op_ctrl then issue_time +. ctrl_lat
+            else if op = Trace.op_const_load then issue_time +. const_lat
+            else if op = Trace.op_call_indirect then issue_time +. call_ind_lat
+            else issue_time +. call_dir_lat
           in
           let stall = next_ready -. issue_time -. slots in
-          if stall > 0. then Stats.attribute_stall stats instr.Instr.label stall;
-          Heap.push events ~key:next_ready w;
-          drain ()
-        end
+          if stall > 0. then stalls.(lbl) <- stalls.(lbl) +. stall;
+          kc.(0) <- next_ready;
+          Event_heap.push events w
+        end;
+        drain ()
+      end
     in
     drain ();
-    !finish_time
+    finish.(0)
   end

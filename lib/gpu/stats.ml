@@ -75,17 +75,22 @@ let copy t =
   add c t;
   c
 
-let count_instr t instr =
-  let n = Instr.instruction_count instr in
-  match Instr.class_of instr with
+let count_classified t cls n =
+  match cls with
   | `Mem -> t.mem_instrs <- t.mem_instrs + n
   | `Compute -> t.compute_instrs <- t.compute_instrs + n
   | `Ctrl -> t.ctrl_instrs <- t.ctrl_instrs + n
 
-let count_load_transactions t label n =
+let count_instr t instr =
+  count_classified t (Instr.class_of instr) (Instr.instruction_count instr)
+
+let count_load_transactions_idx t label_index n =
   t.load_transactions <- t.load_transactions + n;
-  let i = Label.to_index label in
-  t.load_transactions_by_label.(i) <- t.load_transactions_by_label.(i) + n
+  t.load_transactions_by_label.(label_index)
+  <- t.load_transactions_by_label.(label_index) + n
+
+let count_load_transactions t label n =
+  count_load_transactions_idx t (Label.to_index label) n
 
 let count_store_transactions t n = t.store_transactions <- t.store_transactions + n
 
@@ -112,6 +117,8 @@ let total_san_violations t = Array.fold_left ( + ) 0 t.san_violations
 let attribute_stall t label cycles =
   let i = Label.to_index label in
   t.stalls.(i) <- t.stalls.(i) +. cycles
+
+let stall_accumulator t = t.stalls
 
 let add_cycles t c = t.cycles <- t.cycles +. c
 

@@ -22,7 +22,16 @@ val copy : t -> t
 
 val count_instr : t -> Instr.t -> unit
 
+val count_classified : t -> [ `Mem | `Compute | `Ctrl ] -> int -> unit
+(** [count_classified t cls n] records [n] dynamic instructions of class
+    [cls] — the pre-classified form {!count_instr} reduces to; the SoA
+    replay loop calls it with the trace's opcode already decoded. *)
+
 val count_load_transactions : t -> Label.t -> int -> unit
+
+val count_load_transactions_idx : t -> int -> int -> unit
+(** {!count_load_transactions} by [Label.to_index] — the replay-path
+    variant that avoids materializing a [Label.t]. *)
 
 val count_store_transactions : t -> int -> unit
 
@@ -33,6 +42,12 @@ val count_l2 : t -> hit:bool -> unit
 val count_dram_sector : t -> unit
 
 val attribute_stall : t -> Label.t -> float -> unit
+
+val stall_accumulator : t -> float array
+(** The raw per-label stall array (indexed by [Label.to_index]), exposed
+    so the replay loop can accumulate stalls with flat float-array
+    stores instead of a boxed [float] argument per call. Aliases the
+    live counters — treat as write-accumulate only. *)
 
 val add_cycles : t -> float -> unit
 

@@ -1,14 +1,177 @@
-type t = Instr.t Repro_util.Vec.t
+(* Structure-of-arrays trace storage.
 
-let create () = Repro_util.Vec.create ~capacity:64 ()
+   One record per dynamic warp instruction, split across flat parallel int
+   arrays; memory instructions keep their per-lane canonical addresses in a
+   shared arena ([addrs]) addressed by offset/length. The functional phase
+   grows the arrays (amortized doubling); the timing phase replays by index
+   without allocating. *)
 
-let emit t i = Repro_util.Vec.push t i
+let op_load = 0
+let op_store = 1
+let op_compute = 2
+let op_ctrl = 3
+let op_const_load = 4
+let op_call_indirect = 5
+let op_call_direct = 6
 
-let length = Repro_util.Vec.length
+type t = {
+  mutable len : int;
+  mutable op : int array;        (* op_* opcode *)
+  mutable lbl : int array;       (* Label.to_index *)
+  mutable act : int array;       (* active lanes when issued *)
+  mutable rep : int array;       (* Instr.instruction_count *)
+  mutable blk : int array;       (* blocking flag, 0/1 *)
+  mutable aoff : int array;      (* arena offset; -1 for non-mem records *)
+  mutable addrs : int array;     (* the address arena *)
+  mutable addrs_len : int;
+  mutable instr_total : int;     (* running sum of [rep] *)
+}
 
-let get = Repro_util.Vec.get
+let create ?(capacity = 64) () =
+  let capacity = max 1 capacity in
+  {
+    len = 0;
+    op = Array.make capacity 0;
+    lbl = Array.make capacity 0;
+    act = Array.make capacity 0;
+    rep = Array.make capacity 0;
+    blk = Array.make capacity 0;
+    aoff = Array.make capacity (-1);
+    addrs = Array.make (4 * capacity) 0;
+    addrs_len = 0;
+    instr_total = 0;
+  }
 
-let iter = Repro_util.Vec.iter
+let length t = t.len
 
-let instruction_total t =
-  Repro_util.Vec.fold_left (fun acc i -> acc + Instr.instruction_count i) 0 t
+let instruction_total t = t.instr_total
+
+let grow_records t =
+  let cap = 2 * Array.length t.op in
+  let extend a fill =
+    let fresh = Array.make cap fill in
+    Array.blit a 0 fresh 0 t.len;
+    fresh
+  in
+  t.op <- extend t.op 0;
+  t.lbl <- extend t.lbl 0;
+  t.act <- extend t.act 0;
+  t.rep <- extend t.rep 0;
+  t.blk <- extend t.blk 0;
+  t.aoff <- extend t.aoff (-1)
+
+let reserve_arena t n =
+  let cap = Array.length t.addrs in
+  if t.addrs_len + n > cap then begin
+    let fresh = Array.make (max (2 * cap) (t.addrs_len + n)) 0 in
+    Array.blit t.addrs 0 fresh 0 t.addrs_len;
+    t.addrs <- fresh
+  end
+
+let push t ~op ~label ~active ~rep ~blocking ~aoff =
+  if t.len >= Array.length t.op then grow_records t;
+  let i = t.len in
+  t.op.(i) <- op;
+  t.lbl.(i) <- Label.to_index label;
+  t.act.(i) <- active;
+  t.rep.(i) <- rep;
+  t.blk.(i) <- (if blocking then 1 else 0);
+  t.aoff.(i) <- aoff;
+  t.len <- i + 1;
+  t.instr_total <- t.instr_total + rep
+
+(* Memory emission strips TypePointer tag bits as the addresses land in the
+   arena — the hardware-MMU view, fused with trace recording so no
+   intermediate canonical array is built. *)
+let emit_mem t ~op ~label ~blocking addrs =
+  let n = Array.length addrs in
+  if n = 0 then invalid_arg "Trace.emit_mem: no active lanes";
+  reserve_arena t n;
+  let off = t.addrs_len in
+  let arena = t.addrs in
+  for k = 0 to n - 1 do
+    arena.(off + k) <- addrs.(k) land Repro_mem.Vaddr.va_mask
+  done;
+  t.addrs_len <- off + n;
+  push t ~op ~label ~active:n ~rep:1 ~blocking ~aoff:off;
+  off
+
+let emit_load t ~label ~blocking addrs =
+  emit_mem t ~op:op_load ~label ~blocking addrs
+
+let emit_store t ~label addrs =
+  emit_mem t ~op:op_store ~label ~blocking:false addrs
+
+let emit_compute t ~label ~n ~blocking ~active =
+  if n <= 0 then invalid_arg "Trace.emit_compute: n must be positive";
+  push t ~op:op_compute ~label ~active ~rep:n ~blocking ~aoff:(-1)
+
+let emit_ctrl t ~label ~n ~active =
+  if n <= 0 then invalid_arg "Trace.emit_ctrl: n must be positive";
+  push t ~op:op_ctrl ~label ~active ~rep:n ~blocking:false ~aoff:(-1)
+
+let emit_const_load t ~label ~active =
+  push t ~op:op_const_load ~label ~active ~rep:1 ~blocking:true ~aoff:(-1)
+
+let emit_call_indirect t ~label ~active =
+  push t ~op:op_call_indirect ~label ~active ~rep:1 ~blocking:true ~aoff:(-1)
+
+let emit_call_direct t ~label ~active =
+  push t ~op:op_call_direct ~label ~active ~rep:1 ~blocking:true ~aoff:(-1)
+
+(* --- replay accessors (no bounds logic beyond the array checks) -------- *)
+
+let check t i label =
+  if i < 0 || i >= t.len then
+    invalid_arg ("Trace." ^ label ^ ": index out of bounds")
+
+let op t i = t.op.(i)
+let label_index t i = t.lbl.(i)
+let active t i = t.act.(i)
+let repeat t i = t.rep.(i)
+let is_blocking t i = t.blk.(i) <> 0
+let addr_off t i = t.aoff.(i)
+
+let arena t = t.addrs
+(* The current arena array. Further emission may replace it (growth), so
+   fetch it again after any emit; during replay the trace is frozen. *)
+
+(* --- compatibility view ----------------------------------------------- *)
+
+let get t i : Instr.t =
+  check t i "get";
+  let label = Label.of_index t.lbl.(i) in
+  let blocking = t.blk.(i) <> 0 in
+  let active = t.act.(i) in
+  let payload () = Array.sub t.addrs t.aoff.(i) active in
+  let kind : Instr.kind =
+    match t.op.(i) with
+    | 0 -> Instr.Load (payload ())
+    | 1 -> Instr.Store (payload ())
+    | 2 -> Instr.Compute t.rep.(i)
+    | 3 -> Instr.Ctrl t.rep.(i)
+    | 4 -> Instr.Const_load
+    | 5 -> Instr.Call_indirect
+    | _ -> Instr.Call_direct
+  in
+  { Instr.label; kind; blocking; active }
+
+let emit t (i : Instr.t) =
+  match i.Instr.kind with
+  | Instr.Load addrs ->
+    ignore (emit_load t ~label:i.Instr.label ~blocking:i.Instr.blocking addrs)
+  | Instr.Store addrs -> ignore (emit_store t ~label:i.Instr.label addrs)
+  | Instr.Compute n ->
+    emit_compute t ~label:i.Instr.label ~n ~blocking:i.Instr.blocking
+      ~active:i.Instr.active
+  | Instr.Ctrl n -> emit_ctrl t ~label:i.Instr.label ~n ~active:i.Instr.active
+  | Instr.Const_load -> emit_const_load t ~label:i.Instr.label ~active:i.Instr.active
+  | Instr.Call_indirect ->
+    emit_call_indirect t ~label:i.Instr.label ~active:i.Instr.active
+  | Instr.Call_direct ->
+    emit_call_direct t ~label:i.Instr.label ~active:i.Instr.active
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f (get t i)
+  done

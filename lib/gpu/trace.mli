@@ -1,17 +1,100 @@
-(** Per-warp dynamic instruction traces (phase-1 output, phase-2 input). *)
+(** Per-warp dynamic instruction traces (phase-1 output, phase-2 input).
+
+    Stored as a structure of arrays: one flat int array per field (opcode,
+    label id, active lanes, repeat count, blocking flag, arena offset) plus
+    a per-trace address arena holding the canonical per-lane byte addresses
+    of every memory instruction back to back. The functional phase appends
+    through the [emit_*] functions (amortized-doubling growth, tag bits
+    stripped as addresses enter the arena); the timing phase replays by
+    index through the int-returning accessors without touching the minor
+    heap.
+
+    {!get}/{!iter} provide a compatibility view that materializes boxed
+    {!Instr.t} records for consumers that want pattern matching
+    ([Instr.class_of]-style inspection, tests); they allocate and are not
+    for the replay path. *)
 
 type t
 
-val create : unit -> t
-
-val emit : t -> Instr.t -> unit
+val create : ?capacity:int -> unit -> t
 
 val length : t -> int
 (** Number of trace records (one [Compute n] record counts once here). *)
 
+val instruction_total : t -> int
+(** Total dynamic warp instructions (expanding [Compute n]/[Ctrl n]).
+    Maintained incrementally; O(1). *)
+
+(** {1 Opcodes}
+
+    The values stored in the opcode array and returned by {!op}. *)
+
+val op_load : int
+val op_store : int
+val op_compute : int
+val op_ctrl : int
+val op_const_load : int
+val op_call_indirect : int
+val op_call_direct : int
+
+(** {1 Emission (functional phase)} *)
+
+val emit_load : t -> label:Label.t -> blocking:bool -> int array -> int
+(** [emit_load t ~label ~blocking addrs] records one global-load
+    instruction, stripping each address's tag bits as it is copied into the
+    arena, and returns the arena offset of the first lane ([Array.length
+    addrs] consecutive entries). Raises [Invalid_argument] on an empty
+    lane set. *)
+
+val emit_store : t -> label:Label.t -> int array -> int
+(** Same for a (non-blocking) global store. *)
+
+val emit_compute : t -> label:Label.t -> n:int -> blocking:bool -> active:int -> unit
+
+val emit_ctrl : t -> label:Label.t -> n:int -> active:int -> unit
+
+val emit_const_load : t -> label:Label.t -> active:int -> unit
+
+val emit_call_indirect : t -> label:Label.t -> active:int -> unit
+
+val emit_call_direct : t -> label:Label.t -> active:int -> unit
+
+(** {1 Replay accessors (timing phase)}
+
+    All return immediates; none allocate. *)
+
+val op : t -> int -> int
+
+val label_index : t -> int -> int
+(** The record's {!Label.to_index}. *)
+
+val active : t -> int -> int
+(** Active lane count; for memory records this is also the arena slice
+    length. *)
+
+val repeat : t -> int -> int
+(** The record's {!Instr.instruction_count}. *)
+
+val is_blocking : t -> int -> bool
+
+val addr_off : t -> int -> int
+(** Arena offset of a memory record's addresses; -1 for non-memory
+    records. *)
+
+val arena : t -> int array
+(** The current address arena. Emission may replace the array (growth), so
+    re-fetch after any [emit_*]; during replay the trace is frozen and the
+    array is stable. *)
+
+(** {1 Compatibility view} *)
+
+val emit : t -> Instr.t -> unit
+(** Decompose a boxed instruction into the SoA arrays (legacy emission;
+    load/store payloads are canonicalized like {!emit_load}). *)
+
 val get : t -> int -> Instr.t
+(** Materialize record [i] as a boxed {!Instr.t} (allocates; memory
+    payloads are fresh copies of the arena slice). *)
 
 val iter : (Instr.t -> unit) -> t -> unit
-
-val instruction_total : t -> int
-(** Total dynamic warp instructions (expanding [Compute n]/[Ctrl n]). *)
+(** Materializing iteration over {!get}. *)

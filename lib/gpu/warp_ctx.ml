@@ -1,4 +1,3 @@
-module Vaddr = Repro_mem.Vaddr
 module Page_store = Repro_mem.Page_store
 
 type t = {
@@ -25,8 +24,6 @@ let check_width t a label =
   if Array.length a <> n_active t then
     invalid_arg ("Warp_ctx." ^ label ^ ": per-lane array width mismatch")
 
-let stripped addrs = Array.map Vaddr.strip addrs
-
 let san_access_of_label label =
   match label with
   | Label.Vtable_load -> Repro_san.Checker.Vtable
@@ -41,12 +38,16 @@ let sanitize t ~label ~width addrs =
       ~access:(san_access_of_label label) ~what:(Label.slug label) ~width
       ~addrs
 
+(* Tag stripping is fused into arena emission ([Trace.emit_mem]); the
+   functional access reads the canonical addresses back from the arena
+   slice just written, so no intermediate stripped array is built. *)
 let do_load t ~width ~blocking ~label addrs =
   check_width t addrs "load";
   sanitize t ~label ~width addrs;
-  let canonical = stripped addrs in
-  Trace.emit t.trace (Instr.load ~blocking ~label canonical);
-  Array.map (fun a -> Page_store.load_byte_width t.heap a ~width) canonical
+  let off = Trace.emit_load t.trace ~label ~blocking addrs in
+  let arena = Trace.arena t.trace in
+  Array.init (Array.length addrs) (fun i ->
+      Page_store.load_byte_width t.heap arena.(off + i) ~width)
 
 let load ?(width = 8) t ~label addrs = do_load t ~width ~blocking:true ~label addrs
 
@@ -57,25 +58,25 @@ let store ?(width = 8) t ~label addrs values =
   check_width t addrs "store";
   check_width t values "store";
   sanitize t ~label ~width addrs;
-  let canonical = stripped addrs in
-  Trace.emit t.trace (Instr.store ~label canonical);
+  let off = Trace.emit_store t.trace ~label addrs in
+  let arena = Trace.arena t.trace in
   Array.iteri
-    (fun i a -> Page_store.store_byte_width t.heap a ~width values.(i))
-    canonical
+    (fun i v -> Page_store.store_byte_width t.heap arena.(off + i) ~width v)
+    values
 
 let compute ?(n = 1) ?(blocking = false) t ~label =
-  Trace.emit t.trace (Instr.compute ~n ~blocking ~label (n_active t))
+  Trace.emit_compute t.trace ~label ~n ~blocking ~active:(n_active t)
 
-let ctrl ?(n = 1) t ~label =
-  Trace.emit t.trace (Instr.ctrl ~n ~label (n_active t))
+let ctrl ?(n = 1) t ~label = Trace.emit_ctrl t.trace ~label ~n ~active:(n_active t)
 
-let const_load t ~label = Trace.emit t.trace (Instr.const_load ~label (n_active t))
+let const_load t ~label =
+  Trace.emit_const_load t.trace ~label ~active:(n_active t)
 
 let call_indirect t ~label =
-  Trace.emit t.trace (Instr.call_indirect ~label (n_active t))
+  Trace.emit_call_indirect t.trace ~label ~active:(n_active t)
 
 let call_direct t ~label =
-  Trace.emit t.trace (Instr.call_direct ~label (n_active t))
+  Trace.emit_call_direct t.trace ~label ~active:(n_active t)
 
 let gather idxs a = Array.map (fun i -> a.(i)) idxs
 

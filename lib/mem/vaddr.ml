@@ -4,6 +4,7 @@ let va_mask = (1 lsl va_bits) - 1
 let max_tag = (1 lsl tag_bits) - 1
 let word_bytes = 8
 let sector_bytes = 32
+let sector_shift = 5 (* log2 sector_bytes; sector_bytes is a power of two *)
 
 let is_canonical a = a land lnot va_mask = 0
 

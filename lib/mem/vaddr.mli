@@ -27,6 +27,10 @@ val sector_bytes : int
 (** Size of a memory-system sector, the unit of L1/L2/DRAM traffic (32),
     matching NVIDIA's sectored caches. *)
 
+val sector_shift : int
+(** [log2 sector_bytes]; sector ids of canonical addresses are
+    [addr lsr sector_shift], letting hot paths avoid division. *)
+
 val is_canonical : int -> bool
 (** [is_canonical a] holds when [a] has no tag bits set, i.e. it is a plain
     untagged address the MMU accepts without TypePointer support. *)

@@ -57,6 +57,29 @@ let prop_coalesce_bounds =
       let n = Coalesce.transaction_count (Array.of_list addrs) in
       n >= 1 && n <= List.length addrs)
 
+(* The replay-path scratch-buffer coalescer must agree exactly with the
+   naive reference (sorted distinct sectors) for any lane count, duplicate
+   pattern and ordering, at any arena offset, tag bits included. *)
+let prop_coalesce_scratch_equiv =
+  QCheck.Test.make ~name:"scratch coalescer matches naive reference" ~count:500
+    QCheck.(
+      triple
+        (list_of_size (Gen.int_range 1 32) (int_bound 100_000))
+        (int_bound 8) (int_bound 40))
+    (fun (addrs, pad, tag) ->
+      let tagged =
+        List.mapi
+          (fun i a -> if i mod 3 = 0 then Repro_mem.Vaddr.with_tag a ~tag else a)
+          addrs
+      in
+      let len = List.length addrs in
+      (* Embed the lane addresses at a nonzero arena offset. *)
+      let arena = Array.make (pad + len) 0 in
+      List.iteri (fun i a -> arena.(pad + i) <- a) tagged;
+      let buf = Array.make len (-1) in
+      let n = Coalesce.sectors_into ~buf arena ~off:pad ~len in
+      Array.sub buf 0 n = Coalesce.sectors (Array.of_list addrs))
+
 (* --- cache ------------------------------------------------------------ *)
 
 let small_geom = Cache.geometry ~size_bytes:1024 ~line_bytes:128 ~ways:2
@@ -309,6 +332,117 @@ let test_more_warps_hide_latency () =
   check Alcotest.bool "64x work is far less than 64x time" true
     (many_warps < one_warp *. 32.)
 
+(* --- SoA trace storage ------------------------------------------------ *)
+
+let test_trace_soa_roundtrip () =
+  let t = Trace.create () in
+  let tagged = Repro_mem.Vaddr.with_tag 64 ~tag:5 in
+  let off = Trace.emit_load t ~label:Label.Body ~blocking:true [| tagged; 128 |] in
+  Trace.emit_compute t ~label:Label.Body ~n:3 ~blocking:false ~active:2;
+  (* Emission strips tag bits on the way into the arena. *)
+  check Alcotest.int "arena canonical" 64 (Trace.arena t).(off);
+  check Alcotest.int "arena second lane" 128 (Trace.arena t).(off + 1);
+  check Alcotest.int "load opcode" Trace.op_load (Trace.op t 0);
+  check Alcotest.int "label index" (Label.to_index Label.Body)
+    (Trace.label_index t 0);
+  check Alcotest.bool "blocking" true (Trace.is_blocking t 0);
+  check Alcotest.int "repeat of compute" 3 (Trace.repeat t 1);
+  check Alcotest.int "instruction total" 4 (Trace.instruction_total t);
+  (* The compatibility view materializes equivalent Instr.t records. *)
+  (match (Trace.get t 0).Instr.kind with
+   | Instr.Load a -> check (Alcotest.array Alcotest.int) "compat payload" [| 64; 128 |] a
+   | _ -> Alcotest.fail "expected a load");
+  check Alcotest.int "compat compute count" 3
+    (Instr.instruction_count (Trace.get t 1))
+
+let test_trace_compat_emit () =
+  let t = Trace.create () in
+  Trace.emit t (Instr.load ~label:Label.Vtable_load [| 256 |]);
+  Trace.emit t (Instr.ctrl ~n:2 ~label:Label.Body 7);
+  let got = ref [] in
+  Trace.iter (fun i -> got := Instr.class_of i :: !got) t;
+  check Alcotest.int "length" 2 (Trace.length t);
+  check Alcotest.bool "classes preserved" true (List.rev !got = [ `Mem; `Ctrl ])
+
+(* The event heap must implement exactly the ordering contract of
+   Repro_util.Heap — (key, insertion sequence) lexicographic — because
+   Sm.run's replay schedule, and therefore every figure, depends on the
+   FIFO tie-break. Keys are drawn from a tiny set to force ties. *)
+let prop_event_heap_matches_util_heap =
+  QCheck.Test.make ~name:"event heap ordering matches util heap" ~count:300
+    QCheck.(list (int_bound 3))
+    (fun keys ->
+      let eh = Repro_gpu.Event_heap.create () in
+      let kc = Repro_gpu.Event_heap.key_cell eh in
+      let uh = Repro_util.Heap.create () in
+      List.iteri
+        (fun i k ->
+          let key = float_of_int k in
+          kc.(0) <- key;
+          Repro_gpu.Event_heap.push eh i;
+          Repro_util.Heap.push uh ~key i)
+        keys;
+      let rec drain acc =
+        let v = Repro_gpu.Event_heap.pop eh in
+        if v < 0 then List.rev acc else drain ((kc.(0), v) :: acc)
+      in
+      let rec drain_u acc =
+        match Repro_util.Heap.pop uh with
+        | None -> List.rev acc
+        | Some (k, v) -> drain_u ((k, v) :: acc)
+      in
+      drain [] = drain_u [])
+
+(* --- zero-allocation replay ------------------------------------------- *)
+
+let canned_traces ~n_warps ~n_instrs =
+  let heap = Page_store.create () in
+  Array.init n_warps (fun warp_id ->
+      let lanes = Array.init 32 (fun l -> (warp_id * 32) + l) in
+      let ctx = Warp_ctx.create ~heap ~warp_id ~lanes () in
+      for i = 0 to n_instrs - 1 do
+        match i mod 5 with
+        | 0 ->
+          let base = (i * 544) land 0xFFFF8 in
+          ignore
+            (Warp_ctx.load ctx ~label:Label.Body
+               (Array.map (fun l -> base + (8 * (l land 31))) lanes))
+        | 1 ->
+          let base = (i * 288) land 0xFFFF8 in
+          Warp_ctx.store ctx ~label:Label.Body
+            (Array.map (fun l -> base + (8 * (l land 31))) lanes)
+            lanes
+        | 2 -> Warp_ctx.compute ctx ~n:3 ~label:Label.Body
+        | 3 -> Warp_ctx.ctrl ctx ~label:Label.Body
+        | _ -> Warp_ctx.call_indirect ctx ~label:Label.Call
+      done;
+      Warp_ctx.trace ctx)
+
+let replay_minor_words traces =
+  let mp = Mem_path.create cfg in
+  let stats = Stats.create () in
+  (* One warm replay so code paths and growable state are initialized. *)
+  ignore (Sm.run cfg mp ~stats ~traces);
+  let w0 = Gc.minor_words () in
+  ignore (Sm.run cfg mp ~stats ~traces);
+  Gc.minor_words () -. w0
+
+let test_replay_zero_allocation () =
+  (* The timing phase must allocate a per-run constant (activation lists,
+     event-heap setup) and nothing per instruction: replaying 10x the
+     instructions may not allocate more than a small fixed slack over the
+     short trace. This is the invariant DESIGN.md documents; any boxed
+     float, closure or record sneaking into Sm.run/Mem_path/Coalesce/
+     Cache breaks it loudly. *)
+  let short = replay_minor_words (canned_traces ~n_warps:8 ~n_instrs:300) in
+  let long = replay_minor_words (canned_traces ~n_warps:8 ~n_instrs:3000) in
+  check Alcotest.bool
+    (Printf.sprintf
+       "allocation independent of trace length (short=%.0f long=%.0f)" short
+       long)
+    true
+    (long <= short +. 256.)
+
 let suite =
   [
     Alcotest.test_case "label indexing" `Quick test_label_indexing;
@@ -335,6 +469,12 @@ let suite =
     Alcotest.test_case "device kernel timeline" `Quick test_device_kernel_timeline;
     Alcotest.test_case "stall attribution" `Quick test_sm_blocking_latency_attribution;
     Alcotest.test_case "latency hiding" `Quick test_more_warps_hide_latency;
+    Alcotest.test_case "trace SoA roundtrip" `Quick test_trace_soa_roundtrip;
+    Alcotest.test_case "trace compat emit/iter" `Quick test_trace_compat_emit;
+    Alcotest.test_case "replay allocates nothing per instruction" `Quick
+      test_replay_zero_allocation;
     QCheck_alcotest.to_alcotest prop_coalesce_bounds;
+    QCheck_alcotest.to_alcotest prop_coalesce_scratch_equiv;
+    QCheck_alcotest.to_alcotest prop_event_heap_matches_util_heap;
     QCheck_alcotest.to_alcotest prop_cache_hits_bounded;
   ]

@@ -132,6 +132,29 @@ let prop_heap_sorted =
       in
       drain neg_infinity)
 
+(* The full ordering contract: pops come out sorted by (key, insertion
+   sequence) lexicographically, i.e. exactly a stable sort of the pushed
+   values by key. Keys are drawn from a tiny set so ties are common —
+   the FIFO tie-break is what Sm.run's warp schedule and the sweep
+   executor's determinism rest on. *)
+let prop_heap_lexicographic =
+  QCheck.Test.make ~name:"heap pop order is lexicographic in (key, seq)"
+    ~count:300
+    QCheck.(list (int_bound 4))
+    (fun keys ->
+      let h = Heap.create () in
+      List.iteri (fun i k -> Heap.push h ~key:(float_of_int k) i) keys;
+      let rec drain acc =
+        match Heap.pop h with
+        | None -> List.rev acc
+        | Some (k, v) -> drain ((k, v) :: acc)
+      in
+      let expected =
+        List.mapi (fun i k -> (float_of_int k, i)) keys
+        |> List.stable_sort (fun (a, _) (b, _) -> compare a b)
+      in
+      drain [] = expected)
+
 let prop_rng_int_uniform_range =
   QCheck.Test.make ~name:"rng int stays in range" ~count:500
     QCheck.(pair small_nat (int_bound 1000))
@@ -165,6 +188,7 @@ let suite =
     Alcotest.test_case "heap orders" `Quick test_heap_orders;
     Alcotest.test_case "heap fifo ties" `Quick test_heap_fifo_ties;
     QCheck_alcotest.to_alcotest prop_heap_sorted;
+    QCheck_alcotest.to_alcotest prop_heap_lexicographic;
     QCheck_alcotest.to_alcotest prop_rng_int_uniform_range;
     QCheck_alcotest.to_alcotest prop_vec_push_get;
   ]
