@@ -112,6 +112,13 @@ let run_fig9 () =
   save_csv "fig9" (E.Fig9.csv s);
   record "fig9" [ E.Fig9.series s ]
 
+let run_dram () =
+  banner "DRAM sectors (companion series)";
+  let s = Lazy.force sweep in
+  print_string (E.Dram.render s);
+  save_csv "dram" (E.Dram.csv s);
+  record "dram" [ E.Dram.series s ]
+
 let run_fig10 () =
   banner "Figure 10 (chunk-size sensitivity; re-runs COAL per size)";
   let points = E.Fig10.run ~scale ~j:jobs ~cache ?cache_dir () in
@@ -248,6 +255,7 @@ let jobs =
   [
     ("fig1b", run_fig1b); ("table1", run_table1); ("table2", run_table2);
     ("fig6", run_fig6); ("fig7", run_fig7); ("fig8", run_fig8); ("fig9", run_fig9);
+    ("dram", run_dram);
     ("fig10", run_fig10); ("fig11", run_fig11); ("fig12a", run_fig12a);
     ("fig12b", run_fig12b); ("init", run_init); ("ablation", run_ablation);
     ("bechamel", run_bechamel);

@@ -47,14 +47,22 @@ type result = {
   cycles : float;       (* simulated cycles per replay pass *)
   wall_s : float;       (* for [reps] passes *)
   minor_words : float;  (* for [reps] passes *)
+  tel_wall_s : float;   (* same passes with the event tracer on *)
 }
 
 let minstr_per_s r = float_of_int (r.instrs * reps) /. r.wall_s /. 1e6
+let tel_minstr_per_s r = float_of_int (r.instrs * reps) /. r.tel_wall_s /. 1e6
 let mcyc_per_s r = r.cycles *. float_of_int reps /. r.wall_s /. 1e6
 let words_per_instr r = r.minor_words /. float_of_int (r.instrs * reps)
 
+let tracer_overhead_pct r =
+  if r.wall_s <= 0. then 0.
+  else 100. *. (r.tel_wall_s -. r.wall_s) /. r.wall_s
+
 (* Replay [launches] through a fresh hierarchy [reps] times; one untimed
-   warm-up pass first so code and data are hot. *)
+   warm-up pass first so code and data are hot. Then the same passes
+   again with the event ring recording (the tracer-overhead column;
+   target is within ~10% of the plain path). *)
 let time_replay ~job ~cfg launches =
   let mp = G.Mem_path.create cfg in
   let stats = G.Stats.create () in
@@ -82,7 +90,33 @@ let time_replay ~job ~cfg launches =
   done;
   let wall_s = Unix.gettimeofday () -. t0 in
   let minor_words = Gc.minor_words () -. w0 in
-  { job; launches = List.length launches; instrs; cycles; wall_s; minor_words }
+  (* Tracer-on passes: ring-only config (no windowing), fresh hierarchy
+     so cache behaviour matches the plain passes. *)
+  let tel =
+    G.Telemetry.create
+      { G.Telemetry.window = None; trace = true;
+        trace_capacity = G.Telemetry.default_capacity }
+  in
+  let ring = Option.get tel.G.Telemetry.ring in
+  let tel_mp = G.Mem_path.create cfg in
+  G.Mem_path.set_ring tel_mp (Some ring);
+  let tel_stats = G.Stats.create () in
+  let replay_tel () =
+    G.Telemetry.Ring.begin_launch ring ~base:0.;
+    List.iter
+      (fun traces ->
+        ignore (G.Sm.run ~telemetry:tel cfg tel_mp ~stats:tel_stats ~traces))
+      launches
+  in
+  replay_tel ();
+  Gc.full_major ();
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    replay_tel ()
+  done;
+  let tel_wall_s = Unix.gettimeofday () -. t0 in
+  { job; launches = List.length launches; instrs; cycles; wall_s; minor_words;
+    tel_wall_s }
 
 let workload_job (w : W.Workload.t) technique =
   let params = { (W.Workload.default_params technique) with scale } in
@@ -139,17 +173,21 @@ let result_json r =
       ("minstr_per_s", O.Json.Float (minstr_per_s r));
       ("mcycles_per_s", O.Json.Float (mcyc_per_s r));
       ("minor_words_per_instr", O.Json.Float (words_per_instr r));
+      ("tracer_wall_s", O.Json.Float r.tel_wall_s);
+      ("tracer_minstr_per_s", O.Json.Float (tel_minstr_per_s r));
+      ("tracer_overhead_pct", O.Json.Float (tracer_overhead_pct r));
     ]
 
 let () =
   Printf.printf "sim_bench: scale=%g reps=%d\n%!" scale reps;
-  Printf.printf "%-18s %10s %9s %9s %9s %12s\n" "job" "instrs" "Minstr/s"
-    "Mcyc/s" "wall(s)" "words/instr";
+  Printf.printf "%-18s %10s %9s %9s %9s %12s %9s %6s\n" "job" "instrs"
+    "Minstr/s" "Mcyc/s" "wall(s)" "words/instr" "tracer" "ovh%";
   let results = ref [] in
   let emit r =
     results := r :: !results;
-    Printf.printf "%-18s %10d %9.2f %9.2f %9.3f %12.3f\n%!" r.job r.instrs
-      (minstr_per_s r) (mcyc_per_s r) r.wall_s (words_per_instr r)
+    Printf.printf "%-18s %10d %9.2f %9.2f %9.3f %12.3f %9.2f %+6.1f\n%!" r.job
+      r.instrs (minstr_per_s r) (mcyc_per_s r) r.wall_s (words_per_instr r)
+      (tel_minstr_per_s r) (tracer_overhead_pct r)
   in
   emit (canned_job ());
   List.iter
@@ -162,11 +200,21 @@ let () =
   in
   let total_wall = List.fold_left (fun a r -> a +. r.wall_s) 0. results in
   let total_words = List.fold_left (fun a r -> a +. r.minor_words) 0. results in
+  let total_tel_wall =
+    List.fold_left (fun a r -> a +. r.tel_wall_s) 0. results
+  in
+  let agg_overhead =
+    if total_wall > 0. then
+      100. *. (total_tel_wall -. total_wall) /. total_wall
+    else 0.
+  in
   Printf.printf
-    "aggregate: %.2f Minstr/s over %d jobs, %.3f minor words/instr\n%!"
+    "aggregate: %.2f Minstr/s over %d jobs, %.3f minor words/instr, \
+     tracer overhead %+.1f%%\n%!"
     (float_of_int total_instrs /. total_wall /. 1e6)
     (List.length results)
-    (total_words /. float_of_int total_instrs);
+    (total_words /. float_of_int total_instrs)
+    agg_overhead;
   let json =
     O.Json.Obj
       [
@@ -179,6 +227,7 @@ let () =
                 O.Json.Float (float_of_int total_instrs /. total_wall /. 1e6) );
               ( "minor_words_per_instr",
                 O.Json.Float (total_words /. float_of_int total_instrs) );
+              ("tracer_overhead_pct", O.Json.Float agg_overhead);
             ] );
         ("jobs", O.Json.List (List.map result_json results));
       ]

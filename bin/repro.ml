@@ -3,6 +3,7 @@
      repro list                         all workloads
      repro run -w TRAF -t coal          one workload under one technique
      repro profile -w TRAF -t tp        per-kernel counter timeline
+     repro trace TRAF tp                Chrome-trace export (Perfetto)
      repro compare -w GOL               one workload under all techniques
      repro figure 6                     regenerate a figure (1b, 6..12b)
      repro table 2                      regenerate a table (1 or 2)
@@ -91,6 +92,44 @@ let csv_arg =
 let params technique scale seed iterations =
   { (W.Workload.default_params technique) with W.Workload.scale; seed; iterations }
 
+(* --timeline / --window, shared by run and profile. *)
+
+let timeline_arg =
+  Arg.(value & flag & info [ "timeline" ]
+         ~doc:"Sample counters into fixed cycle windows and print the \
+               per-window time series (sparklines; exact — window sums \
+               reproduce the run totals bit-for-bit).")
+
+let window_arg =
+  Arg.(value & opt (some int) None & info [ "window" ] ~docv:"N"
+         ~doc:"Sampling window in cycles (implies $(b,--timeline); \
+               default 1024).")
+
+let resolve_window window =
+  match window with
+  | Some n when n <= 0 -> cli_error "window must be positive, got %d" n
+  | Some n -> n
+  | None -> Repro_gpu.Telemetry.default_window
+
+(* [None] when neither flag was given, so the measurement stays on the
+   zero-allocation replay path. *)
+let sampling_config timeline window =
+  if timeline || window <> None then
+    Some
+      { Repro_gpu.Telemetry.window = Some (resolve_window window);
+        trace = false;
+        trace_capacity = Repro_gpu.Telemetry.default_capacity }
+  else None
+
+let timeline_of (r : W.Harness.run) =
+  match r.W.Harness.window with
+  | None -> None
+  | Some window ->
+    Some
+      (O.Timeline.make ~workload:r.W.Harness.workload
+         ~technique:(T.name r.W.Harness.technique)
+         ~window ~kernel_windows:r.W.Harness.kernel_windows)
+
 let write_json path json =
   O.Sink.write_file ~path (O.Json.to_string ~pretty:true json);
   Printf.eprintf "wrote %s\n%!" path
@@ -98,6 +137,22 @@ let write_json path json =
 let write_csv path contents =
   O.Sink.write_file ~path contents;
   Printf.eprintf "wrote %s\n%!" path
+
+let series_json ~kind ~which series =
+  O.Json.Obj
+    [
+      (kind, O.Json.String which);
+      ("series", O.Json.List (List.map O.Sink.series_to_json series));
+    ]
+
+let series_csv = function
+  | [ s ] -> O.Sink.series_to_csv s
+  | many ->
+    String.concat "\n"
+      (List.map
+         (fun (s : Series.t) ->
+           "# " ^ s.Series.name ^ "\n" ^ O.Sink.series_to_csv s)
+         many)
 
 let metric r = O.Metric.to_float r
 
@@ -137,17 +192,23 @@ let run_cmd =
     Arg.(value & opt string "shard" & info [ "t"; "technique" ] ~docv:"TECH"
            ~doc:"cuda | con | shard | coal | tp | tp-hw | tp/cuda.")
   in
-  let run w t scale seed iterations =
+  let run w t scale seed iterations timeline window =
     let w = resolve_workload w and t = resolve_technique t in
-    let r = W.Harness.run w (params t scale seed iterations) in
+    let p =
+      { (params t scale seed iterations) with
+        W.Workload.telemetry = sampling_config timeline window }
+    in
+    let r = W.Harness.run w p in
     print_run r;
     (* The full registry breakdown (every metric, including per-label
        stall attribution and store transactions). *)
-    Format.printf "%a@." O.Metric.pp_stats r.W.Harness.stats
+    Format.printf "%a@." O.Metric.pp_stats r.W.Harness.stats;
+    Option.iter (fun tl -> print_string (O.Timeline.render tl)) (timeline_of r)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one workload under one technique and print its profile.")
-    Term.(const run $ workload $ technique $ scale_arg $ seed_arg $ iterations_arg)
+    Term.(const run $ workload $ technique $ scale_arg $ seed_arg $ iterations_arg
+          $ timeline_arg $ window_arg)
 
 (* --- profile --------------------------------------------------------------- *)
 
@@ -160,10 +221,14 @@ let profile_cmd =
     Arg.(value & opt string "shard" & info [ "t"; "technique" ] ~docv:"TECH"
            ~doc:"cuda | con | shard | coal | tp | tp-hw | tp/cuda.")
   in
-  let run w t scale seed iterations json csv =
+  let run w t scale seed iterations timeline window json csv =
     let w = resolve_workload w and t = resolve_technique t in
+    let p =
+      { (params t scale seed iterations) with
+        W.Workload.telemetry = sampling_config timeline window }
+    in
     let t0 = Unix.gettimeofday () in
-    let r = W.Harness.run w (params t scale seed iterations) in
+    let r = W.Harness.run w p in
     let wall_s = Unix.gettimeofday () -. t0 in
     let profile =
       O.Profile.make ~workload:r.W.Harness.workload
@@ -175,6 +240,16 @@ let profile_cmd =
      | Error msg ->
        Printf.eprintf "warning: per-kernel deltas disagree with totals: %s\n%!" msg);
     print_string (O.Profile.render profile);
+    let tl = timeline_of r in
+    Option.iter
+      (fun tl ->
+        (match O.Timeline.consistent tl ~profile with
+         | Ok () -> ()
+         | Error msg ->
+           Printf.eprintf
+             "warning: window sums disagree with per-kernel deltas: %s\n%!" msg);
+        print_string (O.Timeline.render tl))
+      tl;
     let instrs = Repro_gpu.Stats.total_instructions r.W.Harness.stats in
     if wall_s > 0. then
       Printf.printf
@@ -184,31 +259,136 @@ let profile_cmd =
         wall_s;
     let profile_json =
       match O.Profile.to_json profile with
-      | O.Json.Obj fields when wall_s > 0. ->
-        O.Json.Obj
-          (fields
-           @ [
-               ( "throughput",
-                 O.Json.Obj
-                   [
-                     ("wall_s", O.Json.Float wall_s);
-                     ( "mcycles_per_s",
-                       O.Json.Float (r.W.Harness.cycles /. wall_s /. 1e6) );
-                     ( "instr_per_s",
-                       O.Json.Float (float_of_int instrs /. wall_s) );
-                   ] );
-             ])
+      | O.Json.Obj fields ->
+        let throughput =
+          if wall_s > 0. then
+            [
+              ( "throughput",
+                O.Json.Obj
+                  [
+                    ("wall_s", O.Json.Float wall_s);
+                    ( "mcycles_per_s",
+                      O.Json.Float (r.W.Harness.cycles /. wall_s /. 1e6) );
+                    ( "instr_per_s",
+                      O.Json.Float (float_of_int instrs /. wall_s) );
+                  ] );
+            ]
+          else []
+        in
+        let timeline_field =
+          match tl with
+          | Some tl -> [ ("timeline", O.Timeline.to_json tl) ]
+          | None -> []
+        in
+        O.Json.Obj (fields @ throughput @ timeline_field)
       | j -> j
     in
     Option.iter (fun path -> write_json path profile_json) json;
-    Option.iter (fun path -> write_csv path (O.Profile.to_csv profile)) csv
+    Option.iter
+      (fun path ->
+        let contents =
+          match tl with
+          | None -> O.Profile.to_csv profile
+          | Some tl ->
+            O.Profile.to_csv profile ^ "\n" ^ series_csv (O.Timeline.series tl)
+        in
+        write_csv path contents)
+      csv
   in
   Cmd.v
     (Cmd.info "profile"
        ~doc:"Run one workload under one technique and print its per-kernel \
              counter timeline (the simulator's nvprof).")
     Term.(const run $ workload $ technique $ scale_arg $ seed_arg $ iterations_arg
-          $ json_arg $ csv_arg)
+          $ timeline_arg $ window_arg $ json_arg $ csv_arg)
+
+(* --- trace ----------------------------------------------------------------- *)
+
+let trace_cmd =
+  let workload =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD"
+           ~doc:"Workload name (see $(b,repro list)).")
+  in
+  let technique =
+    Arg.(value & pos 1 string "shard" & info [] ~docv:"TECH"
+           ~doc:"cuda | con | shard | coal | tp | tp-hw | tp/cuda.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Output path (default: trace_<workload>_<technique>.json).")
+  in
+  let capacity =
+    Arg.(value & opt int Repro_gpu.Telemetry.default_capacity
+         & info [ "capacity" ] ~docv:"N"
+             ~doc:"Event-ring size; when the run emits more events the \
+                   oldest are dropped (reported as trace.dropped).")
+  in
+  let sanitize name =
+    String.map (fun c -> if c = '/' || c = ' ' then '_' else c) name
+  in
+  let run w t scale seed iterations window capacity out =
+    let w = resolve_workload w and t = resolve_technique t in
+    if capacity <= 0 then cli_error "capacity must be positive, got %d" capacity;
+    let p =
+      { (params t scale seed iterations) with
+        W.Workload.telemetry =
+          Some
+            { Repro_gpu.Telemetry.window = Some (resolve_window window);
+              trace = true;
+              trace_capacity = capacity } }
+    in
+    let r = W.Harness.run w p in
+    let dump =
+      match r.W.Harness.trace with
+      | Some d -> d
+      | None -> cli_error "tracing produced no dump (internal error)"
+    in
+    let tl = timeline_of r in
+    let json =
+      O.Tracer.to_json ?timeline:tl ~workload:r.W.Harness.workload
+        ~technique:(T.name t) dump
+    in
+    let text = O.Json.to_string ~pretty:true json in
+    (* Round-trip through our own parser plus the structural validator
+       before writing: a malformed trace should fail here, not in
+       Perfetto. *)
+    (match O.Json.of_string text with
+     | Error msg ->
+       Printf.eprintf "repro: trace JSON does not parse back: %s\n%!" msg;
+       exit 1
+     | Ok parsed ->
+       (match O.Tracer.validate parsed with
+        | Ok () -> ()
+        | Error msg ->
+          Printf.eprintf "repro: invalid Chrome trace: %s\n%!" msg;
+          exit 1));
+    let path =
+      match out with
+      | Some p -> p
+      | None ->
+        Printf.sprintf "trace_%s_%s.json"
+          (sanitize r.W.Harness.workload)
+          (sanitize (T.name t))
+    in
+    O.Sink.write_file ~path text;
+    Printf.printf
+      "%s [%s]: %d events (%d dropped), %d kernel span(s), window %d cycles\n"
+      r.W.Harness.workload (T.name t)
+      (Array.length dump.Repro_gpu.Telemetry.events)
+      dump.Repro_gpu.Telemetry.dropped
+      (List.length dump.Repro_gpu.Telemetry.kernels)
+      dump.Repro_gpu.Telemetry.window;
+    Printf.printf "wrote %s (load in https://ui.perfetto.dev or chrome://tracing)\n"
+      path
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run one workload under one technique with the event tracer on \
+             and export a Chrome trace-event JSON (Perfetto-loadable): one \
+             track per SM (stall intervals, L1), plus L2, DRAM, kernel \
+             spans and windowed counter tracks.")
+    Term.(const run $ workload $ technique $ scale_arg $ seed_arg
+          $ iterations_arg $ window_arg $ capacity $ out)
 
 (* --- compare --------------------------------------------------------------- *)
 
@@ -282,22 +462,6 @@ let sweep_of scale j cache cache_dir =
     (X.Executor.total_wall_s outcomes);
   sweep
 
-let series_json ~kind ~which series =
-  O.Json.Obj
-    [
-      (kind, O.Json.String which);
-      ("series", O.Json.List (List.map O.Sink.series_to_json series));
-    ]
-
-let series_csv = function
-  | [ s ] -> O.Sink.series_to_csv s
-  | many ->
-    String.concat "\n"
-      (List.map
-         (fun (s : Series.t) ->
-           "# " ^ s.Series.name ^ "\n" ^ O.Sink.series_to_csv s)
-         many)
-
 let figure_cmd =
   let which =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FIG"
@@ -336,8 +500,8 @@ let figure_cmd =
         let ps = E.Fig12.run_type_sweep ~scale ~j () in
         (E.Fig12.render_type_sweep ps, [ E.Fig12.type_series ps ])
       | other ->
-        Printf.eprintf "unknown figure %S\n" other;
-        exit 2
+        cli_error "unknown figure %S; valid figures: %s" other
+          "1b, 6, 7, 8, 9, 10, 11, 12a, 12b"
     in
     print_string text;
     Option.iter
@@ -400,9 +564,7 @@ let table_cmd =
       | "2" ->
         let s = sweep_of scale j (not no_cache) cache_dir in
         (E.Table2.render s, table2_json s)
-      | other ->
-        Printf.eprintf "unknown table %S\n" other;
-        exit 2
+      | other -> cli_error "unknown table %S; valid tables: 1, 2" other
     in
     print_string text;
     Option.iter (fun path -> write_json path table_json) json
@@ -701,5 +863,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; profile_cmd; compare_cmd; check_cmd; figure_cmd;
-            table_cmd; sweep_cmd; init_cmd; ablation_cmd ]))
+          [ list_cmd; run_cmd; profile_cmd; trace_cmd; compare_cmd; check_cmd;
+            figure_cmd; table_cmd; sweep_cmd; init_cmd; ablation_cmd ]))

@@ -21,7 +21,7 @@ type t = {
 }
 
 let create ?config ?(chunk_objs = Shared_oa.default_chunk_objs) ?vt_encoding ?san
-    ~technique () =
+    ?telemetry ~technique () =
   (match san with
    | Some checker
      when Repro_san.Checker.tags_expected checker
@@ -31,7 +31,7 @@ let create ?config ?(chunk_objs = Shared_oa.default_chunk_objs) ?vt_encoding ?sa
    | _ -> ());
   let heap = Page_store.create () in
   let space = Address_space.create () in
-  let device = Device.create ?config ?san ~heap () in
+  let device = Device.create ?config ?san ?telemetry ~heap () in
   let registry = Registry.create ~heap in
   let vtspace = Vtable_space.create ?encoding:vt_encoding ~heap ~space () in
   let om = Object_model.create technique in
@@ -149,6 +149,12 @@ let launch t ~n_threads kernel =
 let stats t = Device.stats t.device
 
 let kernel_timeline t = Device.kernel_timeline t.device
+
+let window_timeline t = Device.window_timeline t.device
+
+let sample_window t = Device.sample_window t.device
+
+let telemetry_dump t = Device.telemetry_dump t.device
 
 let cycles t = Repro_gpu.Stats.cycles (Device.stats t.device)
 

@@ -16,6 +16,7 @@ val create :
   ?chunk_objs:int ->
   ?vt_encoding:Vtable_space.encoding ->
   ?san:Repro_san.Checker.t ->
+  ?telemetry:Repro_gpu.Telemetry.config ->
   technique:Technique.t ->
   unit -> t
 (** [chunk_objs] is SharedOA's initial region size in objects (Fig. 10
@@ -64,6 +65,16 @@ val stats : t -> Repro_gpu.Stats.t
 val kernel_timeline : t -> Repro_gpu.Stats.t list
 (** Per-launch counter deltas since the last {!reset_stats}, in launch
     order (see {!Repro_gpu.Device.kernel_timeline}). *)
+
+val window_timeline : t -> Repro_gpu.Stats.t array list
+(** Per-launch window rows when the runtime was created with a sampling
+    [telemetry] config (see {!Repro_gpu.Device.window_timeline}). *)
+
+val sample_window : t -> int option
+
+val telemetry_dump : t -> Repro_gpu.Telemetry.dump option
+(** Event-ring snapshot when tracing is on (see
+    {!Repro_gpu.Device.telemetry_dump}). *)
 
 val cycles : t -> float
 

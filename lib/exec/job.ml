@@ -37,7 +37,8 @@ let technique_id = function
 
 let key t =
   let p = t.params in
-  Printf.sprintf "%s|%s|scale=%.6g|seed=%d|iters=%s|chunk=%s|config=%s|san=%s"
+  Printf.sprintf
+    "%s|%s|scale=%.6g|seed=%d|iters=%s|chunk=%s|config=%s|san=%s|telemetry=%s"
     (workload_name t) (technique_id t.technique) p.W.Workload.scale
     p.W.Workload.seed
     (match p.W.Workload.iterations with
@@ -48,18 +49,29 @@ let key t =
      | Some c -> string_of_int c)
     (match p.W.Workload.config with None -> "default" | Some _ -> "custom")
     (match p.W.Workload.san with None -> "off" | Some _ -> "on")
+    (match p.W.Workload.telemetry with
+     | None -> "off"
+     | Some c ->
+       Printf.sprintf "w=%s,trace=%b,cap=%d"
+         (match c.Repro_gpu.Telemetry.window with
+          | None -> "off"
+          | Some w -> string_of_int w)
+         c.Repro_gpu.Telemetry.trace c.Repro_gpu.Telemetry.trace_capacity)
 
 (* Bump whenever [Harness.run] (or anything Marshal reaches through it)
    changes shape: old cache entries become unreachable, not corrupt. *)
-let schema_version = "repro-exec-v2"
+let schema_version = "repro-exec-v3"
 
 let hash t = Digest.to_hex (Digest.string (schema_version ^ "\n" ^ key t))
 
 (* Sanitized jobs are never cached: the measurement's real product is
    the mutable checker threaded through params, which a cache hit would
-   leave untouched. *)
+   leave untouched. Telemetry jobs aren't either — window rows and ring
+   dumps dwarf the scalar results a cache entry is meant to hold. *)
 let cacheable t =
-  t.params.W.Workload.config = None && t.params.W.Workload.san = None
+  t.params.W.Workload.config = None
+  && t.params.W.Workload.san = None
+  && t.params.W.Workload.telemetry = None
 
 let run t = W.Harness.run t.workload t.params
 

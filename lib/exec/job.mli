@@ -42,7 +42,8 @@ val hash : t -> string
 val cacheable : t -> bool
 (** False when [params.config] carries a custom GPU configuration
     (configs have no stable serialization, so such jobs are never
-    cached). *)
+    cached), when a sanitizer is attached, or when telemetry is on
+    (window rows and ring dumps are too large to cache usefully). *)
 
 val run : t -> Repro_workloads.Harness.run
 (** Build and measure. May raise whatever the workload raises. *)

@@ -4,21 +4,38 @@ type t = {
   mem_path : Mem_path.t;
   stats : Stats.t;
   san : Repro_san.Checker.t option;
+  tel : Telemetry.t option;
   mutable timeline : Stats.t list; (* per-launch deltas, newest first *)
+  mutable windows : Stats.t array list; (* per-launch window rows, newest first *)
+  mutable spans : Telemetry.kernel_span list; (* newest first *)
   mutable launches : int;
   mutable keep_traces : bool;
   mutable kept : Trace.t array list; (* retained launches, newest first *)
 }
 
-let create ?(config = Config.default) ?san ~heap () =
+let fmax (a : float) (b : float) = if a >= b then a else b
+
+let create ?(config = Config.default) ?san ?telemetry ~heap () =
   Config.validate config;
+  let tel =
+    match telemetry with
+    | Some c when Telemetry.config_enabled c -> Some (Telemetry.create c)
+    | Some _ | None -> None
+  in
+  let mem_path = Mem_path.create config in
+  (match tel with
+   | Some { Telemetry.ring = Some ring; _ } -> Mem_path.set_ring mem_path (Some ring)
+   | Some _ | None -> ());
   {
     cfg = config;
     heap;
-    mem_path = Mem_path.create config;
+    mem_path;
     stats = Stats.create ();
     san;
+    tel;
     timeline = [];
+    windows = [];
+    spans = [];
     launches = 0;
     keep_traces = false;
     kept = [];
@@ -45,16 +62,70 @@ let launch t ~n_threads kernel =
      the cumulative totals, so the per-kernel deltas of [kernel_timeline]
      sum (bit-for-bit, including the float counters) to [stats]. *)
   let launch_stats = Stats.create () in
-  let cycles = Sm.run t.cfg t.mem_path ~stats:launch_stats ~traces in
-  Stats.add_cycles launch_stats cycles;
-  (* Sanitizer violations detected during this launch's functional phase
-     belong to this launch's delta, keeping the timeline-sums-to-totals
-     invariant intact. *)
-  (match t.san with
-   | None -> ()
-   | Some san ->
-     Stats.count_san_violations launch_stats
-       (Repro_san.Checker.take_kernel_delta san));
+  let san_delta () =
+    (* Sanitizer violations detected during this launch's functional
+       phase belong to this launch's delta, keeping the
+       timeline-sums-to-totals invariant intact. *)
+    match t.san with
+    | None -> ()
+    | Some san ->
+      Stats.count_san_violations launch_stats
+        (Repro_san.Checker.take_kernel_delta san)
+  in
+  (match t.tel with
+   | None ->
+     let cycles = Sm.run t.cfg t.mem_path ~stats:launch_stats ~traces in
+     Stats.add_cycles launch_stats cycles;
+     san_delta ()
+   | Some tel ->
+     (* Launches concatenate on one absolute time axis whose origin is
+        the cumulative cycle count so far. *)
+     let base = Stats.cycles t.stats in
+     (match tel.Telemetry.ring with
+      | Some ring -> Telemetry.Ring.begin_launch ring ~base
+      | None -> ());
+     (match tel.Telemetry.sampler with
+      | Some sampler -> Telemetry.Sampler.begin_launch sampler
+      | None -> ());
+     let cycles = Sm.run ~telemetry:tel t.cfg t.mem_path ~stats:launch_stats ~traces in
+     (match tel.Telemetry.ring with
+      | Some ring ->
+        (* The span covers trailing write-through DRAM drain the ring
+           may have recorded past the last warp's retirement. *)
+        let dur = fmax cycles (Telemetry.Ring.max_end ring -. base) in
+        t.spans <- { Telemetry.index = t.launches; start = base; dur } :: t.spans
+      | None -> ());
+     (match tel.Telemetry.sampler with
+      | None ->
+        (* Ring only: counters went straight into [launch_stats]. *)
+        Stats.add_cycles launch_stats cycles;
+        san_delta ();
+        (match tel.Telemetry.ring with
+         | Some ring ->
+           Stats.count_trace_dropped launch_stats (Telemetry.Ring.take_dropped ring)
+         | None -> ())
+      | Some sampler ->
+        (* Windowed: the engine counted into per-window rows. Fold them
+           in order into the launch delta — the identical association a
+           plain run performs, so totals (cycles included, see
+           [Sampler.finish_launch]) match a telemetry-off run bit-for-bit
+           on every integer counter and on cycles. Launch-scoped counts
+           with no cycle of their own (sanitizer delta, ring drops) land
+           in the last window. *)
+        Telemetry.Sampler.finish_launch sampler ~cycles;
+        let rows = Telemetry.Sampler.take sampler in
+        let last = rows.(Array.length rows - 1) in
+        (match t.san with
+         | None -> ()
+         | Some san ->
+           Stats.count_san_violations last
+             (Repro_san.Checker.take_kernel_delta san));
+        (match tel.Telemetry.ring with
+         | Some ring ->
+           Stats.count_trace_dropped last (Telemetry.Ring.take_dropped ring)
+         | None -> ());
+        Array.iter (fun row -> Stats.add launch_stats row) rows;
+        t.windows <- rows :: t.windows));
   Stats.add t.stats launch_stats;
   t.timeline <- launch_stats :: t.timeline;
   t.launches <- t.launches + 1;
@@ -70,11 +141,39 @@ let stats t = t.stats
 
 let kernel_timeline t = List.rev t.timeline
 
+let window_timeline t = List.rev t.windows
+
+let sample_window t =
+  match t.tel with
+  | Some { Telemetry.sampler = Some s; _ } -> Some (Telemetry.Sampler.window s)
+  | Some _ | None -> None
+
+let telemetry_dump t =
+  match t.tel with
+  | Some ({ Telemetry.ring = Some ring; _ } as tel) ->
+    Some
+      {
+        Telemetry.n_sms = t.cfg.Config.n_sms;
+        window =
+          (match tel.Telemetry.sampler with
+           | Some s -> Telemetry.Sampler.window s
+           | None -> 0);
+        events = Telemetry.events_of_ring ring;
+        kernels = List.rev t.spans;
+        dropped = Telemetry.Ring.all_dropped ring;
+      }
+  | Some _ | None -> None
+
 let reset_stats t =
   Stats.reset t.stats;
   Mem_path.reset t.mem_path;
   t.timeline <- [];
+  t.windows <- [];
+  t.spans <- [];
   t.launches <- 0;
-  t.kept <- []
+  t.kept <- [];
+  match t.tel with
+  | Some { Telemetry.ring = Some ring; _ } -> Telemetry.Ring.clear ring
+  | Some _ | None -> ()
 
 let launches t = t.launches

@@ -12,10 +12,16 @@ type t
 
 val create :
   ?config:Config.t -> ?san:Repro_san.Checker.t ->
+  ?telemetry:Telemetry.config ->
   heap:Repro_mem.Page_store.t -> unit -> t
 (** When [san] is given, every launch threads it through the warp
     contexts and folds the checker's per-launch violation delta into that
-    launch's counters (so the timeline invariant below still holds). *)
+    launch's counters (so the timeline invariant below still holds).
+
+    [telemetry] opts into cycle-resolved instrumentation, allocated once
+    here: windowed counter sampling ({!window_timeline}) and/or the
+    event ring behind {!telemetry_dump}. A disabled config (the
+    default, or {!Telemetry.off}) leaves the replay path untouched. *)
 
 val config : t -> Config.t
 
@@ -36,9 +42,26 @@ val kernel_timeline : t -> Stats.t list
     [cycles] is the launch duration); accumulating the entries in order
     reproduces {!stats} exactly, float counters included. *)
 
+val window_timeline : t -> Stats.t array list
+(** When windowed sampling is on: one array of per-window counter rows
+    per launch (in launch order; windows in time order). Folding a
+    launch's rows with [Stats.add] reproduces that launch's
+    {!kernel_timeline} delta exactly — float counters included — and the
+    rows' [cycles] sum to the launch duration bit-for-bit. Empty unless
+    the device was created with a sampling [telemetry] config. *)
+
+val sample_window : t -> int option
+(** The sampling window in cycles, when windowed sampling is on. *)
+
+val telemetry_dump : t -> Telemetry.dump option
+(** Snapshot of the event ring (plus per-launch kernel spans on the
+    cumulative time axis), when tracing is on. Rendered to Chrome
+    trace-event JSON by [Repro_obs.Tracer]. *)
+
 val reset_stats : t -> unit
 (** Also resets the persistent L2 tag state, so timed regions start
-    cold and runs are order-independent. Clears the kernel timeline. *)
+    cold and runs are order-independent. Clears the kernel timeline,
+    the window timeline and the event ring. *)
 
 val launches : t -> int
 (** Number of kernel launches since the last reset. *)

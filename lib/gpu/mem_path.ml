@@ -33,6 +33,10 @@ type t = {
   (* n_over_l1.(n) = float n /. l1_sector_throughput, n in 0..warp_size:
      the LSU occupancy term without a float_of_int/div per access. *)
   n_over_l1 : float array;
+  (* Optional telemetry event ring; when set, every sector transaction
+     is recorded by direct array stores (never boxing a float). The
+     timing model is oblivious to it. *)
+  mutable ring : Telemetry.Ring.t option;
 }
 
 (* Bit-identical to [Float.max] on this module's domain: times and costs
@@ -61,9 +65,31 @@ let create (cfg : Config.t) =
     n_over_l1 =
       Array.init (cfg.warp_size + 1) (fun n ->
           float_of_int n /. cfg.l1_sector_throughput);
+    ring = None;
   }
 
 let io t = t.io
+
+let set_ring t ring = t.ring <- ring
+
+(* Write one event at the ring head by direct stores. Local and small,
+   so ocamlopt inlines it and the float arguments stay in registers —
+   the per-sector recording path allocates nothing. *)
+let[@inline] emit r kind track a b ts dur =
+  (* [head] < capacity always (Ring.bump wraps it), and the six arrays
+     share that capacity, so the unsafe stores are in bounds. *)
+  let i = r.Telemetry.Ring.head in
+  Array.unsafe_set r.Telemetry.Ring.kind i kind;
+  Array.unsafe_set r.Telemetry.Ring.track i track;
+  Array.unsafe_set r.Telemetry.Ring.arg_a i a;
+  Array.unsafe_set r.Telemetry.Ring.arg_b i b;
+  let abs_ts = Array.unsafe_get r.Telemetry.Ring.cells 0 +. ts in
+  Array.unsafe_set r.Telemetry.Ring.ts i abs_ts;
+  Array.unsafe_set r.Telemetry.Ring.dur i dur;
+  let e = abs_ts +. dur in
+  if e > Array.unsafe_get r.Telemetry.Ring.cells 1 then
+    Array.unsafe_set r.Telemetry.Ring.cells 1 e;
+  Telemetry.Ring.bump r
 
 let flush_l1s t = Array.iter Cache.flush t.l1s
 
@@ -85,6 +111,7 @@ let load_soa t ~stats ~label_idx ~sm ~arena ~off ~len =
   let t0 = fmax t.io.(0) t.lsu_next_free.(sm) in
   t.lsu_next_free.(sm) <- t0 +. fmax t.inv_lsu_tp t.n_over_l1.(n);
   t.io.(1) <- t0;
+  let ring = t.ring in
   for i = 0 to n - 1 do
     let sector = t.scratch.(i) in
     (* One sector through the hierarchy: bandwidth reservation at each
@@ -96,19 +123,31 @@ let load_soa t ~stats ~label_idx ~sm ~arena ~off ~len =
     match Cache.access t.l1s.(sm) ~sector with
     | `Hit ->
       Stats.count_l1 stats ~hit:true;
+      (match ring with
+       | Some r -> emit r Telemetry.Ring.kind_l1 sm 1 sector t1 t.l1_lat
+       | None -> ());
       let c = t1 +. t.l1_lat in
       if c > t.io.(1) then t.io.(1) <- c
     | `Miss ->
       Stats.count_l1 stats ~hit:false;
+      (match ring with
+       | Some r -> emit r Telemetry.Ring.kind_l1 sm 0 sector t1 0.
+       | None -> ());
       let t2 = fmax (t1 +. t.l1_lat) t.clk.(0) in
       t.clk.(0) <- t2 +. t.inv_l2_tp;
       (match Cache.access t.l2 ~sector with
        | `Hit ->
          Stats.count_l2 stats ~hit:true;
+         (match ring with
+          | Some r -> emit r Telemetry.Ring.kind_l2 sm 1 sector t2 t.l2_lat
+          | None -> ());
          let c = t2 +. t.l2_lat in
          if c > t.io.(1) then t.io.(1) <- c
        | `Miss ->
          Stats.count_l2 stats ~hit:false;
+         (match ring with
+          | Some r -> emit r Telemetry.Ring.kind_l2 sm 0 sector t2 0.
+          | None -> ());
          (* DRAM is accessed at 64 B granularity (Volta's L2 fill size):
             the missing sector and its pair are both fetched and
             installed. Padded or scattered objects waste the pair half;
@@ -119,6 +158,9 @@ let load_soa t ~stats ~label_idx ~sm ~arena ~off ~len =
          ignore (Cache.access t.l2 ~sector:(sector lxor 1));
          let t3 = fmax (t2 +. t.l2_lat) t.clk.(1) in
          t.clk.(1) <- t3 +. t.dram_pair_cost;
+         (match ring with
+          | Some r -> emit r Telemetry.Ring.kind_dram sm 2 sector t3 t.dram_lat
+          | None -> ());
          let c = t3 +. t.dram_lat in
          if c > t.io.(1) then t.io.(1) <- c)
   done
@@ -128,18 +170,30 @@ let store_soa t ~stats ~sm ~arena ~off ~len =
   Stats.count_store_transactions stats n;
   let t0 = fmax t.io.(0) t.lsu_next_free.(sm) in
   t.lsu_next_free.(sm) <- t0 +. fmax t.inv_lsu_tp t.n_over_l1.(n);
+  let ring = t.ring in
   for i = 0 to n - 1 do
     let sector = t.scratch.(i) in
     (* Write-through: every store sector consumes L2 bandwidth and is
-       installed there; an L2 miss additionally consumes DRAM bandwidth. *)
+       installed there; an L2 miss additionally consumes DRAM bandwidth.
+       Store events are instants (dur 0): the warp does not wait on
+       them, and the DRAM drain can outlive the kernel's last warp. *)
     let t2 = fmax t0 t.clk.(0) in
     t.clk.(0) <- t2 +. t.inv_l2_tp;
     match Cache.access t.l2 ~sector with
-    | `Hit -> ()
+    | `Hit ->
+      (match ring with
+       | Some r -> emit r Telemetry.Ring.kind_l2 sm 3 sector t2 0.
+       | None -> ())
     | `Miss ->
+      (match ring with
+       | Some r -> emit r Telemetry.Ring.kind_l2 sm 2 sector t2 0.
+       | None -> ());
       Stats.count_dram_sector stats;
       let t3 = fmax t2 t.clk.(1) in
-      t.clk.(1) <- t3 +. t.inv_dram_cost
+      t.clk.(1) <- t3 +. t.inv_dram_cost;
+      (match ring with
+       | Some r -> emit r Telemetry.Ring.kind_dram sm 1 sector t3 0.
+       | None -> ())
   done
 
 (* Legacy array-of-addresses entry points, kept for tests and non-hot

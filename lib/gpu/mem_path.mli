@@ -24,6 +24,12 @@ val io : t -> float array
     array keeps them unboxed across the module boundary (a [float]
     argument or return at a non-inlined call is boxed by ocamlopt). *)
 
+val set_ring : t -> Telemetry.Ring.t option -> unit
+(** Attach (or detach) a telemetry event ring. When set, every sector
+    transaction is recorded — L1 accesses (per SM), L2 accesses, and
+    DRAM transactions — with direct array stores, so the replay path
+    stays allocation-free. Timing is unaffected. *)
+
 val flush_l1s : t -> unit
 (** Invalidate the per-SM L1s. *)
 

@@ -11,8 +11,18 @@
     which is how the Figure 1b latency breakdown is measured. *)
 
 val run :
+  ?telemetry:Telemetry.t ->
   Config.t -> Mem_path.t -> stats:Stats.t -> traces:Trace.t array -> float
 (** Simulate one kernel launch whose warp [i] executes [traces.(i)] on SM
     [i mod n_sms]; returns the completion time in cycles (0. for an empty
     launch). Counters (instructions, transactions, hits, stalls) are
-    accumulated into [stats]; the caller adds the returned cycles. *)
+    accumulated into [stats]; the caller adds the returned cycles.
+
+    When [telemetry] carries a sampler the caller must bracket the run
+    with [Sampler.begin_launch]/[finish_launch]; counters then flow into
+    the sampler's per-window rows instead of [stats] (fold the rows to
+    get the launch totals — bit-exact by construction). When it carries
+    a ring, warp stall intervals are recorded as events (memory-system
+    events come from {!Mem_path}, whose ring must be set separately).
+    Without [telemetry] the loop is the untouched zero-allocation replay
+    path. *)

@@ -10,6 +10,7 @@ type t = {
   mutable l2_hits : int;
   mutable l2_misses : int;
   mutable dram_sectors : int;
+  mutable trace_dropped : int;
   stalls : float array; (* indexed by Label.to_index *)
   load_transactions_by_label : int array;
   san_violations : int array; (* indexed by Repro_san.Violation.kind_index *)
@@ -28,6 +29,7 @@ let create () =
     l2_hits = 0;
     l2_misses = 0;
     dram_sectors = 0;
+    trace_dropped = 0;
     stalls = Array.make Label.count 0.;
     load_transactions_by_label = Array.make Label.count 0;
     san_violations = Array.make Repro_san.Violation.kind_count 0;
@@ -45,6 +47,7 @@ let reset t =
   t.l2_hits <- 0;
   t.l2_misses <- 0;
   t.dram_sectors <- 0;
+  t.trace_dropped <- 0;
   Array.fill t.stalls 0 Label.count 0.;
   Array.fill t.load_transactions_by_label 0 Label.count 0;
   Array.fill t.san_violations 0 Repro_san.Violation.kind_count 0
@@ -61,6 +64,7 @@ let add acc x =
   acc.l2_hits <- acc.l2_hits + x.l2_hits;
   acc.l2_misses <- acc.l2_misses + x.l2_misses;
   acc.dram_sectors <- acc.dram_sectors + x.dram_sectors;
+  acc.trace_dropped <- acc.trace_dropped + x.trace_dropped;
   Array.iteri (fun i v -> acc.stalls.(i) <- acc.stalls.(i) +. v) x.stalls;
   Array.iteri
     (fun i v ->
@@ -101,6 +105,8 @@ let count_l2 t ~hit =
   if hit then t.l2_hits <- t.l2_hits + 1 else t.l2_misses <- t.l2_misses + 1
 
 let count_dram_sector t = t.dram_sectors <- t.dram_sectors + 1
+
+let count_trace_dropped t n = t.trace_dropped <- t.trace_dropped + n
 
 let count_san_violations t deltas =
   if Array.length deltas <> Repro_san.Violation.kind_count then
@@ -156,6 +162,8 @@ let l1_hit_rate t = hit_rate t.l1_hits t.l1_misses
 let l2_hit_rate t = hit_rate t.l2_hits t.l2_misses
 
 let dram_sectors t = t.dram_sectors
+
+let trace_dropped t = t.trace_dropped
 
 let stall_cycles t label = t.stalls.(Label.to_index label)
 

@@ -41,6 +41,10 @@ val count_l2 : t -> hit:bool -> unit
 
 val count_dram_sector : t -> unit
 
+val count_trace_dropped : t -> int -> unit
+(** Accumulate telemetry ring-buffer drops (events lost to the
+    drop-oldest spill policy; see {!Telemetry.Ring}). *)
+
 val attribute_stall : t -> Label.t -> float -> unit
 
 val stall_accumulator : t -> float array
@@ -91,6 +95,8 @@ val l1_hit_rate : t -> float
 val l2_hit_rate : t -> float
 
 val dram_sectors : t -> int
+
+val trace_dropped : t -> int
 
 val stall_cycles : t -> Label.t -> float
 

@@ -1,0 +1,226 @@
+type config = {
+  window : int option;
+  trace : bool;
+  trace_capacity : int;
+}
+
+let default_window = 1024
+
+let default_capacity = 65536
+
+let off = { window = None; trace = false; trace_capacity = default_capacity }
+
+let config_enabled c = c.window <> None || c.trace
+
+module Sampler = struct
+  type t = {
+    window : int;
+    fwindow : float;
+    mutable all_rows : Stats.t array; (* grown by doubling, recycled *)
+    mutable n : int;                  (* rows in use this launch *)
+    boundary : float array;           (* one-slot mailbox: current window end *)
+    mutable cur : Stats.t;
+  }
+
+  let create ~window =
+    if window <= 0 then invalid_arg "Telemetry.Sampler: window must be positive";
+    let all_rows = Array.init 16 (fun _ -> Stats.create ()) in
+    {
+      window;
+      fwindow = float_of_int window;
+      all_rows;
+      n = 1;
+      boundary = Array.make 1 (float_of_int window);
+      cur = all_rows.(0);
+    }
+
+  let window t = t.window
+
+  let boundary_cell t = t.boundary
+
+  let current t = t.cur
+
+  let rows t = t.n
+
+  let begin_launch t =
+    t.n <- 1;
+    t.boundary.(0) <- t.fwindow;
+    Stats.reset t.all_rows.(0);
+    t.cur <- t.all_rows.(0)
+
+  let grow t =
+    let cap = Array.length t.all_rows in
+    if t.n >= cap then begin
+      let bigger = Array.init (2 * cap) (fun i ->
+          if i < cap then t.all_rows.(i) else Stats.create ())
+      in
+      t.all_rows <- bigger
+    end
+
+  let advance t ~now =
+    while now >= t.boundary.(0) do
+      grow t;
+      let row = t.all_rows.(t.n) in
+      Stats.reset row;
+      t.cur <- row;
+      t.n <- t.n + 1;
+      t.boundary.(0) <- t.boundary.(0) +. t.fwindow
+    done
+
+  (* Every sealed window lasted exactly [fwindow] cycles; the open one
+     gets the remainder. [k *. fwindow] is an exact integer double for
+     any realistic k, and [cycles -. k *. fwindow] is exact because the
+     true difference is representable (it spans at most the mantissa
+     width between the window magnitude and ulp(cycles)), so the
+     in-order fold of the rows' cycles reproduces [cycles] bit-for-bit. *)
+  let finish_launch t ~cycles =
+    for i = 0 to t.n - 2 do
+      Stats.add_cycles t.all_rows.(i) t.fwindow
+    done;
+    let consumed = float_of_int (t.n - 1) *. t.fwindow in
+    Stats.add_cycles t.all_rows.(t.n - 1) (cycles -. consumed)
+
+  let take t =
+    Array.init t.n (fun i ->
+        let row = t.all_rows.(i) in
+        t.all_rows.(i) <- Stats.create ();
+        row)
+end
+
+module Ring = struct
+  let kind_stall = 0
+  let kind_l1 = 1
+  let kind_l2 = 2
+  let kind_dram = 3
+
+  type t = {
+    cap : int;
+    kind : int array;
+    track : int array;
+    arg_a : int array;
+    arg_b : int array;
+    ts : float array;
+    dur : float array;
+    cells : float array;
+    mutable head : int;
+    mutable len : int;
+    mutable dropped : int;
+    mutable all_dropped : int;
+  }
+
+  let create ~capacity =
+    if capacity <= 0 then invalid_arg "Telemetry.Ring: capacity must be positive";
+    {
+      cap = capacity;
+      kind = Array.make capacity 0;
+      track = Array.make capacity 0;
+      arg_a = Array.make capacity 0;
+      arg_b = Array.make capacity 0;
+      ts = Array.make capacity 0.;
+      dur = Array.make capacity 0.;
+      cells = Array.make 2 0.;
+      head = 0;
+      len = 0;
+      dropped = 0;
+      all_dropped = 0;
+    }
+
+  let begin_launch t ~base =
+    t.cells.(0) <- base;
+    t.cells.(1) <- base
+
+  (* Wrap with a compare, not [mod]: this runs once per recorded event,
+     and an integer divide on the hot path is most of the tracer's cost. *)
+  let bump t =
+    let h = t.head + 1 in
+    t.head <- (if h = t.cap then 0 else h);
+    if t.len = t.cap then begin
+      t.dropped <- t.dropped + 1;
+      t.all_dropped <- t.all_dropped + 1
+    end
+    else t.len <- t.len + 1
+
+  (* [head] is always in [0, cap): it is only written by [bump] (which
+     wraps) and [clear] (0), so the unsafe stores cannot go out of
+     bounds. All six arrays share length [cap]. *)
+  let record t ~kind ~track ~a ~b ~ts ~dur =
+    let i = t.head in
+    Array.unsafe_set t.kind i kind;
+    Array.unsafe_set t.track i track;
+    Array.unsafe_set t.arg_a i a;
+    Array.unsafe_set t.arg_b i b;
+    let abs_ts = Array.unsafe_get t.cells 0 +. ts in
+    Array.unsafe_set t.ts i abs_ts;
+    Array.unsafe_set t.dur i dur;
+    let e = abs_ts +. dur in
+    if e > Array.unsafe_get t.cells 1 then Array.unsafe_set t.cells 1 e;
+    bump t
+
+  let length t = t.len
+
+  let take_dropped t =
+    let d = t.dropped in
+    t.dropped <- 0;
+    d
+
+  let all_dropped t = t.all_dropped
+
+  let max_end t = t.cells.(1)
+
+  let clear t =
+    t.head <- 0;
+    t.len <- 0;
+    t.dropped <- 0;
+    t.all_dropped <- 0;
+    t.cells.(0) <- 0.;
+    t.cells.(1) <- 0.
+
+  let to_events t =
+    Array.init t.len (fun j ->
+        let i = (t.head - t.len + j + (2 * t.cap)) mod t.cap in
+        (t.kind.(i), t.track.(i), t.arg_a.(i), t.arg_b.(i), t.ts.(i), t.dur.(i)))
+end
+
+type t = {
+  config : config;
+  sampler : Sampler.t option;
+  ring : Ring.t option;
+}
+
+let create config =
+  {
+    config;
+    sampler = Option.map (fun window -> Sampler.create ~window) config.window;
+    ring =
+      (if config.trace then Some (Ring.create ~capacity:config.trace_capacity)
+       else None);
+  }
+
+type event = {
+  kind : int;
+  track : int;
+  arg_a : int;
+  arg_b : int;
+  ts : float;
+  dur : float;
+}
+
+type kernel_span = {
+  index : int;
+  start : float;
+  dur : float;
+}
+
+type dump = {
+  n_sms : int;
+  window : int;
+  events : event array;
+  kernels : kernel_span list;
+  dropped : int;
+}
+
+let events_of_ring ring =
+  Array.map
+    (fun (kind, track, arg_a, arg_b, ts, dur) ->
+      { kind; track; arg_a; arg_b; ts; dur })
+    (Ring.to_events ring)

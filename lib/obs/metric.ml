@@ -85,6 +85,13 @@ let dram_sectors =
     extract = (fun s -> Int (Stats.dram_sectors s));
   }
 
+let trace_dropped =
+  {
+    name = "trace.dropped";
+    units = "events";
+    extract = (fun s -> Int (Stats.trace_dropped s));
+  }
+
 let scalars =
   [
     cycles;
@@ -98,6 +105,7 @@ let scalars =
     l2_hits;
     l2_misses;
     dram_sectors;
+    trace_dropped;
   ]
 
 let stall_cycles label =
@@ -189,9 +197,12 @@ let pp_stats ppf stats =
       let skip =
         (* Per-label zeros would drown the signal: a run under one
            technique exercises only that technique's labels. Sanitizer
-           counters likewise only matter when something fired. *)
+           and telemetry-drop counters likewise only matter when
+           something fired. *)
         (match v with Int i -> i = 0 | Float f -> f = 0.)
-        && List.exists (fun pm -> pm.name = m.name) (per_label @ san)
+        && List.exists
+             (fun pm -> pm.name = m.name)
+             (trace_dropped :: per_label @ san)
       in
       if not skip then begin
         if not !first then Format.pp_print_cut ppf ();

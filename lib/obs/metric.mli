@@ -36,6 +36,11 @@ val l2_hits : t
 val l2_misses : t
 val dram_sectors : t
 
+val trace_dropped : t
+(** Telemetry events lost to the ring's drop-oldest spill policy
+    (["trace.dropped"]; zero unless tracing is enabled and the ring
+    overflowed). *)
+
 val scalars : t list
 (** All of the above; the coverage test pins its length to the number of
     scalar fields in [Stats.t]. *)

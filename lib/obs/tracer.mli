@@ -1,0 +1,25 @@
+(** Chrome trace-event exporter: renders a {!Repro_gpu.Telemetry.dump}
+    as JSON loadable in Perfetto or [chrome://tracing].
+
+    Track layout (thread ids within one process): tid [0..n_sms-1] are
+    the SMs (stall intervals and L1 accesses), tid [n_sms] is L2, tid
+    [n_sms+1] is DRAM, tid [n_sms+2] carries the kernel launch spans.
+    Thread names are emitted as ["M"] metadata events so Perfetto labels
+    the tracks. When a {!Timeline.t} is supplied, its derived per-window
+    rates are added as ["C"] counter tracks (IPC, hit rates, DRAM
+    sectors per cycle). *)
+
+val to_json :
+  ?timeline:Timeline.t ->
+  workload:string -> technique:string ->
+  Repro_gpu.Telemetry.dump -> Json.t
+(** [{traceEvents: [...], displayTimeUnit: "ns"}] — timestamps are in
+    simulated cycles, reported through the trace format's microsecond
+    field (1 cycle = 1 us) so Perfetto's zooming works unmodified. *)
+
+val validate : Json.t -> (unit, string) result
+(** Structural check of the Chrome trace-event format: a [traceEvents]
+    list whose entries are objects with a string [name], a [ph] in
+    {["X"; "C"; "M"]}, integer [pid]/[tid], a numeric [ts], and — for
+    ["X"] phases — a numeric [dur >= 0]. Used by the round-trip tests
+    and [repro trace] before writing the file. *)

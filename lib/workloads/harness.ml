@@ -7,6 +7,9 @@ type run = {
   cycles : float;
   stats : Stats.t;
   kernel_stats : Stats.t list;
+  window : int option;
+  kernel_windows : Stats.t array list;
+  trace : Repro_gpu.Telemetry.dump option;
   checksum : int;
   result : int;
   n_objects : int;
@@ -32,6 +35,10 @@ let run (w : Workload.t) (p : Workload.params) =
     cycles = R.Runtime.cycles rt;
     stats = snapshot (R.Runtime.stats rt);
     kernel_stats = List.map snapshot (R.Runtime.kernel_timeline rt);
+    window = R.Runtime.sample_window rt;
+    kernel_windows =
+      List.map (Array.map snapshot) (R.Runtime.window_timeline rt);
+    trace = R.Runtime.telemetry_dump rt;
     checksum = R.Runtime.checksum rt;
     result = inst.Workload.result ();
     n_objects = R.Runtime.n_objects rt;

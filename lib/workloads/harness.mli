@@ -15,6 +15,15 @@ type run = {
       launch order. Accumulating them with [Stats.add] into a fresh
       [Stats.t] reproduces [stats] exactly (float fields bit-for-bit),
       which [Repro_obs.Profile.consistent] checks. *)
+  window : int option;
+  (** Sampling window in cycles when the run's params enabled it. *)
+  kernel_windows : Repro_gpu.Stats.t array list;
+  (** Per-launch window rows (snapshots) when windowed sampling was on;
+      folding a launch's rows reproduces its [kernel_stats] delta
+      exactly (see {!Repro_gpu.Device.window_timeline}). Empty
+      otherwise. *)
+  trace : Repro_gpu.Telemetry.dump option;
+  (** Event-ring snapshot when tracing was on. *)
   checksum : int;             (** Heap checksum (cross-technique equal). *)
   result : int;               (** Workload-level result (ditto). *)
   n_objects : int;

@@ -6,11 +6,12 @@ type params = {
   iterations : int option;
   seed : int;
   san : Repro_san.Checker.t option;
+  telemetry : Repro_gpu.Telemetry.config option;
 }
 
 let default_params technique =
   { technique; scale = 1.0; config = None; chunk_objs = None; iterations = None;
-    seed = 42; san = None }
+    seed = 42; san = None; telemetry = None }
 
 type instance = {
   rt : Repro_core.Runtime.t;

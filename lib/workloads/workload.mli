@@ -19,6 +19,10 @@ type params = {
   san : Repro_san.Checker.t option;
       (** Sanitizer instance threaded through the runtime ([repro check]
           and the mutation self-tests; [None] for measurement runs). *)
+  telemetry : Repro_gpu.Telemetry.config option;
+      (** Cycle-resolved telemetry (windowed sampling and/or event
+          tracing); [None] keeps the replay loop on its untouched
+          zero-allocation path. *)
 }
 
 val default_params : Repro_core.Technique.t -> params

@@ -11,6 +11,7 @@ module Trace = Repro_gpu.Trace
 module Warp_ctx = Repro_gpu.Warp_ctx
 module Sm = Repro_gpu.Sm
 module Device = Repro_gpu.Device
+module Telemetry = Repro_gpu.Telemetry
 module Page_store = Repro_mem.Page_store
 
 let check = Alcotest.check
@@ -443,6 +444,64 @@ let test_replay_zero_allocation () =
     true
     (long <= short +. 256.)
 
+let replay_minor_words_traced traces =
+  (* Ring-only config: windowed sampling owns one Stats row per window
+     (a deliberate per-window allocation), so the per-instruction
+     invariant is pinned on the event tracer alone. *)
+  let tel =
+    Telemetry.create
+      { Telemetry.window = None; trace = true; trace_capacity = 4096 }
+  in
+  let ring = Option.get tel.Telemetry.ring in
+  let mp = Mem_path.create cfg in
+  Mem_path.set_ring mp (Some ring);
+  let stats = Stats.create () in
+  Telemetry.Ring.begin_launch ring ~base:0.;
+  ignore (Sm.run ~telemetry:tel cfg mp ~stats ~traces);
+  let w0 = Gc.minor_words () in
+  ignore (Sm.run ~telemetry:tel cfg mp ~stats ~traces);
+  Gc.minor_words () -. w0
+
+let test_replay_zero_allocation_traced () =
+  (* Recording an event is six array stores plus a bump — enabling the
+     tracer must not cost an allocation per instruction either, even
+     when the ring wraps and drops. *)
+  let short =
+    replay_minor_words_traced (canned_traces ~n_warps:8 ~n_instrs:300)
+  in
+  let long =
+    replay_minor_words_traced (canned_traces ~n_warps:8 ~n_instrs:3000)
+  in
+  check Alcotest.bool
+    (Printf.sprintf
+       "tracer-on allocation independent of trace length (short=%.0f long=%.0f)"
+       short long)
+    true
+    (long <= short +. 256.)
+
+let test_ring_drop_oldest () =
+  let r = Telemetry.Ring.create ~capacity:4 in
+  Telemetry.Ring.begin_launch r ~base:0.;
+  for i = 0 to 5 do
+    Telemetry.Ring.record r ~kind:Telemetry.Ring.kind_stall ~track:0 ~a:i ~b:i
+      ~ts:(float_of_int i) ~dur:1.
+  done;
+  check Alcotest.int "len capped at capacity" 4 (Telemetry.Ring.length r);
+  check Alcotest.int "two dropped" 2 (Telemetry.Ring.take_dropped r);
+  check Alcotest.int "take_dropped resets" 0 (Telemetry.Ring.take_dropped r);
+  check Alcotest.int "all_dropped persists" 2 (Telemetry.Ring.all_dropped r);
+  let evs = Telemetry.Ring.to_events r in
+  check Alcotest.int "four buffered" 4 (Array.length evs);
+  (* The two oldest (a = 0, 1) were overwritten; the survivors come out
+     oldest-first. *)
+  Array.iteri
+    (fun j (_, _, a, _, ts, _) ->
+      check Alcotest.int "survivor payload" (j + 2) a;
+      check Alcotest.bool "survivor timestamp" true (ts = float_of_int (j + 2)))
+    evs;
+  check Alcotest.bool "max_end covers last event" true
+    (Telemetry.Ring.max_end r = 6.)
+
 let suite =
   [
     Alcotest.test_case "label indexing" `Quick test_label_indexing;
@@ -473,6 +532,9 @@ let suite =
     Alcotest.test_case "trace compat emit/iter" `Quick test_trace_compat_emit;
     Alcotest.test_case "replay allocates nothing per instruction" `Quick
       test_replay_zero_allocation;
+    Alcotest.test_case "tracer-on replay allocates nothing per instruction"
+      `Quick test_replay_zero_allocation_traced;
+    Alcotest.test_case "ring drop-oldest spill" `Quick test_ring_drop_oldest;
     QCheck_alcotest.to_alcotest prop_coalesce_bounds;
     QCheck_alcotest.to_alcotest prop_coalesce_scratch_equiv;
     QCheck_alcotest.to_alcotest prop_event_heap_matches_util_heap;

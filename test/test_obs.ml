@@ -211,6 +211,173 @@ let test_profile_csv_shape () =
   check Alcotest.int "rows: kernels x counters + totals" expected
     (List.length lines)
 
+(* --- timeline (windowed sampling) -------------------------------------- *)
+
+let telemetry_params ?(trace = false) ?(capacity = 65536) technique ~scale
+    ~window =
+  {
+    (W.Workload.default_params technique) with
+    W.Workload.scale;
+    telemetry =
+      Some
+        { Repro_gpu.Telemetry.window = Some window; trace;
+          trace_capacity = capacity };
+  }
+
+let timeline_of (r : W.Harness.run) =
+  let window =
+    match r.W.Harness.window with
+    | Some w -> w
+    | None -> Alcotest.fail "sampling was on but run has no window"
+  in
+  O.Timeline.make ~workload:r.W.Harness.workload
+    ~technique:(T.name r.W.Harness.technique)
+    ~window ~kernel_windows:r.W.Harness.kernel_windows
+
+let test_timeline_window_sums () =
+  (* The tentpole invariant: per-window deltas fold back to the
+     per-kernel deltas and the run totals bit-exactly, for every
+     additive counter, across the workload matrix, at two very
+     different window sizes. *)
+  List.iter
+    (fun w ->
+      List.iter
+        (fun technique ->
+          List.iter
+            (fun window ->
+              let r =
+                W.Harness.run w
+                  (telemetry_params technique ~scale:0.02 ~window)
+              in
+              let tl = timeline_of r in
+              check Alcotest.int
+                (Printf.sprintf "%s: one window array per launch"
+                   r.W.Harness.workload)
+                (List.length r.W.Harness.kernel_stats)
+                (List.length tl.O.Timeline.kernels);
+              match O.Timeline.consistent tl ~profile:(profile_of r) with
+              | Ok () -> ()
+              | Error msg ->
+                Alcotest.failf "%s [%s] window=%d: %s" r.W.Harness.workload
+                  (T.name technique) window msg)
+            [ 256; 4096 ])
+        [ T.Shared_oa; T.type_pointer ])
+    W.Registry.all
+
+let test_timeline_series_and_json () =
+  let r =
+    match W.Registry.find "TRAF" with
+    | Some w ->
+      W.Harness.run w (telemetry_params T.type_pointer ~scale:0.03 ~window:512)
+    | None -> Alcotest.fail "TRAF workload missing"
+  in
+  let tl = timeline_of r in
+  check Alcotest.bool "several windows" true (O.Timeline.n_windows tl > 4);
+  (* Derived series all cover every window, grouped by start cycle. *)
+  let n = O.Timeline.n_windows tl in
+  List.iter
+    (fun (s : Series.t) ->
+      check Alcotest.int
+        (Printf.sprintf "%s covers every window" s.Series.name)
+        n
+        (List.length s.Series.points))
+    (O.Timeline.series tl);
+  (* to_json parses back and keeps per-window cycles exact. *)
+  match Json.of_string (Json.to_string ~pretty:true (O.Timeline.to_json tl)) with
+  | Error msg -> Alcotest.failf "timeline JSON does not parse: %s" msg
+  | Ok j ->
+    let kernels =
+      match Option.bind (Json.member "kernels" j) Json.list_opt with
+      | Some ks -> ks
+      | None -> Alcotest.fail "kernels missing"
+    in
+    check Alcotest.int "one JSON entry per launch"
+      (List.length tl.O.Timeline.kernels)
+      (List.length kernels)
+
+(* --- tracer (Chrome trace-event export) -------------------------------- *)
+
+let traced_run =
+  lazy
+    (match W.Registry.find "TRAF" with
+     | Some w ->
+       W.Harness.run w
+         (telemetry_params ~trace:true T.type_pointer ~scale:0.03 ~window:512)
+     | None -> Alcotest.fail "TRAF workload missing")
+
+let dump_of (r : W.Harness.run) =
+  match r.W.Harness.trace with
+  | Some d -> d
+  | None -> Alcotest.fail "tracing was on but run has no dump"
+
+let test_trace_json_round_trip () =
+  let r = Lazy.force traced_run in
+  let dump = dump_of r in
+  check Alcotest.bool "ring captured events" true
+    (Array.length dump.Repro_gpu.Telemetry.events > 0);
+  let json =
+    O.Tracer.to_json ~timeline:(timeline_of r) ~workload:r.W.Harness.workload
+      ~technique:(T.name r.W.Harness.technique) dump
+  in
+  match Json.of_string (Json.to_string ~pretty:true json) with
+  | Error msg -> Alcotest.failf "trace JSON does not parse: %s" msg
+  | Ok parsed ->
+    check Alcotest.bool "round-trips structurally" true (parsed = json);
+    (match O.Tracer.validate parsed with
+     | Ok () -> ()
+     | Error msg -> Alcotest.failf "invalid Chrome trace: %s" msg);
+    let events =
+      match Option.bind (Json.member "traceEvents" parsed) Json.list_opt with
+      | Some es -> es
+      | None -> Alcotest.fail "traceEvents missing"
+    in
+    (* Metadata + kernel spans + ring events + counter samples. *)
+    check Alcotest.bool "all events exported" true
+      (List.length events
+       > Array.length dump.Repro_gpu.Telemetry.events
+         + List.length dump.Repro_gpu.Telemetry.kernels)
+
+let test_trace_events_within_kernel_spans () =
+  let r = Lazy.force traced_run in
+  let dump = dump_of r in
+  let spans = dump.Repro_gpu.Telemetry.kernels in
+  check Alcotest.int "one span per launch"
+    (List.length r.W.Harness.kernel_stats)
+    (List.length spans);
+  Array.iter
+    (fun (e : Repro_gpu.Telemetry.event) ->
+      let contained =
+        List.exists
+          (fun (k : Repro_gpu.Telemetry.kernel_span) ->
+            k.Repro_gpu.Telemetry.start <= e.Repro_gpu.Telemetry.ts
+            && e.Repro_gpu.Telemetry.ts +. e.Repro_gpu.Telemetry.dur
+               <= k.Repro_gpu.Telemetry.start +. k.Repro_gpu.Telemetry.dur)
+          spans
+      in
+      if not contained then
+        Alcotest.failf "event (kind %d) at ts=%g dur=%g outside every kernel span"
+          e.Repro_gpu.Telemetry.kind e.Repro_gpu.Telemetry.ts
+          e.Repro_gpu.Telemetry.dur)
+    dump.Repro_gpu.Telemetry.events
+
+let test_trace_dropped_counter () =
+  (* A deliberately tiny ring must overflow, and the spill shows up both
+     in the dump and as the trace.dropped metric on the run totals. *)
+  let r =
+    match W.Registry.find "TRAF" with
+    | Some w ->
+      W.Harness.run w
+        (telemetry_params ~trace:true ~capacity:64 T.type_pointer ~scale:0.03
+           ~window:512)
+    | None -> Alcotest.fail "TRAF workload missing"
+  in
+  let dump = dump_of r in
+  check Alcotest.bool "tiny ring overflowed" true
+    (dump.Repro_gpu.Telemetry.dropped > 0);
+  check Alcotest.int "metric equals dump tally"
+    dump.Repro_gpu.Telemetry.dropped
+    (Stats.trace_dropped r.W.Harness.stats)
+
 (* --- sinks ------------------------------------------------------------- *)
 
 let test_series_json_round_trip () =
@@ -277,6 +444,14 @@ let suite =
     Alcotest.test_case "profile json round trip" `Quick
       test_profile_json_round_trip;
     Alcotest.test_case "profile csv shape" `Quick test_profile_csv_shape;
+    Alcotest.test_case "timeline window sums are bit-exact" `Slow
+      test_timeline_window_sums;
+    Alcotest.test_case "timeline series and json" `Quick
+      test_timeline_series_and_json;
+    Alcotest.test_case "trace json round trip" `Quick test_trace_json_round_trip;
+    Alcotest.test_case "trace events within kernel spans" `Quick
+      test_trace_events_within_kernel_spans;
+    Alcotest.test_case "trace dropped counter" `Quick test_trace_dropped_counter;
     Alcotest.test_case "series json round trip" `Quick test_series_json_round_trip;
     Alcotest.test_case "series json rejects garbage" `Quick
       test_series_of_json_rejects_garbage;
