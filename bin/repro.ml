@@ -38,7 +38,7 @@ let cli_error fmt =
       exit 2)
     fmt
 
-let technique_names = [ "cuda"; "con"; "shard"; "coal"; "tp"; "tp-hw"; "tp/cuda" ]
+let technique_names = X.Request.technique_names
 
 let resolve_technique s =
   match T.of_string s with
@@ -89,8 +89,22 @@ let csv_arg =
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"PATH"
          ~doc:"Also write the data behind the text output as CSV to $(docv).")
 
-let params technique scale seed iterations =
-  { (W.Workload.default_params technique) with W.Workload.scale; seed; iterations }
+(* All job construction funnels through [Request.Spec] — the same
+   plain-data description the serve protocol carries — so the CLI, the
+   daemon and the bench resolve names and defaults identically. *)
+
+let spec_of ~workload ~technique ~scale ~seed ~iterations =
+  X.Request.Spec.make ?iterations ~scale ~seed ~workload ~technique ()
+
+let resolve_spec spec =
+  match X.Request.Spec.resolve spec with
+  | Ok job -> job
+  | Error msg -> cli_error "%s" msg
+
+let params_of spec =
+  match X.Request.Spec.to_params spec with
+  | Ok p -> p
+  | Error msg -> cli_error "%s" msg
 
 (* --timeline / --window, shared by run and profile. *)
 
@@ -193,12 +207,12 @@ let run_cmd =
            ~doc:"cuda | con | shard | coal | tp | tp-hw | tp/cuda.")
   in
   let run w t scale seed iterations timeline window =
-    let w = resolve_workload w and t = resolve_technique t in
+    let job = resolve_spec (spec_of ~workload:w ~technique:t ~scale ~seed ~iterations) in
     let p =
-      { (params t scale seed iterations) with
+      { job.X.Job.params with
         W.Workload.telemetry = sampling_config timeline window }
     in
-    let r = W.Harness.run w p in
+    let r = W.Harness.run job.X.Job.workload p in
     print_run r;
     (* The full registry breakdown (every metric, including per-label
        stall attribution and store transactions). *)
@@ -222,13 +236,13 @@ let profile_cmd =
            ~doc:"cuda | con | shard | coal | tp | tp-hw | tp/cuda.")
   in
   let run w t scale seed iterations timeline window json csv =
-    let w = resolve_workload w and t = resolve_technique t in
+    let job = resolve_spec (spec_of ~workload:w ~technique:t ~scale ~seed ~iterations) in
     let p =
-      { (params t scale seed iterations) with
+      { job.X.Job.params with
         W.Workload.telemetry = sampling_config timeline window }
     in
     let t0 = Unix.gettimeofday () in
-    let r = W.Harness.run w p in
+    let r = W.Harness.run job.X.Job.workload p in
     let wall_s = Unix.gettimeofday () -. t0 in
     let profile =
       O.Profile.make ~workload:r.W.Harness.workload
@@ -327,17 +341,18 @@ let trace_cmd =
     String.map (fun c -> if c = '/' || c = ' ' then '_' else c) name
   in
   let run w t scale seed iterations window capacity out =
-    let w = resolve_workload w and t = resolve_technique t in
+    let job = resolve_spec (spec_of ~workload:w ~technique:t ~scale ~seed ~iterations) in
+    let t = job.X.Job.technique in
     if capacity <= 0 then cli_error "capacity must be positive, got %d" capacity;
     let p =
-      { (params t scale seed iterations) with
+      { job.X.Job.params with
         W.Workload.telemetry =
           Some
             { Repro_gpu.Telemetry.window = Some (resolve_window window);
               trace = true;
               trace_capacity = capacity } }
     in
-    let r = W.Harness.run w p in
+    let r = W.Harness.run job.X.Job.workload p in
     let dump =
       match r.W.Harness.trace with
       | Some d -> d
@@ -397,10 +412,11 @@ let compare_cmd =
     Arg.(required & opt (some string) None & info [ "w"; "workload" ] ~docv:"NAME")
   in
   let run w scale seed iterations json =
-    let w = resolve_workload w in
-    let runs =
-      W.Harness.run_techniques w (params T.Shared_oa scale seed iterations) T.all_paper
+    let base =
+      params_of (spec_of ~workload:w ~technique:"shard" ~scale ~seed ~iterations)
     in
+    let w = resolve_workload w in
+    let runs = W.Harness.run_techniques w base T.all_paper in
     List.iter (fun (_, r) -> print_run r) runs;
     let base = W.Harness.find runs ~technique:T.Shared_oa in
     (match base with
@@ -719,7 +735,10 @@ let check_cmd =
         mutate
     in
     let params =
-      { (W.Workload.default_params T.Cuda) with W.Workload.scale; seed; iterations }
+      params_of
+        (spec_of
+           ~workload:(W.Registry.qualified_name (List.hd workloads))
+           ~technique:"cuda" ~scale ~seed ~iterations)
     in
     let reports = X.Check.run ~jobs:j ?mutation ~techniques ~params workloads in
     List.iter (Format.printf "%a@." X.Check.pp_report) reports;
@@ -744,83 +763,73 @@ let check_cmd =
 
 (* --- sweep ----------------------------------------------------------------- *)
 
+(* Outcomes are exported in the serve protocol's encoding ({!X.Response}):
+   the "run" object round-trips the full stats bit-exactly, so a sweep
+   written here and a batch fetched from the daemon compare byte for
+   byte. *)
 let outcome_json (o : X.Executor.outcome) =
-  let base =
-    [
-      ("workload", O.Json.String (X.Job.workload_name o.X.Executor.job));
-      ("technique", O.Json.String (T.name o.X.Executor.job.X.Job.technique));
-      ("cached", O.Json.Bool o.X.Executor.cached);
-      ("wall_s", O.Json.Float o.X.Executor.wall_s);
-    ]
-  in
-  match o.X.Executor.result with
-  | Ok r ->
-    let throughput =
-      if o.X.Executor.wall_s > 0. then
-        [
-          ( "mcycles_per_s",
-            O.Json.Float (r.W.Harness.cycles /. o.X.Executor.wall_s /. 1e6) );
-          ( "instr_per_s",
-            O.Json.Float
-              (float_of_int (Repro_gpu.Stats.total_instructions r.W.Harness.stats)
-               /. o.X.Executor.wall_s) );
-        ]
-      else []
-    in
-    O.Json.Obj
-      (base
-       @ [
-           ("cycles", O.Json.Float r.W.Harness.cycles);
-           ("metrics", O.Metric.to_json r.W.Harness.stats);
-         ]
-       @ throughput)
-  | Error msg -> O.Json.Obj (base @ [ ("error", O.Json.String msg) ])
+  X.Response.outcome_to_json (X.Response.outcome_of_executor o)
+
+let quiet_arg =
+  Arg.(value & flag & info [ "q"; "quiet" ]
+         ~doc:"Print only the final summary line; job tables and progress \
+               go away (pair with $(b,--json) for machine-readable output).")
+
+(* The per-job table shared by sweep and submit. *)
+let print_outcome_rows rows =
+  Printf.printf "%-22s %-8s %-8s %9s %14s %8s %9s\n" "workload" "tech"
+    "status" "wall(s)" "cycles" "Mcyc/s" "Minstr/s";
+  List.iter
+    (fun (name, tech, status, wall_s, result) ->
+      match result with
+      | Ok (r : W.Harness.run) ->
+        let mcyc, minstr =
+          if wall_s > 0. then
+            ( Printf.sprintf "%8.2f" (r.W.Harness.cycles /. wall_s /. 1e6),
+              Printf.sprintf "%9.2f"
+                (float_of_int
+                   (Repro_gpu.Stats.total_instructions r.W.Harness.stats)
+                 /. wall_s /. 1e6) )
+          else (Printf.sprintf "%8s" "-", Printf.sprintf "%9s" "-")
+        in
+        Printf.printf "%-22s %-8s %-8s %9.3f %14.0f %s %s\n" name tech status
+          wall_s r.W.Harness.cycles mcyc minstr
+      | Error msg ->
+        Printf.printf "%-22s %-8s %-8s %9.3f %14s  %s\n" name tech "ERROR"
+          wall_s "-" msg)
+    rows
+
+let sweep_specs ~scale =
+  X.Request.Spec.matrix
+    ~workloads:(List.map W.Registry.qualified_name W.Registry.all)
+    ~techniques:(List.map X.Request.technique_to_string T.all_paper)
+    ~base:(X.Request.Spec.make ~scale ~workload:"" ~technique:"" ())
 
 let sweep_cmd =
   let clear =
     Arg.(value & flag & info [ "clear-cache" ]
            ~doc:"Drop every cached result before sweeping.")
   in
-  let run scale j no_cache cache_dir clear json =
+  let run scale j no_cache cache_dir clear quiet json =
     let cache = not no_cache in
     let dir = Option.value cache_dir ~default:(X.Cache.default_dir ()) in
     if clear then
       Printf.eprintf "cleared %d cached result(s) from %s\n%!"
         (X.Cache.clear ~dir) dir;
-    let params =
-      { (W.Workload.default_params T.Shared_oa) with W.Workload.scale }
-    in
-    let jobs = X.Job.matrix ~techniques:T.all_paper ~params W.Registry.all in
+    let jobs = List.map resolve_spec (sweep_specs ~scale) in
     let t0 = Unix.gettimeofday () in
     let outcomes = X.Executor.run ~jobs:j ~cache ~cache_dir:dir jobs in
     let elapsed = Unix.gettimeofday () -. t0 in
-    Printf.printf "%-22s %-8s %-8s %9s %14s %8s %9s\n" "workload" "tech"
-      "status" "wall(s)" "cycles" "Mcyc/s" "Minstr/s";
-    List.iter
-      (fun (o : X.Executor.outcome) ->
-        let status = if o.X.Executor.cached then "cached" else "ran" in
-        match o.X.Executor.result with
-        | Ok r ->
-          let mcyc, minstr =
-            if o.X.Executor.wall_s > 0. then
-              ( Printf.sprintf "%8.2f"
-                  (r.W.Harness.cycles /. o.X.Executor.wall_s /. 1e6),
-                Printf.sprintf "%9.2f"
-                  (float_of_int
-                     (Repro_gpu.Stats.total_instructions r.W.Harness.stats)
-                   /. o.X.Executor.wall_s /. 1e6) )
-            else (Printf.sprintf "%8s" "-", Printf.sprintf "%9s" "-")
-          in
-          Printf.printf "%-22s %-8s %-8s %9.3f %14.0f %s %s\n"
-            (X.Job.workload_name o.X.Executor.job)
-            (T.name r.W.Harness.technique) status o.X.Executor.wall_s
-            r.W.Harness.cycles mcyc minstr
-        | Error msg ->
-          Printf.printf "%-22s %-8s %-8s %9.3f %14s  %s\n"
-            (X.Job.workload_name o.X.Executor.job)
-            (T.name o.X.Executor.job.X.Job.technique) "ERROR"
-            o.X.Executor.wall_s "-" msg)
-      outcomes;
+    if not quiet then
+      print_outcome_rows
+        (List.map
+           (fun (o : X.Executor.outcome) ->
+             ( X.Job.workload_name o.X.Executor.job,
+               T.name o.X.Executor.job.X.Job.technique,
+               (if o.X.Executor.cached then "cached" else "ran"),
+               o.X.Executor.wall_s,
+               o.X.Executor.result ))
+           outcomes);
     let cached =
       List.length (List.filter (fun o -> o.X.Executor.cached) outcomes)
     in
@@ -855,7 +864,246 @@ let sweep_cmd =
        ~doc:"Run the full 11x5 job matrix and print per-job status, wall \
              time and cache hits.")
     Term.(const run $ scale_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg $ clear
-          $ json_arg)
+          $ quiet_arg $ json_arg)
+
+(* --- serve / submit / ctl --------------------------------------------------- *)
+
+let socket_arg =
+  Arg.(value & opt string (X.Server.default_socket ())
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix socket of the daemon (default: \\$REPRO_SOCKET or \
+                 _repro_serve.sock).")
+
+let connect socket =
+  match X.Server.Client.connect socket with
+  | c -> c
+  | exception Unix.Unix_error (e, _, _) ->
+    cli_error "cannot connect to %s (%s) -- is `repro serve` running?" socket
+      (Unix.error_message e)
+
+let serve_cmd =
+  let run socket j no_cache cache_dir =
+    let cfg =
+      { X.Server.socket_path = socket;
+        workers = j;
+        cache = not no_cache;
+        cache_dir = Option.value cache_dir ~default:(X.Cache.default_dir ()) }
+    in
+    Printf.eprintf "repro serve: listening on %s (%d worker(s), cache %s)\n%!"
+      cfg.X.Server.socket_path cfg.X.Server.workers
+      (if cfg.X.Server.cache then "in " ^ cfg.X.Server.cache_dir else "off");
+    (match X.Server.run cfg with
+     | () -> ()
+     | exception Failure msg -> cli_error "%s" msg);
+    Printf.eprintf "repro serve: shut down\n%!"
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the persistent sweep daemon: accepts concurrent clients \
+             over a Unix socket (line-delimited JSON, see PROTOCOL.md), \
+             schedules batches fairly across them, dedups identical \
+             in-flight jobs, and shares one on-disk result cache. Stop it \
+             with $(b,repro ctl shutdown).")
+    Term.(const run $ socket_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg)
+
+let submit_cmd =
+  let workloads =
+    Arg.(value & opt_all string [] & info [ "w"; "workload" ] ~docv:"NAME"
+           ~doc:"Workload to submit (repeatable; see $(b,repro list)).")
+  in
+  let techniques =
+    Arg.(value & opt_all string [] & info [ "t"; "technique" ] ~docv:"TECH"
+           ~doc:"Technique to submit (repeatable; default: all five paper \
+                 techniques).")
+  in
+  let all =
+    Arg.(value & flag & info [ "all" ]
+           ~doc:"Submit the full 11x5 matrix ($(b,repro sweep)'s job list).")
+  in
+  let run socket ws ts all scale seed iterations no_cache quiet json =
+    let specs =
+      if all then begin
+        if ws <> [] || ts <> [] then
+          cli_error "pass either --all or -w/-t, not both";
+        sweep_specs ~scale
+      end
+      else if ws = [] then
+        cli_error "nothing to submit: pass -w NAME (repeatable) or --all"
+      else
+        let ts =
+          if ts = [] then List.map X.Request.technique_to_string T.all_paper
+          else ts
+        in
+        X.Request.Spec.matrix ~workloads:ws ~techniques:ts
+          ~base:
+            (X.Request.Spec.make ~scale ~seed ?iterations ~workload:""
+               ~technique:"" ())
+    in
+    (* Resolve locally first: a typo fails here with the usual message
+       instead of as a daemon-side batch rejection — and the spec goes
+       out normalized (qualified workload, canonical technique name), so
+       outcomes echo the same names `repro sweep` prints. *)
+    let specs = List.map (fun s -> X.Request.Spec.of_job (resolve_spec s)) specs in
+    let specs_arr = Array.of_list specs in
+    let n = Array.length specs_arr in
+    let client = connect socket in
+    let id = Printf.sprintf "cli-%d" (Unix.getpid ()) in
+    X.Server.Client.send client
+      (X.Request.Submit { id; cache = not no_cache; specs });
+    let outcomes = Array.make n None in
+    let summary = ref None in
+    let rec loop () =
+      match X.Server.Client.recv client with
+      | Stdlib.Error msg -> cli_error "server connection lost: %s" msg
+      | Ok (X.Response.Error { message }) ->
+        cli_error "server rejected the batch: %s" message
+      | Ok (X.Response.Ack _) -> loop ()
+      | Ok (X.Response.Running { index; _ }) ->
+        if (not quiet) && index >= 0 && index < n then
+          Printf.eprintf "  [%d/%d] %s...\n%!" (index + 1) n
+            (X.Request.Spec.label specs_arr.(index));
+        loop ()
+      | Ok (X.Response.Job_done { index; outcome; _ }) ->
+        if index >= 0 && index < n then outcomes.(index) <- Some outcome;
+        loop ()
+      | Ok (X.Response.Batch_done
+              { jobs; measured; cached; deduped; failed; wall_s; _ }) ->
+        summary := Some (jobs, measured, cached, deduped, failed, wall_s)
+      | Ok _ -> loop ()
+    in
+    loop ();
+    X.Server.Client.close client;
+    let collected =
+      Array.to_list outcomes |> List.filter_map (fun o -> o)
+    in
+    if List.length collected < n then
+      cli_error "server sent %d of %d results" (List.length collected) n;
+    if not quiet then
+      print_outcome_rows
+        (List.map
+           (fun (o : X.Response.outcome) ->
+             ( o.X.Response.spec.X.Request.Spec.workload,
+               o.X.Response.spec.X.Request.Spec.technique,
+               (if o.X.Response.cached then "cached"
+                else if o.X.Response.deduped then "dedup"
+                else "ran"),
+               o.X.Response.wall_s,
+               o.X.Response.result ))
+           collected);
+    let jobs, measured, cached, deduped, failed, wall_s =
+      match !summary with Some s -> s | None -> assert false
+    in
+    Printf.printf
+      "%d jobs via %s: %d measured, %d cached, %d deduped, %d failed; \
+       job time %.2fs\n"
+      jobs socket measured cached deduped failed wall_s;
+    Option.iter
+      (fun path ->
+        write_json path
+          (O.Json.Obj
+             [
+               ("scale", O.Json.Float scale);
+               ("jobs", O.Json.Int jobs);
+               ("measured", O.Json.Int measured);
+               ("cached", O.Json.Int cached);
+               ("deduped", O.Json.Int deduped);
+               ("failed", O.Json.Int failed);
+               ("job_time_s", O.Json.Float wall_s);
+               ( "outcomes",
+                 O.Json.List (List.map X.Response.outcome_to_json collected) );
+             ]))
+      json;
+    if failed > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:"Submit a job batch to a running $(b,repro serve) daemon, \
+             stream per-job progress, and print the sweep-style table. \
+             Results are byte-identical to running the same jobs \
+             in-process.")
+    Term.(const run $ socket_arg $ workloads $ techniques $ all $ scale_arg
+          $ seed_arg $ iterations_arg $ no_cache_arg $ quiet_arg $ json_arg)
+
+let ctl_cmd =
+  let action =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ACTION"
+           ~doc:"ping | stats | query | invalidate | shutdown.")
+  in
+  let workload =
+    Arg.(value & opt (some string) None & info [ "w"; "workload" ] ~docv:"NAME"
+           ~doc:"Job workload, for $(b,query) and $(b,invalidate).")
+  in
+  let technique =
+    Arg.(value & opt string "shard" & info [ "t"; "technique" ] ~docv:"TECH"
+           ~doc:"Job technique, for $(b,query) and $(b,invalidate).")
+  in
+  let all =
+    Arg.(value & flag & info [ "all" ]
+           ~doc:"With $(b,invalidate): drop the daemon's whole result cache.")
+  in
+  let run socket action w t scale seed iterations all =
+    let spec_for verb =
+      match w with
+      | Some workload -> spec_of ~workload ~technique:t ~scale ~seed ~iterations
+      | None -> cli_error "%s needs -w NAME (and -t TECH)" verb
+    in
+    let client = connect socket in
+    let rpc req =
+      X.Server.Client.send client req;
+      match X.Server.Client.recv client with
+      | Stdlib.Error msg -> cli_error "server connection lost: %s" msg
+      | Ok (X.Response.Error { message }) -> cli_error "%s" message
+      | Ok resp -> resp
+    in
+    let unexpected () = cli_error "unexpected response (protocol mismatch?)" in
+    (match action with
+     | "ping" -> (
+       match rpc X.Request.Ping with
+       | X.Response.Pong -> print_endline "pong"
+       | _ -> unexpected ())
+     | "stats" -> (
+       match rpc X.Request.Stats with
+       | X.Response.Server_stats s ->
+         Printf.printf
+           "sessions=%d submitted=%d executed=%d dedup_hits=%d \
+            cache_hits=%d queued=%d running=%d uptime=%.1fs\n"
+           s.X.Response.sessions s.X.Response.submitted s.X.Response.executed
+           s.X.Response.dedup_hits s.X.Response.cache_hits s.X.Response.queued
+           s.X.Response.running s.X.Response.uptime_s
+       | _ -> unexpected ())
+     | "query" -> (
+       match rpc (X.Request.Query (spec_for "query")) with
+       | X.Response.Queried { hit = true; run = Some r } -> print_run r
+       | X.Response.Queried _ ->
+         print_endline "miss";
+         exit 1
+       | _ -> unexpected ())
+     | "invalidate" -> (
+       let req =
+         if all then X.Request.Invalidate None
+         else X.Request.Invalidate (Some (spec_for "invalidate"))
+       in
+       match rpc req with
+       | X.Response.Invalidated { removed } ->
+         Printf.printf "removed %d cached result(s)\n" removed
+       | _ -> unexpected ())
+     | "shutdown" -> (
+       match rpc X.Request.Shutdown with
+       | X.Response.Bye -> print_endline "server shut down"
+       | _ -> unexpected ())
+     | other ->
+       cli_error
+         "unknown action %S; valid actions: ping, stats, query, invalidate, \
+          shutdown"
+         other);
+    X.Server.Client.close client
+  in
+  Cmd.v
+    (Cmd.info "ctl"
+       ~doc:"Poke a running $(b,repro serve) daemon: liveness, scheduler \
+             counters, cache probes and invalidation, shutdown.")
+    Term.(const run $ socket_arg $ action $ workload $ technique $ scale_arg
+          $ seed_arg $ iterations_arg $ all)
 
 let () =
   let doc = "Reproduction of 'Judging a Type by Its Pointer' (ASPLOS '21)." in
@@ -864,4 +1112,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; profile_cmd; trace_cmd; compare_cmd; check_cmd;
-            figure_cmd; table_cmd; sweep_cmd; init_cmd; ablation_cmd ]))
+            figure_cmd; table_cmd; sweep_cmd; init_cmd; ablation_cmd;
+            serve_cmd; submit_cmd; ctl_cmd ]))

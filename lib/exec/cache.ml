@@ -29,18 +29,36 @@ let lookup ~dir job =
       close_in_noerr ic;
       entry
 
+(* Concurrent daemon sessions (and a daemon racing a CLI sweep) store
+   through here from several domains and processes at once, so writes
+   must never leave a torn entry where [lookup] can see one: the entry
+   is marshalled to a fresh temp file and published with an atomic
+   [rename]. Readers either see the complete old file, the complete new
+   file, or nothing. A failed write removes its temp file; [mkdir] races
+   (two writers creating the directory together) are benign. *)
 let store ~dir job run =
   if Job.cacheable job then begin
-    try
-      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-      let file = path ~dir job in
-      let tmp = Filename.temp_file ~temp_dir:dir "entry" ".tmp" in
-      let oc = open_out_bin tmp in
-      Marshal.to_channel oc { key = Job.key job; run } [];
-      close_out oc;
-      Sys.rename tmp file
-    with Sys_error _ -> ()
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+    match Filename.temp_file ~temp_dir:dir "entry" ".tmp" with
+    | exception Sys_error _ -> ()
+    | tmp -> (
+      try
+        let oc = open_out_bin tmp in
+        (try Marshal.to_channel oc { key = Job.key job; run } []
+         with e ->
+           close_out_noerr oc;
+           raise e);
+        close_out oc;
+        Sys.rename tmp (path ~dir job)
+      with Sys_error _ | Out_of_memory ->
+        (try Sys.remove tmp with Sys_error _ -> ()))
   end
+
+let invalidate ~dir job =
+  let file = path ~dir job in
+  match Sys.remove file with
+  | () -> true
+  | exception Sys_error _ -> false
 
 let clear ~dir =
   match Sys.readdir dir with
@@ -52,5 +70,10 @@ let clear ~dir =
           (try Sys.remove (Filename.concat dir f) with Sys_error _ -> ());
           n + 1
         end
-        else n)
+        else begin
+          (* Temp files orphaned by a crashed writer. *)
+          if Filename.check_suffix f ".tmp" then
+            (try Sys.remove (Filename.concat dir f) with Sys_error _ -> ());
+          n
+        end)
       0 files

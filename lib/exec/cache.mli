@@ -19,10 +19,17 @@ val default_dir : unit -> string
     directory. *)
 
 val lookup : dir:string -> Job.t -> Repro_workloads.Harness.run option
+(** A torn, truncated or otherwise undecodable file reads as a miss. *)
 
 val store : dir:string -> Job.t -> Repro_workloads.Harness.run -> unit
-(** Atomic (write-to-temp then rename); concurrent writers of the same
-    job are harmless. *)
+(** Atomic (write-to-temp then rename): a concurrent {!lookup} sees the
+    whole entry or nothing, and concurrent writers of the same job are
+    harmless (last rename wins). A failed write cleans up its temp
+    file. *)
+
+val invalidate : dir:string -> Job.t -> bool
+(** Drop one job's entry; [true] if a file was removed. *)
 
 val clear : dir:string -> int
-(** Delete every cache entry in [dir]; returns how many were removed. *)
+(** Delete every cache entry in [dir] (plus orphaned temp files);
+    returns how many entries were removed. *)

@@ -9,6 +9,29 @@ type outcome = {
 
 let default_jobs () = Pool.available_workers ()
 
+let timed job =
+  let t0 = Unix.gettimeofday () in
+  let result = try Ok (Job.run job) with e -> Error (Printexc.to_string e) in
+  (result, Unix.gettimeofday () -. t0)
+
+let measure ?runner ~cache ~dir job =
+  match if cache then Cache.lookup ~dir job else None with
+  | Some run -> { job; result = Ok run; wall_s = 0.; cached = true }
+  | None ->
+    let result, wall_s =
+      match runner with
+      | None -> timed job
+      | Some f ->
+        let t0 = Unix.gettimeofday () in
+        let result = try f job with e -> Error (Printexc.to_string e) in
+        (result, Unix.gettimeofday () -. t0)
+    in
+    (if cache then
+       match result with
+       | Ok run -> Cache.store ~dir job run
+       | Error _ -> ());
+    { job; result; wall_s; cached = false }
+
 let run ?(jobs = 1) ?(cache = false) ?cache_dir ?(progress = fun _ -> ())
     job_list =
   let dir =
@@ -30,11 +53,7 @@ let run ?(jobs = 1) ?(cache = false) ?cache_dir ?(progress = fun _ -> ())
   let measure i =
     let job = all.(i) in
     progress job;
-    let t0 = Unix.gettimeofday () in
-    let result =
-      try Ok (Job.run job) with e -> Error (Printexc.to_string e)
-    in
-    (result, Unix.gettimeofday () -. t0)
+    timed job
   in
   let measured = Pool.map ~jobs ~f:measure miss_idx in
   let fresh = Hashtbl.create (Array.length miss_idx) in

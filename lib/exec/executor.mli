@@ -40,6 +40,23 @@ val run :
     domains concurrently, so keep it to an atomic write such as a single
     [eprintf]. *)
 
+val timed : Job.t -> (Repro_workloads.Harness.run, string) result * float
+(** Run one job on the calling domain, catching its exception text, and
+    measure its wall time — the single measurement step both {!run} and
+    the serve daemon's workers ({!Server}) are built on. *)
+
+val measure :
+  ?runner:(Job.t -> (Repro_workloads.Harness.run, string) result) ->
+  cache:bool ->
+  dir:string ->
+  Job.t ->
+  outcome
+(** One job through the full cache protocol: serve a hit if [cache],
+    else measure ([runner] defaults to {!timed}'s body; tests inject
+    fakes) and write the result back. This is the daemon's per-job step;
+    {!run} keeps its batch shape (hits served up front, misses pooled)
+    for the CLI sweep. *)
+
 val ok_exn : outcome -> Repro_workloads.Harness.run
 (** The run, or [Failure] with the job label and captured error. *)
 

@@ -1,0 +1,193 @@
+module W = Repro_workloads
+module T = Repro_core.Technique
+module J = Repro_obs.Json
+module D = Repro_obs.Json.Decode
+
+let schema_version = 1
+
+(* [T.name] is a display name and collapses the prototype-on-CUDA
+   configuration; the wire uses the CLI's parseable short names and
+   spells that one variant explicitly so every [T.t] round-trips. *)
+let technique_to_string = function
+  | T.Cuda -> "cuda"
+  | T.Concord -> "con"
+  | T.Shared_oa -> "shard"
+  | T.Coal -> "coal"
+  | T.Type_pointer { mode = T.Prototype; on_cuda_alloc = false } -> "tp"
+  | T.Type_pointer { mode = T.Hw_mmu; on_cuda_alloc = false } -> "tp-hw"
+  | T.Type_pointer { mode = T.Hw_mmu; on_cuda_alloc = true } -> "tp/cuda"
+  | T.Type_pointer { mode = T.Prototype; on_cuda_alloc = true } ->
+    "tp-proto/cuda"
+
+let technique_names = [ "cuda"; "con"; "shard"; "coal"; "tp"; "tp-hw"; "tp/cuda" ]
+
+let technique_of_string s =
+  match String.lowercase_ascii s with
+  | "tp-proto/cuda" ->
+    Ok (T.Type_pointer { mode = T.Prototype; on_cuda_alloc = true })
+  | _ -> (
+    match T.of_string s with
+    | Ok t -> Ok t
+    | Error _ ->
+      Error
+        (Printf.sprintf "unknown technique %S; valid techniques: %s" s
+           (String.concat ", " technique_names)))
+
+module Spec = struct
+  type t = {
+    workload : string;
+    technique : string;
+    scale : float;
+    seed : int;
+    iterations : int option;
+    chunk_objs : int option;
+  }
+
+  let default_scale = 1.0
+  let default_seed = 42
+
+  let make ?(scale = default_scale) ?(seed = default_seed) ?iterations
+      ?chunk_objs ~workload ~technique () =
+    { workload; technique; scale; seed; iterations; chunk_objs }
+
+  let of_job (job : Job.t) =
+    let p = job.Job.params in
+    {
+      workload = Job.workload_name job;
+      technique = technique_to_string job.Job.technique;
+      scale = p.W.Workload.scale;
+      seed = p.W.Workload.seed;
+      iterations = p.W.Workload.iterations;
+      chunk_objs = p.W.Workload.chunk_objs;
+    }
+
+  let to_params t =
+    match technique_of_string t.technique with
+    | Error _ as e -> e
+    | Ok technique ->
+      Ok
+        {
+          (W.Workload.default_params technique) with
+          W.Workload.scale = t.scale;
+          seed = t.seed;
+          iterations = t.iterations;
+          chunk_objs = t.chunk_objs;
+        }
+
+  let resolve t =
+    match W.Registry.find t.workload with
+    | None ->
+      Error
+        (Printf.sprintf "unknown workload %S; valid workloads: %s" t.workload
+           (String.concat ", "
+              (List.map W.Registry.qualified_name W.Registry.all)))
+    | Some w -> (
+      match to_params t with
+      | Error _ as e -> e
+      | Ok params -> Ok (Job.make w params))
+
+  let matrix ~workloads ~techniques ~base =
+    List.concat_map
+      (fun workload ->
+        List.map
+          (fun technique -> { base with workload; technique })
+          techniques)
+      workloads
+
+  let to_json t =
+    J.Obj
+      ([
+         ("workload", J.String t.workload);
+         ("technique", J.String t.technique);
+         ("scale", J.Float t.scale);
+         ("seed", J.Int t.seed);
+       ]
+      @ (match t.iterations with
+         | Some i -> [ ("iterations", J.Int i) ]
+         | None -> [])
+      @
+      match t.chunk_objs with
+      | Some c -> [ ("chunk_objs", J.Int c) ]
+      | None -> [])
+
+  let decoder j =
+    {
+      workload = D.field "workload" D.string j;
+      technique = D.field "technique" D.string j;
+      scale = D.field_default "scale" D.float default_scale j;
+      seed = D.field_default "seed" D.int default_seed j;
+      iterations = D.field_opt "iterations" D.int j;
+      chunk_objs = D.field_opt "chunk_objs" D.int j;
+    }
+
+  let equal a b = a = b
+
+  let label t = Printf.sprintf "%s [%s]" t.workload t.technique
+end
+
+type t =
+  | Submit of { id : string; cache : bool; specs : Spec.t list }
+  | Query of Spec.t
+  | Invalidate of Spec.t option
+  | Stats
+  | Ping
+  | Shutdown
+
+let envelope typ fields = J.Obj (("v", J.Int schema_version) :: ("type", J.String typ) :: fields)
+
+let to_json = function
+  | Submit { id; cache; specs } ->
+    envelope "submit"
+      [
+        ("id", J.String id);
+        ("cache", J.Bool cache);
+        ("jobs", J.List (List.map Spec.to_json specs));
+      ]
+  | Query spec -> envelope "query" [ ("job", Spec.to_json spec) ]
+  | Invalidate (Some spec) -> envelope "invalidate" [ ("job", Spec.to_json spec) ]
+  | Invalidate None -> envelope "invalidate" []
+  | Stats -> envelope "stats" []
+  | Ping -> envelope "ping" []
+  | Shutdown -> envelope "shutdown" []
+
+let check_version j =
+  let v = D.field "v" D.int j in
+  if v <> schema_version then
+    D.field "v"
+      (fun _ ->
+        D.fail
+          (Printf.sprintf "unsupported schema version %d (this server speaks %d)"
+             v schema_version))
+      j
+
+let decoder j =
+  check_version j;
+  match D.field "type" D.string j with
+  | "submit" ->
+    Submit
+      {
+        id = D.field "id" D.string j;
+        cache = D.field_default "cache" D.bool true j;
+        specs = D.field "jobs" (D.list Spec.decoder) j;
+      }
+  | "query" -> Query (D.field "job" Spec.decoder j)
+  | "invalidate" -> (
+    match D.field_opt "job" Spec.decoder j with
+    | Some spec -> Invalidate (Some spec)
+    | None -> Invalidate None)
+  | "stats" -> Stats
+  | "ping" -> Ping
+  | "shutdown" -> Shutdown
+  | other ->
+    D.field "type"
+      (fun _ -> D.fail (Printf.sprintf "unknown request type %S" other))
+      j
+
+let of_json j = D.run decoder j
+
+let to_line t = J.to_string (to_json t)
+
+let of_line line =
+  match J.of_string line with
+  | Error msg -> Error ("malformed JSON: " ^ msg)
+  | Ok j -> of_json j

@@ -1,0 +1,112 @@
+(** The versioned request surface of the serve protocol — and the single
+    place job descriptions are constructed from names and numbers.
+
+    Every way of asking this repo to measure something — the [repro]
+    subcommands, the serve daemon's clients, the load-test harness —
+    goes through {!Spec}: a plain-data job description (workload and
+    technique by name, scale, seed, overrides) that resolves to a
+    {!Job.t} with a uniform error message for unknown names. The wire
+    protocol then wraps specs in an explicit envelope carrying
+    {!schema_version}; decoding rejects other versions up front, and a
+    malformed message reports the offending field by path (see
+    {!Repro_obs.Json.Decode}).
+
+    Wire form: one JSON object per line (LF-terminated, no newlines
+    inside). Requests carry [{"v": 1, "type": ...}]; see PROTOCOL.md for
+    the full message reference. *)
+
+val schema_version : int
+(** The protocol generation this build speaks. Bump on any change to the
+    request or response shape that an old peer could misread. *)
+
+(** {2 Technique names}
+
+    The wire spells techniques with the CLI's short names ([cuda], [con],
+    [shard], [coal], [tp], [tp-hw], [tp/cuda]); every constructible
+    {!Repro_core.Technique.t} round-trips. *)
+
+val technique_names : string list
+(** The seven spellings above, for error messages and docs. *)
+
+val technique_to_string : Repro_core.Technique.t -> string
+
+val technique_of_string : string -> (Repro_core.Technique.t, string) result
+(** Accepts everything {!Repro_core.Technique.of_string} does. *)
+
+module Spec : sig
+  type t = {
+    workload : string;   (** Name as [Registry.find] accepts it. *)
+    technique : string;  (** Short name as {!technique_of_string} accepts it. *)
+    scale : float;
+    seed : int;
+    iterations : int option;
+    chunk_objs : int option;
+  }
+
+  val make :
+    ?scale:float ->
+    ?seed:int ->
+    ?iterations:int ->
+    ?chunk_objs:int ->
+    workload:string ->
+    technique:string ->
+    unit ->
+    t
+  (** Defaults mirror {!Repro_workloads.Workload.default_params}:
+      [scale 1.0], [seed 42], no overrides. *)
+
+  val of_job : Job.t -> t
+  (** The spec that {!resolve}s back to an equal job (same {!Job.key}).
+      Jobs carrying a custom GPU config, sanitizer, or telemetry lose
+      those — specs describe cacheable measurement jobs only. *)
+
+  val to_params :
+    t -> (Repro_workloads.Workload.params, string) result
+  (** Resolve the technique name and build measurement params (no
+      sanitizer, no telemetry). [Error] names the bad field. *)
+
+  val resolve : t -> (Job.t, string) result
+  (** Resolve both names. [Error] reads like ["unknown workload \"GOLF\";
+      valid workloads: ..."], matching the CLI's wording. *)
+
+  val matrix :
+    workloads:string list -> techniques:string list -> base:t -> t list
+  (** Workload-major cross product, [base] supplying the numbers. *)
+
+  val to_json : t -> Repro_obs.Json.t
+
+  val decoder : t Repro_obs.Json.Decode.decoder
+  (** Requires [workload] and [technique]; the numeric fields default as
+      in {!make}. *)
+
+  val equal : t -> t -> bool
+
+  val label : t -> string
+  (** ["workload [technique]"], for progress lines. *)
+end
+
+(** {2 Requests} *)
+
+type t =
+  | Submit of { id : string; cache : bool; specs : Spec.t list }
+      (** Run a batch. [id] is the client's correlation handle, echoed on
+          every response about this batch. [cache] asks the daemon to
+          serve/store the shared on-disk cache for these jobs. *)
+  | Query of Spec.t
+      (** Probe the result cache without scheduling anything. *)
+  | Invalidate of Spec.t option
+      (** Drop one cached entry, or with [None] the whole cache. *)
+  | Stats  (** Scheduler counters (dedup hits, queue depth, ...). *)
+  | Ping
+  | Shutdown
+
+val to_json : t -> Repro_obs.Json.t
+
+val of_json : Repro_obs.Json.t -> (t, string) result
+(** Checks the envelope ([v] must equal {!schema_version}, [type] must
+    be known) before the payload; errors name the offending field. *)
+
+val to_line : t -> string
+(** Compact one-line JSON, newline {e not} included. *)
+
+val of_line : string -> (t, string) result

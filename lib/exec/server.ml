@@ -1,0 +1,585 @@
+module W = Repro_workloads
+
+type config = {
+  socket_path : string;
+  workers : int;
+  cache : bool;
+  cache_dir : string;
+}
+
+let default_socket () =
+  match Sys.getenv_opt "REPRO_SOCKET" with
+  | Some s when s <> "" -> s
+  | _ -> "_repro_serve.sock"
+
+let default_config () =
+  {
+    socket_path = default_socket ();
+    workers = Executor.default_jobs ();
+    cache = true;
+    cache_dir = Cache.default_dir ();
+  }
+
+type job_runner = Job.t -> (W.Harness.run, string) result
+
+(* --- Scheduler state ------------------------------------------------------
+
+   Guarded by [mutex]; workers and the event thread are the only
+   parties. Waiter lists reference sessions, but workers never touch
+   them — they snapshot the list under the lock and ship it to the event
+   thread inside an event. *)
+
+type waiter = {
+  w_session : Session.t;
+  w_batch : Session.batch;
+  w_index : int;
+  w_deduped : bool;
+}
+
+type entry = {
+  e_key : string;
+  e_job : Job.t;
+  e_cache : bool;
+  mutable e_state : [ `Queued | `Running | `Done | `Cancelled ];
+  mutable e_waiters : waiter list;  (* newest first *)
+}
+
+type event =
+  | Started of waiter list
+  | Finished of waiter list * Executor.outcome
+
+type t = {
+  cfg : config;
+  runner : job_runner option;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  queues : (int, entry Queue.t) Hashtbl.t;  (* session id -> pending *)
+  mutable rr : int list;  (* round-robin service order of session ids *)
+  inflight : (string, entry) Hashtbl.t;  (* Job.key -> entry *)
+  events : event Queue.t;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  mutable stopping : bool;
+  mutable submitted : int;
+  mutable executed : int;
+  mutable dedup_hits : int;
+  mutable cache_hits : int;
+  mutable running_count : int;
+  started_at : float;
+}
+
+let wake t =
+  (* Nonblocking: if the pipe is full the event thread is already due
+     to wake up, so a dropped byte loses nothing. *)
+  try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1)
+  with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+
+let push_event t ev =
+  Queue.push ev t.events;
+  wake t
+
+(* Fair pick: walk the round-robin list; the first session with a live
+   queued entry wins and rotates to the back. Entries cancelled while
+   queued (or whose waiters all disconnected) are discarded here. *)
+let pick_next t =
+  let rec pop_live q =
+    if Queue.is_empty q then None
+    else
+      let e = Queue.pop q in
+      if e.e_state = `Queued && e.e_waiters <> [] then Some e
+      else begin
+        if e.e_state = `Queued then begin
+          e.e_state <- `Cancelled;
+          Hashtbl.remove t.inflight e.e_key
+        end;
+        pop_live q
+      end
+  in
+  let rec walk served = function
+    | [] ->
+      t.rr <- List.rev served;
+      None
+    | sid :: rest -> (
+      match Hashtbl.find_opt t.queues sid with
+      | None -> walk served rest  (* reaped session: drop from the order *)
+      | Some q -> (
+        match pop_live q with
+        | Some e ->
+          t.rr <- List.rev_append served rest @ [ sid ];
+          Some e
+        | None -> walk (sid :: served) rest))
+  in
+  walk [] t.rr
+
+let worker_loop t () =
+  let rec next () =
+    Mutex.lock t.mutex;
+    let rec acquire () =
+      if t.stopping then None
+      else
+        match pick_next t with
+        | Some e -> Some e
+        | None ->
+          Condition.wait t.cond t.mutex;
+          acquire ()
+    in
+    match acquire () with
+    | None -> Mutex.unlock t.mutex
+    | Some e ->
+      e.e_state <- `Running;
+      t.running_count <- t.running_count + 1;
+      push_event t (Started e.e_waiters);
+      Mutex.unlock t.mutex;
+      let outcome =
+        Executor.measure ?runner:t.runner ~cache:e.e_cache
+          ~dir:t.cfg.cache_dir e.e_job
+      in
+      Mutex.lock t.mutex;
+      e.e_state <- `Done;
+      t.running_count <- t.running_count - 1;
+      Hashtbl.remove t.inflight e.e_key;
+      if outcome.Executor.cached then t.cache_hits <- t.cache_hits + 1
+      else t.executed <- t.executed + 1;
+      push_event t (Finished (e.e_waiters, outcome));
+      Mutex.unlock t.mutex;
+      next ()
+  in
+  next ()
+
+(* --- Event-thread side ---------------------------------------------------- *)
+
+let queue_for t sid =
+  match Hashtbl.find_opt t.queues sid with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Hashtbl.replace t.queues sid q;
+    t.rr <- t.rr @ [ sid ];
+    q
+
+let finish_job (w : waiter) outcome =
+  if not w.w_session.Session.closed then begin
+    Session.send w.w_session
+      (Response.Job_done
+         { id = w.w_batch.Session.batch_id; index = w.w_index; outcome });
+    if Session.record_done w.w_session w.w_batch outcome then
+      Session.send w.w_session
+        (Response.Batch_done
+           {
+             id = w.w_batch.Session.batch_id;
+             jobs = w.w_batch.Session.total;
+             measured = w.w_batch.Session.measured;
+             cached = w.w_batch.Session.cached;
+             deduped = w.w_batch.Session.deduped;
+             failed = w.w_batch.Session.failed;
+             wall_s = w.w_batch.Session.wall_s;
+           })
+  end
+
+let drain_events t =
+  let pending = Queue.create () in
+  Mutex.lock t.mutex;
+  Queue.transfer t.events pending;
+  Mutex.unlock t.mutex;
+  Queue.iter
+    (function
+      | Started waiters ->
+        List.iter
+          (fun w ->
+            if not w.w_session.Session.closed then
+              Session.send w.w_session
+                (Response.Running
+                   { id = w.w_batch.Session.batch_id; index = w.w_index }))
+          waiters
+      | Finished (waiters, exec_outcome) ->
+        List.iter
+          (fun w ->
+            finish_job w
+              (Response.outcome_of_executor ~deduped:w.w_deduped exec_outcome))
+          waiters)
+    pending
+
+let server_stats t ~sessions =
+  Mutex.lock t.mutex;
+  let queued =
+    Hashtbl.fold
+      (fun _ e n -> if e.e_state = `Queued then n + 1 else n)
+      t.inflight 0
+  in
+  let s =
+    {
+      Response.sessions;
+      submitted = t.submitted;
+      executed = t.executed;
+      dedup_hits = t.dedup_hits;
+      cache_hits = t.cache_hits;
+      queued;
+      running = t.running_count;
+      uptime_s = Unix.gettimeofday () -. t.started_at;
+    }
+  in
+  Mutex.unlock t.mutex;
+  s
+
+let handle_submit t session ~id ~cache ~specs =
+  (* Resolve the whole batch up front: a batch with any bad spec is
+     rejected atomically, naming the offending entry. *)
+  let resolved =
+    List.mapi
+      (fun i spec ->
+        match Request.Spec.resolve spec with
+        | Ok job -> Ok job
+        | Error msg -> Error (Printf.sprintf "jobs[%d]: %s" i msg))
+      specs
+  in
+  match
+    List.find_map (function Error m -> Some m | Ok _ -> None) resolved
+  with
+  | Some message -> Session.send session (Response.Error { message })
+  | None ->
+    let jobs = List.map (function Ok j -> j | Error _ -> assert false) resolved in
+    let total = List.length jobs in
+    Session.send session (Response.Ack { id; jobs = total });
+    if total = 0 then
+      Session.send session
+        (Response.Batch_done
+           {
+             id;
+             jobs = 0;
+             measured = 0;
+             cached = 0;
+             deduped = 0;
+             failed = 0;
+             wall_s = 0.;
+           })
+    else begin
+      let batch = Session.begin_batch session ~id ~total in
+      let announce_running = ref [] in
+      Mutex.lock t.mutex;
+      List.iteri
+        (fun index job ->
+          let key = Job.key job in
+          t.submitted <- t.submitted + 1;
+          match Hashtbl.find_opt t.inflight key with
+          | Some e when e.e_state = `Queued || e.e_state = `Running ->
+            let w =
+              { w_session = session; w_batch = batch; w_index = index;
+                w_deduped = true }
+            in
+            e.e_waiters <- w :: e.e_waiters;
+            t.dedup_hits <- t.dedup_hits + 1;
+            if e.e_state = `Running then
+              announce_running := (id, index) :: !announce_running
+          | _ ->
+            let e =
+              {
+                e_key = key;
+                e_job = job;
+                e_cache = t.cfg.cache && cache;
+                e_state = `Queued;
+                e_waiters =
+                  [ { w_session = session; w_batch = batch; w_index = index;
+                      w_deduped = false } ];
+              }
+            in
+            Hashtbl.replace t.inflight key e;
+            Queue.push e (queue_for t session.Session.id);
+            Condition.signal t.cond)
+        jobs;
+      Mutex.unlock t.mutex;
+      (* Late joiners to an already-running execution get their Running
+         notice immediately (the Started event fired before they attached). *)
+      List.iter
+        (fun (id, index) ->
+          Session.send session (Response.Running { id; index }))
+        (List.rev !announce_running)
+    end
+
+let handle_request t session ~sessions req =
+  match req with
+  | Request.Ping -> Session.send session Response.Pong
+  | Request.Stats ->
+    Session.send session (Response.Server_stats (server_stats t ~sessions))
+  | Request.Query spec -> (
+    match Request.Spec.resolve spec with
+    | Error message -> Session.send session (Response.Error { message })
+    | Ok job ->
+      let run =
+        if t.cfg.cache then Cache.lookup ~dir:t.cfg.cache_dir job else None
+      in
+      Session.send session
+        (Response.Queried { hit = run <> None; run }))
+  | Request.Invalidate (Some spec) -> (
+    match Request.Spec.resolve spec with
+    | Error message -> Session.send session (Response.Error { message })
+    | Ok job ->
+      let removed =
+        if Cache.invalidate ~dir:t.cfg.cache_dir job then 1 else 0
+      in
+      Session.send session (Response.Invalidated { removed }))
+  | Request.Invalidate None ->
+    Session.send session
+      (Response.Invalidated { removed = Cache.clear ~dir:t.cfg.cache_dir })
+  | Request.Submit { id; cache; specs } ->
+    if t.stopping then
+      Session.send session
+        (Response.Error { message = "server is shutting down" })
+    else handle_submit t session ~id ~cache ~specs
+  | Request.Shutdown ->
+    Session.send session Response.Bye;
+    Mutex.lock t.mutex;
+    t.stopping <- true;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mutex
+
+(* A disconnecting session takes its queued jobs with it — but only its
+   own: entries other sessions also wait on lose this session's waiters
+   and, if they were parked in this session's queue, are re-homed onto a
+   surviving waiter's queue. Running entries always finish. *)
+let reap t session =
+  Session.close session;
+  Mutex.lock t.mutex;
+  Hashtbl.iter
+    (fun _ e ->
+      e.e_waiters <-
+        List.filter (fun w -> w.w_session != session) e.e_waiters)
+    t.inflight;
+  (match Hashtbl.find_opt t.queues session.Session.id with
+   | None -> ()
+   | Some q ->
+     Queue.iter
+       (fun e ->
+         if e.e_state = `Queued then
+           match e.e_waiters with
+           | [] ->
+             e.e_state <- `Cancelled;
+             Hashtbl.remove t.inflight e.e_key
+           | w :: _ ->
+             Queue.push e (queue_for t w.w_session.Session.id))
+       q;
+     Hashtbl.remove t.queues session.Session.id);
+  t.rr <- List.filter (fun sid -> sid <> session.Session.id) t.rr;
+  Mutex.unlock t.mutex
+
+(* --- Socket plumbing ------------------------------------------------------ *)
+
+let bind_socket path =
+  if String.length path > 100 then
+    failwith
+      (Printf.sprintf "socket path too long for AF_UNIX (%d chars): %s"
+         (String.length path) path);
+  (if Sys.file_exists path then begin
+     (* A live daemon answers a connect; a stale file does not. *)
+     let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+     match Unix.connect probe (Unix.ADDR_UNIX path) with
+     | () ->
+       Unix.close probe;
+       failwith (Printf.sprintf "a server is already listening on %s" path)
+     | exception Unix.Unix_error _ ->
+       Unix.close probe;
+       (try Sys.remove path with Sys_error _ -> ())
+   end);
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.bind fd (Unix.ADDR_UNIX path)
+   with e ->
+     Unix.close fd;
+     raise e);
+  Unix.listen fd 64;
+  fd
+
+let ignore_sigpipe () =
+  (* A client vanishing mid-write must surface as EPIPE, not kill the
+     daemon. *)
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ -> ()
+
+let run ?runner cfg =
+  ignore_sigpipe ();
+  let listen_fd = bind_socket cfg.socket_path in
+  let wake_r, wake_w = Unix.pipe () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  let t =
+    {
+      cfg;
+      runner;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      queues = Hashtbl.create 8;
+      rr = [];
+      inflight = Hashtbl.create 64;
+      events = Queue.create ();
+      wake_r;
+      wake_w;
+      stopping = false;
+      submitted = 0;
+      executed = 0;
+      dedup_hits = 0;
+      cache_hits = 0;
+      running_count = 0;
+      started_at = Unix.gettimeofday ();
+    }
+  in
+  let workers =
+    Array.init (max 1 cfg.workers) (fun _ -> Domain.spawn (worker_loop t))
+  in
+  let sessions : (Unix.file_descr, Session.t) Hashtbl.t = Hashtbl.create 8 in
+  let next_session_id = ref 0 in
+  let drain_wake () =
+    let buf = Bytes.create 256 in
+    let rec go () =
+      match Unix.read t.wake_r buf 0 256 with
+      | n when n > 0 -> go ()
+      | _ -> ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        ()
+    in
+    go ()
+  in
+  let accept_client () =
+    match Unix.accept listen_fd with
+    | fd, _ ->
+      let id = !next_session_id in
+      incr next_session_id;
+      let session = Session.create ~id fd in
+      Hashtbl.replace sessions fd session;
+      Mutex.lock t.mutex;
+      ignore (queue_for t id);
+      Mutex.unlock t.mutex
+    | exception Unix.Unix_error _ -> ()
+  in
+  let read_client session =
+    let buf = Bytes.create 65536 in
+    match Unix.read session.Session.fd buf 0 65536 with
+    | 0 -> reap t session
+    | n ->
+      let n_sessions () = Hashtbl.length sessions in
+      List.iter
+        (fun line ->
+          if String.trim line <> "" then
+            match Request.of_line line with
+            | Ok req ->
+              handle_request t session ~sessions:(n_sessions ()) req
+            | Error message ->
+              Session.send session (Response.Error { message }))
+        (Session.feed session (Bytes.sub_string buf 0 n))
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> reap t session
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  in
+  while not t.stopping do
+    (* Reap sessions whose sends failed since last turn. *)
+    Hashtbl.iter
+      (fun _ s -> if s.Session.closed then reap t s)
+      (Hashtbl.copy sessions);
+    Hashtbl.iter
+      (fun fd s -> if s.Session.closed then Hashtbl.remove sessions fd)
+      (Hashtbl.copy sessions);
+    let client_fds =
+      Hashtbl.fold (fun fd _ acc -> fd :: acc) sessions []
+    in
+    let readable, _, _ =
+      try Unix.select (listen_fd :: t.wake_r :: client_fds) [] [] 0.25
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    List.iter
+      (fun fd ->
+        if fd = listen_fd then accept_client ()
+        else if fd = t.wake_r then drain_wake ()
+        else
+          match Hashtbl.find_opt sessions fd with
+          | Some session -> read_client session
+          | None -> ())
+      readable;
+    drain_events t
+  done;
+  (* Graceful exit: workers finish the job in hand and see [stopping]. *)
+  Mutex.lock t.mutex;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex;
+  Array.iter Domain.join workers;
+  drain_events t;
+  Hashtbl.iter (fun _ s -> Session.close s) sessions;
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  (try Sys.remove cfg.socket_path with Sys_error _ -> ());
+  (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+  try Unix.close t.wake_w with Unix.Unix_error _ -> ()
+
+(* --- Client --------------------------------------------------------------- *)
+
+module Client = struct
+  type t = {
+    fd : Unix.file_descr;
+    ic : in_channel;
+    oc : out_channel;
+    mutable closed : bool;
+  }
+
+  let connect path =
+    ignore_sigpipe ();
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_UNIX path)
+     with e ->
+       Unix.close fd;
+       raise e);
+    {
+      fd;
+      ic = Unix.in_channel_of_descr fd;
+      oc = Unix.out_channel_of_descr fd;
+      closed = false;
+    }
+
+  let set_timeout t seconds =
+    Unix.setsockopt_float t.fd Unix.SO_RCVTIMEO seconds
+
+  let send t req =
+    output_string t.oc (Request.to_line req);
+    output_char t.oc '\n';
+    flush t.oc
+
+  let recv t =
+    match input_line t.ic with
+    | line -> Response.of_line line
+    | exception End_of_file -> Error "connection closed"
+    | exception Sys_error msg -> Error ("read failed: " ^ msg)
+
+  let close t =
+    if not t.closed then begin
+      t.closed <- true;
+      try Unix.close t.fd with Unix.Unix_error _ -> ()
+    end
+end
+
+(* --- Embedding ------------------------------------------------------------ *)
+
+type handle = { thread : Thread.t; socket_path : string }
+
+let start ?runner cfg =
+  let thread = Thread.create (fun () -> run ?runner cfg) () in
+  (* Wait for the socket to accept; the server thread re-raises its own
+     failures, so a dead thread surfaces as the timeout below. *)
+  let deadline = Unix.gettimeofday () +. 10. in
+  let rec wait () =
+    match Client.connect cfg.socket_path with
+    | client -> Client.close client
+    | exception Unix.Unix_error _ ->
+      if Unix.gettimeofday () > deadline then
+        failwith
+          (Printf.sprintf "server did not come up on %s" cfg.socket_path)
+      else begin
+        Thread.delay 0.02;
+        wait ()
+      end
+  in
+  wait ();
+  { thread; socket_path = cfg.socket_path }
+
+let stop handle =
+  (match Client.connect handle.socket_path with
+   | client ->
+     (try
+        Client.send client Request.Shutdown;
+        ignore (Client.recv client)
+      with _ -> ());
+     Client.close client
+   | exception Unix.Unix_error _ -> ());
+  Thread.join handle.thread

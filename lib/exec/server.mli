@@ -1,0 +1,84 @@
+(** [repro serve]: the persistent sweep daemon.
+
+    One process owns the Domain worker pool and the on-disk result
+    cache; any number of clients connect over a Unix socket and speak
+    the line-delimited JSON protocol of {!Request}/{!Response} (see
+    PROTOCOL.md). The interesting part is the scheduler:
+
+    - {b Fair queueing}: each session has its own FIFO of pending jobs
+      and workers pick round-robin across sessions, so a client that
+      submits thousands of jobs cannot starve one that submits one.
+    - {b Dedup}: an in-flight table keyed by {!Job.key} maps every job
+      that is queued or running to a single execution; identical
+      submissions — from the same or different clients — attach as
+      waiters and all receive the result of the one run.
+    - {b Cache-stampede protection}: the in-flight entry is created
+      before the cache is consulted and removed only after the result
+      is stored, so a cold cache plus N identical concurrent requests
+      runs the job exactly once — the other N-1 wait on the entry
+      rather than racing to measure.
+    - {b Cancellation}: a client disconnecting cancels its queued jobs
+      (running jobs finish; entries other sessions also wait on are
+      re-homed, not cancelled).
+
+    Threading model: one event thread owns every socket (reads,
+    parses, writes responses); [workers] Domains only execute jobs and
+    hand finished work back through an event queue + wake pipe. Session
+    state is therefore lock-free; scheduler state is guarded by one
+    mutex. *)
+
+type config = {
+  socket_path : string;
+  workers : int;      (** Worker domains executing jobs. *)
+  cache : bool;       (** Master switch for the on-disk result cache. *)
+  cache_dir : string;
+}
+
+val default_socket : unit -> string
+(** [$REPRO_SOCKET] if set, else ["_repro_serve.sock"]. *)
+
+val default_config : unit -> config
+(** Default socket, {!Executor.default_jobs} workers, cache on in
+    {!Cache.default_dir}. *)
+
+type job_runner = Job.t -> (Repro_workloads.Harness.run, string) result
+(** Tests inject counting/sleeping fakes; the default runs
+    {!Job.run}. *)
+
+val run : ?runner:job_runner -> config -> unit
+(** Serve until a [Shutdown] request arrives. Blocks the calling
+    thread; binds the socket (replacing a stale file, refusing a live
+    one), ignores [SIGPIPE]. Raises [Failure] when the socket cannot be
+    bound. *)
+
+(** {2 Embedding} — used by the tests and the load-test harness. *)
+
+type handle
+
+val start : ?runner:job_runner -> config -> handle
+(** {!run} on a background thread; returns once the socket accepts
+    connections. *)
+
+val stop : handle -> unit
+(** Request shutdown over the socket and join the server thread. *)
+
+(** {2 Client} — the connection helper the CLI, tests and bench use. *)
+
+module Client : sig
+  type t
+
+  val connect : string -> t
+  (** Raises [Unix.Unix_error] when nothing listens on the path. *)
+
+  val set_timeout : t -> float -> unit
+  (** Receive timeout in seconds ({!recv} then fails instead of
+      blocking forever — the tests' safety net). *)
+
+  val send : t -> Request.t -> unit
+
+  val recv : t -> (Response.t, string) result
+  (** Next response line; [Error] on EOF, timeout, or a line that does
+      not decode. *)
+
+  val close : t -> unit
+end

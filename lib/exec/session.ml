@@ -1,0 +1,88 @@
+type batch = {
+  batch_id : string;
+  total : int;
+  mutable completed : int;
+  mutable measured : int;
+  mutable cached : int;
+  mutable deduped : int;
+  mutable failed : int;
+  mutable wall_s : float;
+}
+
+type t = {
+  id : int;
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  batches : (string, batch) Hashtbl.t;
+  mutable closed : bool;
+}
+
+let create ~id fd =
+  { id; fd; buf = Buffer.create 1024; batches = Hashtbl.create 4; closed = false }
+
+let feed t chunk =
+  Buffer.add_string t.buf chunk;
+  let data = Buffer.contents t.buf in
+  let lines = ref [] in
+  let start = ref 0 in
+  String.iteri
+    (fun i c ->
+      if c = '\n' then begin
+        let len = i - !start in
+        let len = if len > 0 && data.[i - 1] = '\r' then len - 1 else len in
+        lines := String.sub data !start len :: !lines;
+        start := i + 1
+      end)
+    data;
+  Buffer.clear t.buf;
+  Buffer.add_substring t.buf data !start (String.length data - !start);
+  List.rev !lines
+
+let send t response =
+  if not t.closed then begin
+    let line = Response.to_line response ^ "\n" in
+    let bytes = Bytes.unsafe_of_string line in
+    let len = Bytes.length bytes in
+    let rec write_all off =
+      if off < len then begin
+        let n = Unix.write t.fd bytes off (len - off) in
+        write_all (off + n)
+      end
+    in
+    try write_all 0 with Unix.Unix_error _ | Sys_error _ -> t.closed <- true
+  end
+
+let begin_batch t ~id ~total =
+  let batch =
+    {
+      batch_id = id;
+      total;
+      completed = 0;
+      measured = 0;
+      cached = 0;
+      deduped = 0;
+      failed = 0;
+      wall_s = 0.;
+    }
+  in
+  Hashtbl.replace t.batches id batch;
+  batch
+
+let record_done t batch (outcome : Response.outcome) =
+  batch.completed <- batch.completed + 1;
+  (if outcome.Response.cached then batch.cached <- batch.cached + 1
+   else if outcome.Response.deduped then batch.deduped <- batch.deduped + 1
+   else batch.measured <- batch.measured + 1);
+  (match outcome.Response.result with
+   | Error _ -> batch.failed <- batch.failed + 1
+   | Ok _ -> ());
+  batch.wall_s <- batch.wall_s +. outcome.Response.wall_s;
+  let complete = batch.completed >= batch.total in
+  if complete then Hashtbl.remove t.batches batch.batch_id;
+  complete
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end

@@ -1,0 +1,48 @@
+(** One connected serve client: line framing over its socket, response
+    writes, and per-batch progress accounting.
+
+    Sessions are owned by the daemon's event thread — every read, write
+    and accounting update happens there, so the type needs no lock. The
+    scheduler's worker domains never touch a session; they hand finished
+    work back to the event thread ({!Server}), which fans it out. *)
+
+type batch = {
+  batch_id : string;
+  total : int;
+  mutable completed : int;
+  mutable measured : int;
+  mutable cached : int;
+  mutable deduped : int;
+  mutable failed : int;
+  mutable wall_s : float;
+}
+
+type t = {
+  id : int;             (** Dense session number (scheduler queue key). *)
+  fd : Unix.file_descr;
+  buf : Buffer.t;       (** Bytes received but not yet newline-framed. *)
+  batches : (string, batch) Hashtbl.t;  (** In-flight batches by id. *)
+  mutable closed : bool;
+}
+
+val create : id:int -> Unix.file_descr -> t
+
+val feed : t -> string -> string list
+(** Append received bytes and return the complete lines they finish, in
+    order, stripped of their newline (and any ['\r']). *)
+
+val send : t -> Response.t -> unit
+(** Write one response line. A write failure (client went away mid-write)
+    marks the session {!closed}; the daemon reaps it on its next loop
+    turn. No-op on an already-closed session. *)
+
+val begin_batch : t -> id:string -> total:int -> batch
+
+val record_done : t -> batch -> Response.outcome -> bool
+(** Fold one finished job into the batch tally; [true] when it was the
+    batch's last job (the batch is dropped from the table — the caller
+    sends [Batch_done] from the returned counters before dropping its
+    reference). *)
+
+val close : t -> unit
+(** Close the socket (idempotent). *)

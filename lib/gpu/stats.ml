@@ -198,3 +198,68 @@ let pp ppf t =
       Repro_san.Violation.kinds
   end;
   Format.fprintf ppf "@]"
+
+(* Wire form. [raw] mirrors [t] field-for-field; it is defined last so
+   the record-label inference above keeps resolving to [t]. *)
+
+type raw = {
+  cycles : float;
+  mem_instrs : int;
+  compute_instrs : int;
+  ctrl_instrs : int;
+  load_transactions : int;
+  store_transactions : int;
+  l1_hits : int;
+  l1_misses : int;
+  l2_hits : int;
+  l2_misses : int;
+  dram_sectors : int;
+  trace_dropped : int;
+  stalls : float array;
+  load_transactions_by_label : int array;
+  san_violations : int array;
+}
+
+let to_raw (t : t) : raw =
+  {
+    cycles = t.cycles;
+    mem_instrs = t.mem_instrs;
+    compute_instrs = t.compute_instrs;
+    ctrl_instrs = t.ctrl_instrs;
+    load_transactions = t.load_transactions;
+    store_transactions = t.store_transactions;
+    l1_hits = t.l1_hits;
+    l1_misses = t.l1_misses;
+    l2_hits = t.l2_hits;
+    l2_misses = t.l2_misses;
+    dram_sectors = t.dram_sectors;
+    trace_dropped = t.trace_dropped;
+    stalls = Array.copy t.stalls;
+    load_transactions_by_label = Array.copy t.load_transactions_by_label;
+    san_violations = Array.copy t.san_violations;
+  }
+
+let of_raw (r : raw) : t =
+  if Array.length r.stalls <> Label.count then
+    invalid_arg "Stats.of_raw: stalls length";
+  if Array.length r.load_transactions_by_label <> Label.count then
+    invalid_arg "Stats.of_raw: load_transactions_by_label length";
+  if Array.length r.san_violations <> Repro_san.Violation.kind_count then
+    invalid_arg "Stats.of_raw: san_violations length";
+  {
+    cycles = r.cycles;
+    mem_instrs = r.mem_instrs;
+    compute_instrs = r.compute_instrs;
+    ctrl_instrs = r.ctrl_instrs;
+    load_transactions = r.load_transactions;
+    store_transactions = r.store_transactions;
+    l1_hits = r.l1_hits;
+    l1_misses = r.l1_misses;
+    l2_hits = r.l2_hits;
+    l2_misses = r.l2_misses;
+    dram_sectors = r.dram_sectors;
+    trace_dropped = r.trace_dropped;
+    stalls = Array.copy r.stalls;
+    load_transactions_by_label = Array.copy r.load_transactions_by_label;
+    san_violations = Array.copy r.san_violations;
+  }

@@ -106,6 +106,41 @@ val san_violations_for : t -> Repro_san.Violation.kind -> int
 
 val total_san_violations : t -> int
 
+(** {2 Wire form}
+
+    The serve protocol ships counter snapshots between the daemon and its
+    clients. [raw] exposes every field of a snapshot as plain data so a
+    serializer outside this library can encode it exactly and rebuild an
+    identical [t] — floats are carried as floats (the JSON layer's
+    shortest-round-trip representation keeps them bit-exact), so a
+    decoded snapshot compares bit-for-bit with the original. *)
+
+type raw = {
+  cycles : float;
+  mem_instrs : int;
+  compute_instrs : int;
+  ctrl_instrs : int;
+  load_transactions : int;
+  store_transactions : int;
+  l1_hits : int;
+  l1_misses : int;
+  l2_hits : int;
+  l2_misses : int;
+  dram_sectors : int;
+  trace_dropped : int;
+  stalls : float array;  (** Indexed by [Label.to_index]; length [Label.count]. *)
+  load_transactions_by_label : int array;  (** Ditto. *)
+  san_violations : int array;
+      (** Indexed by [Repro_san.Violation.kind_index]. *)
+}
+
+val to_raw : t -> raw
+(** A detached plain-data snapshot (fresh arrays). *)
+
+val of_raw : raw -> t
+(** Rebuild a snapshot; raises [Invalid_argument] when an array length
+    does not match its index space. *)
+
 val pp : Format.formatter -> t -> unit
 (** One-line counter summary plus, when any stalls were attributed, a
     per-label stall-share breakdown (driven by {!Label.all}). The full

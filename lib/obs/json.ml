@@ -268,3 +268,91 @@ let float_opt = function
   | Float f -> Some f
   | Int i -> Some (float_of_int i)
   | _ -> None
+
+(* Decoders.
+
+   Leaves raise [Error_at ([], msg)]; structural combinators catch and
+   re-raise with their own path segment consed on, so the exception that
+   reaches [run] carries the full path outermost-first and renders as
+   "jobs[2].scale: expected a number, got string". *)
+
+module Decode = struct
+  type 'a decoder = t -> 'a
+
+  exception Error_at of string list * string
+
+  let fail msg = raise (Error_at ([], msg))
+
+  let type_name = function
+    | Null -> "null"
+    | Bool _ -> "bool"
+    | Int _ -> "int"
+    | Float _ -> "float"
+    | String _ -> "string"
+    | List _ -> "list"
+    | Obj _ -> "object"
+
+  let type_error expected j =
+    fail (Printf.sprintf "expected %s, got %s" expected (type_name j))
+
+  let string = function String s -> s | j -> type_error "a string" j
+
+  let int = function Int i -> i | j -> type_error "an int" j
+
+  let bool = function Bool b -> b | j -> type_error "a bool" j
+
+  let float = function
+    | Float f -> f
+    | Int i -> float_of_int i
+    | j -> type_error "a number" j
+
+  let nest segment f =
+    try f () with Error_at (path, msg) -> raise (Error_at (segment :: path, msg))
+
+  let field name d = function
+    | Obj fields -> (
+      match List.assoc_opt name fields with
+      | Some v -> nest name (fun () -> d v)
+      | None -> nest name (fun () -> fail "missing required field"))
+    | j -> type_error "an object" j
+
+  let field_opt name d = function
+    | Obj fields -> (
+      match List.assoc_opt name fields with
+      | None | Some Null -> None
+      | Some v -> nest name (fun () -> Some (d v)))
+    | j -> type_error "an object" j
+
+  let field_default name d default j =
+    match field_opt name d j with Some v -> v | None -> default
+
+  let list d = function
+    | List items ->
+      List.mapi (fun i v -> nest (Printf.sprintf "[%d]" i) (fun () -> d v)) items
+    | j -> type_error "a list" j
+
+  let obj d = function
+    | Obj fields ->
+      List.map (fun (k, v) -> (k, nest k (fun () -> d v))) fields
+    | j -> type_error "an object" j
+
+  let map f d j = f (d j)
+
+  let const v _ = v
+
+  let value j = j
+
+  let render_path = function
+    | [] -> "$"
+    | first :: rest ->
+      List.fold_left
+        (fun acc seg ->
+          if String.length seg > 0 && seg.[0] = '[' then acc ^ seg
+          else acc ^ "." ^ seg)
+        first rest
+
+  let run d j =
+    match d j with
+    | v -> Ok v
+    | exception Error_at (path, msg) -> Error (render_path path ^ ": " ^ msg)
+end

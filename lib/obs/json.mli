@@ -42,3 +42,53 @@ val int_opt : t -> int option
 
 val float_opt : t -> float option
 (** Accepts [Int] too (JSON numbers without a fraction part). *)
+
+(** {2 Decoders} — structure-directed readers with path-tracked errors.
+
+    The wire protocol ({!Repro_exec.Request}/[Response]) decodes client
+    messages with these: a failed decode reports the offending field by
+    its full path (["jobs[2].scale: expected a number, got string"]),
+    which the daemon echoes back verbatim, so a misbehaving client learns
+    exactly which field it got wrong. *)
+
+module Decode : sig
+  type 'a decoder = t -> 'a
+  (** Decoders raise internally; only {!run} exposes the error. *)
+
+  val run : 'a decoder -> t -> ('a, string) result
+  (** Apply a decoder; [Error] carries ["path: message"] where the path
+      spells the offending field ([jobs[2].scale]) or [$] at the root. *)
+
+  val fail : string -> 'a
+  (** Fail the surrounding {!run} with [message] at the current path. *)
+
+  val string : string decoder
+  val int : int decoder
+  val bool : bool decoder
+
+  val float : float decoder
+  (** Accepts [Int] (JSON numbers without a fraction part). *)
+
+  val field : string -> 'a decoder -> 'a decoder
+  (** Required object field; missing or mistyped fields report the
+      field's name in the error path. *)
+
+  val field_opt : string -> 'a decoder -> 'a option decoder
+  (** [None] when the field is absent or [Null]. *)
+
+  val field_default : string -> 'a decoder -> 'a -> 'a decoder
+  (** Like {!field_opt} with a default for absent/[Null]. *)
+
+  val list : 'a decoder -> 'a list decoder
+  (** Element errors report their index ([...[2]...]). *)
+
+  val obj : 'a decoder -> (string * 'a) list decoder
+  (** All fields of an object through one value decoder. *)
+
+  val map : ('a -> 'b) -> 'a decoder -> 'b decoder
+
+  val const : 'a -> 'a decoder
+
+  val value : t decoder
+  (** The raw JSON subtree. *)
+end

@@ -175,6 +175,54 @@ let test_cache_ignores_corrupt_entries () =
       check Alcotest.bool "corrupt entry reads as a miss" true
         (X.Cache.lookup ~dir job = None))
 
+let test_cache_tolerates_torn_writes () =
+  with_temp_cache (fun dir ->
+      let job = List.hd (small_matrix ~seed:10 ~scale:0.02) in
+      let run = X.Job.run job in
+      X.Cache.store ~dir job run;
+      let file = Filename.concat dir (X.Job.hash job ^ ".job") in
+      (* Simulate a writer killed mid-write: truncate the entry. *)
+      let full = In_channel.with_open_bin file In_channel.input_all in
+      Out_channel.with_open_bin file (fun oc ->
+          Out_channel.output_string oc
+            (String.sub full 0 (String.length full / 2)));
+      check Alcotest.bool "truncated entry reads as a miss" true
+        (X.Cache.lookup ~dir job = None);
+      (* An empty file — rename landed, data never made it. *)
+      Out_channel.with_open_bin file (fun _ -> ());
+      check Alcotest.bool "empty entry reads as a miss" true
+        (X.Cache.lookup ~dir job = None);
+      (* The miss is recoverable: store again, read back. *)
+      X.Cache.store ~dir job run;
+      check Alcotest.bool "re-stored entry hits" true
+        (match X.Cache.lookup ~dir job with
+         | Some r -> fingerprint r = fingerprint run
+         | None -> false))
+
+let test_cache_store_is_atomic () =
+  with_temp_cache (fun dir ->
+      let job = List.hd (small_matrix ~seed:11 ~scale:0.02) in
+      X.Cache.store ~dir job (X.Job.run job);
+      (* No temp droppings next to the entry, and the entry is complete. *)
+      let files = Sys.readdir dir in
+      check Alcotest.bool "no temp files left behind" true
+        (Array.for_all (fun f -> Filename.check_suffix f ".job") files);
+      check Alcotest.int "exactly one entry" 1 (Array.length files);
+      check Alcotest.bool "entry reads back" true
+        (X.Cache.lookup ~dir job <> None))
+
+let test_cache_invalidate () =
+  with_temp_cache (fun dir ->
+      let job = List.hd (small_matrix ~seed:12 ~scale:0.02) in
+      check Alcotest.bool "invalidate on empty cache is false" false
+        (X.Cache.invalidate ~dir job);
+      X.Cache.store ~dir job (X.Job.run job);
+      check Alcotest.bool "invalidate removes the entry" true
+        (X.Cache.invalidate ~dir job);
+      check Alcotest.bool "entry is gone" true (X.Cache.lookup ~dir job = None);
+      check Alcotest.bool "second invalidate is false" false
+        (X.Cache.invalidate ~dir job))
+
 (* --- sweep over the executor --------------------------------------------- *)
 
 let sweep_workloads = List.filter_map W.Registry.find [ "GOL"; "TRAF" ]
@@ -210,6 +258,10 @@ let suite =
     Alcotest.test_case "cache round trip" `Quick test_cache_round_trip;
     Alcotest.test_case "cache ignores corrupt entries" `Quick
       test_cache_ignores_corrupt_entries;
+    Alcotest.test_case "cache tolerates torn writes" `Quick
+      test_cache_tolerates_torn_writes;
+    Alcotest.test_case "cache store is atomic" `Quick test_cache_store_is_atomic;
+    Alcotest.test_case "cache invalidate" `Quick test_cache_invalidate;
     Alcotest.test_case "sweep: parallel == serial" `Slow
       test_sweep_exec_parallel_matches_serial;
     Alcotest.test_case "sweep: outcomes shape" `Quick test_sweep_outcomes_shape;

@@ -10,6 +10,7 @@ let () =
       ("core", Test_core.suite);
       ("workloads", Test_workloads.suite);
       ("exec", Test_exec.suite);
+      ("serve", Test_serve.suite);
       ("report", Test_report.suite);
       ("obs", Test_obs.suite);
       ("experiments", Test_experiments.suite);

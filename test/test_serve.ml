@@ -1,0 +1,517 @@
+(* The serve protocol and daemon: request/response round-trips (every
+   constructor, property-tested specs), decode errors that name the
+   offending field, bit-exact results across the wire, and the
+   scheduler's three invariants — dedup/stampede protection, disconnect
+   cancellation, fair queueing. *)
+
+module W = Repro_workloads
+module T = Repro_core.Technique
+module X = Repro_exec
+module J = Repro_obs.Json
+
+let check = Alcotest.check
+
+(* One real (tiny) measurement shared by the wire-fidelity tests. *)
+let tiny_run =
+  lazy
+    (let job =
+       match
+         X.Request.Spec.resolve
+           (X.Request.Spec.make ~scale:0.02 ~workload:"TRAF" ~technique:"tp" ())
+       with
+       | Ok j -> j
+       | Error msg -> failwith msg
+     in
+     X.Job.run job)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "repro_serve_test" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (X.Cache.clear ~dir);
+      try Sys.remove dir with Sys_error _ -> ())
+    (fun () -> f dir)
+
+let temp_socket () =
+  let path = Filename.temp_file "repro_serve_test" ".sock" in
+  Sys.remove path;
+  path
+
+(* --- technique codec ------------------------------------------------------ *)
+
+let all_techniques =
+  [
+    T.Cuda; T.Concord; T.Shared_oa; T.Coal;
+    T.Type_pointer { mode = T.Prototype; on_cuda_alloc = false };
+    T.Type_pointer { mode = T.Prototype; on_cuda_alloc = true };
+    T.Type_pointer { mode = T.Hw_mmu; on_cuda_alloc = false };
+    T.Type_pointer { mode = T.Hw_mmu; on_cuda_alloc = true };
+  ]
+
+let test_technique_codec_total () =
+  List.iter
+    (fun t ->
+      let name = X.Request.technique_to_string t in
+      match X.Request.technique_of_string name with
+      | Ok t' ->
+        check Alcotest.bool (name ^ " round-trips") true (t = t')
+      | Error msg -> Alcotest.failf "%s does not decode: %s" name msg)
+    all_techniques;
+  check Alcotest.bool "unknown technique rejected" true
+    (Result.is_error (X.Request.technique_of_string "vtable"))
+
+(* --- spec round-trip (property) ------------------------------------------- *)
+
+let spec_gen =
+  let open QCheck.Gen in
+  let* workload =
+    oneofl [ "TRAF"; "GOL"; "Dynasoar/GEN"; "RAY"; "nonsense" ]
+  in
+  let* technique = oneofl X.Request.technique_names in
+  let* scale = float_range 0.01 2.0 in
+  let* seed = int_range 0 1000 in
+  let* iterations = opt (int_range 1 5) in
+  let* chunk_objs = opt (int_range 16 256) in
+  return
+    (X.Request.Spec.make ?iterations ?chunk_objs ~scale ~seed ~workload
+       ~technique ())
+
+let spec_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"spec JSON round-trip"
+    (QCheck.make spec_gen)
+    (fun spec ->
+      match J.of_string (J.to_string (X.Request.Spec.to_json spec)) with
+      | Error _ -> false
+      | Ok j -> (
+        match J.Decode.run X.Request.Spec.decoder j with
+        | Ok spec' -> X.Request.Spec.equal spec spec'
+        | Error _ -> false))
+
+(* --- request round-trip --------------------------------------------------- *)
+
+let sample_specs =
+  [
+    X.Request.Spec.make ~workload:"TRAF" ~technique:"tp" ();
+    X.Request.Spec.make ~scale:0.5 ~seed:7 ~iterations:2 ~chunk_objs:64
+      ~workload:"GOL" ~technique:"tp/cuda" ();
+  ]
+
+let sample_requests =
+  [
+    X.Request.Submit { id = "b-1"; cache = true; specs = sample_specs };
+    X.Request.Submit { id = ""; cache = false; specs = [] };
+    X.Request.Query (List.hd sample_specs);
+    X.Request.Invalidate (Some (List.nth sample_specs 1));
+    X.Request.Invalidate None;
+    X.Request.Stats;
+    X.Request.Ping;
+    X.Request.Shutdown;
+  ]
+
+let test_request_roundtrip () =
+  List.iter
+    (fun req ->
+      let line = X.Request.to_line req in
+      check Alcotest.bool "one line" false (String.contains line '\n');
+      match X.Request.of_line line with
+      | Ok req' ->
+        check Alcotest.string "re-encodes identically" line
+          (X.Request.to_line req')
+      | Error msg -> Alcotest.failf "%s does not decode: %s" line msg)
+    sample_requests
+
+(* --- response round-trip --------------------------------------------------- *)
+
+let sample_outcome ~cached ~deduped result =
+  {
+    X.Response.spec = List.hd sample_specs;
+    cached;
+    deduped;
+    wall_s = 0.25;
+    result;
+  }
+
+let sample_responses () =
+  let run = Lazy.force tiny_run in
+  [
+    X.Response.Ack { id = "b-1"; jobs = 3 };
+    X.Response.Running { id = "b-1"; index = 2 };
+    X.Response.Job_done
+      { id = "b-1"; index = 0; outcome = sample_outcome ~cached:false ~deduped:false (Ok run) };
+    X.Response.Job_done
+      { id = "b-1"; index = 1;
+        outcome = sample_outcome ~cached:true ~deduped:false (Error "boom") };
+    X.Response.Job_done
+      { id = "b-1"; index = 2; outcome = sample_outcome ~cached:false ~deduped:true (Ok run) };
+    X.Response.Batch_done
+      { id = "b-1"; jobs = 3; measured = 1; cached = 1; deduped = 1;
+        failed = 1; wall_s = 0.5 };
+    X.Response.Queried { hit = true; run = Some run };
+    X.Response.Queried { hit = false; run = None };
+    X.Response.Invalidated { removed = 55 };
+    X.Response.Server_stats
+      { sessions = 2; submitted = 10; executed = 3; dedup_hits = 4;
+        cache_hits = 3; queued = 1; running = 2; uptime_s = 12.5 };
+    X.Response.Pong;
+    X.Response.Bye;
+    X.Response.Error { message = "jobs[2].scale: expected a number" };
+  ]
+
+let test_response_roundtrip () =
+  List.iter
+    (fun resp ->
+      let line = X.Response.to_line resp in
+      check Alcotest.bool "one line" false (String.contains line '\n');
+      match X.Response.of_line line with
+      | Ok resp' ->
+        check Alcotest.string "re-encodes identically" line
+          (X.Response.to_line resp')
+      | Error msg -> Alcotest.failf "%s does not decode: %s" line msg)
+    (sample_responses ())
+
+let test_run_wire_fidelity () =
+  let run = Lazy.force tiny_run in
+  let text = J.to_string (X.Response.run_to_json run) in
+  match J.of_string text with
+  | Error msg -> Alcotest.failf "run JSON does not parse: %s" msg
+  | Ok j -> (
+    match J.Decode.run X.Response.run_decoder j with
+    | Error msg -> Alcotest.failf "run does not decode: %s" msg
+    | Ok run' ->
+      check Alcotest.string "byte-identical re-encoding" text
+        (J.to_string (X.Response.run_to_json run'));
+      check Alcotest.bool "cycles survive exactly" true
+        (run.W.Harness.cycles = run'.W.Harness.cycles);
+      check Alcotest.bool "checksum survives exactly" true
+        (run.W.Harness.checksum = run'.W.Harness.checksum);
+      check Alcotest.bool "stats survive exactly" true
+        (Repro_gpu.Stats.to_raw run.W.Harness.stats
+         = Repro_gpu.Stats.to_raw run'.W.Harness.stats))
+
+(* --- decode errors name the field ----------------------------------------- *)
+
+let decode_error line =
+  match X.Request.of_line line with
+  | Ok _ -> Alcotest.fail "expected a decode error"
+  | Error msg -> msg
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_decode_errors_name_field () =
+  let err =
+    decode_error
+      {|{"v":1,"type":"submit","id":"b","jobs":[{"workload":"GOL","technique":"tp"},{"workload":"GOL","technique":"tp","scale":"big"}]}|}
+  in
+  check Alcotest.bool ("path in: " ^ err) true (contains ~sub:"jobs[1].scale" err);
+  let err = decode_error {|{"v":1,"type":"submit","jobs":[]}|} in
+  check Alcotest.bool ("missing id in: " ^ err) true (contains ~sub:"id" err);
+  let err = decode_error {|{"v":1,"type":"query","job":{"technique":"tp"}}|} in
+  check Alcotest.bool ("path in: " ^ err) true
+    (contains ~sub:"job.workload" err);
+  let err = decode_error {|{"v":1}|} in
+  check Alcotest.bool ("missing type in: " ^ err) true (contains ~sub:"type" err);
+  let err = decode_error "{" in
+  check Alcotest.bool ("malformed in: " ^ err) true
+    (contains ~sub:"malformed JSON" err)
+
+let test_schema_version_checked () =
+  let err = decode_error {|{"v":2,"type":"ping"}|} in
+  check Alcotest.bool ("version in: " ^ err) true
+    (contains ~sub:"unsupported schema version 2" err);
+  let err = decode_error {|{"type":"ping"}|} in
+  check Alcotest.bool ("missing v in: " ^ err) true (contains ~sub:"v" err);
+  match X.Response.of_line {|{"v":9,"type":"pong"}|} with
+  | Ok _ -> Alcotest.fail "response with wrong version decoded"
+  | Error msg ->
+    check Alcotest.bool ("version in: " ^ msg) true
+      (contains ~sub:"unsupported schema version 9" msg)
+
+(* --- spec resolution ------------------------------------------------------- *)
+
+let test_spec_resolution () =
+  let spec = X.Request.Spec.make ~workload:"TRAF" ~technique:"tp" () in
+  (match X.Request.Spec.resolve spec with
+   | Ok job ->
+     let back = X.Request.Spec.of_job job in
+     (match X.Request.Spec.resolve back with
+      | Ok job' ->
+        check Alcotest.string "of_job resolves to the same key"
+          (X.Job.key job) (X.Job.key job')
+      | Error msg -> Alcotest.fail msg)
+   | Error msg -> Alcotest.fail msg);
+  (match
+     X.Request.Spec.resolve
+       (X.Request.Spec.make ~workload:"NOPE" ~technique:"tp" ())
+   with
+   | Ok _ -> Alcotest.fail "unknown workload resolved"
+   | Error msg ->
+     check Alcotest.bool ("names workload: " ^ msg) true
+       (contains ~sub:{|unknown workload "NOPE"|} msg));
+  match
+    X.Request.Spec.resolve
+      (X.Request.Spec.make ~workload:"TRAF" ~technique:"vtable" ())
+  with
+  | Ok _ -> Alcotest.fail "unknown technique resolved"
+  | Error msg ->
+    check Alcotest.bool ("names technique: " ^ msg) true
+      (contains ~sub:{|unknown technique "vtable"|} msg)
+
+(* --- daemon integration ---------------------------------------------------- *)
+
+(* A controllable runner: counts executions per job key, optionally
+   sleeping so the test can race clients against an in-flight job. *)
+let counting_runner ?(delay = 0.) () =
+  let lock = Mutex.create () in
+  let executed = ref [] in
+  let run = Lazy.force tiny_run in
+  let runner (job : X.Job.t) =
+    Mutex.lock lock;
+    executed := X.Job.key job :: !executed;
+    Mutex.unlock lock;
+    if delay > 0. then Thread.delay delay;
+    Ok run
+  in
+  let order () =
+    Mutex.lock lock;
+    let l = List.rev !executed in
+    Mutex.unlock lock;
+    l
+  in
+  (runner, order)
+
+let with_server ?runner ?(workers = 1) ?(cache = false) f =
+  with_temp_dir (fun cache_dir ->
+      let cfg =
+        { X.Server.socket_path = temp_socket (); workers; cache; cache_dir }
+      in
+      let handle = X.Server.start ?runner cfg in
+      Fun.protect
+        ~finally:(fun () -> X.Server.stop handle)
+        (fun () -> f cfg.X.Server.socket_path))
+
+let client socket =
+  let c = X.Server.Client.connect socket in
+  X.Server.Client.set_timeout c 30.;
+  c
+
+let submit c ~id specs =
+  X.Server.Client.send c (X.Request.Submit { id; cache = true; specs })
+
+(* Read until this batch completes; collect its outcomes by index. *)
+let drain_batch c ~id ~jobs =
+  let outcomes = Array.make (max jobs 1) None in
+  let rec go () =
+    match X.Server.Client.recv c with
+    | Error msg -> Alcotest.failf "recv failed: %s" msg
+    | Ok (X.Response.Error { message }) -> Alcotest.failf "server: %s" message
+    | Ok (X.Response.Job_done { id = bid; index; outcome }) ->
+      if bid = id then outcomes.(index) <- Some outcome;
+      go ()
+    | Ok (X.Response.Batch_done { id = bid; _ }) when bid = id ->
+      Array.to_list outcomes |> List.filter_map Fun.id
+    | Ok _ -> go ()
+  in
+  go ()
+
+let spec_traf = X.Request.Spec.make ~scale:0.02 ~workload:"TRAF" ~technique:"tp" ()
+let spec_n seed =
+  X.Request.Spec.make ~scale:0.02 ~seed ~workload:"TRAF" ~technique:"tp" ()
+
+let server_stats socket =
+  let c = client socket in
+  X.Server.Client.send c X.Request.Stats;
+  let s =
+    match X.Server.Client.recv c with
+    | Ok (X.Response.Server_stats s) -> s
+    | Ok _ | Error _ -> Alcotest.fail "no stats"
+  in
+  X.Server.Client.close c;
+  s
+
+let test_dedup_single_execution () =
+  let runner, order = counting_runner ~delay:0.3 () in
+  with_server ~runner ~workers:2 ~cache:true (fun socket ->
+      let c1 = client socket and c2 = client socket in
+      submit c1 ~id:"a" [ spec_traf ];
+      submit c2 ~id:"b" [ spec_traf ];
+      let o1 = drain_batch c1 ~id:"a" ~jobs:1 in
+      let o2 = drain_batch c2 ~id:"b" ~jobs:1 in
+      check Alcotest.int "one execution for two submissions" 1
+        (List.length (order ()));
+      let ok o =
+        match (o : X.Response.outcome list) with
+        | [ o ] -> Result.is_ok o.X.Response.result
+        | _ -> false
+      in
+      check Alcotest.bool "client 1 got a result" true (ok o1);
+      check Alcotest.bool "client 2 got a result" true (ok o2);
+      let deduped =
+        List.concat [ o1; o2 ]
+        |> List.filter (fun o -> o.X.Response.deduped)
+        |> List.length
+      in
+      check Alcotest.int "exactly one waiter marked deduped" 1 deduped;
+      let s = server_stats socket in
+      check Alcotest.int "dedup_hits counted" 1 s.X.Response.dedup_hits;
+      X.Server.Client.close c1;
+      X.Server.Client.close c2)
+
+(* Cold cache + N identical concurrent requests: the stampede runs one
+   execution, and a later request is served from the now-warm cache. *)
+let test_cache_stampede_protection () =
+  let runner, order = counting_runner ~delay:0.3 () in
+  with_server ~runner ~workers:4 ~cache:true (fun socket ->
+      let cs = List.init 3 (fun _ -> client socket) in
+      List.iteri (fun i c -> submit c ~id:(string_of_int i) [ spec_traf ]) cs;
+      List.iteri
+        (fun i c ->
+          ignore (drain_batch c ~id:(string_of_int i) ~jobs:1);
+          X.Server.Client.close c)
+        cs;
+      check Alcotest.int "stampede ran once" 1 (List.length (order ()));
+      let c = client socket in
+      submit c ~id:"late" [ spec_traf ];
+      let late = drain_batch c ~id:"late" ~jobs:1 in
+      X.Server.Client.close c;
+      check Alcotest.bool "late request served from cache" true
+        (match late with [ o ] -> o.X.Response.cached | _ -> false);
+      check Alcotest.int "cache hit did not re-run" 1 (List.length (order ())))
+
+let test_disconnect_cancels_queued_only () =
+  let runner, order = counting_runner ~delay:0.3 () in
+  with_server ~runner ~workers:1 ~cache:false (fun socket ->
+      let a = client socket and b = client socket in
+      (* A's first job occupies the only worker; its second is queued. *)
+      submit a ~id:"a" [ spec_n 1; spec_n 2 ];
+      Thread.delay 0.1;
+      submit b ~id:"b" [ spec_n 3 ];
+      Thread.delay 0.05;
+      X.Server.Client.close a;
+      let ob = drain_batch b ~id:"b" ~jobs:1 in
+      check Alcotest.bool "B's job completed" true
+        (match ob with
+         | [ o ] -> Result.is_ok o.X.Response.result
+         | _ -> false);
+      (* Give the in-flight job time to finish, then inspect. *)
+      Thread.delay 0.2;
+      let keys = order () in
+      let key_of spec =
+        match X.Request.Spec.resolve spec with
+        | Ok j -> X.Job.key j
+        | Error msg -> Alcotest.fail msg
+      in
+      check Alcotest.bool "A's running job finished" true
+        (List.mem (key_of (spec_n 1)) keys);
+      check Alcotest.bool "A's queued job was cancelled" false
+        (List.mem (key_of (spec_n 2)) keys);
+      check Alcotest.bool "B's job ran" true (List.mem (key_of (spec_n 3)) keys);
+      X.Server.Client.close b)
+
+let test_fair_queueing () =
+  let runner, order = counting_runner ~delay:0.15 () in
+  with_server ~runner ~workers:1 ~cache:false (fun socket ->
+      let greedy = client socket and polite = client socket in
+      submit greedy ~id:"g" (List.init 6 (fun i -> spec_n (10 + i)));
+      Thread.delay 0.05;
+      (* Arrives while the greedy batch monopolizes the queue... *)
+      submit polite ~id:"p" [ spec_n 99 ];
+      ignore (drain_batch polite ~id:"p" ~jobs:1);
+      ignore (drain_batch greedy ~id:"g" ~jobs:6);
+      let keys = order () in
+      let polite_key =
+        match X.Request.Spec.resolve (spec_n 99) with
+        | Ok j -> X.Job.key j
+        | Error msg -> Alcotest.fail msg
+      in
+      let position =
+        let rec find i = function
+          | [] -> Alcotest.fail "polite job never ran"
+          | k :: _ when k = polite_key -> i
+          | _ :: rest -> find (i + 1) rest
+        in
+        find 0 keys
+      in
+      (* ...but round-robin serves it right after the job in flight,
+         not behind all six. *)
+      check Alcotest.bool
+        (Printf.sprintf "polite job ran early (position %d)" position)
+        true (position <= 2);
+      X.Server.Client.close greedy;
+      X.Server.Client.close polite)
+
+(* The acceptance bar: a real measurement through the daemon carries
+   byte-identical stats to the same job run in-process. *)
+let test_daemon_byte_identical () =
+  with_server ~workers:1 ~cache:false (fun socket ->
+      let c = client socket in
+      X.Server.Client.set_timeout c 120.;
+      submit c ~id:"real" [ spec_traf ];
+      let outcomes = drain_batch c ~id:"real" ~jobs:1 in
+      X.Server.Client.close c;
+      let remote =
+        match outcomes with
+        | [ { X.Response.result = Ok r; _ } ] -> r
+        | _ -> Alcotest.fail "daemon did not return a result"
+      in
+      let local = Lazy.force tiny_run in
+      check Alcotest.string "identical run JSON"
+        (J.to_string (X.Response.run_to_json local))
+        (J.to_string (X.Response.run_to_json remote)))
+
+let test_batch_error_reporting () =
+  with_server ~workers:1 (fun socket ->
+      let c = client socket in
+      X.Server.Client.send c
+        (X.Request.Submit
+           {
+             id = "bad";
+             cache = false;
+             specs =
+               [ spec_traf;
+                 X.Request.Spec.make ~workload:"NOPE" ~technique:"tp" () ];
+           });
+      (match X.Server.Client.recv c with
+       | Ok (X.Response.Error { message }) ->
+         check Alcotest.bool ("names the job: " ^ message) true
+           (contains ~sub:"jobs[1]" message
+            && contains ~sub:{|unknown workload "NOPE"|} message)
+       | Ok _ -> Alcotest.fail "bad batch was accepted"
+       | Error msg -> Alcotest.failf "recv failed: %s" msg);
+      (* The connection survives a rejected batch. *)
+      X.Server.Client.send c X.Request.Ping;
+      (match X.Server.Client.recv c with
+       | Ok X.Response.Pong -> ()
+       | _ -> Alcotest.fail "connection died after a rejected batch");
+      X.Server.Client.close c)
+
+let suite =
+  [
+    Alcotest.test_case "technique codec is total" `Quick
+      test_technique_codec_total;
+    QCheck_alcotest.to_alcotest spec_roundtrip;
+    Alcotest.test_case "request round-trip" `Quick test_request_roundtrip;
+    Alcotest.test_case "response round-trip" `Quick test_response_roundtrip;
+    Alcotest.test_case "run is bit-exact on the wire" `Quick
+      test_run_wire_fidelity;
+    Alcotest.test_case "decode errors name the field" `Quick
+      test_decode_errors_name_field;
+    Alcotest.test_case "schema version checked" `Quick
+      test_schema_version_checked;
+    Alcotest.test_case "spec resolution" `Quick test_spec_resolution;
+    Alcotest.test_case "dedup: two clients, one execution" `Quick
+      test_dedup_single_execution;
+    Alcotest.test_case "cache stampede runs once" `Quick
+      test_cache_stampede_protection;
+    Alcotest.test_case "disconnect cancels queued jobs only" `Quick
+      test_disconnect_cancels_queued_only;
+    Alcotest.test_case "round-robin protects the polite client" `Quick
+      test_fair_queueing;
+    Alcotest.test_case "daemon result is byte-identical" `Quick
+      test_daemon_byte_identical;
+    Alcotest.test_case "batch errors name the job; connection survives" `Quick
+      test_batch_error_reporting;
+  ]
