@@ -1,12 +1,15 @@
 (* Compares two BENCH_<label>.json trajectory files written by
    bench/main.exe.
 
-   Usage: diff.exe BASELINE CURRENT
+   Usage: diff.exe [--ignore-series NAME]... BASELINE CURRENT
 
    The harness is deterministic at a fixed scale, so any change in the
    series data is a real behavioural change; the volatile metadata
-   ("label", "workers", "generated_unix") is ignored. Exit 0 when the
-   trajectories match, 1 when they differ, 2 on usage or parse errors. *)
+   ("label", "workers", "generated_unix") is ignored. --ignore-series
+   drops every series point named NAME from both files before comparing —
+   the gate for "adding column NAME left the existing columns
+   byte-identical". Exit 0 when the trajectories match, 1 when they
+   differ, 2 on usage or parse errors. *)
 
 module Json = Repro_obs.Json
 
@@ -18,6 +21,30 @@ let usage_error fmt =
     fmt
 
 let volatile = [ "label"; "workers"; "generated_unix" ]
+
+(* Drop every {"series": NAME, ...} point object (and any aggregate row
+   of that series) from list contexts, recursively. *)
+let rec strip_series ignored = function
+  | Json.Obj fields ->
+    Json.Obj (List.map (fun (k, v) -> (k, strip_series ignored v)) fields)
+  | Json.List xs ->
+    Json.List
+      (List.filter_map
+         (fun x ->
+           match x with
+           | Json.Obj fields
+             when (match List.assoc_opt "series" fields with
+                   | Some (Json.String s) ->
+                     (* "NAME:MEM"-style breakdown rows count as NAME's. *)
+                     List.exists
+                       (fun n ->
+                         s = n || String.starts_with ~prefix:(n ^ ":") s)
+                       ignored
+                   | _ -> false) ->
+             None
+           | x -> Some (strip_series ignored x))
+         xs)
+  | j -> j
 
 let load path =
   if not (Sys.file_exists path) then usage_error "no such file: %s" path;
@@ -68,11 +95,20 @@ let rec diff path a b acc =
       :: acc
 
 let () =
-  let baseline_path, current_path =
-    match Sys.argv with
-    | [| _; a; b |] -> (a, b)
-    | _ -> usage_error "usage: diff.exe BASELINE CURRENT"
+  let rec parse ignored paths = function
+    | [] -> (List.rev ignored, List.rev paths)
+    | "--ignore-series" :: name :: rest -> parse (name :: ignored) paths rest
+    | [ "--ignore-series" ] -> usage_error "--ignore-series needs a NAME"
+    | arg :: rest -> parse ignored (arg :: paths) rest
   in
+  let ignored, paths = parse [] [] (List.tl (Array.to_list Sys.argv)) in
+  let baseline_path, current_path =
+    match paths with
+    | [ a; b ] -> (a, b)
+    | _ ->
+      usage_error "usage: diff.exe [--ignore-series NAME]... BASELINE CURRENT"
+  in
+  let load path = strip_series ignored (load path) in
   let mismatches =
     List.rev (diff "" (load baseline_path) (load current_path) [])
   in

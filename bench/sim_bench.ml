@@ -1,6 +1,7 @@
 (* Replay-throughput benchmark for the SoA trace engine.
 
-   For every (workload, technique) cell of the paper matrix this runs the
+   For every (workload, technique) cell of the paper matrix — plus the
+   DYNA column (CUDA dispatch over DynaSOAr SoA blocks) — this runs the
    functional phase once with trace retention on, then re-times the
    retained traces through a fresh memory hierarchy several times,
    reporting simulated instructions and cycles per wall-second and minor
@@ -118,8 +119,8 @@ let time_replay ~job ~cfg launches =
   { job; launches = List.length launches; instrs; cycles; wall_s; minor_words;
     tel_wall_s }
 
-let workload_job (w : W.Workload.t) technique =
-  let params = { (W.Workload.default_params technique) with scale } in
+let workload_job ?alloc (w : W.Workload.t) technique =
+  let params = { (W.Workload.default_params technique) with scale; alloc } in
   let inst = w.W.Workload.build params in
   let dev = R.Runtime.device inst.W.Workload.rt in
   G.Device.retain_traces dev true;
@@ -128,7 +129,12 @@ let workload_job (w : W.Workload.t) technique =
   done;
   let launches = G.Device.retained_traces dev in
   G.Device.retain_traces dev false;
-  let job = Printf.sprintf "%s/%s" w.W.Workload.name (R.Technique.name technique) in
+  let column =
+    match alloc with
+    | None -> R.Technique.name technique
+    | Some fam -> String.lowercase_ascii (R.Alloc_family.column_name technique fam)
+  in
+  let job = Printf.sprintf "%s/%s" w.W.Workload.name column in
   time_replay ~job ~cfg:(G.Device.config dev) launches
 
 (* Fixed-mix synthetic traces (one aligned load, one aligned store, a
@@ -192,7 +198,9 @@ let () =
   emit (canned_job ());
   List.iter
     (fun (w : W.Workload.t) ->
-      List.iter (fun t -> emit (workload_job w t)) R.Technique.all_paper)
+      List.iter (fun t -> emit (workload_job w t)) R.Technique.all_paper;
+      (* The sixth sweep column: CUDA dispatch over DynaSOAr SoA blocks. *)
+      emit (workload_job ~alloc:R.Alloc_family.Dyna_soa w R.Technique.Cuda))
     W.Registry.all;
   let results = List.rev !results in
   let total_instrs =

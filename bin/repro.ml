@@ -19,6 +19,7 @@
 
 module W = Repro_workloads
 module T = Repro_core.Technique
+module A = Repro_core.Alloc_family
 module E = Repro_experiments
 module X = Repro_exec
 module O = Repro_obs
@@ -53,6 +54,19 @@ let resolve_workload s =
   | None ->
     cli_error "unknown workload %S; valid workloads: %s" s
       (String.concat ", " (List.map W.Registry.qualified_name W.Registry.all))
+
+let resolve_alloc s =
+  match A.of_string s with
+  | Ok fam -> fam
+  | Error _ ->
+    cli_error "unknown allocator family %S; valid families: %s" s
+      (String.concat ", " A.all_names)
+
+let alloc_arg =
+  Arg.(value & opt (some string) None & info [ "alloc" ] ~docv:"FAMILY"
+         ~doc:"Allocator family: cuda | shared-oa | dyna (default: the \
+               technique's paper allocator -- the SharedOA heap for \
+               shard/coal/tp, the device heap for cuda/con).")
 
 let scale_arg =
   Arg.(value & opt float E.Sweep.default_scale & info [ "s"; "scale" ] ~docv:"SCALE"
@@ -93,8 +107,11 @@ let csv_arg =
    plain-data description the serve protocol carries — so the CLI, the
    daemon and the bench resolve names and defaults identically. *)
 
-let spec_of ~workload ~technique ~scale ~seed ~iterations =
-  X.Request.Spec.make ?iterations ~scale ~seed ~workload ~technique ()
+let spec_of ?alloc ~workload ~technique ~scale ~seed ~iterations () =
+  (* Resolve --alloc here so a typo exits 2 with the family list, and the
+     spec carries the canonical name. *)
+  let alloc = Option.map (fun s -> A.name (resolve_alloc s)) alloc in
+  X.Request.Spec.make ?alloc ?iterations ~scale ~seed ~workload ~technique ()
 
 let resolve_spec spec =
   match X.Request.Spec.resolve spec with
@@ -172,9 +189,9 @@ let metric r = O.Metric.to_float r
 
 let print_run (r : W.Harness.run) =
   Printf.printf
-    "%-22s %-7s cycles=%12.0f  ld-trans=%10.0f  L1=%5.1f%%  instr=%10.0f  pki=%5.1f\n"
+    "%-22s %-8s cycles=%12.0f  ld-trans=%10.0f  L1=%5.1f%%  instr=%10.0f  pki=%5.1f\n"
     r.W.Harness.workload
-    (T.name r.W.Harness.technique)
+    (A.column_name r.W.Harness.technique r.W.Harness.alloc)
     r.W.Harness.cycles
     (metric O.Metric.load_transactions r.W.Harness.stats)
     (100. *. metric O.Metric.l1_hit_rate r.W.Harness.stats)
@@ -206,8 +223,10 @@ let run_cmd =
     Arg.(value & opt string "shard" & info [ "t"; "technique" ] ~docv:"TECH"
            ~doc:"cuda | con | shard | coal | tp | tp-hw | tp/cuda.")
   in
-  let run w t scale seed iterations timeline window =
-    let job = resolve_spec (spec_of ~workload:w ~technique:t ~scale ~seed ~iterations) in
+  let run w t alloc scale seed iterations timeline window =
+    let job =
+      resolve_spec (spec_of ?alloc ~workload:w ~technique:t ~scale ~seed ~iterations ())
+    in
     let p =
       { job.X.Job.params with
         W.Workload.telemetry = sampling_config timeline window }
@@ -217,12 +236,13 @@ let run_cmd =
     (* The full registry breakdown (every metric, including per-label
        stall attribution and store transactions). *)
     Format.printf "%a@." O.Metric.pp_stats r.W.Harness.stats;
+    Format.printf "%a@." Repro_core.Allocator.pp_stats r.W.Harness.alloc_stats;
     Option.iter (fun tl -> print_string (O.Timeline.render tl)) (timeline_of r)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one workload under one technique and print its profile.")
-    Term.(const run $ workload $ technique $ scale_arg $ seed_arg $ iterations_arg
-          $ timeline_arg $ window_arg)
+    Term.(const run $ workload $ technique $ alloc_arg $ scale_arg $ seed_arg
+          $ iterations_arg $ timeline_arg $ window_arg)
 
 (* --- profile --------------------------------------------------------------- *)
 
@@ -235,8 +255,10 @@ let profile_cmd =
     Arg.(value & opt string "shard" & info [ "t"; "technique" ] ~docv:"TECH"
            ~doc:"cuda | con | shard | coal | tp | tp-hw | tp/cuda.")
   in
-  let run w t scale seed iterations timeline window json csv =
-    let job = resolve_spec (spec_of ~workload:w ~technique:t ~scale ~seed ~iterations) in
+  let run w t alloc scale seed iterations timeline window json csv =
+    let job =
+      resolve_spec (spec_of ?alloc ~workload:w ~technique:t ~scale ~seed ~iterations ())
+    in
     let p =
       { job.X.Job.params with
         W.Workload.telemetry = sampling_config timeline window }
@@ -246,7 +268,7 @@ let profile_cmd =
     let wall_s = Unix.gettimeofday () -. t0 in
     let profile =
       O.Profile.make ~workload:r.W.Harness.workload
-        ~technique:(T.name r.W.Harness.technique)
+        ~technique:(A.column_name r.W.Harness.technique r.W.Harness.alloc)
         ~kernel_stats:r.W.Harness.kernel_stats ~total:r.W.Harness.stats
     in
     (match O.Profile.consistent profile with
@@ -313,8 +335,8 @@ let profile_cmd =
     (Cmd.info "profile"
        ~doc:"Run one workload under one technique and print its per-kernel \
              counter timeline (the simulator's nvprof).")
-    Term.(const run $ workload $ technique $ scale_arg $ seed_arg $ iterations_arg
-          $ timeline_arg $ window_arg $ json_arg $ csv_arg)
+    Term.(const run $ workload $ technique $ alloc_arg $ scale_arg $ seed_arg
+          $ iterations_arg $ timeline_arg $ window_arg $ json_arg $ csv_arg)
 
 (* --- trace ----------------------------------------------------------------- *)
 
@@ -340,9 +362,11 @@ let trace_cmd =
   let sanitize name =
     String.map (fun c -> if c = '/' || c = ' ' then '_' else c) name
   in
-  let run w t scale seed iterations window capacity out =
-    let job = resolve_spec (spec_of ~workload:w ~technique:t ~scale ~seed ~iterations) in
-    let t = job.X.Job.technique in
+  let run w t alloc scale seed iterations window capacity out =
+    let job =
+      resolve_spec (spec_of ?alloc ~workload:w ~technique:t ~scale ~seed ~iterations ())
+    in
+    let column = X.Job.column_name job in
     if capacity <= 0 then cli_error "capacity must be positive, got %d" capacity;
     let p =
       { job.X.Job.params with
@@ -361,7 +385,7 @@ let trace_cmd =
     let tl = timeline_of r in
     let json =
       O.Tracer.to_json ?timeline:tl ~workload:r.W.Harness.workload
-        ~technique:(T.name t) dump
+        ~technique:column dump
     in
     let text = O.Json.to_string ~pretty:true json in
     (* Round-trip through our own parser plus the structural validator
@@ -383,12 +407,12 @@ let trace_cmd =
       | None ->
         Printf.sprintf "trace_%s_%s.json"
           (sanitize r.W.Harness.workload)
-          (sanitize (T.name t))
+          (sanitize column)
     in
     O.Sink.write_file ~path text;
     Printf.printf
       "%s [%s]: %d events (%d dropped), %d kernel span(s), window %d cycles\n"
-      r.W.Harness.workload (T.name t)
+      r.W.Harness.workload column
       (Array.length dump.Repro_gpu.Telemetry.events)
       dump.Repro_gpu.Telemetry.dropped
       (List.length dump.Repro_gpu.Telemetry.kernels)
@@ -402,7 +426,7 @@ let trace_cmd =
              and export a Chrome trace-event JSON (Perfetto-loadable): one \
              track per SM (stall intervals, L1), plus L2, DRAM, kernel \
              spans and windowed counter tracks.")
-    Term.(const run $ workload $ technique $ scale_arg $ seed_arg
+    Term.(const run $ workload $ technique $ alloc_arg $ scale_arg $ seed_arg
           $ iterations_arg $ window_arg $ capacity $ out)
 
 (* --- compare --------------------------------------------------------------- *)
@@ -413,7 +437,7 @@ let compare_cmd =
   in
   let run w scale seed iterations json =
     let base =
-      params_of (spec_of ~workload:w ~technique:"shard" ~scale ~seed ~iterations)
+      params_of (spec_of ~workload:w ~technique:"shard" ~scale ~seed ~iterations ())
     in
     let w = resolve_workload w in
     let runs = W.Harness.run_techniques w base T.all_paper in
@@ -463,9 +487,22 @@ let compare_cmd =
 
 (* --- figure / table --------------------------------------------------------- *)
 
-let sweep_of scale j cache cache_dir =
+(* The figure/table sweep. --alloc picks the family of the extra
+   CUDA-dispatch comparison column appended to the five paper techniques
+   (default: dyna); naming the device heap's own family drops the extra
+   column and reproduces the paper's original five. *)
+let sweep_columns alloc =
+  let paper = List.map E.Sweep.column T.all_paper in
+  match alloc with
+  | None -> E.Sweep.default_columns
+  | Some name ->
+    let fam = resolve_alloc name in
+    if A.is_default T.Cuda fam then paper
+    else paper @ [ E.Sweep.column ~alloc:fam T.Cuda ]
+
+let sweep_of ?alloc scale j cache cache_dir =
   let sweep =
-    E.Sweep.exec ~scale ~j ~cache ?cache_dir
+    E.Sweep.exec ~columns:(sweep_columns alloc) ~scale ~j ~cache ?cache_dir
       ~progress:(fun label -> Printf.eprintf "  %s...\n%!" label)
       ()
   in
@@ -483,9 +520,20 @@ let figure_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FIG"
            ~doc:"One of: 1b, 6, 7, 8, 9, 10, 11, 12a, 12b.")
   in
-  let run which scale j no_cache cache_dir json csv =
+  let figure_alloc =
+    Arg.(value & opt (some string) None & info [ "alloc" ] ~docv:"FAMILY"
+           ~doc:"Family of the extra CUDA-dispatch comparison column in the \
+                 sweep figures (default: dyna). $(b,--alloc cuda) drops the \
+                 extra column and renders the paper's original five.")
+  in
+  let run which alloc scale j no_cache cache_dir json csv =
     let cache = not no_cache in
-    let sweep () = sweep_of scale j cache cache_dir in
+    let sweep () = sweep_of ?alloc scale j cache cache_dir in
+    let reject_alloc which =
+      if alloc <> None then
+        cli_error "figure %s has a fixed column set; --alloc does not apply"
+          which
+    in
     let text, series =
       match which with
       | "1b" ->
@@ -504,15 +552,19 @@ let figure_cmd =
         let s = sweep () in
         (E.Fig9.render s, [ E.Fig9.series s ])
       | "10" ->
+        reject_alloc "10";
         let ps = E.Fig10.run ~scale ~j ~cache ?cache_dir () in
         (E.Fig10.render ps, [ E.Fig10.series_perf ps; E.Fig10.series_frag ps ])
       | "11" ->
+        reject_alloc "11";
         let ps = E.Fig11.points ~scale ~j ~cache ?cache_dir () in
         (E.Fig11.render ps, [ E.Fig11.series ps ])
       | "12a" ->
+        reject_alloc "12a";
         let ps = E.Fig12.run_object_sweep ~scale ~j () in
         (E.Fig12.render_object_sweep ps, [ E.Fig12.object_series ps ])
       | "12b" ->
+        reject_alloc "12b";
         let ps = E.Fig12.run_type_sweep ~scale ~j () in
         (E.Fig12.render_type_sweep ps, [ E.Fig12.type_series ps ])
       | other ->
@@ -526,8 +578,8 @@ let figure_cmd =
     Option.iter (fun path -> write_csv path (series_csv series)) csv
   in
   Cmd.v (Cmd.info "figure" ~doc:"Regenerate one of the paper's figures.")
-    Term.(const run $ which $ scale_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg
-          $ json_arg $ csv_arg)
+    Term.(const run $ which $ figure_alloc $ scale_arg $ jobs_arg $ no_cache_arg
+          $ cache_dir_arg $ json_arg $ csv_arg)
 
 let table1_json sweep =
   O.Json.Obj
@@ -710,7 +762,7 @@ let check_cmd =
                  dead, $(b,range) skews COAL's range-table leaves. The \
                  matching detector must fire, so the command exits 1.")
   in
-  let run w t all mutate scale seed iterations j json =
+  let run w t alloc all mutate scale seed iterations j json =
     let workloads =
       match (w, all) with
       | Some _, true -> cli_error "pass either -w NAME or --all, not both"
@@ -736,9 +788,9 @@ let check_cmd =
     in
     let params =
       params_of
-        (spec_of
+        (spec_of ?alloc
            ~workload:(W.Registry.qualified_name (List.hd workloads))
-           ~technique:"cuda" ~scale ~seed ~iterations)
+           ~technique:"cuda" ~scale ~seed ~iterations ())
     in
     let reports = X.Check.run ~jobs:j ?mutation ~techniques ~params workloads in
     List.iter (Format.printf "%a@." X.Check.pp_report) reports;
@@ -758,8 +810,8 @@ let check_cmd =
        ~doc:"Run the shadow-heap sanitizer and the cross-technique \
              dispatch oracle: every access checked against the shadow \
              map, every dispatch compared with the CUDA reference.")
-    Term.(const run $ workload $ technique $ all $ mutate $ scale_arg $ seed_arg
-          $ iterations_arg $ jobs_arg $ json_arg)
+    Term.(const run $ workload $ technique $ alloc_arg $ all $ mutate $ scale_arg
+          $ seed_arg $ iterations_arg $ jobs_arg $ json_arg)
 
 (* --- sweep ----------------------------------------------------------------- *)
 
@@ -799,24 +851,45 @@ let print_outcome_rows rows =
           wall_s "-" msg)
     rows
 
-let sweep_specs ~scale =
-  X.Request.Spec.matrix
-    ~workloads:(List.map W.Registry.qualified_name W.Registry.all)
-    ~techniques:(List.map X.Request.technique_to_string T.all_paper)
-    ~base:(X.Request.Spec.make ~scale ~workload:"" ~technique:"" ())
+(* The sweep job matrix. Default: the five paper techniques on their own
+   allocators plus the DYNA column, matching [Sweep.default_columns] so
+   figure/table regeneration hits the same cache entries. --alloc FAMILY
+   instead runs every technique over that one family. *)
+let sweep_specs ?alloc ~scale () =
+  let workloads = List.map W.Registry.qualified_name W.Registry.all in
+  let techniques = List.map X.Request.technique_to_string T.all_paper in
+  match alloc with
+  | Some name ->
+    let alloc = A.name (resolve_alloc name) in
+    X.Request.Spec.matrix ~workloads ~techniques
+      ~base:(X.Request.Spec.make ~alloc ~scale ~workload:"" ~technique:"" ())
+  | None ->
+    let base = X.Request.Spec.make ~scale ~workload:"" ~technique:"" () in
+    List.concat_map
+      (fun workload ->
+        List.map
+          (fun technique -> { base with X.Request.Spec.workload; technique })
+          techniques
+        @ [
+            { base with
+              X.Request.Spec.workload;
+              technique = X.Request.technique_to_string T.Cuda;
+              alloc = Some (A.name A.Dyna_soa) };
+          ])
+      workloads
 
 let sweep_cmd =
   let clear =
     Arg.(value & flag & info [ "clear-cache" ]
            ~doc:"Drop every cached result before sweeping.")
   in
-  let run scale j no_cache cache_dir clear quiet json =
+  let run alloc scale j no_cache cache_dir clear quiet json =
     let cache = not no_cache in
     let dir = Option.value cache_dir ~default:(X.Cache.default_dir ()) in
     if clear then
       Printf.eprintf "cleared %d cached result(s) from %s\n%!"
         (X.Cache.clear ~dir) dir;
-    let jobs = List.map resolve_spec (sweep_specs ~scale) in
+    let jobs = List.map resolve_spec (sweep_specs ?alloc ~scale ()) in
     let t0 = Unix.gettimeofday () in
     let outcomes = X.Executor.run ~jobs:j ~cache ~cache_dir:dir jobs in
     let elapsed = Unix.gettimeofday () -. t0 in
@@ -825,7 +898,7 @@ let sweep_cmd =
         (List.map
            (fun (o : X.Executor.outcome) ->
              ( X.Job.workload_name o.X.Executor.job,
-               T.name o.X.Executor.job.X.Job.technique,
+               X.Job.column_name o.X.Executor.job,
                (if o.X.Executor.cached then "cached" else "ran"),
                o.X.Executor.wall_s,
                o.X.Executor.result ))
@@ -859,12 +932,18 @@ let sweep_cmd =
       json;
     if failed > 0 then exit 1
   in
+  let sweep_alloc =
+    Arg.(value & opt (some string) None & info [ "alloc" ] ~docv:"FAMILY"
+           ~doc:"Run every technique over one allocator family instead of \
+                 the default matrix (paper allocators plus the DYNA \
+                 column).")
+  in
   Cmd.v
     (Cmd.info "sweep"
-       ~doc:"Run the full 11x5 job matrix and print per-job status, wall \
-             time and cache hits.")
-    Term.(const run $ scale_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg $ clear
-          $ quiet_arg $ json_arg)
+       ~doc:"Run the full job matrix (the five paper columns plus DYNA) \
+             and print per-job status, wall time and cache hits.")
+    Term.(const run $ sweep_alloc $ scale_arg $ jobs_arg $ no_cache_arg
+          $ cache_dir_arg $ clear $ quiet_arg $ json_arg)
 
 (* --- serve / submit / ctl --------------------------------------------------- *)
 
@@ -920,12 +999,12 @@ let submit_cmd =
     Arg.(value & flag & info [ "all" ]
            ~doc:"Submit the full 11x5 matrix ($(b,repro sweep)'s job list).")
   in
-  let run socket ws ts all scale seed iterations no_cache quiet json =
+  let run socket ws ts alloc all scale seed iterations no_cache quiet json =
     let specs =
       if all then begin
         if ws <> [] || ts <> [] then
           cli_error "pass either --all or -w/-t, not both";
-        sweep_specs ~scale
+        sweep_specs ?alloc ~scale ()
       end
       else if ws = [] then
         cli_error "nothing to submit: pass -w NAME (repeatable) or --all"
@@ -934,16 +1013,18 @@ let submit_cmd =
           if ts = [] then List.map X.Request.technique_to_string T.all_paper
           else ts
         in
+        let alloc = Option.map (fun s -> A.name (resolve_alloc s)) alloc in
         X.Request.Spec.matrix ~workloads:ws ~techniques:ts
           ~base:
-            (X.Request.Spec.make ~scale ~seed ?iterations ~workload:""
+            (X.Request.Spec.make ?alloc ~scale ~seed ?iterations ~workload:""
                ~technique:"" ())
     in
     (* Resolve locally first: a typo fails here with the usual message
        instead of as a daemon-side batch rejection — and the spec goes
        out normalized (qualified workload, canonical technique name), so
        outcomes echo the same names `repro sweep` prints. *)
-    let specs = List.map (fun s -> X.Request.Spec.of_job (resolve_spec s)) specs in
+    let jobs = List.map resolve_spec specs in
+    let specs = List.map X.Request.Spec.of_job jobs in
     let specs_arr = Array.of_list specs in
     let n = Array.length specs_arr in
     let client = connect socket in
@@ -979,17 +1060,18 @@ let submit_cmd =
     if List.length collected < n then
       cli_error "server sent %d of %d results" (List.length collected) n;
     if not quiet then
+      (* [collected] is in batch-index order, so it lines up with [jobs]. *)
       print_outcome_rows
-        (List.map
-           (fun (o : X.Response.outcome) ->
+        (List.map2
+           (fun job (o : X.Response.outcome) ->
              ( o.X.Response.spec.X.Request.Spec.workload,
-               o.X.Response.spec.X.Request.Spec.technique,
+               X.Job.column_name job,
                (if o.X.Response.cached then "cached"
                 else if o.X.Response.deduped then "dedup"
                 else "ran"),
                o.X.Response.wall_s,
                o.X.Response.result ))
-           collected);
+           jobs collected);
     let jobs, measured, cached, deduped, failed, wall_s =
       match !summary with Some s -> s | None -> assert false
     in
@@ -1021,8 +1103,9 @@ let submit_cmd =
              stream per-job progress, and print the sweep-style table. \
              Results are byte-identical to running the same jobs \
              in-process.")
-    Term.(const run $ socket_arg $ workloads $ techniques $ all $ scale_arg
-          $ seed_arg $ iterations_arg $ no_cache_arg $ quiet_arg $ json_arg)
+    Term.(const run $ socket_arg $ workloads $ techniques $ alloc_arg $ all
+          $ scale_arg $ seed_arg $ iterations_arg $ no_cache_arg $ quiet_arg
+          $ json_arg)
 
 let ctl_cmd =
   let action =
@@ -1041,10 +1124,11 @@ let ctl_cmd =
     Arg.(value & flag & info [ "all" ]
            ~doc:"With $(b,invalidate): drop the daemon's whole result cache.")
   in
-  let run socket action w t scale seed iterations all =
+  let run socket action w t alloc scale seed iterations all =
     let spec_for verb =
       match w with
-      | Some workload -> spec_of ~workload ~technique:t ~scale ~seed ~iterations
+      | Some workload ->
+        spec_of ?alloc ~workload ~technique:t ~scale ~seed ~iterations ()
       | None -> cli_error "%s needs -w NAME (and -t TECH)" verb
     in
     let client = connect socket in
@@ -1102,8 +1186,8 @@ let ctl_cmd =
     (Cmd.info "ctl"
        ~doc:"Poke a running $(b,repro serve) daemon: liveness, scheduler \
              counters, cache probes and invalidation, shutdown.")
-    Term.(const run $ socket_arg $ action $ workload $ technique $ scale_arg
-          $ seed_arg $ iterations_arg $ all)
+    Term.(const run $ socket_arg $ action $ workload $ technique $ alloc_arg
+          $ scale_arg $ seed_arg $ iterations_arg $ all)
 
 let () =
   let doc = "Reproduction of 'Judging a Type by Its Pointer' (ASPLOS '21)." in

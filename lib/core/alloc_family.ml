@@ -1,0 +1,38 @@
+type t = Cuda | Shared_oa | Dyna_soa
+
+let all = [ Cuda; Shared_oa; Dyna_soa ]
+
+let name = function
+  | Cuda -> "cuda"
+  | Shared_oa -> "shared-oa"
+  | Dyna_soa -> "dyna"
+
+let all_names = List.map name all
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "cuda" -> Ok Cuda
+  | "shared-oa" | "shared_oa" | "sharedoa" | "oa" -> Ok Shared_oa
+  | "dyna" | "dyna-soa" | "dyna_soa" | "dynasoa" | "soa" -> Ok Dyna_soa
+  | _ ->
+    Error
+      (Printf.sprintf "unknown allocator family %S; valid families: %s" s
+         (String.concat ", " all_names))
+
+let equal (a : t) (b : t) = a = b
+
+let default_for technique =
+  if Technique.uses_shared_oa technique then Shared_oa else Cuda
+
+let is_default technique fam = equal fam (default_for technique)
+
+let short = function Cuda -> "CUDA" | Shared_oa -> "SHARD" | Dyna_soa -> "DYNA"
+
+let column_name technique fam =
+  if is_default technique fam then Technique.name technique
+  else
+    match (technique, fam) with
+    | Technique.Cuda, Dyna_soa -> "DYNA"
+    | _ -> Technique.name technique ^ "+" ^ short fam
+
+let pp ppf t = Format.pp_print_string ppf (name t)

@@ -1,0 +1,39 @@
+(** Which allocator places the objects of a run.
+
+    A technique prescribes its paper allocator ({!default_for}): the
+    type-ranged SharedOA heap for SHARD/COAL/TP, the padded device-side
+    heap for CUDA/Concord. The family can also be overridden per run
+    ([--alloc] on the CLI, [alloc] in a job spec), which is how the
+    DynaSOAr-style structure-of-arrays family becomes a sixth measured
+    column without being a dispatch technique of its own. *)
+
+type t =
+  | Cuda       (** The default device-side heap model ({!Cuda_alloc}). *)
+  | Shared_oa  (** The paper's type-ranged AoS allocator ({!Shared_oa}). *)
+  | Dyna_soa   (** DynaSOAr-style SoA blocks with occupancy bitmaps
+                   ({!Dyna_soa}). *)
+
+val all : t list
+
+val name : t -> string
+(** Stable wire/CLI name: "cuda", "shared-oa", "dyna". *)
+
+val all_names : string list
+
+val of_string : string -> (t, string) result
+(** Parses {!name} (case-insensitive, with common aliases); the error
+    message lists the valid names. *)
+
+val equal : t -> t -> bool
+
+val default_for : Technique.t -> t
+(** The allocator the paper pairs with [technique]. *)
+
+val is_default : Technique.t -> t -> bool
+
+val column_name : Technique.t -> t -> string
+(** Display name of the (technique, family) column: the technique's own
+    name when the family is its default, "DYNA" for the SoA column over
+    CUDA dispatch, and "TECH+FAM" for any other combination. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,13 +1,31 @@
 type stats = {
   objects : int;
+  live_objects : int;
   reserved_bytes : int;
   used_bytes : int;
+  padded_bytes : int;
   alloc_cycles : float;
+  free_cycles : float;
+  bitmap_scan_cycles : float;
 }
+
+let basic_stats ~objects ~reserved_bytes ~used_bytes ~alloc_cycles =
+  {
+    objects;
+    live_objects = objects;
+    reserved_bytes;
+    used_bytes;
+    padded_bytes = 0;
+    alloc_cycles;
+    free_cycles = 0.;
+    bitmap_scan_cycles = 0.;
+  }
 
 type t = {
   name : string;
   alloc : typ:Registry.typ -> size_bytes:int -> int;
+  free : (ptr:int -> unit) option;
+  field_addr : (obj:int -> off:int -> int) option;
   regions : unit -> Region.t list;
   stats : unit -> stats;
 }
@@ -16,8 +34,17 @@ let external_fragmentation s =
   if s.reserved_bytes = 0 then 0.
   else 1. -. (float_of_int s.used_bytes /. float_of_int s.reserved_bytes)
 
+let internal_fragmentation s =
+  if s.reserved_bytes = 0 then 0.
+  else float_of_int s.padded_bytes /. float_of_int s.reserved_bytes
+
 let pp_stats ppf s =
-  Format.fprintf ppf "objects=%d reserved=%dB used=%dB frag=%.1f%% cycles=%.0f"
-    s.objects s.reserved_bytes s.used_bytes
+  Format.fprintf ppf
+    "objects=%d live=%d reserved=%dB used=%dB efrag=%.1f%% ifrag=%.1f%% \
+     cycles=%.0f"
+    s.objects s.live_objects s.reserved_bytes s.used_bytes
     (100. *. external_fragmentation s)
-    s.alloc_cycles
+    (100. *. internal_fragmentation s)
+    (s.alloc_cycles +. s.free_cycles);
+  if s.bitmap_scan_cycles > 0. then
+    Format.fprintf ppf " (scan=%.0f)" s.bitmap_scan_cycles

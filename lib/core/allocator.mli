@@ -1,23 +1,60 @@
-(** The allocator interface shared by the default-CUDA model and
-    SharedOA.
+(** The allocator interface shared by the default-CUDA model, SharedOA
+    and the DynaSOAr-style SoA family.
 
     Allocators only *place* objects — headers are written by the runtime.
     They also keep the bookkeeping the paper evaluates: the typed regions
     COAL's range table is built from, footprint/fragmentation (Fig. 10b)
     and a modelled host/device allocation cost (the Sec. 8.2 "80× faster
-    initialization" comparison). *)
+    initialization" comparison).
+
+    Capabilities beyond plain placement are optional fields: [free] for
+    families that support deallocation, and [field_addr] for families
+    whose storage layout is not the canonical contiguous object image
+    (SoA blocks remap each header word and field to a per-block array). *)
 
 type stats = {
-  objects : int;          (** Objects placed. *)
-  reserved_bytes : int;   (** Address space reserved for object storage. *)
-  used_bytes : int;       (** Bytes actually occupied by objects. *)
+  objects : int;          (** Objects placed over the allocator's lifetime. *)
+  live_objects : int;     (** Objects currently live (= [objects] unless the
+                              family supports [free]). *)
+  reserved_bytes : int;   (** Address space reserved for object storage.
+                              Never shrinks: reserved-but-empty blocks kept
+                              on a family's chains still count, which is
+                              what makes {!external_fragmentation} honest
+                              for block allocators. *)
+  used_bytes : int;       (** Bytes actually occupied by live objects. *)
+  padded_bytes : int;     (** Reserved bytes lost to per-object or per-block
+                              padding (granule rounding, block metadata,
+                              unusable slot tails). *)
   alloc_cycles : float;   (** Modelled cost of the allocation phase. *)
+  free_cycles : float;    (** Modelled cost of deallocations ([0.] for
+                              families without [free]). *)
+  bitmap_scan_cycles : float;
+                          (** Portion of [alloc_cycles] spent scanning
+                              occupancy bitmaps for a free slot ([0.] for
+                              non-bitmap families). *)
 }
+
+val basic_stats :
+  objects:int ->
+  reserved_bytes:int ->
+  used_bytes:int ->
+  alloc_cycles:float ->
+  stats
+(** Stats for a family with no free/padding/bitmap accounting:
+    [live_objects = objects], the other new counters zero. *)
 
 type t = {
   name : string;
   alloc : typ:Registry.typ -> size_bytes:int -> int;
       (** Place one object; returns its canonical base address. *)
+  free : (ptr:int -> unit) option;
+      (** Release one object by canonical (possibly tagged) pointer;
+          [None] for bump-style families that cannot deallocate. *)
+  field_addr : (obj:int -> off:int -> int) option;
+      (** Storage address of byte offset [off] into the canonical object
+          image (header words first, then fields) of the object at
+          canonical base [obj]. [None] means identity ([obj + off]) —
+          the AoS layout every family but SoA uses. *)
   regions : unit -> Region.t list;
       (** Current typed regions, sorted by base ([\[\]] for allocators
           that do not segregate by type). *)
@@ -26,5 +63,8 @@ type t = {
 
 val external_fragmentation : stats -> float
 (** [1 - used/reserved] in [0,1]; [0.] when nothing is reserved. *)
+
+val internal_fragmentation : stats -> float
+(** [padded/reserved] in [0,1]; [0.] when nothing is reserved. *)
 
 val pp_stats : Format.formatter -> stats -> unit

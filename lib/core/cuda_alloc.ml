@@ -71,10 +71,19 @@ let create ?shadow ?(slabs = default_slabs) ?(arena_bytes = 1 lsl 30) ~space () 
   in
   let stats () =
     {
-      Allocator.objects = st.objects;
-      reserved_bytes = st.reserved_bytes;
-      used_bytes = st.used_bytes;
-      alloc_cycles = st.alloc_cycles;
+      (Allocator.basic_stats ~objects:st.objects
+         ~reserved_bytes:st.reserved_bytes ~used_bytes:st.used_bytes
+         ~alloc_cycles:st.alloc_cycles)
+      with
+      (* All of this family's overhead is granule rounding. *)
+      Allocator.padded_bytes = st.reserved_bytes - st.used_bytes;
     }
   in
-  { Allocator.name = "cuda"; alloc; regions = (fun () -> []); stats }
+  {
+    Allocator.name = "cuda";
+    alloc;
+    free = None;
+    field_addr = None;
+    regions = (fun () -> []);
+    stats;
+  }

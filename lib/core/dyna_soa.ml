@@ -1,0 +1,351 @@
+module Vaddr = Repro_mem.Vaddr
+
+let default_block_slots = 64
+let meta_bytes = 64
+let cycles_per_alloc = 40.
+let cycles_per_free = 12.
+let cycles_per_scan_word = 4.
+let bits_per_word = 32
+
+type block = {
+  bbase : int;              (* reservation base; data starts at bbase+meta *)
+  reserved : int;           (* page-rounded reservation size *)
+  n_slots : int;
+  obj_bytes : int;          (* canonical AoS image size (headers + fields) *)
+  hdr_words : int;
+  type_id : int;
+  bitmap : int array;       (* 32 occupancy bits per element *)
+  mutable bused : int;      (* live slots *)
+}
+
+type type_state = {
+  type_id : int;
+  mutable blocks : block list;      (* every block ever chained, newest first *)
+  mutable open_blocks : block list; (* blocks with a free slot, newest first *)
+}
+
+type state = {
+  space : Repro_mem.Address_space.t;
+  shadow : Repro_san.Shadow_heap.t option;
+  block_slots : int;
+  hdr_words : int;
+  by_type : (int, type_state) Hashtbl.t;
+  mutable all_blocks : block list;
+  mutable sorted : block array;     (* by bbase; rebuilt lazily *)
+  mutable sorted_dirty : bool;
+  mutable last_block : block option; (* one-entry lookup cache *)
+  mutable objects : int;
+  mutable live : int;
+  mutable used_bytes : int;
+  mutable reserved_bytes : int;
+  mutable padded_bytes : int;
+  mutable alloc_cycles : float;
+  mutable free_cycles : float;
+  mutable bitmap_scan_cycles : float;
+}
+
+type block_summary = {
+  n_blocks : int;
+  full_blocks : int;
+  empty_blocks : int;
+  total_slots : int;
+  live_slots : int;
+  bitmap_live_slots : int;
+}
+
+let hdr_bytes st = st.hdr_words * Vaddr.word_bytes
+let data_bytes (b : block) = b.obj_bytes * b.n_slots
+
+let slot_base (b : block) slot =
+  b.bbase + meta_bytes + (slot * Vaddr.word_bytes)
+
+(* Storage address of byte [off] of the canonical image of [slot]:
+   header word w lives in the w-th 8-byte array, field element k in the
+   k-th 4-byte array, all arrays striped across the block's slots. *)
+let addr_in_block (b : block) ~slot ~off =
+  let hdr = b.hdr_words * Vaddr.word_bytes in
+  if off < hdr then
+    b.bbase + meta_bytes
+    + (off / Vaddr.word_bytes * Vaddr.word_bytes * b.n_slots)
+    + (slot * Vaddr.word_bytes)
+    + (off mod Vaddr.word_bytes)
+  else begin
+    let foff = off - hdr in
+    let fb = Object_model.field_bytes in
+    b.bbase + meta_bytes + (hdr * b.n_slots)
+    + (foff / fb * fb * b.n_slots)
+    + (slot * fb)
+    + (foff mod fb)
+  end
+
+let ensure_sorted st =
+  if st.sorted_dirty then begin
+    let a = Array.of_list st.all_blocks in
+    Array.sort (fun a b -> compare a.bbase b.bbase) a;
+    st.sorted <- a;
+    st.sorted_dirty <- false
+  end
+
+(* Block whose reservation contains the canonical address [a]. *)
+let find_block st a =
+  match st.last_block with
+  | Some b when a >= b.bbase && a < b.bbase + b.reserved -> Some b
+  | _ ->
+    ensure_sorted st;
+    let sorted = st.sorted in
+    let rec go lo hi best =
+      if lo >= hi then best
+      else begin
+        let mid = (lo + hi) / 2 in
+        if sorted.(mid).bbase <= a then go (mid + 1) hi (Some sorted.(mid))
+        else go lo mid best
+      end
+    in
+    (match go 0 (Array.length sorted) None with
+     | Some b when a < b.bbase + b.reserved ->
+       st.last_block <- Some b;
+       Some b
+     | _ -> None)
+
+let slot_of_exn (b : block) a ~what =
+  let off = a - b.bbase - meta_bytes in
+  if off < 0 || off mod Vaddr.word_bytes <> 0 || off / Vaddr.word_bytes >= b.n_slots
+  then invalid_arg (Printf.sprintf "Dyna_soa.%s: not an object base" what);
+  off / Vaddr.word_bytes
+
+let full_word = (1 lsl bits_per_word) - 1
+
+let make_bitmap n_slots =
+  let words = (n_slots + bits_per_word - 1) / bits_per_word in
+  let bm = Array.make words 0 in
+  (* Pre-set the padding bits past [n_slots] so the scan never yields an
+     out-of-range slot. *)
+  let tail = n_slots mod bits_per_word in
+  if tail <> 0 then bm.(words - 1) <- full_word lxor ((1 lsl tail) - 1);
+  bm
+
+(* Lowest clear bit, DynaSOAr-style: a warp scans the bitmap one word per
+   step until a word has a free bit. Returns the slot and the number of
+   words examined (the modelled scan cost). *)
+let find_free_slot (b : block) =
+  let words = Array.length b.bitmap in
+  let rec go w =
+    if w >= words then invalid_arg "Dyna_soa: scan of non-full block failed"
+    else if b.bitmap.(w) <> full_word then begin
+      let x = lnot b.bitmap.(w) land full_word in
+      let rec bit i = if x land (1 lsl i) <> 0 then i else bit (i + 1) in
+      ((w * bits_per_word) + bit 0, w + 1)
+    end
+    else go (w + 1)
+  in
+  go 0
+
+let register_shadow st b slot =
+  match st.shadow with
+  | None -> ()
+  | Some sh ->
+    (* One record (one program-order index) per object, made of the
+       scattered per-array element extents; the first part is header
+       word 0, whose storage address is the canonical base. *)
+    let hdr = hdr_bytes st in
+    let fields = (b.obj_bytes - hdr) / Object_model.field_bytes in
+    let parts = ref [] in
+    for k = fields - 1 downto 0 do
+      parts :=
+        ( addr_in_block b ~slot ~off:(hdr + (k * Object_model.field_bytes)),
+          Object_model.field_bytes )
+        :: !parts
+    done;
+    for w = st.hdr_words - 1 downto 0 do
+      parts :=
+        (addr_in_block b ~slot ~off:(w * Vaddr.word_bytes), Vaddr.word_bytes)
+        :: !parts
+    done;
+    Repro_san.Shadow_heap.register_parts sh ~parts:!parts ~type_id:b.type_id
+
+let grow st ts ~obj_bytes =
+  let n = st.block_slots in
+  let name = Printf.sprintf "dyna:%d:%d" ts.type_id (List.length ts.blocks) in
+  let arena =
+    Repro_mem.Address_space.reserve st.space ~name
+      ~size:(meta_bytes + (obj_bytes * n))
+  in
+  let bbase = arena.Repro_mem.Address_space.base in
+  let size = arena.Repro_mem.Address_space.size in
+  st.reserved_bytes <- st.reserved_bytes + size;
+  st.padded_bytes <- st.padded_bytes + (size - (obj_bytes * n));
+  (match st.shadow with
+   | Some sh -> Repro_san.Shadow_heap.add_heap_range sh ~base:bbase ~size
+   | None -> ());
+  let b =
+    {
+      bbase;
+      reserved = size;
+      n_slots = n;
+      obj_bytes;
+      hdr_words = st.hdr_words;
+      type_id = ts.type_id;
+      bitmap = make_bitmap n;
+      bused = 0;
+    }
+  in
+  ts.blocks <- b :: ts.blocks;
+  ts.open_blocks <- b :: ts.open_blocks;
+  st.all_blocks <- b :: st.all_blocks;
+  st.sorted_dirty <- true;
+  b
+
+let create_with_summary ?shadow ?(block_slots = default_block_slots)
+    ~header_words ~space () =
+  if block_slots <= 0 then
+    invalid_arg "Dyna_soa.create: block_slots must be positive";
+  if header_words <= 0 then
+    invalid_arg "Dyna_soa.create: header_words must be positive";
+  let st =
+    {
+      space;
+      shadow;
+      block_slots;
+      hdr_words = header_words;
+      by_type = Hashtbl.create 16;
+      all_blocks = [];
+      sorted = [||];
+      sorted_dirty = false;
+      last_block = None;
+      objects = 0;
+      live = 0;
+      used_bytes = 0;
+      reserved_bytes = 0;
+      padded_bytes = 0;
+      alloc_cycles = 0.;
+      free_cycles = 0.;
+      bitmap_scan_cycles = 0.;
+    }
+  in
+  let state_of type_id =
+    match Hashtbl.find_opt st.by_type type_id with
+    | Some ts -> ts
+    | None ->
+      let ts = { type_id; blocks = []; open_blocks = [] } in
+      Hashtbl.add st.by_type type_id ts;
+      ts
+  in
+  let alloc ~typ ~size_bytes =
+    if size_bytes <= 0 then invalid_arg "Dyna_soa.alloc: size must be positive";
+    let hdr = hdr_bytes st in
+    if size_bytes < hdr || (size_bytes - hdr) mod Object_model.field_bytes <> 0
+    then
+      invalid_arg
+        (Printf.sprintf
+           "Dyna_soa.alloc: size %dB is not %d header words plus %dB fields"
+           size_bytes st.hdr_words Object_model.field_bytes);
+    let ts = state_of (Registry.type_id typ) in
+    let b =
+      match List.find_opt (fun b -> b.obj_bytes = size_bytes) ts.open_blocks with
+      | Some b -> b
+      | None -> grow st ts ~obj_bytes:size_bytes
+    in
+    let slot, words_scanned = find_free_slot b in
+    let scan = cycles_per_scan_word *. float_of_int words_scanned in
+    b.bitmap.(slot / bits_per_word) <-
+      b.bitmap.(slot / bits_per_word) lor (1 lsl (slot mod bits_per_word));
+    b.bused <- b.bused + 1;
+    if b.bused = b.n_slots then
+      ts.open_blocks <- List.filter (fun ob -> ob != b) ts.open_blocks;
+    st.objects <- st.objects + 1;
+    st.live <- st.live + 1;
+    st.used_bytes <- st.used_bytes + size_bytes;
+    st.alloc_cycles <- st.alloc_cycles +. cycles_per_alloc +. scan;
+    st.bitmap_scan_cycles <- st.bitmap_scan_cycles +. scan;
+    register_shadow st b slot;
+    slot_base b slot
+  in
+  let free ~ptr =
+    let a = Vaddr.strip ptr in
+    match find_block st a with
+    | None -> invalid_arg "Dyna_soa.free: address outside every block"
+    | Some b ->
+      let slot = slot_of_exn b a ~what:"free" in
+      let w = slot / bits_per_word and bit = 1 lsl (slot mod bits_per_word) in
+      if b.bitmap.(w) land bit = 0 then
+        invalid_arg "Dyna_soa.free: slot is already free (double free)";
+      b.bitmap.(w) <- b.bitmap.(w) land lnot bit;
+      let was_full = b.bused = b.n_slots in
+      b.bused <- b.bused - 1;
+      if was_full then begin
+        let ts = state_of b.type_id in
+        ts.open_blocks <- b :: ts.open_blocks
+      end;
+      st.live <- st.live - 1;
+      st.used_bytes <- st.used_bytes - b.obj_bytes;
+      st.free_cycles <- st.free_cycles +. cycles_per_free
+  in
+  let field_addr ~obj ~off =
+    match find_block st obj with
+    | Some b ->
+      let slot = slot_of_exn b obj ~what:"field_addr" in
+      addr_in_block b ~slot ~off
+    | None -> obj + off
+  in
+  let regions () =
+    List.map
+      (fun b ->
+        Region.make ~base:b.bbase
+          ~limit:(b.bbase + meta_bytes + data_bytes b)
+          ~type_id:b.type_id)
+      st.all_blocks
+    |> List.sort Region.compare_base
+  in
+  let stats () =
+    {
+      Allocator.objects = st.objects;
+      live_objects = st.live;
+      reserved_bytes = st.reserved_bytes;
+      used_bytes = st.used_bytes;
+      padded_bytes = st.padded_bytes;
+      alloc_cycles = st.alloc_cycles;
+      free_cycles = st.free_cycles;
+      bitmap_scan_cycles = st.bitmap_scan_cycles;
+    }
+  in
+  let summary () =
+    let popcount bm =
+      Array.fold_left
+        (fun acc w ->
+          let rec go acc w = if w = 0 then acc else go (acc + (w land 1)) (w lsr 1) in
+          go acc w)
+        0 bm
+    in
+    List.fold_left
+      (fun acc b ->
+        let pad = (Array.length b.bitmap * bits_per_word) - b.n_slots in
+        {
+          n_blocks = acc.n_blocks + 1;
+          full_blocks = acc.full_blocks + (if b.bused = b.n_slots then 1 else 0);
+          empty_blocks = acc.empty_blocks + (if b.bused = 0 then 1 else 0);
+          total_slots = acc.total_slots + b.n_slots;
+          live_slots = acc.live_slots + b.bused;
+          bitmap_live_slots = acc.bitmap_live_slots + popcount b.bitmap - pad;
+        })
+      {
+        n_blocks = 0;
+        full_blocks = 0;
+        empty_blocks = 0;
+        total_slots = 0;
+        live_slots = 0;
+        bitmap_live_slots = 0;
+      }
+      st.all_blocks
+  in
+  ( {
+      Allocator.name = "dyna";
+      alloc;
+      free = Some free;
+      field_addr = Some field_addr;
+      regions;
+      stats;
+    },
+    summary )
+
+let create ?shadow ?block_slots ~header_words ~space () =
+  fst (create_with_summary ?shadow ?block_slots ~header_words ~space ())

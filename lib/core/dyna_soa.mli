@@ -1,0 +1,75 @@
+(** DynaSOAr-style structure-of-arrays allocator (Springer & Masuhara,
+    see PAPERS.md): fixed-size blocks chained per type, a per-block
+    occupancy bitmap scanned (with a modelled parallel-scan cost) on
+    allocate, and real deallocation with slot reuse.
+
+    Storage layout of one block of [N] slots for objects of [H] header
+    words and [K] 4-byte fields:
+
+    {v
+    [ 64B meta | hdr0[N] .. hdrH-1[N] | f0[N] | f1[N] | .. | fK-1[N] ]
+    v}
+
+    each [hdrW] an 8-byte-element array and each [fk] a 4-byte-element
+    array striped across the block's slots. An object's canonical base is
+    [bbase + 64 + slot*8] — exactly its header word 0 storage — and every
+    other byte of its canonical image is remapped through the allocator's
+    [field_addr] capability, so consecutive objects' same-field accesses
+    are 4 bytes apart (dense SoA coalescing) instead of [obj_bytes] apart
+    as under SharedOA's AoS chunks.
+
+    Blocks stay chained (and their reservations counted) when they drain
+    to empty, which is what {!Allocator.external_fragmentation} measures
+    for block allocators; block metadata and page-rounding tails are
+    reported as [padded_bytes]. *)
+
+val default_block_slots : int
+(** 64 — two bitmap words per block. *)
+
+val meta_bytes : int
+(** Per-block metadata area preceding the data arrays (64 bytes). *)
+
+val cycles_per_alloc : float
+val cycles_per_free : float
+
+val cycles_per_scan_word : float
+(** Modelled cost per 32-bit bitmap word examined while scanning for a
+    free slot; accumulated into [stats.bitmap_scan_cycles] (and into
+    [alloc_cycles]). *)
+
+type block_summary = {
+  n_blocks : int;
+  full_blocks : int;
+  empty_blocks : int;      (** Drained but still chained and reserved. *)
+  total_slots : int;
+  live_slots : int;        (** Per-block live counters, summed. *)
+  bitmap_live_slots : int; (** Occupancy-bitmap popcount (padding bits
+                               excluded) — must equal [live_slots]. *)
+}
+(** Object-slot compaction view over every block. *)
+
+val create :
+  ?shadow:Repro_san.Shadow_heap.t ->
+  ?block_slots:int ->
+  header_words:int ->
+  space:Repro_mem.Address_space.t ->
+  unit ->
+  Allocator.t
+(** [header_words] fixes how many leading 8-byte words of each object's
+    canonical image are header arrays (the technique's layout, see
+    {!Object_model.header_words}). [alloc] accepts only sizes of
+    [header_words] words plus whole 4-byte fields and requires same-size
+    objects per type to share blocks. [free] really deallocates (slot
+    reuse, double-free detection) but does not notify the shadow heap.
+    When [shadow] is given, each object registers as one multi-part
+    record ({!Repro_san.Shadow_heap.register_parts}) covering its
+    scattered element extents. *)
+
+val create_with_summary :
+  ?shadow:Repro_san.Shadow_heap.t ->
+  ?block_slots:int ->
+  header_words:int ->
+  space:Repro_mem.Address_space.t ->
+  unit ->
+  Allocator.t * (unit -> block_summary)
+(** {!create} plus an introspection thunk for tests and reports. *)

@@ -10,6 +10,9 @@ type t = {
      per-lane pointer array reuse the stripped register, as compiled code
      would after CSE; only the first reference pays the mask. *)
   mutable last_stripped : int array;
+  (* Allocator layout hook: maps (canonical object base, byte offset into
+     the canonical AoS image) to the storage address. None = identity. *)
+  mutable remap : (obj:int -> off:int -> int) option;
 }
 
 let create technique =
@@ -24,7 +27,10 @@ let create technique =
     header_words;
     strip_in_software = Technique.strips_in_software technique;
     last_stripped = [||];
+    remap = None;
   }
+
+let set_addr_hook t hook = t.remap <- hook
 
 let technique t = t.technique
 
@@ -42,14 +48,18 @@ let gpu_vtable_slot t =
   | Technique.Shared_oa | Technique.Coal -> Some 1
   | Technique.Type_pointer { on_cuda_alloc; _ } -> Some (if on_cuda_alloc then 0 else 1)
 
+let resolve t ~ptr ~off =
+  let base = Vaddr.strip ptr in
+  match t.remap with None -> base + off | Some f -> f ~obj:base ~off
+
 let field_addr t ~ptr ~field =
   if field < 0 then invalid_arg "Object_model.field_addr: negative field";
-  Vaddr.strip ptr + (t.header_words * Vaddr.word_bytes) + (field * field_bytes)
+  resolve t ~ptr ~off:((t.header_words * Vaddr.word_bytes) + (field * field_bytes))
 
 let header_addr t ~ptr ~word =
   if word < 0 || word >= t.header_words then
     invalid_arg "Object_model.header_addr: word out of range";
-  Vaddr.strip ptr + (word * Vaddr.word_bytes)
+  resolve t ~ptr ~off:(word * Vaddr.word_bytes)
 
 let charge_strip t ctx objs =
   if t.strip_in_software && t.last_stripped != objs then begin

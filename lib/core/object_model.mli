@@ -21,6 +21,13 @@ type t
 
 val create : Technique.t -> t
 
+val set_addr_hook : t -> (obj:int -> off:int -> int) option -> unit
+(** Install the allocator's layout hook (see {!Allocator.t.field_addr}):
+    every member reference — field or header word, device or host side —
+    resolves through it, so an SoA allocator reroutes traffic to
+    [block_base + per-field array + slot] instead of [obj + off].
+    [None] (the default) is the identity AoS layout. *)
+
 val technique : t -> Technique.t
 
 val header_words : t -> int

@@ -6,6 +6,7 @@ module Vec = Repro_util.Vec
 
 type t = {
   technique : Technique.t;
+  alloc_family : Alloc_family.t;
   heap : Page_store.t;
   space : Address_space.t;
   device : Device.t;
@@ -21,7 +22,7 @@ type t = {
 }
 
 let create ?config ?(chunk_objs = Shared_oa.default_chunk_objs) ?vt_encoding ?san
-    ?telemetry ~technique () =
+    ?telemetry ?alloc ~technique () =
   (match san with
    | Some checker
      when Repro_san.Checker.tags_expected checker
@@ -36,11 +37,20 @@ let create ?config ?(chunk_objs = Shared_oa.default_chunk_objs) ?vt_encoding ?sa
   let vtspace = Vtable_space.create ?encoding:vt_encoding ~heap ~space () in
   let om = Object_model.create technique in
   let shadow = Option.map Repro_san.Checker.shadow san in
-  let allocator =
-    if Technique.uses_shared_oa technique then
-      Shared_oa.create ?shadow ~chunk_objs ~space ()
-    else Cuda_alloc.create ?shadow ~space ()
+  let alloc_family =
+    match alloc with
+    | Some fam -> fam
+    | None -> Alloc_family.default_for technique
   in
+  let allocator =
+    match alloc_family with
+    | Alloc_family.Shared_oa -> Shared_oa.create ?shadow ~chunk_objs ~space ()
+    | Alloc_family.Cuda -> Cuda_alloc.create ?shadow ~space ()
+    | Alloc_family.Dyna_soa ->
+      Dyna_soa.create ?shadow ~header_words:(Object_model.header_words om)
+        ~space ()
+  in
+  Object_model.set_addr_hook om allocator.Allocator.field_addr;
   let range_table =
     match technique with
     | Technique.Coal -> Some (Range_table.create ~heap ~space)
@@ -50,6 +60,7 @@ let create ?config ?(chunk_objs = Shared_oa.default_chunk_objs) ?vt_encoding ?sa
   let dispatch = Dispatch.create ?san ~registry ~om ~vtspace ~range_table ~heap () in
   {
     technique;
+    alloc_family;
     heap;
     space;
     device;
@@ -65,6 +76,7 @@ let create ?config ?(chunk_objs = Shared_oa.default_chunk_objs) ?vt_encoding ?sa
   }
 
 let technique t = t.technique
+let alloc_family t = t.alloc_family
 let san t = t.san
 let registry t = t.registry
 let heap t = t.heap
@@ -84,17 +96,20 @@ let ensure_materialized t =
     Registry.materialize t.registry ~vtspace:t.vtspace ~space:t.space
 
 let write_headers t typ addr =
+  (* Through the object model, not raw [addr + word*8]: an SoA allocator
+     stores each header word in a per-block array. *)
+  let store word v =
+    Page_store.store t.heap (Object_model.header_addr t.om ~ptr:addr ~word) v
+  in
   match t.technique with
-  | Technique.Concord ->
-    Page_store.store t.heap addr (Registry.type_id typ + 1)
-  | Technique.Cuda ->
-    Page_store.store t.heap addr (Registry.gpu_vtable typ)
+  | Technique.Concord -> store 0 (Registry.type_id typ + 1)
+  | Technique.Cuda -> store 0 (Registry.gpu_vtable typ)
   | Technique.Type_pointer { on_cuda_alloc = true; _ } ->
-    Page_store.store t.heap addr (Registry.gpu_vtable typ)
+    store 0 (Registry.gpu_vtable typ)
   | Technique.Shared_oa | Technique.Coal
   | Technique.Type_pointer { on_cuda_alloc = false; _ } ->
-    Page_store.store t.heap addr (Registry.cpu_vtable typ);
-    Page_store.store t.heap (addr + Vaddr.word_bytes) (Registry.gpu_vtable typ)
+    store 0 (Registry.cpu_vtable typ);
+    store 1 (Registry.gpu_vtable typ)
 
 let new_obj t typ =
   ensure_materialized t;

@@ -17,19 +17,29 @@ val create :
   ?vt_encoding:Vtable_space.encoding ->
   ?san:Repro_san.Checker.t ->
   ?telemetry:Repro_gpu.Telemetry.config ->
+  ?alloc:Alloc_family.t ->
   technique:Technique.t ->
   unit -> t
 (** [chunk_objs] is SharedOA's initial region size in objects (Fig. 10
     sweeps it). [san] attaches a sanitizer to the whole runtime: the
     allocator feeds its shadow heap, the device checks every access, the
     dispatcher records resolved targets, and a seeded [Skew_range]
-    mutation is applied to COAL's range table after each rebuild. Raises
-    [Invalid_argument] when the checker's [tags_expected] disagrees with
-    whether [technique] tags pointers. *)
+    mutation is applied to COAL's range table after each rebuild.
+    [alloc] overrides the allocator family (default
+    {!Alloc_family.default_for}[ technique]); the family's [field_addr]
+    capability is installed as the object model's address hook, so an
+    SoA family reshapes all member traffic. Raises [Invalid_argument]
+    when the checker's [tags_expected] disagrees with whether
+    [technique] tags pointers. *)
 
 val san : t -> Repro_san.Checker.t option
 
 val technique : t -> Technique.t
+
+val alloc_family : t -> Alloc_family.t
+(** The family actually in use (the override, or the technique's
+    default). *)
+
 val registry : t -> Registry.t
 val heap : t -> Repro_mem.Page_store.t
 val device : t -> Repro_gpu.Device.t

@@ -102,11 +102,14 @@ let create ?shadow ?(chunk_objs = default_chunk_objs) ~space () =
     |> List.sort Region.compare_base
   in
   let stats () =
-    {
-      Allocator.objects = st.objects;
-      reserved_bytes = st.reserved_bytes;
-      used_bytes = st.used_bytes;
-      alloc_cycles = st.alloc_cycles;
-    }
+    Allocator.basic_stats ~objects:st.objects ~reserved_bytes:st.reserved_bytes
+      ~used_bytes:st.used_bytes ~alloc_cycles:st.alloc_cycles
   in
-  { Allocator.name = "shared-oa"; alloc; regions; stats }
+  {
+    Allocator.name = "shared-oa";
+    alloc;
+    free = None;
+    field_addr = None;
+    regions;
+    stats;
+  }

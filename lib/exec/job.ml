@@ -20,7 +20,12 @@ let matrix ~techniques ~params workloads =
 
 let workload_name t = W.Registry.qualified_name t.workload
 
-let label t = Printf.sprintf "%s [%s]" (workload_name t) (T.name t.technique)
+let column_name t =
+  match t.params.W.Workload.alloc with
+  | None -> T.name t.technique
+  | Some fam -> Repro_core.Alloc_family.column_name t.technique fam
+
+let label t = Printf.sprintf "%s [%s]" (workload_name t) (column_name t)
 
 (* [T.name] collapses some TypePointer configurations (e.g. prototype
    mode over the CUDA allocator has no paper short name), so the key
@@ -38,9 +43,12 @@ let technique_id = function
 let key t =
   let p = t.params in
   Printf.sprintf
-    "%s|%s|scale=%.6g|seed=%d|iters=%s|chunk=%s|config=%s|san=%s|telemetry=%s"
-    (workload_name t) (technique_id t.technique) p.W.Workload.scale
-    p.W.Workload.seed
+    "%s|%s|alloc=%s|scale=%.6g|seed=%d|iters=%s|chunk=%s|config=%s|san=%s|telemetry=%s"
+    (workload_name t) (technique_id t.technique)
+    (match p.W.Workload.alloc with
+     | None -> "default"
+     | Some fam -> Repro_core.Alloc_family.name fam)
+    p.W.Workload.scale p.W.Workload.seed
     (match p.W.Workload.iterations with
      | None -> "default"
      | Some i -> string_of_int i)
@@ -60,7 +68,7 @@ let key t =
 
 (* Bump whenever [Harness.run] (or anything Marshal reaches through it)
    changes shape: old cache entries become unreachable, not corrupt. *)
-let schema_version = "repro-exec-v3"
+let schema_version = "repro-exec-v4"
 
 let hash t = Digest.to_hex (Digest.string (schema_version ^ "\n" ^ key t))
 

@@ -26,14 +26,20 @@ val matrix :
 val workload_name : t -> string
 (** Qualified ["suite/name"]. *)
 
+val column_name : t -> string
+(** The measured column's display name: the technique name, or the
+    combined name when [params.alloc] overrides the allocator family
+    (see {!Repro_core.Alloc_family.column_name}). *)
+
 val label : t -> string
-(** ["suite/name [TECH]"] for progress lines. *)
+(** ["suite/name [COLUMN]"] for progress lines. *)
 
 val key : t -> string
 (** A stable, human-readable identity: workload, technique (all tag
-    modes distinguished), scale, seed, iteration override, chunk size,
-    and whether a custom GPU config is attached. Equal keys mean the
-    measurement is reproducibly identical. *)
+    modes distinguished), allocator-family override, scale, seed,
+    iteration override, chunk size, and whether a custom GPU config is
+    attached. Equal keys mean the measurement is reproducibly
+    identical. *)
 
 val hash : t -> string
 (** Hex digest of {!key} plus the cache schema version; the on-disk

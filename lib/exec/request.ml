@@ -37,6 +37,7 @@ module Spec = struct
   type t = {
     workload : string;
     technique : string;
+    alloc : string option;
     scale : float;
     seed : int;
     iterations : int option;
@@ -46,33 +47,57 @@ module Spec = struct
   let default_scale = 1.0
   let default_seed = 42
 
-  let make ?(scale = default_scale) ?(seed = default_seed) ?iterations
+  let make ?alloc ?(scale = default_scale) ?(seed = default_seed) ?iterations
       ?chunk_objs ~workload ~technique () =
-    { workload; technique; scale; seed; iterations; chunk_objs }
+    { workload; technique; alloc; scale; seed; iterations; chunk_objs }
 
   let of_job (job : Job.t) =
     let p = job.Job.params in
     {
       workload = Job.workload_name job;
       technique = technique_to_string job.Job.technique;
+      alloc = Option.map Repro_core.Alloc_family.name p.W.Workload.alloc;
       scale = p.W.Workload.scale;
       seed = p.W.Workload.seed;
       iterations = p.W.Workload.iterations;
       chunk_objs = p.W.Workload.chunk_objs;
     }
 
+  let alloc_of_string s =
+    match Repro_core.Alloc_family.of_string s with
+    | Ok fam -> Ok fam
+    | Error msg -> Error msg
+
   let to_params t =
     match technique_of_string t.technique with
     | Error _ as e -> e
-    | Ok technique ->
-      Ok
-        {
-          (W.Workload.default_params technique) with
-          W.Workload.scale = t.scale;
-          seed = t.seed;
-          iterations = t.iterations;
-          chunk_objs = t.chunk_objs;
-        }
+    | Ok technique -> (
+      let alloc =
+        match t.alloc with
+        | None -> Ok None
+        | Some s -> Result.map Option.some (alloc_of_string s)
+      in
+      match alloc with
+      | Error _ as e -> e
+      | Ok alloc ->
+        (* Naming the technique's own family explicitly is the same run as
+           leaving it out; canonicalize to [None] so the job key (and so
+           the result cache) agrees. *)
+        let alloc =
+          match alloc with
+          | Some fam when Repro_core.Alloc_family.is_default technique fam ->
+            None
+          | a -> a
+        in
+        Ok
+          {
+            (W.Workload.default_params technique) with
+            W.Workload.alloc;
+            scale = t.scale;
+            seed = t.seed;
+            iterations = t.iterations;
+            chunk_objs = t.chunk_objs;
+          })
 
   let resolve t =
     match W.Registry.find t.workload with
@@ -99,9 +124,11 @@ module Spec = struct
       ([
          ("workload", J.String t.workload);
          ("technique", J.String t.technique);
-         ("scale", J.Float t.scale);
-         ("seed", J.Int t.seed);
        ]
+      @ (match t.alloc with
+         | Some a -> [ ("alloc", J.String a) ]
+         | None -> [])
+      @ [ ("scale", J.Float t.scale); ("seed", J.Int t.seed) ]
       @ (match t.iterations with
          | Some i -> [ ("iterations", J.Int i) ]
          | None -> [])
@@ -110,10 +137,23 @@ module Spec = struct
       | Some c -> [ ("chunk_objs", J.Int c) ]
       | None -> [])
 
+  (* Validate at decode time so a bad family reports its JSON path
+     ("jobs[0].alloc: expected one of ..."), not a late resolve error. *)
+  let alloc_decoder j =
+    let s = D.string j in
+    match Repro_core.Alloc_family.of_string s with
+    | Ok _ -> s
+    | Error _ ->
+      D.fail
+        (Printf.sprintf "expected one of %s, got %S"
+           (String.concat ", " Repro_core.Alloc_family.all_names)
+           s)
+
   let decoder j =
     {
       workload = D.field "workload" D.string j;
       technique = D.field "technique" D.string j;
+      alloc = D.field_opt "alloc" alloc_decoder j;
       scale = D.field_default "scale" D.float default_scale j;
       seed = D.field_default "seed" D.int default_seed j;
       iterations = D.field_opt "iterations" D.int j;
@@ -122,7 +162,10 @@ module Spec = struct
 
   let equal a b = a = b
 
-  let label t = Printf.sprintf "%s [%s]" t.workload t.technique
+  let label t =
+    match t.alloc with
+    | None -> Printf.sprintf "%s [%s]" t.workload t.technique
+    | Some a -> Printf.sprintf "%s [%s alloc=%s]" t.workload t.technique a
 end
 
 type t =

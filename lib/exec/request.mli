@@ -37,6 +37,9 @@ module Spec : sig
   type t = {
     workload : string;   (** Name as [Registry.find] accepts it. *)
     technique : string;  (** Short name as {!technique_of_string} accepts it. *)
+    alloc : string option;
+        (** Allocator-family name as {!Repro_core.Alloc_family.of_string}
+            accepts it; [None] = the technique's default family. *)
     scale : float;
     seed : int;
     iterations : int option;
@@ -44,6 +47,7 @@ module Spec : sig
   }
 
   val make :
+    ?alloc:string ->
     ?scale:float ->
     ?seed:int ->
     ?iterations:int ->
@@ -62,8 +66,9 @@ module Spec : sig
 
   val to_params :
     t -> (Repro_workloads.Workload.params, string) result
-  (** Resolve the technique name and build measurement params (no
-      sanitizer, no telemetry). [Error] names the bad field. *)
+  (** Resolve the technique and allocator-family names and build
+      measurement params (no sanitizer, no telemetry). [Error] names the
+      bad field. *)
 
   val resolve : t -> (Job.t, string) result
   (** Resolve both names. [Error] reads like ["unknown workload \"GOLF\";

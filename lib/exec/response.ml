@@ -121,17 +121,29 @@ let alloc_stats_to_json (a : Repro_core.Allocator.stats) =
   J.Obj
     [
       ("objects", J.Int a.Repro_core.Allocator.objects);
+      ("live_objects", J.Int a.Repro_core.Allocator.live_objects);
       ("reserved_bytes", J.Int a.Repro_core.Allocator.reserved_bytes);
       ("used_bytes", J.Int a.Repro_core.Allocator.used_bytes);
+      ("padded_bytes", J.Int a.Repro_core.Allocator.padded_bytes);
       ("alloc_cycles", J.Float a.Repro_core.Allocator.alloc_cycles);
+      ("free_cycles", J.Float a.Repro_core.Allocator.free_cycles);
+      ( "bitmap_scan_cycles",
+        J.Float a.Repro_core.Allocator.bitmap_scan_cycles );
     ]
 
 let alloc_stats_decoder j =
+  let objects = D.field "objects" D.int j in
   {
-    Repro_core.Allocator.objects = D.field "objects" D.int j;
+    Repro_core.Allocator.objects;
+    (* The capability counters default for leniency toward pre-alloc-
+       family peers (the envelope version still gates real skew). *)
+    live_objects = D.field_default "live_objects" D.int objects j;
     reserved_bytes = D.field "reserved_bytes" D.int j;
     used_bytes = D.field "used_bytes" D.int j;
+    padded_bytes = D.field_default "padded_bytes" D.int 0 j;
     alloc_cycles = D.field "alloc_cycles" D.float j;
+    free_cycles = D.field_default "free_cycles" D.float 0. j;
+    bitmap_scan_cycles = D.field_default "bitmap_scan_cycles" D.float 0. j;
   }
 
 let run_to_json (r : W.Harness.run) =
@@ -140,6 +152,8 @@ let run_to_json (r : W.Harness.run) =
       ("workload", J.String r.W.Harness.workload);
       ( "technique",
         J.String (Request.technique_to_string r.W.Harness.technique) );
+      ( "alloc",
+        J.String (Repro_core.Alloc_family.name r.W.Harness.alloc) );
       ("cycles", J.Float r.W.Harness.cycles);
       ("checksum", J.Int r.W.Harness.checksum);
       ("result", J.Int r.W.Harness.result);
@@ -160,10 +174,21 @@ let technique_decoder j =
   | Ok t -> t
   | Error msg -> D.fail msg
 
+let alloc_family_decoder j =
+  let s = D.string j in
+  match Repro_core.Alloc_family.of_string s with
+  | Ok fam -> fam
+  | Error msg -> D.fail msg
+
 let run_decoder j =
+  let technique = D.field "technique" technique_decoder j in
   {
     W.Harness.workload = D.field "workload" D.string j;
-    technique = D.field "technique" technique_decoder j;
+    technique;
+    alloc =
+      (match D.field_opt "alloc" alloc_family_decoder j with
+       | Some fam -> fam
+       | None -> Repro_core.Alloc_family.default_for technique);
     cycles = D.field "cycles" D.float j;
     stats = D.field "stats" stats_decoder j;
     kernel_stats = D.field_default "kernel_stats" (D.list stats_decoder) [] j;

@@ -18,7 +18,8 @@ let variants =
   [ ("BRANCH", W.Ubench.Branch);
     ("CUDA", W.Ubench.Technique T.Cuda);
     ("COAL", W.Ubench.Technique T.Coal);
-    ("TP", W.Ubench.Technique T.type_pointer) ]
+    ("TP", W.Ubench.Technique T.type_pointer);
+    ("DYNA", W.Ubench.Column (T.Cuda, Repro_core.Alloc_family.Dyna_soa)) ]
 
 let scaled scale n = max 1024 (int_of_float (float_of_int n *. scale))
 

@@ -19,9 +19,13 @@ let of_run (r : W.Harness.run) =
   else { vtable_share = a /. total; vfunc_share = b /. total; call_share = c /. total }
 
 let cuda_runs sweep =
+  (* Default-family CUDA only: a DYNA run is also technique=Cuda and
+     would otherwise skew the baseline average. *)
   List.filter
     (fun (r : W.Harness.run) ->
-      Repro_core.Technique.equal r.W.Harness.technique Repro_core.Technique.Cuda)
+      Repro_core.Technique.equal r.W.Harness.technique Repro_core.Technique.Cuda
+      && Repro_core.Alloc_family.equal r.W.Harness.alloc
+           Repro_core.Alloc_family.Cuda)
     (Sweep.runs sweep)
 
 let average sweep =

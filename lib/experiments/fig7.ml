@@ -20,7 +20,7 @@ let class_metric = function
   | `Ctrl -> Metric.instructions_ctrl
 
 let breakdown sweep =
-  let techniques = Sweep.techniques sweep in
+  let columns = Sweep.columns sweep in
   List.map
     (fun workload ->
       let base =
@@ -29,13 +29,13 @@ let breakdown sweep =
       let total = Metric.to_float Metric.instructions_total base.W.Harness.stats in
       ( Figview.short_group workload,
         List.map
-          (fun technique ->
-            let r = Sweep.get sweep ~workload ~technique in
+          (fun column ->
+            let r = Sweep.get_column sweep ~workload ~column in
             let part cls =
               Metric.to_float (class_metric cls) r.W.Harness.stats /. total
             in
-            (Repro_core.Technique.name technique, (part `Mem, part `Compute, part `Ctrl)))
-          techniques ))
+            (Sweep.column_name column, (part `Mem, part `Compute, part `Ctrl)))
+          columns ))
     (Sweep.workload_names sweep)
 
 let breakdown_series sweep =
@@ -74,10 +74,10 @@ let render sweep =
   let avg =
     String.concat "  "
       (List.map
-         (fun t ->
-           let name = Repro_core.Technique.name t in
+         (fun c ->
+           let name = Sweep.column_name c in
            Printf.sprintf "%s=%.2f" name (Figview.geomean_of totals ~series:name))
-         (Sweep.techniques sweep))
+         (Sweep.columns sweep))
   in
   "Figure 7: warp instructions normalized to SharedOA (breakdown by class)\n"
   ^ Table.render table ^ "AVG total: " ^ avg ^ "\n"

@@ -16,7 +16,9 @@ let metric_points sweep metric =
     (fun (r : W.Harness.run) ->
       {
         Series.group = short_group r.W.Harness.workload;
-        series = Repro_core.Technique.name r.W.Harness.technique;
+        series =
+          Repro_core.Alloc_family.column_name r.W.Harness.technique
+            r.W.Harness.alloc;
         value = metric r;
       })
     (Sweep.runs sweep)

@@ -1,5 +1,6 @@
 module W = Repro_workloads
 module T = Repro_core.Technique
+module A = Repro_core.Alloc_family
 module Table = Repro_report.Table
 
 type row = {
@@ -7,7 +8,9 @@ type row = {
   objects : int;
   cuda_cycles : float;
   shared_oa_cycles : float;
-  speedup : float;
+  dyna_cycles : float;
+  speedup : float;       (* SharedOA vs device-side new *)
+  dyna_speedup : float;  (* DynaSOAr-SoA vs device-side new *)
 }
 
 let alloc_cycles (r : W.Harness.run) = r.W.Harness.alloc_stats.Repro_core.Allocator.alloc_cycles
@@ -16,23 +19,36 @@ let run ?(scale = Sweep.default_scale) ?(j = 1) ?(cache = false) ?cache_dir
     ?(workloads = W.Registry.all) () =
   let params = { (W.Workload.default_params T.Cuda) with W.Workload.scale } in
   let jobs =
-    Repro_exec.Job.matrix ~techniques:[ T.Cuda; T.Shared_oa ] ~params workloads
+    List.concat_map
+      (fun w ->
+        [
+          Repro_exec.Job.make w params;
+          Repro_exec.Job.make w { params with W.Workload.technique = T.Shared_oa };
+          Repro_exec.Job.make w { params with W.Workload.alloc = Some A.Dyna_soa };
+        ])
+      workloads
   in
   let outcomes = Repro_exec.Executor.run ~jobs:j ~cache ?cache_dir jobs in
   List.mapi
     (fun i w ->
-      let cuda = Repro_exec.Executor.ok_exn (List.nth outcomes (2 * i)) in
-      let shared = Repro_exec.Executor.ok_exn (List.nth outcomes ((2 * i) + 1)) in
+      let cuda = Repro_exec.Executor.ok_exn (List.nth outcomes (3 * i)) in
+      let shared = Repro_exec.Executor.ok_exn (List.nth outcomes ((3 * i) + 1)) in
+      let dyna = Repro_exec.Executor.ok_exn (List.nth outcomes ((3 * i) + 2)) in
       {
         workload = Figview.short_group (W.Registry.qualified_name w);
         objects = shared.W.Harness.n_objects;
         cuda_cycles = alloc_cycles cuda;
         shared_oa_cycles = alloc_cycles shared;
+        dyna_cycles = alloc_cycles dyna;
         speedup = alloc_cycles cuda /. alloc_cycles shared;
+        dyna_speedup = alloc_cycles cuda /. alloc_cycles dyna;
       })
     workloads
 
 let geomean_speedup rows = Repro_util.Mathx.geomean (List.map (fun r -> r.speedup) rows)
+
+let geomean_dyna_speedup rows =
+  Repro_util.Mathx.geomean (List.map (fun r -> r.dyna_speedup) rows)
 
 let render rows =
   let table =
@@ -40,14 +56,20 @@ let render rows =
       ~columns:
         [ ("workload", Table.Left); ("objects", Table.Right);
           ("device-side alloc (cycles)", Table.Right);
-          ("SharedOA alloc (cycles)", Table.Right); ("speedup", Table.Right) ]
+          ("SharedOA alloc (cycles)", Table.Right);
+          ("DynaSOA alloc (cycles)", Table.Right); ("speedup", Table.Right);
+          ("dyna speedup", Table.Right) ]
   in
   List.iter
     (fun r ->
       Table.add_row table
         [ r.workload; string_of_int r.objects; Table.cell_f ~digits:0 r.cuda_cycles;
-          Table.cell_f ~digits:0 r.shared_oa_cycles; Table.cell_f ~digits:1 r.speedup ])
+          Table.cell_f ~digits:0 r.shared_oa_cycles;
+          Table.cell_f ~digits:0 r.dyna_cycles; Table.cell_f ~digits:1 r.speedup;
+          Table.cell_f ~digits:1 r.dyna_speedup ])
     rows;
-  "Initialization (Sec. 8.2): allocation-phase cost, SharedOA vs device-side new\n"
+  "Initialization (Sec. 8.2): allocation-phase cost, SharedOA and DynaSOA vs \
+   device-side new\n"
   ^ Table.render table
-  ^ Printf.sprintf "geomean speedup: %.0fx (paper: 80x)\n" (geomean_speedup rows)
+  ^ Printf.sprintf "geomean speedup: %.0fx (paper: 80x); dyna: %.0fx\n"
+      (geomean_speedup rows) (geomean_dyna_speedup rows)

@@ -1,14 +1,18 @@
 (** The Sec. 8.2 initialization comparison: SharedOA performs host-side
     bump allocation into typed regions, while allocating objects with
     virtual functions on the device serializes on the CUDA heap —
-    the paper measures SharedOA 80× faster (geomean) over the apps. *)
+    the paper measures SharedOA 80× faster (geomean) over the apps.
+    The DynaSOAr-SoA family rides along as a third column: cheaper than
+    the device heap but paying its bitmap scans. *)
 
 type row = {
   workload : string;
   objects : int;
   cuda_cycles : float;
   shared_oa_cycles : float;
-  speedup : float;
+  dyna_cycles : float;
+  speedup : float;       (** SharedOA vs device-side new. *)
+  dyna_speedup : float;  (** DynaSOAr-SoA vs device-side new. *)
 }
 
 val run :
@@ -16,5 +20,7 @@ val run :
   ?workloads:Repro_workloads.Workload.t list -> unit -> row list
 
 val geomean_speedup : row list -> float
+
+val geomean_dyna_speedup : row list -> float
 
 val render : row list -> string

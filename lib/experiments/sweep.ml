@@ -1,23 +1,49 @@
 module W = Repro_workloads
 module T = Repro_core.Technique
+module A = Repro_core.Alloc_family
 module X = Repro_exec
+
+type column = { technique : T.t; alloc : A.t }
+
+let column ?alloc technique =
+  { technique; alloc = Option.value alloc ~default:(A.default_for technique) }
+
+let column_name c = A.column_name c.technique c.alloc
+
+(* The paper's five columns plus the DynaSOAr SoA family over CUDA
+   dispatch — appended last so default-family lookups by technique keep
+   finding the paper run first. *)
+let default_columns =
+  List.map (fun t -> column t) T.all_paper @ [ column ~alloc:A.Dyna_soa T.Cuda ]
 
 type t = {
   outcomes : X.Executor.outcome list;
   runs : W.Harness.run list;
   workload_names : string list;
-  techniques : T.t list;
+  columns : column list;
 }
 
 let default_scale = 0.25
 
 let exec ?(scale = default_scale) ?iterations ?(j = 1) ?(cache = false)
-    ?cache_dir ?(progress = fun _ -> ()) ?(workloads = W.Registry.all) () =
-  let techniques = T.all_paper in
-  let params =
-    { (W.Workload.default_params T.Shared_oa) with W.Workload.scale; iterations }
+    ?cache_dir ?(progress = fun _ -> ()) ?(workloads = W.Registry.all)
+    ?(columns = default_columns) () =
+  let params c =
+    {
+      (W.Workload.default_params c.technique) with
+      W.Workload.scale;
+      iterations;
+      (* Default families stay [None] so the job key (and cache entry) is
+         the same whether the run came from a technique-only or a
+         column-aware surface. *)
+      alloc = (if A.is_default c.technique c.alloc then None else Some c.alloc);
+    }
   in
-  let jobs = X.Job.matrix ~techniques ~params workloads in
+  let jobs =
+    List.concat_map
+      (fun w -> List.map (fun c -> X.Job.make w (params c)) columns)
+      workloads
+  in
   let outcomes =
     X.Executor.run ~jobs:j ~cache ?cache_dir
       ~progress:(fun job -> progress (X.Job.label job))
@@ -33,22 +59,22 @@ let exec ?(scale = default_scale) ?iterations ?(j = 1) ?(cache = false)
                 (fun (job, msg) -> X.Job.label job ^ ": " ^ msg)
                 errs))));
   let runs = List.map X.Executor.ok_exn outcomes in
-  (* The paper's functional validation, per workload across techniques.
+  (* The paper's functional validation, per workload across columns.
      Jobs are workload-major, so each workload's runs are contiguous. *)
-  let n_techniques = List.length techniques in
+  let n_columns = List.length columns in
   let rec validate = function
     | [] -> ()
     | rest ->
-      let group = List.filteri (fun i _ -> i < n_techniques) rest in
+      let group = List.filteri (fun i _ -> i < n_columns) rest in
       W.Harness.validate_equal group;
-      validate (List.filteri (fun i _ -> i >= n_techniques) rest)
+      validate (List.filteri (fun i _ -> i >= n_columns) rest)
   in
   validate runs;
   {
     outcomes;
     runs;
     workload_names = List.map W.Registry.qualified_name workloads;
-    techniques;
+    columns;
   }
 
 let outcomes t = t.outcomes
@@ -57,14 +83,26 @@ let runs t = t.runs
 
 let workload_names t = t.workload_names
 
-let techniques t = t.techniques
+let columns t = t.columns
 
-let get t ~workload ~technique =
+let techniques t =
+  List.fold_left
+    (fun acc c ->
+      if List.exists (T.equal c.technique) acc then acc else acc @ [ c.technique ])
+    [] t.columns
+
+let get_column t ~workload ~column =
   match
     List.find_opt
       (fun (r : W.Harness.run) ->
-        r.W.Harness.workload = workload && T.equal r.W.Harness.technique technique)
+        r.W.Harness.workload = workload
+        && T.equal r.W.Harness.technique column.technique
+        && A.equal r.W.Harness.alloc column.alloc)
       t.runs
   with
   | Some r -> r
   | None -> raise Not_found
+
+let get t ~workload ~technique =
+  get_column t ~workload
+    ~column:{ technique; alloc = A.default_for technique }

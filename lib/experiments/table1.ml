@@ -23,10 +23,12 @@ type measured = {
 
 let measure sweep =
   List.map
-    (fun technique ->
+    (fun (c : Sweep.column) ->
       let runs =
         List.filter
-          (fun (r : W.Harness.run) -> T.equal r.W.Harness.technique technique)
+          (fun (r : W.Harness.run) ->
+            T.equal r.W.Harness.technique c.Sweep.technique
+            && Repro_core.Alloc_family.equal r.W.Harness.alloc c.Sweep.alloc)
           (Sweep.runs sweep)
       in
       let per_kcall label =
@@ -41,14 +43,14 @@ let measure sweep =
         if den = 0 then 0. else 1000. *. num /. float_of_int den
       in
       {
-        technique = T.name technique;
+        technique = Sweep.column_name c;
         get_vtable_per_kcall =
           per_kcall Label.Vtable_load
           +. per_kcall Label.Coal_lookup
           +. per_kcall Label.Concord_tag;
         get_vfunc_per_kcall = per_kcall Label.Vfunc_load;
       })
-    (Sweep.techniques sweep)
+    (Sweep.columns sweep)
 
 let render sweep =
   let table =

@@ -11,11 +11,22 @@ type record = {
   mutable live : bool;
 }
 
+(* One contiguous piece of storage owned by a record. AoS allocations
+   have exactly one extent equal to the allocation; SoA allocations have
+   one per header word / field array element. *)
+type extent = {
+  ebase : int;
+  esize : int;
+  mutable echecked : int; (* checked prefix of the extent *)
+  owner : record;
+}
+
 type t = {
   mutation : Mutation.t option;
   records : record Vec.t;          (* in registration (program) order *)
+  extents : extent Vec.t;
   by_base : (int, record) Hashtbl.t;
-  mutable sorted : record array;   (* by base; rebuilt lazily *)
+  mutable sorted : extent array;   (* by ebase; rebuilt lazily *)
   mutable sorted_dirty : bool;
   ranges : (int * int) Vec.t;      (* heap arenas as (base, limit) *)
   mutable ranges_sorted : (int * int) array;
@@ -26,6 +37,7 @@ let create ?mutation () =
   {
     mutation;
     records = Vec.create ();
+    extents = Vec.create ();
     by_base = Hashtbl.create 1024;
     sorted = [||];
     sorted_dirty = false;
@@ -38,22 +50,48 @@ let mutation t = t.mutation
 
 let n_allocations t = Vec.length t.records
 
-let register t ~base ~size ~type_id =
-  if not (Vaddr.is_canonical base) then
-    invalid_arg "Shadow_heap.register: non-canonical base";
-  if size <= 0 then invalid_arg "Shadow_heap.register: size must be positive";
+let register_parts t ~parts ~type_id =
+  (match parts with
+   | [] -> invalid_arg "Shadow_heap.register_parts: no parts"
+   | _ -> ());
+  List.iter
+    (fun (base, size) ->
+      if not (Vaddr.is_canonical base) then
+        invalid_arg "Shadow_heap.register_parts: non-canonical base";
+      if size <= 0 then
+        invalid_arg "Shadow_heap.register_parts: size must be positive")
+    parts;
+  let base = fst (List.hd parts) in
+  let size = List.fold_left (fun acc (_, s) -> acc + s) 0 parts in
   let index = Vec.length t.records in
   let r = { base; size; type_id; index; tag = 0; shadow_size = size; live = true } in
-  (match t.mutation with
-   | Some (Mutation.Truncate { victim }) when victim = index ->
-     (* Shrink the checked extent to one word: the header's first word
-        stays valid, everything past it is out of bounds. *)
-     r.shadow_size <- Vaddr.word_bytes
-   | Some (Mutation.Kill { victim }) when victim = index -> r.live <- false
-   | _ -> ());
+  let truncated =
+    match t.mutation with
+    | Some (Mutation.Truncate { victim }) when victim = index ->
+      (* Shrink the checked extent to one word: the header's first word
+         stays valid, everything past it is out of bounds. *)
+      r.shadow_size <- Vaddr.word_bytes;
+      true
+    | Some (Mutation.Kill { victim }) when victim = index ->
+      r.live <- false;
+      false
+    | _ -> false
+  in
+  List.iteri
+    (fun i (ebase, esize) ->
+      let echecked =
+        if not truncated then esize
+        else if i = 0 then min esize Vaddr.word_bytes
+        else 0
+      in
+      Vec.push t.extents { ebase; esize; echecked; owner = r })
+    parts;
   Vec.push t.records r;
   Hashtbl.replace t.by_base base r;
   t.sorted_dirty <- true
+
+let register t ~base ~size ~type_id =
+  register_parts t ~parts:[ (base, size) ] ~type_id
 
 let add_heap_range t ~base ~size =
   if size <= 0 then invalid_arg "Shadow_heap.add_heap_range: size must be positive";
@@ -76,9 +114,9 @@ let note_tag t ~base ~tag =
 
 let ensure_sorted t =
   if t.sorted_dirty then begin
-    let a = Array.make (Vec.length t.records) (Vec.get t.records 0) in
-    Vec.iteri (fun i r -> a.(i) <- r) t.records;
-    Array.sort (fun a b -> compare a.base b.base) a;
+    let a = Array.make (Vec.length t.extents) (Vec.get t.extents 0) in
+    Vec.iteri (fun i e -> a.(i) <- e) t.extents;
+    Array.sort (fun a b -> compare a.ebase b.ebase) a;
     t.sorted <- a;
     t.sorted_dirty <- false
   end
@@ -105,15 +143,18 @@ let find_le sorted key_of addr =
   in
   go 0 n None
 
-let find t addr =
-  if Vec.is_empty t.records then None
+let find_extent t addr =
+  if Vec.is_empty t.extents then None
   else begin
     ensure_sorted t;
     let addr = Vaddr.strip addr in
-    match find_le t.sorted (fun r -> r.base) addr with
-    | Some r when addr < r.base + r.size -> Some r
+    match find_le t.sorted (fun e -> e.ebase) addr with
+    | Some e when addr < e.ebase + e.esize -> Some e
     | _ -> None
   end
+
+let find t addr =
+  match find_extent t addr with Some e -> Some e.owner | None -> None
 
 let in_heap_range t addr =
   ensure_ranges_sorted t;
@@ -129,11 +170,11 @@ type classification =
   | Unmodelled
 
 let classify t ~addr ~width =
-  match find t addr with
-  | Some r ->
-    if not r.live then Dead r
-    else if addr + width <= r.base + r.shadow_size then Object r
-    else Clipped r
+  match find_extent t addr with
+  | Some e ->
+    if not e.owner.live then Dead e.owner
+    else if addr + width <= e.ebase + e.echecked then Object e.owner
+    else Clipped e.owner
   | None -> if in_heap_range t addr then Heap_hole else Unmodelled
 
 let kill t ~base =

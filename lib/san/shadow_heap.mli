@@ -14,8 +14,9 @@
     and marks the map dirty, the first lookup after a change re-sorts. *)
 
 type record = private {
-  base : int;           (** Canonical base address. *)
-  size : int;           (** True extent in bytes. *)
+  base : int;           (** Canonical base address (first part's base for
+                            multi-part registrations). *)
+  size : int;           (** True extent in bytes, summed over all parts. *)
   type_id : int;
   index : int;          (** Program-order allocation number — the
                             cross-technique identity of the object. *)
@@ -35,8 +36,17 @@ val create : ?mutation:Mutation.t -> unit -> t
 val mutation : t -> Mutation.t option
 
 val register : t -> base:int -> size:int -> type_id:int -> unit
-(** Record one allocation. Raises [Invalid_argument] on a non-canonical
-    base or non-positive size. *)
+(** Record one contiguous allocation. Raises [Invalid_argument] on a
+    non-canonical base or non-positive size. *)
+
+val register_parts : t -> parts:(int * int) list -> type_id:int -> unit
+(** Record one allocation whose storage is scattered over several
+    contiguous [(base, size)] pieces — an SoA object whose header words
+    and fields live in per-block arrays. The pieces share one record
+    (one program-order {!record.index}, the cross-technique identity),
+    with [base] the first piece's base and [size] the summed extent.
+    Raises [Invalid_argument] on an empty list, a non-canonical piece
+    base or a non-positive piece size. *)
 
 val add_heap_range : t -> base:int -> size:int -> unit
 (** Declare [base, base+size) allocator-owned (an arena objects are
@@ -51,8 +61,8 @@ val note_tag : t -> base:int -> tag:int -> unit
 val n_allocations : t -> int
 
 val find : t -> int -> record option
-(** [find t addr] is the allocation whose [\[base, base+size)] contains
-    the canonical [addr], live or dead. *)
+(** [find t addr] is the allocation whose storage (any registered piece)
+    contains the canonical [addr], live or dead. *)
 
 type classification =
   | Object of record   (** Inside a live allocation's checked extent. *)

@@ -4,6 +4,7 @@ module Stats = Repro_gpu.Stats
 type run = {
   workload : string;
   technique : R.Technique.t;
+  alloc : R.Alloc_family.t;
   cycles : float;
   stats : Stats.t;
   kernel_stats : Stats.t list;
@@ -32,6 +33,7 @@ let run (w : Workload.t) (p : Workload.params) =
   {
     workload = Registry.qualified_name w;
     technique = p.Workload.technique;
+    alloc = R.Runtime.alloc_family rt;
     cycles = R.Runtime.cycles rt;
     stats = snapshot (R.Runtime.stats rt);
     kernel_stats = List.map snapshot (R.Runtime.kernel_timeline rt);

@@ -8,6 +8,9 @@
 type run = {
   workload : string;          (** Qualified name. *)
   technique : Repro_core.Technique.t;
+  alloc : Repro_core.Alloc_family.t;
+      (** Allocator family the run used (the technique's default unless
+          overridden via [params.alloc]). *)
   cycles : float;
   stats : Repro_gpu.Stats.t;  (** Snapshot, detached from the device. *)
   kernel_stats : Repro_gpu.Stats.t list;

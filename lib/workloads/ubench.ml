@@ -5,6 +5,7 @@ module Label = Repro_gpu.Label
 type variant =
   | Branch
   | Technique of R.Technique.t
+  | Column of R.Technique.t * R.Alloc_family.t
 
 let default_iterations = 5
 
@@ -37,8 +38,8 @@ let run_branch ?(iterations = default_iterations) ?config ~n_objects ~n_types ()
   done;
   (Repro_gpu.Stats.cycles (Repro_gpu.Device.stats device), !total)
 
-let build_technique_runtime ?config ~n_objects ~n_types technique =
-  let rt = R.Runtime.create ?config ~technique () in
+let build_technique_runtime ?config ?alloc ~n_objects ~n_types technique =
+  let rt = R.Runtime.create ?config ?alloc ~technique () in
   let add_impl type_id (env : R.Env.t) objs =
     let values = R.Env.field_load env ~objs ~field:0 in
     R.Env.compute env;
@@ -59,8 +60,11 @@ let build_technique_runtime ?config ~n_objects ~n_types technique =
   let table = Common.garray_of_ptrs rt ~name:"ubench-ptrs" ptrs in
   (rt, table)
 
-let run_technique ?(iterations = default_iterations) ?config ~n_objects ~n_types technique =
-  let rt, table = build_technique_runtime ?config ~n_objects ~n_types technique in
+let run_technique ?(iterations = default_iterations) ?config ?alloc ~n_objects
+    ~n_types technique =
+  let rt, table =
+    build_technique_runtime ?config ?alloc ~n_objects ~n_types technique
+  in
   R.Runtime.reset_stats rt;
   for _ = 1 to iterations do
     Common.vcall_all rt ~ptrs:table ~n:n_objects ~slot:0
@@ -79,15 +83,18 @@ let run ?iterations ?config ~n_objects ~n_types variant =
   if n_objects <= 0 || n_types <= 0 then invalid_arg "Ubench.run: positive sizes required";
   match variant with
   | Branch -> run_branch ?iterations ?config ~n_objects ~n_types ()
-  | Technique technique -> run_technique ?iterations ?config ~n_objects ~n_types technique
+  | Technique technique ->
+    run_technique ?iterations ?config ~n_objects ~n_types technique
+  | Column (technique, alloc) ->
+    run_technique ?iterations ?config ~alloc ~n_objects ~n_types technique
 
 let workload =
   let build (p : Workload.params) =
     let n_objects = Workload.scaled p 16384 in
     let n_types = 4 in
     let rt, table =
-      build_technique_runtime ?config:p.Workload.config ~n_objects ~n_types
-        p.Workload.technique
+      build_technique_runtime ?config:p.Workload.config ?alloc:p.Workload.alloc
+        ~n_objects ~n_types p.Workload.technique
     in
     let iterations = Option.value p.Workload.iterations ~default:default_iterations in
     {

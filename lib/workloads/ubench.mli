@@ -10,6 +10,9 @@
 type variant =
   | Branch    (** Register-arbitrated control flow, no objects. *)
   | Technique of Repro_core.Technique.t
+  | Column of Repro_core.Technique.t * Repro_core.Alloc_family.t
+      (** A technique under an overridden allocator family (e.g. CUDA
+          dispatch over DynaSOAr SoA blocks). *)
 
 val run :
   ?iterations:int ->

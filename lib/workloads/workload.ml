@@ -1,5 +1,6 @@
 type params = {
   technique : Repro_core.Technique.t;
+  alloc : Repro_core.Alloc_family.t option;
   scale : float;
   config : Repro_gpu.Config.t option;
   chunk_objs : int option;
@@ -10,8 +11,8 @@ type params = {
 }
 
 let default_params technique =
-  { technique; scale = 1.0; config = None; chunk_objs = None; iterations = None;
-    seed = 42; san = None; telemetry = None }
+  { technique; alloc = None; scale = 1.0; config = None; chunk_objs = None;
+    iterations = None; seed = 42; san = None; telemetry = None }
 
 type instance = {
   rt : Repro_core.Runtime.t;

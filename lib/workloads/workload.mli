@@ -9,6 +9,9 @@
 
 type params = {
   technique : Repro_core.Technique.t;
+  alloc : Repro_core.Alloc_family.t option;
+      (** Allocator-family override; [None] = the technique's paper
+          default ({!Repro_core.Alloc_family.default_for}). *)
   scale : float;
       (** Object-count multiplier over the workload's reduced default
           (1.0 ≈ 1/32 of the paper's sizes; see EXPERIMENTS.md). *)

@@ -9,6 +9,8 @@ module Region = Repro_core.Region
 module Allocator = Repro_core.Allocator
 module Cuda_alloc = Repro_core.Cuda_alloc
 module Shared_oa = Repro_core.Shared_oa
+module Dyna_soa = Repro_core.Dyna_soa
+module Alloc_family = Repro_core.Alloc_family
 module Range_table = Repro_core.Range_table
 module Garray = Repro_core.Garray
 module Runtime = Repro_core.Runtime
@@ -334,6 +336,189 @@ let prop_shared_oa_address_type_consistency =
           | Some r -> r.Region.type_id = type_id
           | None -> false)
         placed)
+
+(* --- dyna soa ------------------------------------------------------------- *)
+
+(* T1 under a 2-header-word layout: 16B of headers + two 4B fields = 24B
+   canonical image. *)
+let dyna_pair ?shadow ?block_slots () =
+  let _, space, _, t1, t2 = dummy_registry () in
+  let alloc, summary =
+    Dyna_soa.create_with_summary ?shadow ?block_slots ~header_words:2 ~space ()
+  in
+  (alloc, summary, t1, t2)
+
+let test_alloc_family_parsing () =
+  List.iter
+    (fun fam ->
+      match Alloc_family.of_string (Alloc_family.name fam) with
+      | Ok f -> check Alcotest.bool "roundtrip" true (Alloc_family.equal f fam)
+      | Error e -> Alcotest.fail e)
+    Alloc_family.all;
+  check Alcotest.bool "alias" true (Alloc_family.of_string "DynaSOA" = Ok Alloc_family.Dyna_soa);
+  check Alcotest.bool "unknown rejected" true
+    (Result.is_error (Alloc_family.of_string "nope"));
+  check Alcotest.bool "shard defaults to shared-oa" true
+    (Alloc_family.equal (Alloc_family.default_for T.Shared_oa) Alloc_family.Shared_oa);
+  check Alcotest.string "default column keeps the technique name" "CUDA"
+    (Alloc_family.column_name T.Cuda Alloc_family.Cuda);
+  check Alcotest.string "soa-over-cuda column" "DYNA"
+    (Alloc_family.column_name T.Cuda Alloc_family.Dyna_soa);
+  check Alcotest.string "other combination" "SHARD+DYNA"
+    (Alloc_family.column_name T.Shared_oa Alloc_family.Dyna_soa)
+
+let test_dyna_soa_addressing () =
+  let alloc, _, t1, _ = dyna_pair () in
+  let a = alloc.Allocator.alloc ~typ:t1 ~size_bytes:24 in
+  let b = alloc.Allocator.alloc ~typ:t1 ~size_bytes:24 in
+  check Alcotest.bool "8-aligned bases" true (a mod 8 = 0 && b mod 8 = 0);
+  check Alcotest.int "neighbour slots 8B apart" (a + 8) b;
+  let fa = Option.get alloc.Allocator.field_addr in
+  check Alcotest.int "header word 0 storage is the base" a (fa ~obj:a ~off:0);
+  (* The SoA payoff: the same field of consecutive slots is 4B apart... *)
+  check Alcotest.int "SoA field stride" (fa ~obj:a ~off:16 + 4) (fa ~obj:b ~off:16);
+  (* ...while one object's two fields are a whole element array apart. *)
+  check Alcotest.int "fields striped per array"
+    (fa ~obj:a ~off:16 + (4 * Dyna_soa.default_block_slots))
+    (fa ~obj:a ~off:20);
+  Alcotest.check_raises "ragged size rejected"
+    (Invalid_argument
+       "Dyna_soa.alloc: size 21B is not 2 header words plus 4B fields")
+    (fun () -> ignore (alloc.Allocator.alloc ~typ:t1 ~size_bytes:21))
+
+let test_dyna_free_reuse_and_double_free () =
+  let alloc, summary, t1, _ = dyna_pair () in
+  let ptrs = Array.init 10 (fun _ -> alloc.Allocator.alloc ~typ:t1 ~size_bytes:24) in
+  let free = Option.get alloc.Allocator.free in
+  free ~ptr:ptrs.(3);
+  let s = summary () in
+  check Alcotest.int "live after free" 9 s.Dyna_soa.live_slots;
+  check Alcotest.int "bitmap agrees" 9 s.Dyna_soa.bitmap_live_slots;
+  (* Lowest-clear-bit scan lands the next allocation in the freed slot. *)
+  check Alcotest.int "freed slot reused" ptrs.(3)
+    (alloc.Allocator.alloc ~typ:t1 ~size_bytes:24);
+  free ~ptr:ptrs.(5);
+  Alcotest.check_raises "double free"
+    (Invalid_argument "Dyna_soa.free: slot is already free (double free)")
+    (fun () -> free ~ptr:ptrs.(5));
+  Alcotest.check_raises "interior pointer"
+    (Invalid_argument "Dyna_soa.free: not an object base")
+    (fun () -> free ~ptr:(ptrs.(0) + 4));
+  let stats = alloc.Allocator.stats () in
+  check Alcotest.bool "scan cycles accounted" true
+    (stats.Allocator.bitmap_scan_cycles > 0.
+     && stats.Allocator.free_cycles = 2. *. Dyna_soa.cycles_per_free);
+  let rendered = Format.asprintf "%a" Allocator.pp_stats stats in
+  check Alcotest.bool "pp shows both fragmentation figures" true
+    (let has s sub =
+       let n = String.length sub in
+       let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+       go 0
+     in
+     has rendered "efrag" && has rendered "ifrag")
+
+let test_dyna_drained_blocks_stay_reserved () =
+  let alloc, summary, t1, _ = dyna_pair ~block_slots:8 () in
+  let ptrs = Array.init 16 (fun _ -> alloc.Allocator.alloc ~typ:t1 ~size_bytes:24) in
+  let free = Option.get alloc.Allocator.free in
+  let reserved = (alloc.Allocator.stats ()).Allocator.reserved_bytes in
+  Array.iter (fun p -> free ~ptr:p) ptrs;
+  let s = alloc.Allocator.stats () in
+  check Alcotest.int "drained blocks stay reserved" reserved
+    s.Allocator.reserved_bytes;
+  check Alcotest.int "nothing used" 0 s.Allocator.used_bytes;
+  check (Alcotest.float 1e-9) "external fragmentation counts empty blocks" 1.0
+    (Allocator.external_fragmentation s);
+  check Alcotest.bool "internal fragmentation from metadata/rounding" true
+    (Allocator.internal_fragmentation s > 0.);
+  let sm = summary () in
+  check Alcotest.int "two blocks chained" 2 sm.Dyna_soa.n_blocks;
+  check Alcotest.int "both drained" 2 sm.Dyna_soa.empty_blocks;
+  (* Drained blocks are reused, not re-reserved. *)
+  ignore (alloc.Allocator.alloc ~typ:t1 ~size_bytes:24);
+  check Alcotest.int "no regrow on realloc" reserved
+    (alloc.Allocator.stats ()).Allocator.reserved_bytes
+
+let test_dyna_regions_typed_sorted () =
+  let alloc, _, t1, t2 = dyna_pair ~block_slots:4 () in
+  let placed = ref [] in
+  for _ = 1 to 10 do
+    placed :=
+      (alloc.Allocator.alloc ~typ:t1 ~size_bytes:24, Registry.type_id t1)
+      :: (alloc.Allocator.alloc ~typ:t2 ~size_bytes:32, Registry.type_id t2)
+      :: !placed
+  done;
+  let regions = alloc.Allocator.regions () in
+  check Alcotest.int "one region per block" 6 (List.length regions);
+  let rec sorted_disjoint = function
+    | a :: (b :: _ as rest) ->
+      a.Region.limit <= b.Region.base && sorted_disjoint rest
+    | _ -> true
+  in
+  check Alcotest.bool "sorted and disjoint" true (sorted_disjoint regions);
+  List.iter
+    (fun (addr, type_id) ->
+      match List.find_opt (fun r -> Region.contains r addr) regions with
+      | Some r -> check Alcotest.int "region typed" type_id r.Region.type_id
+      | None -> Alcotest.fail "allocated base outside every region")
+    !placed
+
+let test_dyna_feeds_shadow () =
+  let module Shadow_heap = Repro_san.Shadow_heap in
+  let shadow = Shadow_heap.create () in
+  let alloc, _, t1, _ = dyna_pair ~shadow () in
+  let a = alloc.Allocator.alloc ~typ:t1 ~size_bytes:24 in
+  let b = alloc.Allocator.alloc ~typ:t1 ~size_bytes:24 in
+  check Alcotest.int "one record per object (not per extent)" 2
+    (Shadow_heap.n_allocations shadow);
+  let fa = Option.get alloc.Allocator.field_addr in
+  (match Shadow_heap.find shadow (fa ~obj:a ~off:16) with
+   | Some r ->
+     check Alcotest.int "field extent owned by first object" 0 r.Shadow_heap.index;
+     check Alcotest.int "type recorded" (Registry.type_id t1) r.Shadow_heap.type_id
+   | None -> Alcotest.fail "field extent missing from shadow map");
+  (match Shadow_heap.find shadow (fa ~obj:b ~off:16) with
+   | Some r ->
+     check Alcotest.int "neighbour field maps to its own record" 1
+       r.Shadow_heap.index
+   | None -> Alcotest.fail "neighbour field extent missing");
+  (* Slot 2's header storage is reserved heap with no live object. *)
+  match Shadow_heap.classify shadow ~addr:(b + 8) ~width:8 with
+  | Shadow_heap.Heap_hole -> ()
+  | _ -> Alcotest.fail "unallocated slot should classify as a heap hole"
+
+let prop_dyna_bitmap_consistent =
+  QCheck.Test.make
+    ~name:"DynaSOA: popcount = live objects, no double placement, slots reused"
+    ~count:50
+    QCheck.(list_of_size (Gen.int_range 1 200) (int_bound 2))
+    (fun ops ->
+      let _, space, _, t1, _ = dummy_registry () in
+      let alloc, summary =
+        Dyna_soa.create_with_summary ~block_slots:16 ~header_words:2 ~space ()
+      in
+      let free = Option.get alloc.Allocator.free in
+      let live = Hashtbl.create 64 in
+      let stack = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match (op, !stack) with
+          | 0, _ | _, [] ->
+            let p = alloc.Allocator.alloc ~typ:t1 ~size_bytes:24 in
+            if Hashtbl.mem live p then ok := false;
+            Hashtbl.replace live p ();
+            stack := p :: !stack
+          | _, p :: rest ->
+            free ~ptr:p;
+            Hashtbl.remove live p;
+            stack := rest)
+        ops;
+      let s = summary () in
+      !ok
+      && s.Dyna_soa.live_slots = Hashtbl.length live
+      && s.Dyna_soa.bitmap_live_slots = s.Dyna_soa.live_slots
+      && (alloc.Allocator.stats ()).Allocator.live_objects = Hashtbl.length live)
 
 (* --- range table ---------------------------------------------------------- *)
 
@@ -742,6 +927,15 @@ let suite =
     Alcotest.test_case "shared oa feeds shadow heap" `Quick
       test_shared_oa_feeds_shadow;
     Alcotest.test_case "allocation cost model" `Quick test_alloc_cost_model;
+    Alcotest.test_case "alloc family parsing" `Quick test_alloc_family_parsing;
+    Alcotest.test_case "dyna soa addressing" `Quick test_dyna_soa_addressing;
+    Alcotest.test_case "dyna free reuse and double free" `Quick
+      test_dyna_free_reuse_and_double_free;
+    Alcotest.test_case "dyna drained blocks stay reserved" `Quick
+      test_dyna_drained_blocks_stay_reserved;
+    Alcotest.test_case "dyna regions typed and sorted" `Quick
+      test_dyna_regions_typed_sorted;
+    Alcotest.test_case "dyna feeds shadow heap" `Quick test_dyna_feeds_shadow;
     Alcotest.test_case "range table host lookup" `Quick test_range_table_host_lookup;
     Alcotest.test_case "range table lookup emit" `Quick test_range_table_lookup_emit;
     Alcotest.test_case "range table stray address" `Quick
@@ -763,6 +957,7 @@ let suite =
     Alcotest.test_case "garray" `Quick test_garray;
     QCheck_alcotest.to_alcotest prop_shared_oa_address_type_consistency;
     QCheck_alcotest.to_alcotest prop_shared_oa_regions_invariant;
+    QCheck_alcotest.to_alcotest prop_dyna_bitmap_consistent;
     QCheck_alcotest.to_alcotest prop_range_table_matches_linear_scan;
     QCheck_alcotest.to_alcotest prop_random_programs_technique_invariant;
     QCheck_alcotest.to_alcotest prop_diverge_group_count;

@@ -68,7 +68,21 @@ let test_job_key_stability () =
   check Alcotest.bool "custom config is uncacheable" false
     (X.Job.cacheable custom);
   check Alcotest.bool "plain job is cacheable" true
-    (X.Job.cacheable (job 0.1 1))
+    (X.Job.cacheable (job 0.1 1));
+  let module A = Repro_core.Alloc_family in
+  let dyna =
+    X.Job.make gol
+      { (params ~scale:0.1 ~seed:1 T.Cuda) with
+        W.Workload.alloc = Some A.Dyna_soa }
+  in
+  let cuda = X.Job.make gol (params ~scale:0.1 ~seed:1 T.Cuda) in
+  check Alcotest.bool "allocator family changes the key" false
+    (X.Job.equal dyna cuda);
+  check Alcotest.bool "dyna job is cacheable" true (X.Job.cacheable dyna);
+  check Alcotest.string "column name folds in the family" "DYNA"
+    (X.Job.column_name dyna);
+  check Alcotest.string "default family keeps the technique name" "CUDA"
+    (X.Job.column_name cuda)
 
 (* --- executor determinism ------------------------------------------------ *)
 

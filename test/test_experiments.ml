@@ -5,6 +5,7 @@
 module E = Repro_experiments
 module W = Repro_workloads
 module T = Repro_core.Technique
+module A = Repro_core.Alloc_family
 
 let check = Alcotest.check
 
@@ -23,10 +24,24 @@ let geomean points series = E.Figview.geomean_of points ~series
 
 let test_sweep_contents () =
   let s = Lazy.force sweep in
-  check Alcotest.int "3 workloads x 5 techniques" 15 (List.length (E.Sweep.runs s));
+  check Alcotest.int "3 workloads x 6 columns" 18 (List.length (E.Sweep.runs s));
   check Alcotest.int "names" 3 (List.length (E.Sweep.workload_names s));
+  check Alcotest.int "5 distinct techniques" 5
+    (List.length (E.Sweep.techniques s));
   let r = E.Sweep.get s ~workload:"Dynasoar/GOL" ~technique:T.Cuda in
-  check Alcotest.bool "lookup works" true (r.W.Harness.cycles > 0.)
+  check Alcotest.bool "lookup works" true (r.W.Harness.cycles > 0.);
+  (* [get ~technique] must keep finding the paper's default-family run,
+     not the DYNA column (also technique = Cuda). *)
+  check Alcotest.bool "default-family lookup" true
+    (A.equal r.W.Harness.alloc A.Cuda);
+  let d =
+    E.Sweep.get_column s ~workload:"Dynasoar/GOL"
+      ~column:(E.Sweep.column ~alloc:A.Dyna_soa T.Cuda)
+  in
+  check Alcotest.bool "dyna column present" true
+    (A.equal d.W.Harness.alloc A.Dyna_soa);
+  check Alcotest.bool "dyna column is a distinct run" true
+    (d.W.Harness.cycles > 0. && d.W.Harness.cycles <> r.W.Harness.cycles)
 
 let test_fig6_shape () =
   let points = E.Fig6.points (Lazy.force sweep) in

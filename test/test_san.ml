@@ -47,12 +47,13 @@ let test_shadow_register_find () =
   check Alcotest.bool "gap not found" true (Shadow_heap.find sh 0x1800 = None);
   check Alcotest.bool "one past end" true (Shadow_heap.find sh 0x1040 = None);
   Alcotest.check_raises "non-canonical base"
-    (Invalid_argument "Shadow_heap.register: non-canonical base") (fun () ->
+    (Invalid_argument "Shadow_heap.register_parts: non-canonical base")
+    (fun () ->
       Shadow_heap.register sh ~base:(Vaddr.with_tag 0x3000 ~tag:1) ~size:8
         ~type_id:0);
   Alcotest.check_raises "non-positive size"
-    (Invalid_argument "Shadow_heap.register: size must be positive") (fun () ->
-      Shadow_heap.register sh ~base:0x3000 ~size:0 ~type_id:0)
+    (Invalid_argument "Shadow_heap.register_parts: size must be positive")
+    (fun () -> Shadow_heap.register sh ~base:0x3000 ~size:0 ~type_id:0)
 
 let test_shadow_classify () =
   let sh = Shadow_heap.create () in

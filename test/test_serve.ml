@@ -69,12 +69,13 @@ let spec_gen =
     oneofl [ "TRAF"; "GOL"; "Dynasoar/GEN"; "RAY"; "nonsense" ]
   in
   let* technique = oneofl X.Request.technique_names in
+  let* alloc = opt (oneofl Repro_core.Alloc_family.all_names) in
   let* scale = float_range 0.01 2.0 in
   let* seed = int_range 0 1000 in
   let* iterations = opt (int_range 1 5) in
   let* chunk_objs = opt (int_range 16 256) in
   return
-    (X.Request.Spec.make ?iterations ?chunk_objs ~scale ~seed ~workload
+    (X.Request.Spec.make ?alloc ?iterations ?chunk_objs ~scale ~seed ~workload
        ~technique ())
 
 let spec_roundtrip =
@@ -95,6 +96,7 @@ let sample_specs =
     X.Request.Spec.make ~workload:"TRAF" ~technique:"tp" ();
     X.Request.Spec.make ~scale:0.5 ~seed:7 ~iterations:2 ~chunk_objs:64
       ~workload:"GOL" ~technique:"tp/cuda" ();
+    X.Request.Spec.make ~alloc:"dyna" ~workload:"GOL" ~technique:"cuda" ();
   ]
 
 let sample_requests =
@@ -209,6 +211,14 @@ let test_decode_errors_name_field () =
   check Alcotest.bool ("path in: " ^ err) true (contains ~sub:"jobs[1].scale" err);
   let err = decode_error {|{"v":1,"type":"submit","jobs":[]}|} in
   check Alcotest.bool ("missing id in: " ^ err) true (contains ~sub:"id" err);
+  let err =
+    decode_error
+      {|{"v":1,"type":"submit","id":"b","jobs":[{"workload":"GOL","technique":"tp","alloc":"slab"}]}|}
+  in
+  check Alcotest.bool ("alloc path in: " ^ err) true
+    (contains ~sub:"jobs[0].alloc" err);
+  check Alcotest.bool ("alloc families listed in: " ^ err) true
+    (contains ~sub:"expected one of cuda, shared-oa, dyna" err);
   let err = decode_error {|{"v":1,"type":"query","job":{"technique":"tp"}}|} in
   check Alcotest.bool ("path in: " ^ err) true
     (contains ~sub:"job.workload" err);
