@@ -119,6 +119,17 @@ let run_dram () =
   save_csv "dram" (E.Dram.csv s);
   record "dram" [ E.Dram.series s ]
 
+let run_tlb () =
+  banner "TLB page-walk overhead (re-sweeps under each page-size policy)";
+  let t =
+    E.Fig_tlb.run ~scale ~j:jobs ~cache ?cache_dir
+      ~progress:(fun label -> Printf.eprintf "  running %s...\n%!" label)
+      ()
+  in
+  print_string (E.Fig_tlb.render t);
+  save_csv "tlb" (E.Fig_tlb.csv t);
+  record "tlb" (E.Fig_tlb.series t)
+
 let run_fig10 () =
   banner "Figure 10 (chunk-size sensitivity; re-runs COAL per size)";
   let points = E.Fig10.run ~scale ~j:jobs ~cache ?cache_dir () in
@@ -255,7 +266,7 @@ let jobs =
   [
     ("fig1b", run_fig1b); ("table1", run_table1); ("table2", run_table2);
     ("fig6", run_fig6); ("fig7", run_fig7); ("fig8", run_fig8); ("fig9", run_fig9);
-    ("dram", run_dram);
+    ("dram", run_dram); ("tlb", run_tlb);
     ("fig10", run_fig10); ("fig11", run_fig11); ("fig12a", run_fig12a);
     ("fig12b", run_fig12b); ("init", run_init); ("ablation", run_ablation);
     ("bechamel", run_bechamel);

@@ -49,6 +49,7 @@ type result = {
   wall_s : float;       (* for [reps] passes *)
   minor_words : float;  (* for [reps] passes *)
   tel_wall_s : float;   (* same passes with the event tracer on *)
+  vm_wall_s : float;    (* same passes with address translation on *)
 }
 
 let minstr_per_s r = float_of_int (r.instrs * reps) /. r.wall_s /. 1e6
@@ -60,11 +61,17 @@ let tracer_overhead_pct r =
   if r.wall_s <= 0. then 0.
   else 100. *. (r.tel_wall_s -. r.wall_s) /. r.wall_s
 
+(* Host cost of the translation model itself (TLB lookups on every
+   coalesced sector), not the simulated walk latency. *)
+let vm_overhead_pct r =
+  if r.wall_s <= 0. then 0.
+  else 100. *. (r.vm_wall_s -. r.wall_s) /. r.wall_s
+
 (* Replay [launches] through a fresh hierarchy [reps] times; one untimed
    warm-up pass first so code and data are hot. Then the same passes
    again with the event ring recording (the tracer-overhead column;
    target is within ~10% of the plain path). *)
-let time_replay ~job ~cfg launches =
+let time_replay ~job ~cfg ~vm launches =
   let mp = G.Mem_path.create cfg in
   let stats = G.Stats.create () in
   let instrs =
@@ -116,11 +123,36 @@ let time_replay ~job ~cfg launches =
     replay_tel ()
   done;
   let tel_wall_s = Unix.gettimeofday () -. t0 in
+  (* Translation-on passes: the job's page table and TLB hierarchy
+     attached to another fresh hierarchy (the vm-overhead column;
+     simulated cycles change, wall time is what we measure here). *)
+  let vm_mp = G.Mem_path.create cfg in
+  G.Mem_path.set_vm vm_mp (Some vm);
+  let vm_stats = G.Stats.create () in
+  let replay_vm () =
+    List.iter
+      (fun traces -> ignore (G.Sm.run cfg vm_mp ~stats:vm_stats ~traces))
+      launches
+  in
+  replay_vm ();
+  Gc.full_major ();
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    replay_vm ()
+  done;
+  let vm_wall_s = Unix.gettimeofday () -. t0 in
   { job; launches = List.length launches; instrs; cycles; wall_s; minor_words;
-    tel_wall_s }
+    tel_wall_s; vm_wall_s }
 
 let workload_job ?alloc (w : W.Workload.t) technique =
-  let params = { (W.Workload.default_params technique) with scale; alloc } in
+  (* Built with translation on so the runtime assembles the job's real
+     page table (coalesce policy, the allocator's contiguity report);
+     the plain and tracer passes below use their own untranslated
+     hierarchies, so their numbers are unaffected. *)
+  let params =
+    { (W.Workload.default_params technique) with
+      scale; alloc; pages = Some Repro_vm.Policy.Coalesce }
+  in
   let inst = w.W.Workload.build params in
   let dev = R.Runtime.device inst.W.Workload.rt in
   G.Device.retain_traces dev true;
@@ -129,13 +161,19 @@ let workload_job ?alloc (w : W.Workload.t) technique =
   done;
   let launches = G.Device.retained_traces dev in
   G.Device.retain_traces dev false;
+  R.Runtime.build_vm inst.W.Workload.rt;
+  let vm =
+    match R.Runtime.vm inst.W.Workload.rt with
+    | Some vm -> vm
+    | None -> assert false
+  in
   let column =
     match alloc with
     | None -> R.Technique.name technique
     | Some fam -> String.lowercase_ascii (R.Alloc_family.column_name technique fam)
   in
   let job = Printf.sprintf "%s/%s" w.W.Workload.name column in
-  time_replay ~job ~cfg:(G.Device.config dev) launches
+  time_replay ~job ~cfg:(G.Device.config dev) ~vm launches
 
 (* Fixed-mix synthetic traces (one aligned load, one aligned store, a
    short compute chain, a branch, a virtual call — repeating), so the
@@ -165,7 +203,13 @@ let canned_job () =
         done;
         G.Warp_ctx.trace ctx)
   in
-  time_replay ~job:"canned/mix" ~cfg [ traces ]
+  (* One flat 4K arena covering the synthetic address range. *)
+  let table =
+    Repro_vm.Page_table.build ~policy:Repro_vm.Policy.Flat_4k
+      ~arenas:[ (0, 33 * 1024 * 1024) ] ~promoted:[] ()
+  in
+  let vm = Repro_vm.Vm.create ~n_sms:cfg.G.Config.n_sms ~table () in
+  time_replay ~job:"canned/mix" ~cfg ~vm [ traces ]
 
 let result_json r =
   O.Json.Obj
@@ -182,18 +226,21 @@ let result_json r =
       ("tracer_wall_s", O.Json.Float r.tel_wall_s);
       ("tracer_minstr_per_s", O.Json.Float (tel_minstr_per_s r));
       ("tracer_overhead_pct", O.Json.Float (tracer_overhead_pct r));
+      ("vm_wall_s", O.Json.Float r.vm_wall_s);
+      ("vm_overhead_pct", O.Json.Float (vm_overhead_pct r));
     ]
 
 let () =
   Printf.printf "sim_bench: scale=%g reps=%d\n%!" scale reps;
-  Printf.printf "%-18s %10s %9s %9s %9s %12s %9s %6s\n" "job" "instrs"
-    "Minstr/s" "Mcyc/s" "wall(s)" "words/instr" "tracer" "ovh%";
+  Printf.printf "%-18s %10s %9s %9s %9s %12s %9s %6s %6s\n" "job" "instrs"
+    "Minstr/s" "Mcyc/s" "wall(s)" "words/instr" "tracer" "ovh%" "vm%";
   let results = ref [] in
   let emit r =
     results := r :: !results;
-    Printf.printf "%-18s %10d %9.2f %9.2f %9.3f %12.3f %9.2f %+6.1f\n%!" r.job
-      r.instrs (minstr_per_s r) (mcyc_per_s r) r.wall_s (words_per_instr r)
-      (tel_minstr_per_s r) (tracer_overhead_pct r)
+    Printf.printf "%-18s %10d %9.2f %9.2f %9.3f %12.3f %9.2f %+6.1f %+6.1f\n%!"
+      r.job r.instrs (minstr_per_s r) (mcyc_per_s r) r.wall_s
+      (words_per_instr r) (tel_minstr_per_s r) (tracer_overhead_pct r)
+      (vm_overhead_pct r)
   in
   emit (canned_job ());
   List.iter
@@ -211,18 +258,25 @@ let () =
   let total_tel_wall =
     List.fold_left (fun a r -> a +. r.tel_wall_s) 0. results
   in
+  let total_vm_wall =
+    List.fold_left (fun a r -> a +. r.vm_wall_s) 0. results
+  in
   let agg_overhead =
     if total_wall > 0. then
       100. *. (total_tel_wall -. total_wall) /. total_wall
     else 0.
   in
+  let agg_vm_overhead =
+    if total_wall > 0. then 100. *. (total_vm_wall -. total_wall) /. total_wall
+    else 0.
+  in
   Printf.printf
     "aggregate: %.2f Minstr/s over %d jobs, %.3f minor words/instr, \
-     tracer overhead %+.1f%%\n%!"
+     tracer overhead %+.1f%%, translation overhead %+.1f%%\n%!"
     (float_of_int total_instrs /. total_wall /. 1e6)
     (List.length results)
     (total_words /. float_of_int total_instrs)
-    agg_overhead;
+    agg_overhead agg_vm_overhead;
   let json =
     O.Json.Obj
       [
@@ -236,6 +290,7 @@ let () =
               ( "minor_words_per_instr",
                 O.Json.Float (total_words /. float_of_int total_instrs) );
               ("tracer_overhead_pct", O.Json.Float agg_overhead);
+              ("vm_overhead_pct", O.Json.Float agg_vm_overhead);
             ] );
         ("jobs", O.Json.List (List.map result_json results));
       ]

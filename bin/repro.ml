@@ -68,6 +68,29 @@ let alloc_arg =
                technique's paper allocator -- the SharedOA heap for \
                shard/coal/tp, the device heap for cuda/con).")
 
+(* [resolve_pages] validates eagerly so a typo exits 2 with the policy
+   list; "none"/"off" resolve to [None] (translation off), matching the
+   spec layer's canonicalization. *)
+let resolve_pages s =
+  match Repro_vm.Policy.parse s with
+  | Ok p -> p
+  | Error _ ->
+    cli_error "unknown page policy %S; valid policies: %s" s
+      (String.concat ", " Repro_vm.Policy.cli_names)
+
+(* The canonical wire spelling for a spec ("none" when translation is
+   off; [Spec.make] maps it back to the absent field). *)
+let canonical_pages s =
+  match resolve_pages s with
+  | None -> "none"
+  | Some p -> Repro_vm.Policy.name p
+
+let pages_arg =
+  Arg.(value & opt (some string) None & info [ "pages" ] ~docv:"POLICY"
+         ~doc:"Address-translation page-size policy: none | flat-4k | \
+               flat-2m | coalesce (default: none -- translation off, the \
+               TLB model fully out of the measured path).")
+
 let scale_arg =
   Arg.(value & opt float E.Sweep.default_scale & info [ "s"; "scale" ] ~docv:"SCALE"
          ~doc:"Workload scale factor (1.0 = the full reduced-size configuration).")
@@ -107,11 +130,12 @@ let csv_arg =
    plain-data description the serve protocol carries — so the CLI, the
    daemon and the bench resolve names and defaults identically. *)
 
-let spec_of ?alloc ~workload ~technique ~scale ~seed ~iterations () =
-  (* Resolve --alloc here so a typo exits 2 with the family list, and the
-     spec carries the canonical name. *)
+let spec_of ?alloc ?pages ~workload ~technique ~scale ~seed ~iterations () =
+  (* Resolve --alloc/--pages here so a typo exits 2 with the valid-name
+     list, and the spec carries the canonical name. *)
   let alloc = Option.map (fun s -> A.name (resolve_alloc s)) alloc in
-  X.Request.Spec.make ?alloc ?iterations ~scale ~seed ~workload ~technique ()
+  let pages = Option.map canonical_pages pages in
+  X.Request.Spec.make ?alloc ?pages ?iterations ~scale ~seed ~workload ~technique ()
 
 let resolve_spec spec =
   match X.Request.Spec.resolve spec with
@@ -223,9 +247,10 @@ let run_cmd =
     Arg.(value & opt string "shard" & info [ "t"; "technique" ] ~docv:"TECH"
            ~doc:"cuda | con | shard | coal | tp | tp-hw | tp/cuda.")
   in
-  let run w t alloc scale seed iterations timeline window =
+  let run w t alloc pages scale seed iterations timeline window =
     let job =
-      resolve_spec (spec_of ?alloc ~workload:w ~technique:t ~scale ~seed ~iterations ())
+      resolve_spec
+        (spec_of ?alloc ?pages ~workload:w ~technique:t ~scale ~seed ~iterations ())
     in
     let p =
       { job.X.Job.params with
@@ -241,8 +266,8 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one workload under one technique and print its profile.")
-    Term.(const run $ workload $ technique $ alloc_arg $ scale_arg $ seed_arg
-          $ iterations_arg $ timeline_arg $ window_arg)
+    Term.(const run $ workload $ technique $ alloc_arg $ pages_arg $ scale_arg
+          $ seed_arg $ iterations_arg $ timeline_arg $ window_arg)
 
 (* --- profile --------------------------------------------------------------- *)
 
@@ -255,9 +280,10 @@ let profile_cmd =
     Arg.(value & opt string "shard" & info [ "t"; "technique" ] ~docv:"TECH"
            ~doc:"cuda | con | shard | coal | tp | tp-hw | tp/cuda.")
   in
-  let run w t alloc scale seed iterations timeline window json csv =
+  let run w t alloc pages scale seed iterations timeline window json csv =
     let job =
-      resolve_spec (spec_of ?alloc ~workload:w ~technique:t ~scale ~seed ~iterations ())
+      resolve_spec
+        (spec_of ?alloc ?pages ~workload:w ~technique:t ~scale ~seed ~iterations ())
     in
     let p =
       { job.X.Job.params with
@@ -335,8 +361,9 @@ let profile_cmd =
     (Cmd.info "profile"
        ~doc:"Run one workload under one technique and print its per-kernel \
              counter timeline (the simulator's nvprof).")
-    Term.(const run $ workload $ technique $ alloc_arg $ scale_arg $ seed_arg
-          $ iterations_arg $ timeline_arg $ window_arg $ json_arg $ csv_arg)
+    Term.(const run $ workload $ technique $ alloc_arg $ pages_arg $ scale_arg
+          $ seed_arg $ iterations_arg $ timeline_arg $ window_arg $ json_arg
+          $ csv_arg)
 
 (* --- trace ----------------------------------------------------------------- *)
 
@@ -362,9 +389,10 @@ let trace_cmd =
   let sanitize name =
     String.map (fun c -> if c = '/' || c = ' ' then '_' else c) name
   in
-  let run w t alloc scale seed iterations window capacity out =
+  let run w t alloc pages scale seed iterations window capacity out =
     let job =
-      resolve_spec (spec_of ?alloc ~workload:w ~technique:t ~scale ~seed ~iterations ())
+      resolve_spec
+        (spec_of ?alloc ?pages ~workload:w ~technique:t ~scale ~seed ~iterations ())
     in
     let column = X.Job.column_name job in
     if capacity <= 0 then cli_error "capacity must be positive, got %d" capacity;
@@ -426,8 +454,8 @@ let trace_cmd =
              and export a Chrome trace-event JSON (Perfetto-loadable): one \
              track per SM (stall intervals, L1), plus L2, DRAM, kernel \
              spans and windowed counter tracks.")
-    Term.(const run $ workload $ technique $ alloc_arg $ scale_arg $ seed_arg
-          $ iterations_arg $ window_arg $ capacity $ out)
+    Term.(const run $ workload $ technique $ alloc_arg $ pages_arg $ scale_arg
+          $ seed_arg $ iterations_arg $ window_arg $ capacity $ out)
 
 (* --- compare --------------------------------------------------------------- *)
 
@@ -500,9 +528,11 @@ let sweep_columns alloc =
     if A.is_default T.Cuda fam then paper
     else paper @ [ E.Sweep.column ~alloc:fam T.Cuda ]
 
-let sweep_of ?alloc scale j cache cache_dir =
+let sweep_of ?alloc ?pages scale j cache cache_dir =
+  let pages = Option.bind pages resolve_pages in
   let sweep =
-    E.Sweep.exec ~columns:(sweep_columns alloc) ~scale ~j ~cache ?cache_dir
+    E.Sweep.exec ~columns:(sweep_columns alloc) ?pages ~scale ~j ~cache
+      ?cache_dir
       ~progress:(fun label -> Printf.eprintf "  %s...\n%!" label)
       ()
   in
@@ -518,7 +548,7 @@ let sweep_of ?alloc scale j cache cache_dir =
 let figure_cmd =
   let which =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FIG"
-           ~doc:"One of: 1b, 6, 7, 8, 9, 10, 11, 12a, 12b.")
+           ~doc:"One of: 1b, 6, 7, 8, 9, 10, 11, 12a, 12b, tlb.")
   in
   let figure_alloc =
     Arg.(value & opt (some string) None & info [ "alloc" ] ~docv:"FAMILY"
@@ -526,13 +556,17 @@ let figure_cmd =
                  sweep figures (default: dyna). $(b,--alloc cuda) drops the \
                  extra column and renders the paper's original five.")
   in
-  let run which alloc scale j no_cache cache_dir json csv =
+  let run which alloc pages scale j no_cache cache_dir json csv =
     let cache = not no_cache in
-    let sweep () = sweep_of ?alloc scale j cache cache_dir in
+    let sweep () = sweep_of ?alloc ?pages scale j cache cache_dir in
     let reject_alloc which =
       if alloc <> None then
         cli_error "figure %s has a fixed column set; --alloc does not apply"
           which
+    in
+    let reject_pages which reason =
+      if pages <> None then
+        cli_error "figure %s %s; --pages does not apply" which reason
     in
     let text, series =
       match which with
@@ -553,23 +587,38 @@ let figure_cmd =
         (E.Fig9.render s, [ E.Fig9.series s ])
       | "10" ->
         reject_alloc "10";
+        reject_pages "10" "has a fixed configuration";
         let ps = E.Fig10.run ~scale ~j ~cache ?cache_dir () in
         (E.Fig10.render ps, [ E.Fig10.series_perf ps; E.Fig10.series_frag ps ])
       | "11" ->
         reject_alloc "11";
+        reject_pages "11" "has a fixed configuration";
         let ps = E.Fig11.points ~scale ~j ~cache ?cache_dir () in
         (E.Fig11.render ps, [ E.Fig11.series ps ])
       | "12a" ->
         reject_alloc "12a";
+        reject_pages "12a" "has a fixed configuration";
         let ps = E.Fig12.run_object_sweep ~scale ~j () in
         (E.Fig12.render_object_sweep ps, [ E.Fig12.object_series ps ])
       | "12b" ->
         reject_alloc "12b";
+        reject_pages "12b" "has a fixed configuration";
         let ps = E.Fig12.run_type_sweep ~scale ~j () in
         (E.Fig12.render_type_sweep ps, [ E.Fig12.type_series ps ])
+      | "tlb" ->
+        (* Sweeps all three policies itself; a single --pages would
+           contradict the comparison. *)
+        reject_pages "tlb" "sweeps every page policy";
+        let t =
+          E.Fig_tlb.run ~columns:(sweep_columns alloc) ~scale ~j ~cache
+            ?cache_dir
+            ~progress:(fun label -> Printf.eprintf "  %s...\n%!" label)
+            ()
+        in
+        (E.Fig_tlb.render t, E.Fig_tlb.series t)
       | other ->
         cli_error "unknown figure %S; valid figures: %s" other
-          "1b, 6, 7, 8, 9, 10, 11, 12a, 12b"
+          "1b, 6, 7, 8, 9, 10, 11, 12a, 12b, tlb"
     in
     print_string text;
     Option.iter
@@ -577,9 +626,13 @@ let figure_cmd =
       json;
     Option.iter (fun path -> write_csv path (series_csv series)) csv
   in
-  Cmd.v (Cmd.info "figure" ~doc:"Regenerate one of the paper's figures.")
-    Term.(const run $ which $ figure_alloc $ scale_arg $ jobs_arg $ no_cache_arg
-          $ cache_dir_arg $ json_arg $ csv_arg)
+  Cmd.v
+    (Cmd.info "figure"
+       ~doc:"Regenerate one of the paper's figures, or $(b,tlb): the \
+             repo's page-walk-overhead comparison across page-size \
+             policies.")
+    Term.(const run $ which $ figure_alloc $ pages_arg $ scale_arg $ jobs_arg
+          $ no_cache_arg $ cache_dir_arg $ json_arg $ csv_arg)
 
 let table1_json sweep =
   O.Json.Obj
@@ -762,7 +815,7 @@ let check_cmd =
                  dead, $(b,range) skews COAL's range-table leaves. The \
                  matching detector must fire, so the command exits 1.")
   in
-  let run w t alloc all mutate scale seed iterations j json =
+  let run w t alloc pages all mutate scale seed iterations j json =
     let workloads =
       match (w, all) with
       | Some _, true -> cli_error "pass either -w NAME or --all, not both"
@@ -788,7 +841,7 @@ let check_cmd =
     in
     let params =
       params_of
-        (spec_of ?alloc
+        (spec_of ?alloc ?pages
            ~workload:(W.Registry.qualified_name (List.hd workloads))
            ~technique:"cuda" ~scale ~seed ~iterations ())
     in
@@ -810,8 +863,8 @@ let check_cmd =
        ~doc:"Run the shadow-heap sanitizer and the cross-technique \
              dispatch oracle: every access checked against the shadow \
              map, every dispatch compared with the CUDA reference.")
-    Term.(const run $ workload $ technique $ alloc_arg $ all $ mutate $ scale_arg
-          $ seed_arg $ iterations_arg $ jobs_arg $ json_arg)
+    Term.(const run $ workload $ technique $ alloc_arg $ pages_arg $ all
+          $ mutate $ scale_arg $ seed_arg $ iterations_arg $ jobs_arg $ json_arg)
 
 (* --- sweep ----------------------------------------------------------------- *)
 
@@ -855,16 +908,18 @@ let print_outcome_rows rows =
    allocators plus the DYNA column, matching [Sweep.default_columns] so
    figure/table regeneration hits the same cache entries. --alloc FAMILY
    instead runs every technique over that one family. *)
-let sweep_specs ?alloc ~scale () =
+let sweep_specs ?alloc ?pages ~scale () =
   let workloads = List.map W.Registry.qualified_name W.Registry.all in
   let techniques = List.map X.Request.technique_to_string T.all_paper in
+  let pages = Option.map canonical_pages pages in
   match alloc with
   | Some name ->
     let alloc = A.name (resolve_alloc name) in
     X.Request.Spec.matrix ~workloads ~techniques
-      ~base:(X.Request.Spec.make ~alloc ~scale ~workload:"" ~technique:"" ())
+      ~base:
+        (X.Request.Spec.make ~alloc ?pages ~scale ~workload:"" ~technique:"" ())
   | None ->
-    let base = X.Request.Spec.make ~scale ~workload:"" ~technique:"" () in
+    let base = X.Request.Spec.make ?pages ~scale ~workload:"" ~technique:"" () in
     List.concat_map
       (fun workload ->
         List.map
@@ -883,13 +938,13 @@ let sweep_cmd =
     Arg.(value & flag & info [ "clear-cache" ]
            ~doc:"Drop every cached result before sweeping.")
   in
-  let run alloc scale j no_cache cache_dir clear quiet json =
+  let run alloc pages scale j no_cache cache_dir clear quiet json =
     let cache = not no_cache in
     let dir = Option.value cache_dir ~default:(X.Cache.default_dir ()) in
     if clear then
       Printf.eprintf "cleared %d cached result(s) from %s\n%!"
         (X.Cache.clear ~dir) dir;
-    let jobs = List.map resolve_spec (sweep_specs ?alloc ~scale ()) in
+    let jobs = List.map resolve_spec (sweep_specs ?alloc ?pages ~scale ()) in
     let t0 = Unix.gettimeofday () in
     let outcomes = X.Executor.run ~jobs:j ~cache ~cache_dir:dir jobs in
     let elapsed = Unix.gettimeofday () -. t0 in
@@ -942,8 +997,8 @@ let sweep_cmd =
     (Cmd.info "sweep"
        ~doc:"Run the full job matrix (the five paper columns plus DYNA) \
              and print per-job status, wall time and cache hits.")
-    Term.(const run $ sweep_alloc $ scale_arg $ jobs_arg $ no_cache_arg
-          $ cache_dir_arg $ clear $ quiet_arg $ json_arg)
+    Term.(const run $ sweep_alloc $ pages_arg $ scale_arg $ jobs_arg
+          $ no_cache_arg $ cache_dir_arg $ clear $ quiet_arg $ json_arg)
 
 (* --- serve / submit / ctl --------------------------------------------------- *)
 
@@ -999,12 +1054,12 @@ let submit_cmd =
     Arg.(value & flag & info [ "all" ]
            ~doc:"Submit the full 11x5 matrix ($(b,repro sweep)'s job list).")
   in
-  let run socket ws ts alloc all scale seed iterations no_cache quiet json =
+  let run socket ws ts alloc pages all scale seed iterations no_cache quiet json =
     let specs =
       if all then begin
         if ws <> [] || ts <> [] then
           cli_error "pass either --all or -w/-t, not both";
-        sweep_specs ?alloc ~scale ()
+        sweep_specs ?alloc ?pages ~scale ()
       end
       else if ws = [] then
         cli_error "nothing to submit: pass -w NAME (repeatable) or --all"
@@ -1014,10 +1069,11 @@ let submit_cmd =
           else ts
         in
         let alloc = Option.map (fun s -> A.name (resolve_alloc s)) alloc in
+        let pages = Option.map canonical_pages pages in
         X.Request.Spec.matrix ~workloads:ws ~techniques:ts
           ~base:
-            (X.Request.Spec.make ?alloc ~scale ~seed ?iterations ~workload:""
-               ~technique:"" ())
+            (X.Request.Spec.make ?alloc ?pages ~scale ~seed ?iterations
+               ~workload:"" ~technique:"" ())
     in
     (* Resolve locally first: a typo fails here with the usual message
        instead of as a daemon-side batch rejection — and the spec goes
@@ -1103,9 +1159,9 @@ let submit_cmd =
              stream per-job progress, and print the sweep-style table. \
              Results are byte-identical to running the same jobs \
              in-process.")
-    Term.(const run $ socket_arg $ workloads $ techniques $ alloc_arg $ all
-          $ scale_arg $ seed_arg $ iterations_arg $ no_cache_arg $ quiet_arg
-          $ json_arg)
+    Term.(const run $ socket_arg $ workloads $ techniques $ alloc_arg
+          $ pages_arg $ all $ scale_arg $ seed_arg $ iterations_arg
+          $ no_cache_arg $ quiet_arg $ json_arg)
 
 let ctl_cmd =
   let action =
@@ -1124,11 +1180,11 @@ let ctl_cmd =
     Arg.(value & flag & info [ "all" ]
            ~doc:"With $(b,invalidate): drop the daemon's whole result cache.")
   in
-  let run socket action w t alloc scale seed iterations all =
+  let run socket action w t alloc pages scale seed iterations all =
     let spec_for verb =
       match w with
       | Some workload ->
-        spec_of ?alloc ~workload ~technique:t ~scale ~seed ~iterations ()
+        spec_of ?alloc ?pages ~workload ~technique:t ~scale ~seed ~iterations ()
       | None -> cli_error "%s needs -w NAME (and -t TECH)" verb
     in
     let client = connect socket in
@@ -1187,7 +1243,7 @@ let ctl_cmd =
        ~doc:"Poke a running $(b,repro serve) daemon: liveness, scheduler \
              counters, cache probes and invalidation, shutdown.")
     Term.(const run $ socket_arg $ action $ workload $ technique $ alloc_arg
-          $ scale_arg $ seed_arg $ iterations_arg $ all)
+          $ pages_arg $ scale_arg $ seed_arg $ iterations_arg $ all)
 
 let () =
   let doc = "Reproduction of 'Judging a Type by Its Pointer' (ASPLOS '21)." in

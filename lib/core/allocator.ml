@@ -27,6 +27,7 @@ type t = {
   free : (ptr:int -> unit) option;
   field_addr : (obj:int -> off:int -> int) option;
   regions : unit -> Region.t list;
+  contiguity : unit -> Region.t list;
   stats : unit -> stats;
 }
 

@@ -58,6 +58,14 @@ type t = {
   regions : unit -> Region.t list;
       (** Current typed regions, sorted by base ([\[\]] for allocators
           that do not segregate by type). *)
+  contiguity : unit -> Region.t list;
+      (** Contiguously-allocated same-type placement spans, sorted by
+          base, reported to the address-translation model as large-page
+          promotion candidates. Unlike {!regions} (used extents, for
+          COAL's range table), these are {e reservation} extents —
+          adjacent same-type reservations merged — so they tile the
+          allocator's arena exactly. [\[\]] for families whose placement
+          interleaves types at fine grain (the CUDA baseline). *)
   stats : unit -> stats;
 }
 

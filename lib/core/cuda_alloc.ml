@@ -85,5 +85,8 @@ let create ?shadow ?(slabs = default_slabs) ?(arena_bytes = 1 lsl 30) ~space () 
     free = None;
     field_addr = None;
     regions = (fun () -> []);
+    (* Round-robin slab placement interleaves types at object grain, so
+       no same-type span ever reaches promotion size. *)
+    contiguity = (fun () -> []);
     stats;
   }

@@ -296,6 +296,25 @@ let create_with_summary ?shadow ?(block_slots = default_block_slots)
       st.all_blocks
     |> List.sort Region.compare_base
   in
+  (* Reservation extents merged across flush-adjacent same-type blocks:
+     a chain of blocks reserved back-to-back reports one span, which is
+     what lets the translation model promote it to large pages. *)
+  let contiguity () =
+    ensure_sorted st;
+    let spans = ref [] in
+    Array.iter
+      (fun b ->
+        let limit = b.bbase + b.reserved in
+        match !spans with
+        | (base, prev_limit, tid) :: rest
+          when prev_limit = b.bbase && tid = b.type_id ->
+          spans := (base, limit, tid) :: rest
+        | _ -> spans := (b.bbase, limit, b.type_id) :: !spans)
+      st.sorted;
+    List.rev_map
+      (fun (base, limit, type_id) -> Region.make ~base ~limit ~type_id)
+      !spans
+  in
   let stats () =
     {
       Allocator.objects = st.objects;
@@ -343,6 +362,7 @@ let create_with_summary ?shadow ?(block_slots = default_block_slots)
       free = Some free;
       field_addr = Some field_addr;
       regions;
+      contiguity;
       stats;
     },
     summary )

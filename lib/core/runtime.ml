@@ -19,10 +19,12 @@ type t = {
   san : Repro_san.Checker.t option;
   allocations : (int * Registry.typ) Vec.t;
   mutable regions_dirty : bool;
+  pages : Repro_vm.Policy.t option;
+  mutable vm_dirty : bool;
 }
 
 let create ?config ?(chunk_objs = Shared_oa.default_chunk_objs) ?vt_encoding ?san
-    ?telemetry ?alloc ~technique () =
+    ?telemetry ?alloc ?pages ~technique () =
   (match san with
    | Some checker
      when Repro_san.Checker.tags_expected checker
@@ -73,6 +75,8 @@ let create ?config ?(chunk_objs = Shared_oa.default_chunk_objs) ?vt_encoding ?sa
     san;
     allocations = Vec.create ();
     regions_dirty = true;
+    pages;
+    vm_dirty = pages <> None;
   }
 
 let technique t = t.technique
@@ -111,6 +115,40 @@ let write_headers t typ addr =
     store 0 (Registry.cpu_vtable typ);
     store 1 (Registry.gpu_vtable typ)
 
+(* Rebuild the translation model from the current address-space layout
+   and the allocator's reported contiguity. Called lazily from [launch]
+   (like the range table) so a burst of allocations costs one rebuild;
+   a rebuild replaces the whole model, so both TLB levels start cold. *)
+let build_vm t =
+  match t.pages with
+  | None -> ()
+  | Some policy ->
+    let arenas =
+      List.map
+        (fun a ->
+          (a.Address_space.base, a.Address_space.size))
+        (Address_space.arenas t.space)
+    in
+    let promoted =
+      match policy with
+      | Repro_vm.Policy.Coalesce ->
+        List.map
+          (fun r -> (r.Region.base, r.Region.limit, r.Region.type_id))
+          (t.allocator.Allocator.contiguity ())
+      | Repro_vm.Policy.Flat_4k | Repro_vm.Policy.Flat_2m -> []
+    in
+    let table = Repro_vm.Page_table.build ~policy ~arenas ~promoted () in
+    let n_sms = (Device.config t.device).Repro_gpu.Config.n_sms in
+    Device.set_vm t.device (Some (Repro_vm.Vm.create ~n_sms ~table ()));
+    (match t.san with
+     | Some san -> Repro_san.Checker.set_page_table san (Some table)
+     | None -> ());
+    t.vm_dirty <- false
+
+let vm t = Device.vm t.device
+
+let pages t = t.pages
+
 let new_obj t typ =
   ensure_materialized t;
   let size_bytes =
@@ -135,6 +173,7 @@ let new_obj t typ =
   in
   Vec.push t.allocations (ptr, typ);
   t.regions_dirty <- true;
+  if t.pages <> None then t.vm_dirty <- true;
   ptr
 
 let new_objs t typ n =
@@ -158,6 +197,10 @@ let launch t ~n_threads kernel =
       | _ -> ());
      t.regions_dirty <- false
    | Some _ | None -> ());
+  (* After the range-table rebuild: each rebuild reserves a fresh arena,
+     which the page table must cover before the kernel's range walks
+     translate through it. *)
+  if t.vm_dirty then build_vm t;
   Device.launch t.device ~n_threads (fun ctx ->
       kernel (Dispatch.make_env t.dispatch ctx))
 

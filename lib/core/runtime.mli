@@ -18,6 +18,7 @@ val create :
   ?san:Repro_san.Checker.t ->
   ?telemetry:Repro_gpu.Telemetry.config ->
   ?alloc:Alloc_family.t ->
+  ?pages:Repro_vm.Policy.t ->
   technique:Technique.t ->
   unit -> t
 (** [chunk_objs] is SharedOA's initial region size in objects (Fig. 10
@@ -30,7 +31,15 @@ val create :
     capability is installed as the object model's address hook, so an
     SoA family reshapes all member traffic. Raises [Invalid_argument]
     when the checker's [tags_expected] disagrees with whether
-    [technique] tags pointers. *)
+    [technique] tags pointers.
+
+    [pages] opts into the address-translation model under the given
+    page-size policy: before each launch whose heap layout changed, the
+    runtime rebuilds a page table from the address space and the
+    allocator's {!Allocator.t.contiguity} report, prices every memory
+    access through a two-level TLB hierarchy, and (when a sanitizer is
+    attached) validates each checked access against the mapping. Omitted
+    (the default), the timing model is exactly the untranslated one. *)
 
 val san : t -> Repro_san.Checker.t option
 
@@ -47,6 +56,19 @@ val object_model : t -> Object_model.t
 val allocator : t -> Allocator.t
 val range_table : t -> Range_table.t option
 val address_space : t -> Repro_mem.Address_space.t
+
+val pages : t -> Repro_vm.Policy.t option
+(** The page-size policy the runtime was created with. *)
+
+val vm : t -> Repro_vm.Vm.t option
+(** The translation model currently attached to the device ([None]
+    before the first launch, or when [pages] was omitted). *)
+
+val build_vm : t -> unit
+(** Force the lazy rebuild {!launch} performs when the heap layout
+    changed. No-op without [pages]. Exposed for offline replay
+    ([bench/sim_bench.exe]), which re-times retained traces without
+    launching. *)
 
 val register_impl : t -> name:string -> Registry.impl -> int
 

@@ -101,6 +101,22 @@ let create ?shadow ?(chunk_objs = default_chunk_objs) ~space () =
       st.by_type []
     |> List.sort Region.compare_base
   in
+  (* Reservation extents (chunk base to page-rounded end): unlike
+     [regions] they tile the oa:* arenas exactly, which is what the
+     translation model needs to promote without partial-page overlap.
+     [grow] already merges flush-adjacent reservations of one type. *)
+  let contiguity () =
+    Hashtbl.fold
+      (fun _ ts acc ->
+        List.fold_left
+          (fun acc chunk ->
+            Region.make ~base:chunk.base ~limit:chunk.reserved_end
+              ~type_id:ts.type_id
+            :: acc)
+          acc ts.chunks)
+      st.by_type []
+    |> List.sort Region.compare_base
+  in
   let stats () =
     Allocator.basic_stats ~objects:st.objects ~reserved_bytes:st.reserved_bytes
       ~used_bytes:st.used_bytes ~alloc_cycles:st.alloc_cycles
@@ -111,5 +127,6 @@ let create ?shadow ?(chunk_objs = default_chunk_objs) ~space () =
     free = None;
     field_addr = None;
     regions;
+    contiguity;
     stats;
   }

@@ -43,7 +43,7 @@ let technique_id = function
 let key t =
   let p = t.params in
   Printf.sprintf
-    "%s|%s|alloc=%s|scale=%.6g|seed=%d|iters=%s|chunk=%s|config=%s|san=%s|telemetry=%s"
+    "%s|%s|alloc=%s|scale=%.6g|seed=%d|iters=%s|chunk=%s|config=%s|san=%s|telemetry=%s|pages=%s"
     (workload_name t) (technique_id t.technique)
     (match p.W.Workload.alloc with
      | None -> "default"
@@ -65,10 +65,13 @@ let key t =
           | None -> "off"
           | Some w -> string_of_int w)
          c.Repro_gpu.Telemetry.trace c.Repro_gpu.Telemetry.trace_capacity)
+    (match p.W.Workload.pages with
+     | None -> "none"
+     | Some policy -> Repro_vm.Policy.name policy)
 
 (* Bump whenever [Harness.run] (or anything Marshal reaches through it)
    changes shape: old cache entries become unreachable, not corrupt. *)
-let schema_version = "repro-exec-v4"
+let schema_version = "repro-exec-v5"
 
 let hash t = Digest.to_hex (Digest.string (schema_version ^ "\n" ^ key t))
 

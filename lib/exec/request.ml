@@ -42,14 +42,19 @@ module Spec = struct
     seed : int;
     iterations : int option;
     chunk_objs : int option;
+    pages : string option;
   }
 
   let default_scale = 1.0
   let default_seed = 42
 
   let make ?alloc ?(scale = default_scale) ?(seed = default_seed) ?iterations
-      ?chunk_objs ~workload ~technique () =
-    { workload; technique; alloc; scale; seed; iterations; chunk_objs }
+      ?chunk_objs ?pages ~workload ~technique () =
+    (* "none" (the CLI's explicit default) and omission are the same run;
+       canonicalize so the job key and cache agree — the [alloc]
+       canonicalization below plays the same trick. *)
+    let pages = match pages with Some "none" -> None | p -> p in
+    { workload; technique; alloc; scale; seed; iterations; chunk_objs; pages }
 
   let of_job (job : Job.t) =
     let p = job.Job.params in
@@ -61,6 +66,7 @@ module Spec = struct
       seed = p.W.Workload.seed;
       iterations = p.W.Workload.iterations;
       chunk_objs = p.W.Workload.chunk_objs;
+      pages = Option.map Repro_vm.Policy.name p.W.Workload.pages;
     }
 
   let alloc_of_string s =
@@ -79,7 +85,7 @@ module Spec = struct
       in
       match alloc with
       | Error _ as e -> e
-      | Ok alloc ->
+      | Ok alloc -> (
         (* Naming the technique's own family explicitly is the same run as
            leaving it out; canonicalize to [None] so the job key (and so
            the result cache) agrees. *)
@@ -89,15 +95,24 @@ module Spec = struct
             None
           | a -> a
         in
-        Ok
-          {
-            (W.Workload.default_params technique) with
-            W.Workload.alloc;
-            scale = t.scale;
-            seed = t.seed;
-            iterations = t.iterations;
-            chunk_objs = t.chunk_objs;
-          })
+        let pages =
+          match t.pages with
+          | None -> Ok None
+          | Some s -> Repro_vm.Policy.parse s
+        in
+        match pages with
+        | Error _ as e -> e
+        | Ok pages ->
+          Ok
+            {
+              (W.Workload.default_params technique) with
+              W.Workload.alloc;
+              scale = t.scale;
+              seed = t.seed;
+              iterations = t.iterations;
+              chunk_objs = t.chunk_objs;
+              pages;
+            }))
 
   let resolve t =
     match W.Registry.find t.workload with
@@ -132,9 +147,12 @@ module Spec = struct
       @ (match t.iterations with
          | Some i -> [ ("iterations", J.Int i) ]
          | None -> [])
+      @ (match t.chunk_objs with
+         | Some c -> [ ("chunk_objs", J.Int c) ]
+         | None -> [])
       @
-      match t.chunk_objs with
-      | Some c -> [ ("chunk_objs", J.Int c) ]
+      match t.pages with
+      | Some p -> [ ("pages", J.String p) ]
       | None -> [])
 
   (* Validate at decode time so a bad family reports its JSON path
@@ -149,6 +167,16 @@ module Spec = struct
            (String.concat ", " Repro_core.Alloc_family.all_names)
            s)
 
+  let pages_decoder j =
+    let s = D.string j in
+    match Repro_vm.Policy.parse s with
+    | Ok _ -> s
+    | Error _ ->
+      D.fail
+        (Printf.sprintf "expected one of %s, got %S"
+           (String.concat ", " Repro_vm.Policy.cli_names)
+           s)
+
   let decoder j =
     {
       workload = D.field "workload" D.string j;
@@ -158,14 +186,23 @@ module Spec = struct
       seed = D.field_default "seed" D.int default_seed j;
       iterations = D.field_opt "iterations" D.int j;
       chunk_objs = D.field_opt "chunk_objs" D.int j;
+      pages =
+        (match D.field_opt "pages" pages_decoder j with
+         | Some "none" -> None
+         | p -> p);
     }
 
   let equal a b = a = b
 
   let label t =
-    match t.alloc with
-    | None -> Printf.sprintf "%s [%s]" t.workload t.technique
-    | Some a -> Printf.sprintf "%s [%s alloc=%s]" t.workload t.technique a
+    let extras =
+      (match t.alloc with Some a -> [ "alloc=" ^ a ] | None -> [])
+      @ match t.pages with Some p -> [ "pages=" ^ p ] | None -> []
+    in
+    match extras with
+    | [] -> Printf.sprintf "%s [%s]" t.workload t.technique
+    | es ->
+      Printf.sprintf "%s [%s %s]" t.workload t.technique (String.concat " " es)
 end
 
 type t =

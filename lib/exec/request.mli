@@ -44,6 +44,11 @@ module Spec : sig
     seed : int;
     iterations : int option;
     chunk_objs : int option;
+    pages : string option;
+        (** Page-size policy name as {!Repro_vm.Policy.parse} accepts it;
+            [None] = no address translation. Never the string ["none"] —
+            constructors canonicalize it away so the job key and cache
+            agree with the omitted form. *)
   }
 
   val make :
@@ -52,6 +57,7 @@ module Spec : sig
     ?seed:int ->
     ?iterations:int ->
     ?chunk_objs:int ->
+    ?pages:string ->
     workload:string ->
     technique:string ->
     unit ->

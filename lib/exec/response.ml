@@ -67,6 +67,10 @@ let stats_to_json stats =
       ("l2_misses", J.Int r.G.Stats.l2_misses);
       ("dram_sectors", J.Int r.G.Stats.dram_sectors);
       ("trace_dropped", J.Int r.G.Stats.trace_dropped);
+      ("tlb_l1_hits", J.Int r.G.Stats.tlb_l1_hits);
+      ("tlb_l2_hits", J.Int r.G.Stats.tlb_l2_hits);
+      ("tlb_walks", J.Int r.G.Stats.tlb_walks);
+      ("tlb_walk_cycles", J.Float r.G.Stats.tlb_walk_cycles);
       ("stalls", slugged_floats label_slugs label_index r.G.Stats.stalls);
       ( "load_transactions_by_label",
         slugged_ints label_slugs label_index
@@ -106,6 +110,11 @@ let stats_decoder j =
       l2_misses = D.field "l2_misses" D.int j;
       dram_sectors = D.field "dram_sectors" D.int j;
       trace_dropped = D.field "trace_dropped" D.int j;
+      (* Defaulted for leniency toward pre-translation peers. *)
+      tlb_l1_hits = D.field_default "tlb_l1_hits" D.int 0 j;
+      tlb_l2_hits = D.field_default "tlb_l2_hits" D.int 0 j;
+      tlb_walks = D.field_default "tlb_walks" D.int 0 j;
+      tlb_walk_cycles = D.field_default "tlb_walk_cycles" D.float 0. j;
       stalls = float_array_by_slug label_index G.Label.count "stalls" j;
       load_transactions_by_label =
         int_array_by_slug label_index G.Label.count

@@ -27,12 +27,13 @@ let default_scale = 0.25
 
 let exec ?(scale = default_scale) ?iterations ?(j = 1) ?(cache = false)
     ?cache_dir ?(progress = fun _ -> ()) ?(workloads = W.Registry.all)
-    ?(columns = default_columns) () =
+    ?(columns = default_columns) ?pages () =
   let params c =
     {
       (W.Workload.default_params c.technique) with
       W.Workload.scale;
       iterations;
+      pages;
       (* Default families stay [None] so the job key (and cache entry) is
          the same whether the run came from a technique-only or a
          column-aware surface. *)

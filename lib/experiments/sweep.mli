@@ -44,13 +44,15 @@ val exec :
   ?progress:(string -> unit) ->
   ?workloads:Repro_workloads.Workload.t list ->
   ?columns:column list ->
+  ?pages:Repro_vm.Policy.t ->
   unit -> t
 (** Defaults: scale 0.25 (fast but representative; see EXPERIMENTS.md),
     {!default_columns}, all eleven workloads, serial ([j = 1]), cache
-    off. [progress] receives each job's label as it starts measuring;
-    with [j > 1] it may fire concurrently from worker domains. Raises
-    [Failure] naming every failed job (after all jobs finished), or on a
-    cross-column functional mismatch. *)
+    off, no address translation ([pages]). [progress] receives each
+    job's label as it starts measuring; with [j > 1] it may fire
+    concurrently from worker domains. Raises [Failure] naming every
+    failed job (after all jobs finished), or on a cross-column
+    functional mismatch. *)
 
 val outcomes : t -> Repro_exec.Executor.outcome list
 (** Per-job scheduling detail (wall time, cache hits), in matrix order —

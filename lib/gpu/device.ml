@@ -45,6 +45,10 @@ let config t = t.cfg
 
 let heap t = t.heap
 
+let set_vm t vm = Mem_path.set_vm t.mem_path vm
+
+let vm t = Mem_path.vm t.mem_path
+
 let launch t ~n_threads kernel =
   if n_threads <= 0 then invalid_arg "Device.launch: n_threads must be positive";
   let warp_size = t.cfg.Config.warp_size in

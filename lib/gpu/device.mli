@@ -27,6 +27,13 @@ val config : t -> Config.t
 
 val heap : t -> Repro_mem.Page_store.t
 
+val set_vm : t -> Repro_vm.Vm.t option -> unit
+(** Attach (or detach) an address-translation model; see
+    [Mem_path.set_vm]. The runtime rebuilds and re-attaches the model
+    when the heap layout changes between launches. *)
+
+val vm : t -> Repro_vm.Vm.t option
+
 val launch : t -> n_threads:int -> (Warp_ctx.t -> unit) -> unit
 (** Run a kernel over a 1-D grid of [n_threads] threads (the last warp may
     be partial). Raises [Invalid_argument] when [n_threads <= 0]. *)

@@ -37,6 +37,14 @@ type t = {
      is recorded by direct array stores (never boxing a float). The
      timing model is oblivious to it. *)
   mutable ring : Telemetry.Ring.t option;
+  (* Optional address translation. When set, every coalesced sector is
+     looked up in the TLB hierarchy and its outcome priced through
+     [vm_lat] — a per-lookup-code latency table precomputed at [set_vm]
+     so the per-sector path indexes a float array instead of crossing a
+     float-returning function boundary. [None] (the default) keeps the
+     entry points on the exact pre-translation code path. *)
+  mutable vm : Repro_vm.Vm.t option;
+  mutable vm_lat : float array;
 }
 
 (* Bit-identical to [Float.max] on this module's domain: times and costs
@@ -66,11 +74,24 @@ let create (cfg : Config.t) =
       Array.init (cfg.warp_size + 1) (fun n ->
           float_of_int n /. cfg.l1_sector_throughput);
     ring = None;
+    vm = None;
+    vm_lat = Array.make (Repro_vm.Vm.max_code + 1) 0.;
   }
 
 let io t = t.io
 
 let set_ring t ring = t.ring <- ring
+
+let set_vm t vm =
+  t.vm <- vm;
+  match vm with
+  | None -> Array.fill t.vm_lat 0 (Array.length t.vm_lat) 0.
+  | Some v ->
+    for code = 0 to Repro_vm.Vm.max_code do
+      t.vm_lat.(code) <- Repro_vm.Vm.latency_of_code v code
+    done
+
+let vm t = t.vm
 
 (* Write one event at the ring head by direct stores. Local and small,
    so ocamlopt inlines it and the float arguments stay in registers —
@@ -95,6 +116,11 @@ let flush_l1s t = Array.iter Cache.flush t.l1s
 
 let begin_kernel t =
   flush_l1s t;
+  (* L1 TLBs flush with the L1 data caches; the shared L2 TLB persists
+     across launches like the L2 data cache. *)
+  (match t.vm with
+   | Some v -> Repro_vm.Vm.flush_l1s v
+   | None -> ());
   Array.fill t.l1_next_free 0 (Array.length t.l1_next_free) 0.;
   Array.fill t.lsu_next_free 0 (Array.length t.lsu_next_free) 0.;
   t.clk.(0) <- 0.;
@@ -112,6 +138,8 @@ let load_soa t ~stats ~label_idx ~sm ~arena ~off ~len =
   t.lsu_next_free.(sm) <- t0 +. fmax t.inv_lsu_tp t.n_over_l1.(n);
   t.io.(1) <- t0;
   let ring = t.ring in
+  match t.vm with
+  | None ->
   for i = 0 to n - 1 do
     let sector = t.scratch.(i) in
     (* One sector through the hierarchy: bandwidth reservation at each
@@ -164,6 +192,65 @@ let load_soa t ~stats ~label_idx ~sm ~arena ~off ~len =
          let c = t3 +. t.dram_lat in
          if c > t.io.(1) then t.io.(1) <- c)
   done
+  | Some vm ->
+  (* Same walk of the hierarchy, prefixed by an address translation per
+     sector: the lookup code indexes [vm_lat] (0 on an L1 TLB hit), and
+     the translation delay pushes this sector's L1 issue time the same
+     way L1 arbitration does. Duplicated rather than branched per sector
+     so the [None] path above stays byte-for-byte the pre-vm model. *)
+  for i = 0 to n - 1 do
+    let sector = t.scratch.(i) in
+    let code = Repro_vm.Vm.lookup vm ~sm ~sector in
+    let tx = Array.unsafe_get t.vm_lat code in
+    (if code = 0 then Stats.count_tlb_l1_hit stats
+     else if code = 1 then Stats.count_tlb_l2_hit stats
+     else begin
+       Stats.count_tlb_walk stats tx;
+       match ring with
+       | Some r -> emit r Telemetry.Ring.kind_tlb sm (code - 2) sector t0 tx
+       | None -> ()
+     end);
+    let t1 = fmax (t0 +. tx) t.l1_next_free.(sm) in
+    t.l1_next_free.(sm) <- t1 +. t.inv_l1_tp;
+    match Cache.access t.l1s.(sm) ~sector with
+    | `Hit ->
+      Stats.count_l1 stats ~hit:true;
+      (match ring with
+       | Some r -> emit r Telemetry.Ring.kind_l1 sm 1 sector t1 t.l1_lat
+       | None -> ());
+      let c = t1 +. t.l1_lat in
+      if c > t.io.(1) then t.io.(1) <- c
+    | `Miss ->
+      Stats.count_l1 stats ~hit:false;
+      (match ring with
+       | Some r -> emit r Telemetry.Ring.kind_l1 sm 0 sector t1 0.
+       | None -> ());
+      let t2 = fmax (t1 +. t.l1_lat) t.clk.(0) in
+      t.clk.(0) <- t2 +. t.inv_l2_tp;
+      (match Cache.access t.l2 ~sector with
+       | `Hit ->
+         Stats.count_l2 stats ~hit:true;
+         (match ring with
+          | Some r -> emit r Telemetry.Ring.kind_l2 sm 1 sector t2 t.l2_lat
+          | None -> ());
+         let c = t2 +. t.l2_lat in
+         if c > t.io.(1) then t.io.(1) <- c
+       | `Miss ->
+         Stats.count_l2 stats ~hit:false;
+         (match ring with
+          | Some r -> emit r Telemetry.Ring.kind_l2 sm 0 sector t2 0.
+          | None -> ());
+         Stats.count_dram_sector stats;
+         Stats.count_dram_sector stats;
+         ignore (Cache.access t.l2 ~sector:(sector lxor 1));
+         let t3 = fmax (t2 +. t.l2_lat) t.clk.(1) in
+         t.clk.(1) <- t3 +. t.dram_pair_cost;
+         (match ring with
+          | Some r -> emit r Telemetry.Ring.kind_dram sm 2 sector t3 t.dram_lat
+          | None -> ());
+         let c = t3 +. t.dram_lat in
+         if c > t.io.(1) then t.io.(1) <- c)
+  done
 
 let store_soa t ~stats ~sm ~arena ~off ~len =
   let n = Coalesce.sectors_into ~buf:t.scratch arena ~off ~len in
@@ -171,6 +258,8 @@ let store_soa t ~stats ~sm ~arena ~off ~len =
   let t0 = fmax t.io.(0) t.lsu_next_free.(sm) in
   t.lsu_next_free.(sm) <- t0 +. fmax t.inv_lsu_tp t.n_over_l1.(n);
   let ring = t.ring in
+  match t.vm with
+  | None ->
   for i = 0 to n - 1 do
     let sector = t.scratch.(i) in
     (* Write-through: every store sector consumes L2 bandwidth and is
@@ -178,6 +267,39 @@ let store_soa t ~stats ~sm ~arena ~off ~len =
        Store events are instants (dur 0): the warp does not wait on
        them, and the DRAM drain can outlive the kernel's last warp. *)
     let t2 = fmax t0 t.clk.(0) in
+    t.clk.(0) <- t2 +. t.inv_l2_tp;
+    match Cache.access t.l2 ~sector with
+    | `Hit ->
+      (match ring with
+       | Some r -> emit r Telemetry.Ring.kind_l2 sm 3 sector t2 0.
+       | None -> ())
+    | `Miss ->
+      (match ring with
+       | Some r -> emit r Telemetry.Ring.kind_l2 sm 2 sector t2 0.
+       | None -> ());
+      Stats.count_dram_sector stats;
+      let t3 = fmax t2 t.clk.(1) in
+      t.clk.(1) <- t3 +. t.inv_dram_cost;
+      (match ring with
+       | Some r -> emit r Telemetry.Ring.kind_dram sm 1 sector t3 0.
+       | None -> ())
+  done
+  | Some vm ->
+  (* Stores translate too: the sector cannot reach L2 before its page
+     does, so the walk delay feeds the L2 arbitration time. *)
+  for i = 0 to n - 1 do
+    let sector = t.scratch.(i) in
+    let code = Repro_vm.Vm.lookup vm ~sm ~sector in
+    let tx = Array.unsafe_get t.vm_lat code in
+    (if code = 0 then Stats.count_tlb_l1_hit stats
+     else if code = 1 then Stats.count_tlb_l2_hit stats
+     else begin
+       Stats.count_tlb_walk stats tx;
+       match ring with
+       | Some r -> emit r Telemetry.Ring.kind_tlb sm (code - 2) sector t0 tx
+       | None -> ()
+     end);
+    let t2 = fmax (t0 +. tx) t.clk.(0) in
     t.clk.(0) <- t2 +. t.inv_l2_tp;
     match Cache.access t.l2 ~sector with
     | `Hit ->
@@ -217,6 +339,9 @@ let store t ~stats ~sm ~start ~addrs =
 
 let reset t =
   begin_kernel t;
-  Cache.flush t.l2
+  Cache.flush t.l2;
+  match t.vm with
+  | Some v -> Repro_vm.Vm.flush v
+  | None -> ()
 
 let l1_probe t ~sm ~sector = Cache.probe t.l1s.(sm) ~sector

@@ -30,13 +30,27 @@ val set_ring : t -> Telemetry.Ring.t option -> unit
     DRAM transactions — with direct array stores, so the replay path
     stays allocation-free. Timing is unaffected. *)
 
+val set_vm : t -> Repro_vm.Vm.t option -> unit
+(** Attach (or detach) an address-translation model. When set, every
+    coalesced sector is looked up in the TLB hierarchy before the L1
+    (loads) or L2 (stores): hits and walks are counted in [Stats]
+    ([tlb.*]), walk intervals are recorded in the event ring when one is
+    attached, and the lookup latency delays that sector. Latencies are
+    cached in a per-code float table at attach time, so the per-sector
+    path stays allocation-free. [None] (the default) leaves the entry
+    points on the exact pre-translation code path — byte-identical
+    output and no extra per-sector work. *)
+
+val vm : t -> Repro_vm.Vm.t option
+
 val flush_l1s : t -> unit
 (** Invalidate the per-SM L1s. *)
 
 val begin_kernel : t -> unit
-(** Kernel-launch boundary: flush the L1s and rewind all bandwidth
+(** Kernel-launch boundary: flush the L1s (and, when a translation model
+    is attached, the per-SM L1 TLBs) and rewind all bandwidth
     reservation clocks to time zero (each launch is timed from 0; the L2
-    tag state persists across launches). *)
+    tag state — data cache and TLB alike — persists across launches). *)
 
 val load_soa :
   t -> stats:Stats.t -> label_idx:int -> sm:int -> arena:int array ->
@@ -66,7 +80,8 @@ val store :
 (** Array-based wrapper over {!store_soa}. *)
 
 val reset : t -> unit
-(** Full reset: {!begin_kernel} plus an L2 flush. Used when a run starts a
+(** Full reset: {!begin_kernel} plus an L2 flush (and a full TLB flush
+    when a translation model is attached). Used when a run starts a
     fresh measurement region. *)
 
 val l1_probe : t -> sm:int -> sector:int -> bool

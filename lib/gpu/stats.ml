@@ -11,6 +11,11 @@ type t = {
   mutable l2_misses : int;
   mutable dram_sectors : int;
   mutable trace_dropped : int;
+  (* Address translation (zero when no page policy is active). *)
+  mutable tlb_l1_hits : int;
+  mutable tlb_l2_hits : int;
+  mutable tlb_walks : int;
+  mutable tlb_walk_cycles : float;
   stalls : float array; (* indexed by Label.to_index *)
   load_transactions_by_label : int array;
   san_violations : int array; (* indexed by Repro_san.Violation.kind_index *)
@@ -30,6 +35,10 @@ let create () =
     l2_misses = 0;
     dram_sectors = 0;
     trace_dropped = 0;
+    tlb_l1_hits = 0;
+    tlb_l2_hits = 0;
+    tlb_walks = 0;
+    tlb_walk_cycles = 0.;
     stalls = Array.make Label.count 0.;
     load_transactions_by_label = Array.make Label.count 0;
     san_violations = Array.make Repro_san.Violation.kind_count 0;
@@ -48,6 +57,10 @@ let reset t =
   t.l2_misses <- 0;
   t.dram_sectors <- 0;
   t.trace_dropped <- 0;
+  t.tlb_l1_hits <- 0;
+  t.tlb_l2_hits <- 0;
+  t.tlb_walks <- 0;
+  t.tlb_walk_cycles <- 0.;
   Array.fill t.stalls 0 Label.count 0.;
   Array.fill t.load_transactions_by_label 0 Label.count 0;
   Array.fill t.san_violations 0 Repro_san.Violation.kind_count 0
@@ -65,6 +78,10 @@ let add acc x =
   acc.l2_misses <- acc.l2_misses + x.l2_misses;
   acc.dram_sectors <- acc.dram_sectors + x.dram_sectors;
   acc.trace_dropped <- acc.trace_dropped + x.trace_dropped;
+  acc.tlb_l1_hits <- acc.tlb_l1_hits + x.tlb_l1_hits;
+  acc.tlb_l2_hits <- acc.tlb_l2_hits + x.tlb_l2_hits;
+  acc.tlb_walks <- acc.tlb_walks + x.tlb_walks;
+  acc.tlb_walk_cycles <- acc.tlb_walk_cycles +. x.tlb_walk_cycles;
   Array.iteri (fun i v -> acc.stalls.(i) <- acc.stalls.(i) +. v) x.stalls;
   Array.iteri
     (fun i v ->
@@ -107,6 +124,14 @@ let count_l2 t ~hit =
 let count_dram_sector t = t.dram_sectors <- t.dram_sectors + 1
 
 let count_trace_dropped t n = t.trace_dropped <- t.trace_dropped + n
+
+let count_tlb_l1_hit t = t.tlb_l1_hits <- t.tlb_l1_hits + 1
+
+let count_tlb_l2_hit t = t.tlb_l2_hits <- t.tlb_l2_hits + 1
+
+let count_tlb_walk t cycles =
+  t.tlb_walks <- t.tlb_walks + 1;
+  t.tlb_walk_cycles <- t.tlb_walk_cycles +. cycles
 
 let count_san_violations t deltas =
   if Array.length deltas <> Repro_san.Violation.kind_count then
@@ -165,6 +190,16 @@ let dram_sectors t = t.dram_sectors
 
 let trace_dropped t = t.trace_dropped
 
+let tlb_l1_hits t = t.tlb_l1_hits
+
+let tlb_l2_hits t = t.tlb_l2_hits
+
+let tlb_walks t = t.tlb_walks
+
+let tlb_walk_cycles t = t.tlb_walk_cycles
+
+let tlb_lookups t = t.tlb_l1_hits + t.tlb_l2_hits + t.tlb_walks
+
 let stall_cycles t label = t.stalls.(Label.to_index label)
 
 let total_stall_cycles t = Array.fold_left ( +. ) 0. t.stalls
@@ -188,6 +223,9 @@ let pp ppf t =
           Format.fprintf ppf " %s=%.1f%%" (Label.slug l) (100. *. s /. total_stalls))
       Label.all
   end;
+  if tlb_lookups t > 0 then
+    Format.fprintf ppf "@,tlb: l1=%d l2=%d walks=%d walk-cycles=%.0f"
+      t.tlb_l1_hits t.tlb_l2_hits t.tlb_walks t.tlb_walk_cycles;
   if total_san_violations t > 0 then begin
     Format.fprintf ppf "@,san violations:";
     List.iter
@@ -215,6 +253,10 @@ type raw = {
   l2_misses : int;
   dram_sectors : int;
   trace_dropped : int;
+  tlb_l1_hits : int;
+  tlb_l2_hits : int;
+  tlb_walks : int;
+  tlb_walk_cycles : float;
   stalls : float array;
   load_transactions_by_label : int array;
   san_violations : int array;
@@ -234,6 +276,10 @@ let to_raw (t : t) : raw =
     l2_misses = t.l2_misses;
     dram_sectors = t.dram_sectors;
     trace_dropped = t.trace_dropped;
+    tlb_l1_hits = t.tlb_l1_hits;
+    tlb_l2_hits = t.tlb_l2_hits;
+    tlb_walks = t.tlb_walks;
+    tlb_walk_cycles = t.tlb_walk_cycles;
     stalls = Array.copy t.stalls;
     load_transactions_by_label = Array.copy t.load_transactions_by_label;
     san_violations = Array.copy t.san_violations;
@@ -259,6 +305,10 @@ let of_raw (r : raw) : t =
     l2_misses = r.l2_misses;
     dram_sectors = r.dram_sectors;
     trace_dropped = r.trace_dropped;
+    tlb_l1_hits = r.tlb_l1_hits;
+    tlb_l2_hits = r.tlb_l2_hits;
+    tlb_walks = r.tlb_walks;
+    tlb_walk_cycles = r.tlb_walk_cycles;
     stalls = Array.copy r.stalls;
     load_transactions_by_label = Array.copy r.load_transactions_by_label;
     san_violations = Array.copy r.san_violations;

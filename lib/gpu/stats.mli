@@ -45,6 +45,13 @@ val count_trace_dropped : t -> int -> unit
 (** Accumulate telemetry ring-buffer drops (events lost to the
     drop-oldest spill policy; see {!Telemetry.Ring}). *)
 
+val count_tlb_l1_hit : t -> unit
+
+val count_tlb_l2_hit : t -> unit
+
+val count_tlb_walk : t -> float -> unit
+(** One page walk plus the cycles it was charged. *)
+
 val attribute_stall : t -> Label.t -> float -> unit
 
 val stall_accumulator : t -> float array
@@ -98,6 +105,18 @@ val dram_sectors : t -> int
 
 val trace_dropped : t -> int
 
+val tlb_l1_hits : t -> int
+
+val tlb_l2_hits : t -> int
+
+val tlb_walks : t -> int
+
+val tlb_walk_cycles : t -> float
+
+val tlb_lookups : t -> int
+(** Total translations ([l1 + l2 + walks]); zero when no page policy was
+    active. *)
+
 val stall_cycles : t -> Label.t -> float
 
 val total_stall_cycles : t -> float
@@ -128,6 +147,10 @@ type raw = {
   l2_misses : int;
   dram_sectors : int;
   trace_dropped : int;
+  tlb_l1_hits : int;
+  tlb_l2_hits : int;
+  tlb_walks : int;
+  tlb_walk_cycles : float;
   stalls : float array;  (** Indexed by [Label.to_index]; length [Label.count]. *)
   load_transactions_by_label : int array;  (** Ditto. *)
   san_violations : int array;

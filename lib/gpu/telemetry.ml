@@ -92,6 +92,7 @@ module Ring = struct
   let kind_l1 = 1
   let kind_l2 = 2
   let kind_dram = 3
+  let kind_tlb = 4
 
   type t = {
     cap : int;

@@ -106,6 +106,11 @@ module Ring : sig
       64 B pair fill, 1 for a write-through store miss), [arg_b] =
       sector. *)
 
+  val kind_tlb : int
+  (** A TLB page-walk interval: [track] = SM, [arg_a] = radix levels
+      walked, [arg_b] = sector; [dur] = walk cycles charged. TLB hits
+      are not recorded (they are counted in [Stats]). *)
+
   (** The fields are public because the replay loop writes them in
       place: a [record] function taking [ts]/[dur] as arguments would
       box two floats per event. Writers fill the six arrays at index

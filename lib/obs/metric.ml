@@ -92,6 +92,36 @@ let trace_dropped =
     extract = (fun s -> Int (Stats.trace_dropped s));
   }
 
+let tlb_l1_hits =
+  {
+    name = "tlb.l1_hits";
+    units = "lookups";
+    extract = (fun s -> Int (Stats.tlb_l1_hits s));
+  }
+
+let tlb_l2_hits =
+  {
+    name = "tlb.l2_hits";
+    units = "lookups";
+    extract = (fun s -> Int (Stats.tlb_l2_hits s));
+  }
+
+let tlb_walks =
+  {
+    name = "tlb.walks";
+    units = "walks";
+    extract = (fun s -> Int (Stats.tlb_walks s));
+  }
+
+let tlb_walk_cycles =
+  {
+    name = "tlb.walk_cycles";
+    units = "cycles";
+    extract = (fun s -> Float (Stats.tlb_walk_cycles s));
+  }
+
+let tlb = [ tlb_l1_hits; tlb_l2_hits; tlb_walks; tlb_walk_cycles ]
+
 let scalars =
   [
     cycles;
@@ -106,6 +136,10 @@ let scalars =
     l2_misses;
     dram_sectors;
     trace_dropped;
+    tlb_l1_hits;
+    tlb_l2_hits;
+    tlb_walks;
+    tlb_walk_cycles;
   ]
 
 let stall_cycles label =
@@ -202,7 +236,7 @@ let pp_stats ppf stats =
         (match v with Int i -> i = 0 | Float f -> f = 0.)
         && List.exists
              (fun pm -> pm.name = m.name)
-             (trace_dropped :: per_label @ san)
+             ((trace_dropped :: tlb) @ per_label @ san)
       in
       if not skip then begin
         if not !first then Format.pp_print_cut ppf ();

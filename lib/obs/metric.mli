@@ -41,6 +41,18 @@ val trace_dropped : t
     (["trace.dropped"]; zero unless tracing is enabled and the ring
     overflowed). *)
 
+val tlb_l1_hits : t
+val tlb_l2_hits : t
+val tlb_walks : t
+
+val tlb_walk_cycles : t
+(** Cycles spent in modelled page walks (["tlb.walk_cycles"]; all four
+    [tlb.*] metrics are zero unless a run enables address translation
+    with [--pages]). *)
+
+val tlb : t list
+(** The four [tlb.*] metrics above. *)
+
 val scalars : t list
 (** All of the above; the coverage test pins its length to the number of
     scalar fields in [Stats.t]. *)

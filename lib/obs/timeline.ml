@@ -96,6 +96,17 @@ let stall_share label row =
   let total = Stats.total_stall_cycles row in
   if total <= 0. then 0. else Stats.stall_cycles row label /. total
 
+let tlb_hit_rate row =
+  let lookups = Stats.tlb_lookups row in
+  if lookups = 0 then 0.
+  else
+    float_of_int (Stats.tlb_l1_hits row + Stats.tlb_l2_hits row)
+    /. float_of_int lookups
+
+let tlb_walk_share row =
+  let c = Stats.cycles row in
+  if c <= 0. then 0. else Stats.tlb_walk_cycles row /. c
+
 let group_of start = Printf.sprintf "%.0f" start
 
 let derived_quantities t =
@@ -107,12 +118,25 @@ let derived_quantities t =
           (windows t))
       Label.all
   in
+  let tlb_rows =
+    (* Like the stall shares: only runs that model translation get the
+       rows, so every other timeline is unchanged. *)
+    if List.exists (fun (_, row) -> Stats.tlb_lookups row > 0) (windows t)
+    then
+      [
+        ("tlb.hit_rate", "TLB hit rate (both levels)", tlb_hit_rate);
+        ("tlb.walk_share", "share of cycles walking page tables",
+         tlb_walk_share);
+      ]
+    else []
+  in
   [
     ("ipc", "warp instructions per cycle", ipc);
     ("l1.hit_rate", "L1 hit rate", Stats.l1_hit_rate);
     ("l2.hit_rate", "L2 hit rate", Stats.l2_hit_rate);
     ("dram.sectors_per_cycle", "DRAM sectors per cycle", dram_per_cycle);
   ]
+  @ tlb_rows
   @ List.map
       (fun label ->
         ( "stall_share." ^ Label.slug label,

@@ -47,6 +47,7 @@ let thread_names n_sms =
       thread n_sms "L2";
       thread (n_sms + 1) "DRAM";
       thread (n_sms + 2) "kernels";
+      thread (n_sms + 3) "TLB";
     ]
 
 let event_json n_sms (e : Telemetry.event) =
@@ -73,6 +74,15 @@ let event_json n_sms (e : Telemetry.event) =
     in
     complete ~name ~tid:n_sms ~ts:e.ts ~dur:e.dur
       ~args:[ ("sector", Json.Int e.arg_b); ("sm", Json.Int e.track) ]
+      ()
+  else if e.kind = Ring.kind_tlb then
+    complete ~name:"tlb.walk" ~tid:(n_sms + 3) ~ts:e.ts ~dur:e.dur
+      ~args:
+        [
+          ("levels", Json.Int e.arg_a);
+          ("sector", Json.Int e.arg_b);
+          ("sm", Json.Int e.track);
+        ]
       ()
   else
     complete

@@ -11,6 +11,7 @@ type t = {
   counts : int array;         (* cumulative, per Violation.kind_index *)
   kernel_counts : int array;  (* since the last take_kernel_delta *)
   samples : Violation.t Vec.t;
+  mutable page_table : Repro_vm.Page_table.t option;
 }
 
 let create ?mutation ?capture ?(max_samples = 32) ~tags_expected () =
@@ -22,10 +23,13 @@ let create ?mutation ?capture ?(max_samples = 32) ~tags_expected () =
     counts = Array.make Violation.kind_count 0;
     kernel_counts = Array.make Violation.kind_count 0;
     samples = Vec.create ();
+    page_table = None;
   }
 
 let shadow t = t.shadow
 let oracle t = t.oracle
+let set_page_table t table = t.page_table <- table
+let page_table t = t.page_table
 let mutation t = Shadow_heap.mutation t.shadow
 let tags_expected t = t.tags_expected
 
@@ -62,19 +66,38 @@ let check_one t ~warp ~lane ~access ~what ~width a =
      report t ~kind:Violation.Misaligned_vtable ~warp ~lane ~addr:a ~what
        ~detail:""
    | _ -> ());
-  match Shadow_heap.classify t.shadow ~addr:canonical ~width with
-  | Shadow_heap.Object _ | Shadow_heap.Unmodelled -> ()
-  | Shadow_heap.Dead r ->
-    report t ~kind:Violation.Use_after_free ~warp ~lane ~addr:a ~what
-      ~detail:(type_detail r)
-  | Shadow_heap.Clipped r ->
-    report t ~kind:Violation.Out_of_bounds ~warp ~lane ~addr:a ~what
-      ~detail:
-        (Printf.sprintf "%d B access at offset %d of %s" width
-           (canonical - r.Shadow_heap.base) (type_detail r))
-  | Shadow_heap.Heap_hole ->
-    report t ~kind:Violation.Out_of_bounds ~warp ~lane ~addr:a ~what
-      ~detail:"allocator arena, no allocation"
+  let cls = Shadow_heap.classify t.shadow ~addr:canonical ~width in
+  (match cls with
+   | Shadow_heap.Object _ | Shadow_heap.Unmodelled -> ()
+   | Shadow_heap.Dead r ->
+     report t ~kind:Violation.Use_after_free ~warp ~lane ~addr:a ~what
+       ~detail:(type_detail r)
+   | Shadow_heap.Clipped r ->
+     report t ~kind:Violation.Out_of_bounds ~warp ~lane ~addr:a ~what
+       ~detail:
+         (Printf.sprintf "%d B access at offset %d of %s" width
+            (canonical - r.Shadow_heap.base) (type_detail r))
+   | Shadow_heap.Heap_hole ->
+     report t ~kind:Violation.Out_of_bounds ~warp ~lane ~addr:a ~what
+       ~detail:"allocator arena, no allocation");
+  match t.page_table with
+  | None -> ()
+  | Some table ->
+    (match Repro_vm.Page_table.translate table ~addr:canonical with
+     | None ->
+       report t ~kind:Violation.Vm_unmapped ~warp ~lane ~addr:a ~what
+         ~detail:"no page mapped by the translation model"
+     | Some page ->
+       let owner = page.Repro_vm.Page_table.owner in
+       if owner >= 0 then
+         match cls with
+         | Shadow_heap.Object r when r.Shadow_heap.type_id <> owner ->
+           report t ~kind:Violation.Vm_owner_mismatch ~warp ~lane ~addr:a
+             ~what
+             ~detail:
+               (Printf.sprintf "large page owned by type %d but %s" owner
+                  (type_detail r))
+         | _ -> ())
 
 let check_access t ~warp ~tids ~access ~what ~width ~addrs =
   Array.iteri

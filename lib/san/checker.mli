@@ -34,6 +34,16 @@ val mutation : t -> Mutation.t option
 
 val tags_expected : t -> bool
 
+val set_page_table : t -> Repro_vm.Page_table.t option -> unit
+(** Attach (or detach) the translation model's page table. When set,
+    every checked access is additionally translated: an address no page
+    covers reports {!Violation.Vm_unmapped}, and an access inside a
+    promoted large-page span whose owning type disagrees with the
+    object's shadow type reports {!Violation.Vm_owner_mismatch}. The
+    runtime re-attaches the table whenever it rebuilds the model. *)
+
+val page_table : t -> Repro_vm.Page_table.t option
+
 (** {2 Device-side hooks} *)
 
 val check_access :

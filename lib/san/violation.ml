@@ -4,6 +4,8 @@ type kind =
   | Misaligned_vtable
   | Non_canonical
   | Tag_mismatch
+  | Vm_unmapped
+  | Vm_owner_mismatch
 
 type t = {
   kind : kind;
@@ -15,7 +17,8 @@ type t = {
 }
 
 let kinds =
-  [ Out_of_bounds; Use_after_free; Misaligned_vtable; Non_canonical; Tag_mismatch ]
+  [ Out_of_bounds; Use_after_free; Misaligned_vtable; Non_canonical;
+    Tag_mismatch; Vm_unmapped; Vm_owner_mismatch ]
 
 let kind_count = List.length kinds
 
@@ -25,6 +28,8 @@ let kind_index = function
   | Misaligned_vtable -> 2
   | Non_canonical -> 3
   | Tag_mismatch -> 4
+  | Vm_unmapped -> 5
+  | Vm_owner_mismatch -> 6
 
 let kind_of_index i =
   match List.nth_opt kinds i with
@@ -37,6 +42,8 @@ let kind_slug = function
   | Misaligned_vtable -> "misaligned_vtable"
   | Non_canonical -> "non_canonical"
   | Tag_mismatch -> "tag_mismatch"
+  | Vm_unmapped -> "vm_unmapped"
+  | Vm_owner_mismatch -> "vm_owner"
 
 let kind_name = function
   | Out_of_bounds -> "out-of-bounds access"
@@ -44,6 +51,8 @@ let kind_name = function
   | Misaligned_vtable -> "misaligned vTable load"
   | Non_canonical -> "non-canonical address at MMU"
   | Tag_mismatch -> "pointer-tag / type mismatch"
+  | Vm_unmapped -> "access to an unmapped page"
+  | Vm_owner_mismatch -> "large-page owner / object type mismatch"
 
 let pp ppf v =
   Format.fprintf ppf "%s: warp %d lane %d %s %a%s" (kind_name v.kind) v.warp

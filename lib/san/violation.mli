@@ -16,6 +16,12 @@ type kind =
                           TypePointer support. *)
   | Tag_mismatch      (** A TypePointer tag disagrees with the shadow
                           map's recorded type — type confusion. *)
+  | Vm_unmapped       (** An access whose address falls outside every
+                          page mapped by the translation model. *)
+  | Vm_owner_mismatch (** An access inside a promoted (large-page) span
+                          whose recorded owning type disagrees with the
+                          object's shadow type — the coalescing
+                          invariant was broken. *)
 
 type t = {
   kind : kind;
@@ -39,7 +45,8 @@ val kinds : kind list
 
 val kind_slug : kind -> string
 (** Stable machine-readable identifier ([oob], [uaf], [misaligned_vtable],
-    [non_canonical], [tag_mismatch]) used in metric names and JSON. *)
+    [non_canonical], [tag_mismatch], [vm_unmapped], [vm_owner]) used in
+    metric names and JSON. *)
 
 val kind_name : kind -> string
 (** Display name. *)

@@ -1,0 +1,36 @@
+type t =
+  | Flat_4k
+  | Flat_2m
+  | Coalesce
+
+let all = [ Flat_4k; Flat_2m; Coalesce ]
+
+let name = function
+  | Flat_4k -> "flat-4k"
+  | Flat_2m -> "flat-2m"
+  | Coalesce -> "coalesce"
+
+let all_names = List.map name all
+
+(* "none" is a policy *choice* (translation off) but not a policy value;
+   the CLI and the wire spell it, so parse/error messages include it. *)
+let cli_names = "none" :: all_names
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "flat-4k" | "4k" -> Ok Flat_4k
+  | "flat-2m" | "2m" -> Ok Flat_2m
+  | "coalesce" | "mosaic" -> Ok Coalesce
+  | _ ->
+    Error
+      (Printf.sprintf "unknown page policy %S; valid policies: %s" s
+         (String.concat ", " cli_names))
+
+let parse s =
+  match String.lowercase_ascii s with
+  | "none" | "off" -> Ok None
+  | _ -> Result.map Option.some (of_string s)
+
+let equal (a : t) (b : t) = a = b
+
+let pp ppf t = Format.pp_print_string ppf (name t)

@@ -1,0 +1,34 @@
+(** Page-size policies for the modelled address-translation subsystem.
+
+    [Flat_4k] backs every mapping with 4 KB base pages, [Flat_2m] with
+    2 MB large pages, and [Coalesce] is the Mosaic-style middle ground:
+    contiguously-allocated same-type spans (reported by the allocator's
+    contiguity capability) are promoted to large pages while everything
+    else stays at 4 KB. Translation off — the default — is represented
+    as [t option = None] everywhere, spelled "none" on the CLI/wire. *)
+
+type t =
+  | Flat_4k
+  | Flat_2m
+  | Coalesce
+
+val all : t list
+
+val name : t -> string
+(** Stable CLI/wire name: "flat-4k", "flat-2m", "coalesce". *)
+
+val all_names : string list
+
+val cli_names : string list
+(** ["none"] followed by {!all_names} — everything [parse] accepts. *)
+
+val of_string : string -> (t, string) result
+(** Case-insensitive; accepts the short aliases "4k", "2m" and "mosaic".
+    The error message lists {!cli_names}. *)
+
+val parse : string -> (t option, string) result
+(** Like {!of_string} but maps "none"/"off" to [Ok None]. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -4,7 +4,8 @@ module Warp_ctx = Repro_gpu.Warp_ctx
 let create_runtime (p : Workload.params) =
   R.Runtime.create ?config:p.Workload.config ?chunk_objs:p.Workload.chunk_objs
     ?san:p.Workload.san ?telemetry:p.Workload.telemetry
-    ?alloc:p.Workload.alloc ~technique:p.Workload.technique ()
+    ?alloc:p.Workload.alloc ?pages:p.Workload.pages
+    ~technique:p.Workload.technique ()
 
 let garray rt ~name ~len =
   R.Garray.alloc ~space:(R.Runtime.address_space rt) ~name ~len

@@ -8,11 +8,12 @@ type params = {
   seed : int;
   san : Repro_san.Checker.t option;
   telemetry : Repro_gpu.Telemetry.config option;
+  pages : Repro_vm.Policy.t option;
 }
 
 let default_params technique =
   { technique; alloc = None; scale = 1.0; config = None; chunk_objs = None;
-    iterations = None; seed = 42; san = None; telemetry = None }
+    iterations = None; seed = 42; san = None; telemetry = None; pages = None }
 
 type instance = {
   rt : Repro_core.Runtime.t;

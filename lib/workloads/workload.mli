@@ -26,6 +26,10 @@ type params = {
       (** Cycle-resolved telemetry (windowed sampling and/or event
           tracing); [None] keeps the replay loop on its untouched
           zero-allocation path. *)
+  pages : Repro_vm.Policy.t option;
+      (** Address-translation page-size policy; [None] (the default)
+          models no translation — the timing is exactly the
+          untranslated model's. *)
 }
 
 val default_params : Repro_core.Technique.t -> params

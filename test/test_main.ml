@@ -5,6 +5,7 @@ let () =
     [
       ("util", Test_util.suite);
       ("mem", Test_mem.suite);
+      ("vm", Test_vm.suite);
       ("san", Test_san.suite);
       ("gpu", Test_gpu.suite);
       ("core", Test_core.suite);
