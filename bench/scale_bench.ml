@@ -1,0 +1,197 @@
+(* End-to-end engine A/B at paper scale.
+
+   Runs the Fig. 6 matrix (every registered workload x paper technique)
+   twice per cell: once on the default interned engine (hash-consed
+   emission + the fused replay loop) and once on the legacy engine
+   (`--legacy-engine` semantics: per-warp AoS-style emission, Sm.run),
+   timing each complete job — build, all iterations, result hash — the
+   same work `repro sweep` does per cell. Both runs must produce
+   bit-identical Stats (the engines differ only in host-side speed);
+   the tool fails loudly if any cell diverges, so the benchmark doubles
+   as an identity gate at whatever scale it is run.
+
+   Usage: bench/scale_bench.exe [--scale F] [--out PATH]
+                                [--workloads A,B] [--techniques a,b]
+                                [--intra]
+
+   Defaults: scale 1.0, BENCH_scale1.json, full matrix. --intra also
+   enables intra-launch sharded timing on the engine side (worthwhile on
+   multicore hosts; REPRO_INTRA_JOBS picks the domain count).
+
+   Two throughput views per cell:
+     - end-to-end Minstr/s: simulated instructions / whole-job wall,
+       what a sweep user experiences (includes object allocation and
+       host-side setup, identical for both engines);
+     - kernel Minstr/s: instructions / (emulate+replay) wall only,
+       isolating the engine the tentpole optimized. *)
+
+module G = Repro_gpu
+module R = Repro_core
+module W = Repro_workloads
+module O = Repro_obs
+
+let scale, out_path, only_workloads, only_techniques, intra =
+  let scale = ref 1.0 in
+  let out = ref "BENCH_scale1.json" in
+  let wl = ref [] and tq = ref [] in
+  let intra = ref false in
+  let csv r s =
+    r := List.map String.lowercase_ascii (String.split_on_char ',' s)
+  in
+  let usage =
+    "scale_bench.exe [--scale F] [--out PATH] [--workloads A,B] \
+     [--techniques a,b] [--intra]"
+  in
+  Arg.parse
+    [
+      ("--scale", Arg.Set_float scale, "F  workload scale factor (default 1.0)");
+      ("--out", Arg.Set_string out, "PATH  output JSON path (default BENCH_scale1.json)");
+      ("--workloads", Arg.String (csv wl), "CSV  restrict to these workload names");
+      ("--techniques", Arg.String (csv tq), "CSV  restrict to these technique names");
+      ("--intra", Arg.Set intra, "  also shard intra-launch timing on the engine side");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    usage;
+  (!scale, !out, !wl, !tq, !intra)
+
+let keep filter name =
+  filter = [] || List.mem (String.lowercase_ascii name) filter
+
+type run = { wall_s : float; kernel_s : float; raw : G.Stats.raw; dedup : float }
+
+(* One complete sweep-cell job under the given engine setting. [kernel_s]
+   is the iteration loop alone (phase 1 + phase 2); [wall_s] adds the
+   build (heap population) and the result hash. *)
+let run_cell (w : W.Workload.t) technique ~engine =
+  let params =
+    { (W.Workload.default_params technique) with
+      scale; intern = engine; intra = engine && intra }
+  in
+  let t0 = Unix.gettimeofday () in
+  let inst = w.W.Workload.build params in
+  let k0 = Unix.gettimeofday () in
+  for i = 0 to inst.W.Workload.iterations - 1 do
+    inst.W.Workload.run_iteration i
+  done;
+  let k1 = Unix.gettimeofday () in
+  ignore (inst.W.Workload.result ());
+  let t1 = Unix.gettimeofday () in
+  let dev = R.Runtime.device inst.W.Workload.rt in
+  { wall_s = t1 -. t0; kernel_s = k1 -. k0;
+    raw = G.Stats.to_raw (G.Device.stats dev);
+    dedup = G.Device.dedup_ratio dev }
+
+type cell = {
+  job : string;
+  instrs : int;
+  cycles : float;
+  engine : run;
+  legacy : run;
+  identical : bool;
+}
+
+let cell (w : W.Workload.t) technique =
+  let job =
+    Printf.sprintf "%s/%s" (W.Registry.qualified_name w)
+      (R.Technique.name technique)
+  in
+  Printf.printf "%-24s ...%!" job;
+  let engine = run_cell w technique ~engine:true in
+  let legacy = run_cell w technique ~engine:false in
+  let identical = engine.raw = legacy.raw in
+  let instrs =
+    engine.raw.G.Stats.mem_instrs + engine.raw.G.Stats.compute_instrs
+    + engine.raw.G.Stats.ctrl_instrs
+  in
+  let c =
+    { job; instrs; cycles = engine.raw.G.Stats.cycles; engine; legacy; identical }
+  in
+  Printf.printf
+    "\r%-24s %11d %8.2f %8.2f %8.2fx %8.2fx %6.1fx %s\n%!" job instrs
+    engine.wall_s legacy.wall_s
+    (legacy.wall_s /. engine.wall_s)
+    (legacy.kernel_s /. engine.kernel_s)
+    engine.dedup
+    (if identical then "ok" else "STATS DIVERGED");
+  c
+
+let minstr instrs wall = float_of_int instrs /. wall /. 1e6
+
+let run_json instrs r =
+  O.Json.Obj
+    [
+      ("wall_s", O.Json.Float r.wall_s);
+      ("kernel_s", O.Json.Float r.kernel_s);
+      ("minstr_per_s", O.Json.Float (minstr instrs r.wall_s));
+      ("kernel_minstr_per_s", O.Json.Float (minstr instrs r.kernel_s));
+    ]
+
+let cell_json c =
+  O.Json.Obj
+    [
+      ("job", O.Json.String c.job);
+      ("instructions", O.Json.Int c.instrs);
+      ("cycles", O.Json.Float c.cycles);
+      ("dedup_ratio", O.Json.Float c.engine.dedup);
+      ("engine", run_json c.instrs c.engine);
+      ("legacy", run_json c.instrs c.legacy);
+      ("speedup", O.Json.Float (c.legacy.wall_s /. c.engine.wall_s));
+      ( "kernel_speedup",
+        O.Json.Float (c.legacy.kernel_s /. c.engine.kernel_s) );
+      ("stats_identical", O.Json.Bool c.identical);
+    ]
+
+let () =
+  Printf.printf "scale_bench: scale=%g intra=%b\n%!" scale intra;
+  Printf.printf "%-24s %11s %8s %8s %9s %9s %6s\n" "job" "instrs" "eng(s)"
+    "leg(s)" "speedup" "kernel" "dedup";
+  let cells = ref [] in
+  List.iter
+    (fun (w : W.Workload.t) ->
+      if keep only_workloads w.W.Workload.name then
+        List.iter
+          (fun t ->
+            if keep only_techniques (R.Technique.name t) then
+              cells := cell w t :: !cells)
+          R.Technique.all_paper)
+    W.Registry.all;
+  let cells = List.rev !cells in
+  if cells = [] then (prerr_endline "no cells selected"; exit 2);
+  let sum f = List.fold_left (fun a c -> a +. f c) 0. cells in
+  let instrs = List.fold_left (fun a c -> a + c.instrs) 0 cells in
+  let eng_wall = sum (fun c -> c.engine.wall_s) in
+  let leg_wall = sum (fun c -> c.legacy.wall_s) in
+  let eng_kernel = sum (fun c -> c.engine.kernel_s) in
+  let leg_kernel = sum (fun c -> c.legacy.kernel_s) in
+  let all_identical = List.for_all (fun c -> c.identical) cells in
+  Printf.printf
+    "aggregate: engine %.2f Minstr/s in %.1fs, legacy %.2f Minstr/s in \
+     %.1fs -> %.2fx end-to-end, %.2fx kernel-only; stats identical: %b\n%!"
+    (minstr instrs eng_wall) eng_wall (minstr instrs leg_wall) leg_wall
+    (leg_wall /. eng_wall) (leg_kernel /. eng_kernel) all_identical;
+  let json =
+    O.Json.Obj
+      [
+        ("scale", O.Json.Float scale);
+        ("intra", O.Json.Bool intra);
+        ( "aggregate",
+          O.Json.Obj
+            [
+              ("instructions", O.Json.Int instrs);
+              ("engine_wall_s", O.Json.Float eng_wall);
+              ("legacy_wall_s", O.Json.Float leg_wall);
+              ("engine_minstr_per_s", O.Json.Float (minstr instrs eng_wall));
+              ("legacy_minstr_per_s", O.Json.Float (minstr instrs leg_wall));
+              ("speedup", O.Json.Float (leg_wall /. eng_wall));
+              ( "kernel_speedup",
+                O.Json.Float (leg_kernel /. eng_kernel) );
+              ("stats_identical", O.Json.Bool all_identical);
+            ] );
+        ("jobs", O.Json.List (List.map cell_json cells));
+      ]
+  in
+  let oc = open_out out_path in
+  output_string oc (O.Json.to_string ~pretty:true json);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out_path;
+  if not all_identical then exit 1

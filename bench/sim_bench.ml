@@ -10,11 +10,17 @@
    fixed instruction mix is included as a machine-independent reference
    point across commits.
 
-   Usage: bench/sim_bench.exe
-   Environment:
+   Usage: bench/sim_bench.exe [--scale F] [--reps N] [--out PATH]
+   Flags override the environment:
      REPRO_SCALE     workload scale factor (default 0.05)
      REPRO_SIM_REPS  timed replay repetitions per job (default 5)
      REPRO_SIM_OUT   output JSON path (default SIM_BENCH.json)
+
+   The dedup column is phase-1 interning's stream-deduplication ratio
+   (warps sealed / unique streams kept): how many identical warp
+   instruction streams each retained representative stands for. Replay
+   wall time is unaffected (every warp still replays -- its addresses
+   are private); the ratio gates the emission-side win.
 
    Replays here re-run [Sm.run] on traces recorded once, so their cache
    state differs from a real multi-iteration run — the numbers measure
@@ -26,20 +32,31 @@ module W = Repro_workloads
 module O = Repro_obs
 module Rng = Repro_util.Rng
 
-let scale =
-  match Sys.getenv_opt "REPRO_SCALE" with
-  | Some s -> (try float_of_string s with _ -> 0.05)
-  | None -> 0.05
+let env_or name ~default ~parse =
+  match Sys.getenv_opt name with
+  | Some s -> (try parse s with _ -> default)
+  | None -> default
 
-let reps =
-  match Sys.getenv_opt "REPRO_SIM_REPS" with
-  | Some s -> (try max 1 (int_of_string s) with _ -> 5)
-  | None -> 5
-
-let out_path =
-  match Sys.getenv_opt "REPRO_SIM_OUT" with
-  | Some p -> p
-  | None -> "SIM_BENCH.json"
+(* --scale/--reps/--out beat the REPRO_* environment (kept for the CI
+   recipes that predate the flags). *)
+let scale, reps, out_path =
+  let scale = ref (env_or "REPRO_SCALE" ~default:0.05 ~parse:float_of_string) in
+  let reps =
+    ref (env_or "REPRO_SIM_REPS" ~default:5 ~parse:(fun s -> max 1 (int_of_string s)))
+  in
+  let out = ref (env_or "REPRO_SIM_OUT" ~default:"SIM_BENCH.json" ~parse:Fun.id) in
+  let usage = "sim_bench.exe [--scale F] [--reps N] [--out PATH]" in
+  Arg.parse
+    [
+      ("--scale", Arg.Set_float scale, "F  workload scale factor (default 0.05)");
+      ( "--reps",
+        Arg.Int (fun n -> reps := max 1 n),
+        "N  timed replay repetitions per job (default 5)" );
+      ("--out", Arg.Set_string out, "PATH  output JSON path (default SIM_BENCH.json)");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    usage;
+  (!scale, !reps, !out)
 
 type result = {
   job : string;
@@ -50,6 +67,7 @@ type result = {
   minor_words : float;  (* for [reps] passes *)
   tel_wall_s : float;   (* same passes with the event tracer on *)
   vm_wall_s : float;    (* same passes with address translation on *)
+  dedup : float;        (* phase-1 interning ratio: warps / unique streams *)
 }
 
 let minstr_per_s r = float_of_int (r.instrs * reps) /. r.wall_s /. 1e6
@@ -71,7 +89,7 @@ let vm_overhead_pct r =
    warm-up pass first so code and data are hot. Then the same passes
    again with the event ring recording (the tracer-overhead column;
    target is within ~10% of the plain path). *)
-let time_replay ~job ~cfg ~vm launches =
+let time_replay ~job ~cfg ~vm ?(dedup = 1.) launches =
   let mp = G.Mem_path.create cfg in
   let stats = G.Stats.create () in
   let instrs =
@@ -142,7 +160,7 @@ let time_replay ~job ~cfg ~vm launches =
   done;
   let vm_wall_s = Unix.gettimeofday () -. t0 in
   { job; launches = List.length launches; instrs; cycles; wall_s; minor_words;
-    tel_wall_s; vm_wall_s }
+    tel_wall_s; vm_wall_s; dedup }
 
 let workload_job ?alloc (w : W.Workload.t) technique =
   (* Built with translation on so the runtime assembles the job's real
@@ -173,7 +191,8 @@ let workload_job ?alloc (w : W.Workload.t) technique =
     | Some fam -> String.lowercase_ascii (R.Alloc_family.column_name technique fam)
   in
   let job = Printf.sprintf "%s/%s" w.W.Workload.name column in
-  time_replay ~job ~cfg:(G.Device.config dev) ~vm launches
+  time_replay ~job ~cfg:(G.Device.config dev) ~vm
+    ~dedup:(G.Device.dedup_ratio dev) launches
 
 (* Fixed-mix synthetic traces (one aligned load, one aligned store, a
    short compute chain, a branch, a virtual call — repeating), so the
@@ -183,10 +202,16 @@ let canned_job () =
   let heap = Repro_mem.Page_store.create () in
   let rng = Rng.create ~seed:42 in
   let n_warps = 64 and n_instrs = 2000 in
+  (* Emitted through the interning pool like a device launch would, so
+     the reference job exercises (and reports) the dedup path: every warp
+     shares the instruction mix, only the rng-drawn addresses differ. *)
+  let pool = G.Trace.Intern.create () in
+  let scratch = G.Trace.create ~capacity:256 () in
   let traces =
     Array.init n_warps (fun warp_id ->
         let lanes = Array.init 32 (fun l -> (warp_id * 32) + l) in
-        let ctx = G.Warp_ctx.create ~heap ~warp_id ~lanes () in
+        G.Trace.reset scratch;
+        let ctx = G.Warp_ctx.create ~trace:scratch ~heap ~warp_id ~lanes () in
         for i = 0 to n_instrs - 1 do
           match i mod 5 with
           | 0 ->
@@ -201,7 +226,12 @@ let canned_job () =
           | 3 -> G.Warp_ctx.ctrl ctx ~label:G.Label.Body
           | _ -> G.Warp_ctx.call_indirect ctx ~label:G.Label.Call
         done;
-        G.Warp_ctx.trace ctx)
+        G.Trace.Intern.seal pool scratch)
+  in
+  let dedup =
+    let unique = G.Trace.Intern.unique pool in
+    if unique = 0 then 1.
+    else float_of_int (G.Trace.Intern.sealed pool) /. float_of_int unique
   in
   (* One flat 4K arena covering the synthetic address range. *)
   let table =
@@ -209,7 +239,7 @@ let canned_job () =
       ~arenas:[ (0, 33 * 1024 * 1024) ] ~promoted:[] ()
   in
   let vm = Repro_vm.Vm.create ~n_sms:cfg.G.Config.n_sms ~table () in
-  time_replay ~job:"canned/mix" ~cfg ~vm [ traces ]
+  time_replay ~job:"canned/mix" ~cfg ~vm ~dedup [ traces ]
 
 let result_json r =
   O.Json.Obj
@@ -228,19 +258,21 @@ let result_json r =
       ("tracer_overhead_pct", O.Json.Float (tracer_overhead_pct r));
       ("vm_wall_s", O.Json.Float r.vm_wall_s);
       ("vm_overhead_pct", O.Json.Float (vm_overhead_pct r));
+      ("dedup_ratio", O.Json.Float r.dedup);
     ]
 
 let () =
   Printf.printf "sim_bench: scale=%g reps=%d\n%!" scale reps;
-  Printf.printf "%-18s %10s %9s %9s %9s %12s %9s %6s %6s\n" "job" "instrs"
-    "Minstr/s" "Mcyc/s" "wall(s)" "words/instr" "tracer" "ovh%" "vm%";
+  Printf.printf "%-18s %10s %9s %9s %9s %12s %9s %6s %6s %7s\n" "job" "instrs"
+    "Minstr/s" "Mcyc/s" "wall(s)" "words/instr" "tracer" "ovh%" "vm%" "dedup";
   let results = ref [] in
   let emit r =
     results := r :: !results;
-    Printf.printf "%-18s %10d %9.2f %9.2f %9.3f %12.3f %9.2f %+6.1f %+6.1f\n%!"
+    Printf.printf
+      "%-18s %10d %9.2f %9.2f %9.3f %12.3f %9.2f %+6.1f %+6.1f %6.1fx\n%!"
       r.job r.instrs (minstr_per_s r) (mcyc_per_s r) r.wall_s
       (words_per_instr r) (tel_minstr_per_s r) (tracer_overhead_pct r)
-      (vm_overhead_pct r)
+      (vm_overhead_pct r) r.dedup
   in
   emit (canned_job ());
   List.iter

@@ -13,6 +13,14 @@ type t = {
   (* Allocator layout hook: maps (canonical object base, byte offset into
      the canonical AoS image) to the storage address. None = identity. *)
   mutable remap : (obj:int -> off:int -> int) option;
+  (* Interned-engine fast path: field accesses compute their per-lane
+     addresses into [scratch] and emit through [Warp_ctx.load_into]/
+     [store_from], so only the returned value array is allocated. Same
+     addresses, same emission order, same heap reads — byte-identical to
+     the legacy path, which stays below it for the measurable baseline
+     (and for sanitized runs, which want exact-width address arrays). *)
+  mutable fused : bool;
+  mutable scratch : int array;
 }
 
 let create technique =
@@ -28,9 +36,13 @@ let create technique =
     strip_in_software = Technique.strips_in_software technique;
     last_stripped = [||];
     remap = None;
+    fused = false;
+    scratch = [||];
   }
 
 let set_addr_hook t hook = t.remap <- hook
+
+let set_fused t b = t.fused <- b
 
 let technique t = t.technique
 
@@ -70,15 +82,48 @@ let charge_strip t ctx objs =
 (* Fields are signed 32-bit; the store truncates, the load sign-extends. *)
 let sign_extend v = if v land 0x8000_0000 <> 0 then v - (1 lsl 32) else v
 
+(* Per-lane field addresses into the reusable scratch buffer; returns the
+   lane count. The bounds check and the offset arithmetic are hoisted out
+   of the per-lane loop. *)
+let fill_field_addrs t ~objs ~field =
+  if field < 0 then invalid_arg "Object_model.field_addr: negative field";
+  let n = Array.length objs in
+  if Array.length t.scratch < n then t.scratch <- Array.make (max 32 n) 0;
+  let off = (t.header_words * Vaddr.word_bytes) + (field * field_bytes) in
+  let scratch = t.scratch in
+  (match t.remap with
+   | None -> for i = 0 to n - 1 do scratch.(i) <- Vaddr.strip objs.(i) + off done
+   | Some f ->
+     for i = 0 to n - 1 do scratch.(i) <- f ~obj:(Vaddr.strip objs.(i)) ~off done);
+  n
+
 let field_load t ctx ~objs ~field =
   charge_strip t ctx objs;
-  let addrs = Array.map (fun ptr -> field_addr t ~ptr ~field) objs in
-  Array.map sign_extend (Warp_ctx.load ~width:field_bytes ctx ~label:Label.Body addrs)
+  if t.fused then begin
+    let n = fill_field_addrs t ~objs ~field in
+    let out =
+      Warp_ctx.load_into ~width:field_bytes ctx ~label:Label.Body
+        ~blocking:true ~addrs:t.scratch ~n
+    in
+    for i = 0 to n - 1 do out.(i) <- sign_extend out.(i) done;
+    out
+  end
+  else begin
+    let addrs = Array.map (fun ptr -> field_addr t ~ptr ~field) objs in
+    Array.map sign_extend (Warp_ctx.load ~width:field_bytes ctx ~label:Label.Body addrs)
+  end
 
 let field_store t ctx ~objs ~field values =
   charge_strip t ctx objs;
-  let addrs = Array.map (fun ptr -> field_addr t ~ptr ~field) objs in
-  Warp_ctx.store ~width:field_bytes ctx ~label:Label.Body addrs values
+  if t.fused then begin
+    let n = fill_field_addrs t ~objs ~field in
+    Warp_ctx.store_from ~width:field_bytes ctx ~label:Label.Body
+      ~addrs:t.scratch ~n values
+  end
+  else begin
+    let addrs = Array.map (fun ptr -> field_addr t ~ptr ~field) objs in
+    Warp_ctx.store ~width:field_bytes ctx ~label:Label.Body addrs values
+  end
 
 let field_load_host t heap ~ptr ~field =
   sign_extend

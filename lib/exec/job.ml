@@ -40,10 +40,15 @@ let technique_id = function
       (match mode with T.Prototype -> "proto" | T.Hw_mmu -> "hw")
       (if on_cuda_alloc then "cuda" else "shared_oa")
 
+(* [prealloc_mb] is deliberately absent: a capacity hint changes no
+   result, so runs with and without it share cache entries. [intern]
+   does not change results either, but an A/B measurement wants the two
+   engines cached apart; [intra] is a different timing model and is
+   identity-critical. *)
 let key t =
   let p = t.params in
   Printf.sprintf
-    "%s|%s|alloc=%s|scale=%.6g|seed=%d|iters=%s|chunk=%s|config=%s|san=%s|telemetry=%s|pages=%s"
+    "%s|%s|alloc=%s|scale=%.6g|seed=%d|iters=%s|chunk=%s|config=%s|san=%s|telemetry=%s|pages=%s|intern=%b|intra=%b"
     (workload_name t) (technique_id t.technique)
     (match p.W.Workload.alloc with
      | None -> "default"
@@ -68,10 +73,11 @@ let key t =
     (match p.W.Workload.pages with
      | None -> "none"
      | Some policy -> Repro_vm.Policy.name policy)
+    p.W.Workload.intern p.W.Workload.intra
 
 (* Bump whenever [Harness.run] (or anything Marshal reaches through it)
    changes shape: old cache entries become unreachable, not corrupt. *)
-let schema_version = "repro-exec-v5"
+let schema_version = "repro-exec-v6"
 
 let hash t = Digest.to_hex (Digest.string (schema_version ^ "\n" ^ key t))
 

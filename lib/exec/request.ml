@@ -3,7 +3,7 @@ module T = Repro_core.Technique
 module J = Repro_obs.Json
 module D = Repro_obs.Json.Decode
 
-let schema_version = 1
+let schema_version = 2
 
 (* [T.name] is a display name and collapses the prototype-on-CUDA
    configuration; the wire uses the CLI's parseable short names and
@@ -43,18 +43,26 @@ module Spec = struct
     iterations : int option;
     chunk_objs : int option;
     pages : string option;
+    intern : bool;
+    intra : bool;
+    prealloc_mb : int option;
   }
 
-  let default_scale = 1.0
+  (* One constant for every surface: a bare submit and a bare sweep are
+     now the same job (schema v2; v1 defaulted an absent scale to 1.0
+     while `repro sweep` ran 0.25). *)
+  let default_scale = W.Workload.default_scale
   let default_seed = 42
 
   let make ?alloc ?(scale = default_scale) ?(seed = default_seed) ?iterations
-      ?chunk_objs ?pages ~workload ~technique () =
+      ?chunk_objs ?pages ?(intern = true) ?(intra = false) ?prealloc_mb
+      ~workload ~technique () =
     (* "none" (the CLI's explicit default) and omission are the same run;
        canonicalize so the job key and cache agree — the [alloc]
        canonicalization below plays the same trick. *)
     let pages = match pages with Some "none" -> None | p -> p in
-    { workload; technique; alloc; scale; seed; iterations; chunk_objs; pages }
+    { workload; technique; alloc; scale; seed; iterations; chunk_objs; pages;
+      intern; intra; prealloc_mb }
 
   let of_job (job : Job.t) =
     let p = job.Job.params in
@@ -67,6 +75,9 @@ module Spec = struct
       iterations = p.W.Workload.iterations;
       chunk_objs = p.W.Workload.chunk_objs;
       pages = Option.map Repro_vm.Policy.name p.W.Workload.pages;
+      intern = p.W.Workload.intern;
+      intra = p.W.Workload.intra;
+      prealloc_mb = p.W.Workload.prealloc_mb;
     }
 
   let alloc_of_string s =
@@ -112,6 +123,9 @@ module Spec = struct
               iterations = t.iterations;
               chunk_objs = t.chunk_objs;
               pages;
+              intern = t.intern;
+              intra = t.intra;
+              prealloc_mb = t.prealloc_mb;
             }))
 
   let resolve t =
@@ -150,9 +164,16 @@ module Spec = struct
       @ (match t.chunk_objs with
          | Some c -> [ ("chunk_objs", J.Int c) ]
          | None -> [])
+      @ (match t.pages with
+         | Some p -> [ ("pages", J.String p) ]
+         | None -> [])
+      (* Engine fields ride the wire only off their defaults, so default
+         jobs encode exactly as they did under schema v1. *)
+      @ (if t.intern then [] else [ ("intern", J.Bool false) ])
+      @ (if t.intra then [ ("intra", J.Bool true) ] else [])
       @
-      match t.pages with
-      | Some p -> [ ("pages", J.String p) ]
+      match t.prealloc_mb with
+      | Some mb -> [ ("prealloc_mb", J.Int mb) ]
       | None -> [])
 
   (* Validate at decode time so a bad family reports its JSON path
@@ -190,6 +211,9 @@ module Spec = struct
         (match D.field_opt "pages" pages_decoder j with
          | Some "none" -> None
          | p -> p);
+      intern = D.field_default "intern" D.bool true j;
+      intra = D.field_default "intra" D.bool false j;
+      prealloc_mb = D.field_opt "prealloc_mb" D.int j;
     }
 
   let equal a b = a = b
@@ -197,7 +221,9 @@ module Spec = struct
   let label t =
     let extras =
       (match t.alloc with Some a -> [ "alloc=" ^ a ] | None -> [])
-      @ match t.pages with Some p -> [ "pages=" ^ p ] | None -> []
+      @ (match t.pages with Some p -> [ "pages=" ^ p ] | None -> [])
+      @ (if t.intern then [] else [ "legacy-engine" ])
+      @ if t.intra then [ "intra" ] else []
     in
     match extras with
     | [] -> Printf.sprintf "%s [%s]" t.workload t.technique

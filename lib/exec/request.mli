@@ -12,8 +12,11 @@
     {!Repro_obs.Json.Decode}).
 
     Wire form: one JSON object per line (LF-terminated, no newlines
-    inside). Requests carry [{"v": 1, "type": ...}]; see PROTOCOL.md for
-    the full message reference. *)
+    inside). Requests carry [{"v": 2, "type": ...}]; see PROTOCOL.md for
+    the full message reference. (v2 added the engine fields [intern]/
+    [intra]/[prealloc_mb] and aligned the absent-[scale] default with
+    [repro sweep]'s 0.25 — under v1 a bare submit silently ran scale
+    1.0.) *)
 
 val schema_version : int
 (** The protocol generation this build speaks. Bump on any change to the
@@ -49,7 +52,21 @@ module Spec : sig
             [None] = no address translation. Never the string ["none"] —
             constructors canonicalize it away so the job key and cache
             agree with the omitted form. *)
+    intern : bool;
+        (** Interned emission engine; [false] selects the legacy
+            baseline engine. Byte-identical results either way. *)
+    intra : bool;
+        (** Intra-launch sharded parallel timing (a distinct,
+            deterministic timing model). *)
+    prealloc_mb : int option;
+        (** Heap pre-sizing hint (MiB); results-neutral and excluded
+            from {!Job.key}. *)
   }
+
+  val default_scale : float
+  (** = {!Repro_workloads.Workload.default_scale} (0.25) — the same
+      constant [repro sweep] uses, so a bare submit and a bare sweep are
+      the same run. *)
 
   val make :
     ?alloc:string ->
@@ -58,12 +75,15 @@ module Spec : sig
     ?iterations:int ->
     ?chunk_objs:int ->
     ?pages:string ->
+    ?intern:bool ->
+    ?intra:bool ->
+    ?prealloc_mb:int ->
     workload:string ->
     technique:string ->
     unit ->
     t
-  (** Defaults mirror {!Repro_workloads.Workload.default_params}:
-      [scale 1.0], [seed 42], no overrides. *)
+  (** Defaults: [scale] {!default_scale}, [seed 42], [intern true],
+      [intra false], no overrides. *)
 
   val of_job : Job.t -> t
   (** The spec that {!resolve}s back to an equal job (same {!Job.key}).

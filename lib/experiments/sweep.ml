@@ -23,17 +23,21 @@ type t = {
   columns : column list;
 }
 
-let default_scale = 0.25
+let default_scale = W.Workload.default_scale
 
 let exec ?(scale = default_scale) ?iterations ?(j = 1) ?(cache = false)
     ?cache_dir ?(progress = fun _ -> ()) ?(workloads = W.Registry.all)
-    ?(columns = default_columns) ?pages () =
+    ?(columns = default_columns) ?pages ?(intern = true) ?(intra = false)
+    ?prealloc_mb () =
   let params c =
     {
       (W.Workload.default_params c.technique) with
       W.Workload.scale;
       iterations;
       pages;
+      intern;
+      intra;
+      prealloc_mb;
       (* Default families stay [None] so the job key (and cache entry) is
          the same whether the run came from a technique-only or a
          column-aware surface. *)

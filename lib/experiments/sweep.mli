@@ -33,7 +33,9 @@ val default_columns : column list
 type t
 
 val default_scale : float
-(** 0.25. *)
+(** = {!Repro_workloads.Workload.default_scale} (0.25) — the repo-wide
+    bare-sweep scale, shared with the wire protocol's absent-[scale]
+    default. *)
 
 val exec :
   ?scale:float ->
@@ -45,14 +47,25 @@ val exec :
   ?workloads:Repro_workloads.Workload.t list ->
   ?columns:column list ->
   ?pages:Repro_vm.Policy.t ->
+  ?intern:bool ->
+  ?intra:bool ->
+  ?prealloc_mb:int ->
   unit -> t
-(** Defaults: scale 0.25 (fast but representative; see EXPERIMENTS.md),
+(** Defaults: scale {!default_scale} (fast but representative; see
+    EXPERIMENTS.md),
     {!default_columns}, all eleven workloads, serial ([j = 1]), cache
     off, no address translation ([pages]). [progress] receives each
     job's label as it starts measuring; with [j > 1] it may fire
     concurrently from worker domains. Raises [Failure] naming every
     failed job (after all jobs finished), or on a cross-column
-    functional mismatch. *)
+    functional mismatch.
+
+    [intern] (default [true]) selects the interned emission engine;
+    [false] is the legacy baseline (byte-identical results, slower —
+    what [bench/scale_bench.exe] measures against). [intra] (default
+    [false]) opts into the sliced intra-launch parallel timing model.
+    [prealloc_mb] pre-sizes each runtime's page store (a pure capacity
+    hint). *)
 
 val outcomes : t -> Repro_exec.Executor.outcome list
 (** Per-job scheduling detail (wall time, cache hits), in matrix order —

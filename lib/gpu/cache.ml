@@ -38,7 +38,10 @@ type t = {
   tags : int array;
   valid : int array;
   stamps : int array;
-  mutable clock : int;
+  (* A 1-cell array rather than a mutable int field so the fused replay
+     loop (Sm.run_fused) can hoist it once and bump it with direct array
+     stores. *)
+  clock : int array;
 }
 
 let create geom =
@@ -54,7 +57,7 @@ let create geom =
     tags = Array.make slots (-1);
     valid = Array.make slots 0;
     stamps = Array.make slots 0;
-    clock = 0;
+    clock = Array.make 1 0;
   }
 
 let geometry_of t = t.geom
@@ -82,11 +85,11 @@ let lru_slot t ~set =
 let access t ~sector =
   let line = sector lsr t.sector_shift in
   let set = line land t.set_mask in
-  t.clock <- t.clock + 1;
+  t.clock.(0) <- t.clock.(0) + 1;
   let bit = 1 lsl (sector land t.sector_mask) in
   let slot = find_slot t ~set ~line in
   if slot >= 0 then begin
-    t.stamps.(slot) <- t.clock;
+    t.stamps.(slot) <- t.clock.(0);
     if t.valid.(slot) land bit <> 0 then `Hit
     else begin
       t.valid.(slot) <- t.valid.(slot) lor bit;
@@ -97,7 +100,7 @@ let access t ~sector =
     let slot = lru_slot t ~set in
     t.tags.(slot) <- line;
     t.valid.(slot) <- bit;
-    t.stamps.(slot) <- t.clock;
+    t.stamps.(slot) <- t.clock.(0);
     `Miss
   end
 
@@ -111,3 +114,19 @@ let flush t =
   Array.fill t.tags 0 (Array.length t.tags) (-1);
   Array.fill t.valid 0 (Array.length t.valid) 0;
   Array.fill t.stamps 0 (Array.length t.stamps) 0
+
+(* Raw state for the fused replay loop: with these hoisted into locals,
+   an [access]-equivalent lookup is pure array arithmetic with no
+   cross-module call (this build has no flambda, so [Cache.access] would
+   otherwise be a real call per sector). The fused loop must reproduce
+   [access] exactly; it is the only sanctioned consumer. *)
+module Raw = struct
+  let tags t = t.tags
+  let valid t = t.valid
+  let stamps t = t.stamps
+  let clock_cell t = t.clock
+  let ways t = t.geom.ways
+  let sector_shift t = t.sector_shift
+  let sector_mask t = t.sector_mask
+  let set_mask t = t.set_mask
+end

@@ -37,6 +37,30 @@ let sectors_into ~buf addrs ~off ~len =
   done;
   !n
 
+(* [sectors_into] with the per-element bounds checks elided — the fused
+   replay loop's variant, where [off]/[len] come straight from trace
+   columns (in range by construction) and [buf] is the memory path's
+   warp-wide scratch. Same insertion order, same result. *)
+let sectors_into_unsafe ~buf addrs ~off ~len =
+  let n = ref 0 in
+  for k = off to off + len - 1 do
+    let s = (Array.unsafe_get addrs k land sector_mask) lsr sector_shift in
+    let i = ref (!n - 1) in
+    while !i >= 0 && Array.unsafe_get buf !i > s do
+      decr i
+    done;
+    if not (!i >= 0 && Array.unsafe_get buf !i = s) then begin
+      let j = ref (!n - 1) in
+      while !j > !i do
+        Array.unsafe_set buf (!j + 1) (Array.unsafe_get buf !j);
+        decr j
+      done;
+      Array.unsafe_set buf (!i + 1) s;
+      incr n
+    end
+  done;
+  !n
+
 let sectors addrs =
   let s = Array.map Repro_mem.Vaddr.sector_of addrs in
   Array.sort compare s;

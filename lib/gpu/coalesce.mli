@@ -14,6 +14,12 @@ val sectors_into : buf:int array -> int array -> off:int -> len:int -> int
     least [len] entries. Tag bits on the addresses are ignored. This is
     the replay-path coalescer; {!sectors} is the naive reference. *)
 
+val sectors_into_unsafe : buf:int array -> int array -> off:int -> len:int -> int
+(** {!sectors_into} with the per-element bounds checks elided. Only for
+    callers whose [off]/[len] come from trace columns (in range by
+    construction) and whose [buf] holds at least [len] entries — the
+    fused replay loop. Results are identical to {!sectors_into}. *)
+
 val sectors : int array -> int array
 (** [sectors addrs] is the sorted array of distinct 32 B sector indices
     touched by the given canonical byte addresses. *)

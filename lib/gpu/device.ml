@@ -1,7 +1,11 @@
 type t = {
   cfg : Config.t;
+  engine : Engine.t;
   heap : Repro_mem.Page_store.t;
   mem_path : Mem_path.t;
+  mutable shards : Mem_path.t array; (* per-SM memory slices; [||] until the
+                                        first sharded launch, then persistent *)
+  scratch : Trace.t; (* reusable emission trace for the interned engine *)
   stats : Stats.t;
   san : Repro_san.Checker.t option;
   tel : Telemetry.t option;
@@ -9,13 +13,18 @@ type t = {
   mutable windows : Stats.t array list; (* per-launch window rows, newest first *)
   mutable spans : Telemetry.kernel_span list; (* newest first *)
   mutable launches : int;
+  mutable sealed_streams : int; (* interning tallies, cumulative *)
+  mutable unique_streams : int;
+  mutable sealed_stream_instrs : int;
+  mutable unique_stream_instrs : int;
   mutable keep_traces : bool;
   mutable kept : Trace.t array list; (* retained launches, newest first *)
 }
 
 let fmax (a : float) (b : float) = if a >= b then a else b
 
-let create ?(config = Config.default) ?san ?telemetry ~heap () =
+let create ?(config = Config.default) ?(engine = Engine.default) ?san
+    ?telemetry ~heap () =
   Config.validate config;
   let tel =
     match telemetry with
@@ -28,8 +37,11 @@ let create ?(config = Config.default) ?san ?telemetry ~heap () =
    | Some _ | None -> ());
   {
     cfg = config;
+    engine;
     heap;
     mem_path;
+    shards = [||];
+    scratch = Trace.create ~capacity:256 ();
     stats = Stats.create ();
     san;
     tel;
@@ -37,9 +49,15 @@ let create ?(config = Config.default) ?san ?telemetry ~heap () =
     windows = [];
     spans = [];
     launches = 0;
+    sealed_streams = 0;
+    unique_streams = 0;
+    sealed_stream_instrs = 0;
+    unique_stream_instrs = 0;
     keep_traces = false;
     kept = [];
   }
+
+let engine t = t.engine
 
 let config t = t.cfg
 
@@ -49,18 +67,61 @@ let set_vm t vm = Mem_path.set_vm t.mem_path vm
 
 let vm t = Mem_path.vm t.mem_path
 
+(* Phase 2 shards on demand: one sliced memory path per SM, persistent
+   across launches so the L2 slices keep their tag state exactly like
+   the sequential L2 does. *)
+let shards t =
+  if Array.length t.shards = 0 then
+    t.shards <-
+      Array.init t.cfg.Config.n_sms (fun _ -> Mem_path.create (Config.slice t.cfg));
+  t.shards
+
+(* The sharded engine has no telemetry instrumentation, and a translation
+   model is attached to the shared [mem_path] only — both fall back to
+   the sequential loop. A 1-SM config has nothing to shard. *)
+let use_sharded t =
+  t.engine.Engine.intra && t.cfg.Config.n_sms > 1 && t.tel = None
+  && Mem_path.vm t.mem_path = None
+
 let launch t ~n_threads kernel =
   if n_threads <= 0 then invalid_arg "Device.launch: n_threads must be positive";
   let warp_size = t.cfg.Config.warp_size in
   let n_warps = Repro_util.Mathx.ceil_div n_threads warp_size in
   let traces =
-    Array.init n_warps (fun warp_id ->
-        let first = warp_id * warp_size in
-        let width = min warp_size (n_threads - first) in
-        let lanes = Array.init width (fun lane -> first + lane) in
-        let ctx = Warp_ctx.create ?san:t.san ~heap:t.heap ~warp_id ~lanes () in
-        kernel ctx;
-        Warp_ctx.trace ctx)
+    if t.engine.Engine.intern then begin
+      (* Interned emission: every warp emits into the device's scratch
+         trace, then seals through a per-launch pool that hash-conses
+         identical instruction streams (addresses stay per-warp). *)
+      let pool = Trace.Intern.create () in
+      let traces =
+        Array.init n_warps (fun warp_id ->
+            let first = warp_id * warp_size in
+            let width = min warp_size (n_threads - first) in
+            let lanes = Array.init width (fun lane -> first + lane) in
+            Trace.reset t.scratch;
+            let ctx =
+              Warp_ctx.create ?san:t.san ~fused:(t.san = None)
+                ~trace:t.scratch ~heap:t.heap ~warp_id ~lanes ()
+            in
+            kernel ctx;
+            Trace.Intern.seal pool t.scratch)
+      in
+      t.sealed_streams <- t.sealed_streams + Trace.Intern.sealed pool;
+      t.unique_streams <- t.unique_streams + Trace.Intern.unique pool;
+      t.sealed_stream_instrs <-
+        t.sealed_stream_instrs + Trace.Intern.sealed_instrs pool;
+      t.unique_stream_instrs <-
+        t.unique_stream_instrs + Trace.Intern.unique_instrs pool;
+      traces
+    end
+    else
+      Array.init n_warps (fun warp_id ->
+          let first = warp_id * warp_size in
+          let width = min warp_size (n_threads - first) in
+          let lanes = Array.init width (fun lane -> first + lane) in
+          let ctx = Warp_ctx.create ?san:t.san ~heap:t.heap ~warp_id ~lanes () in
+          kernel ctx;
+          Warp_ctx.trace ctx)
   in
   (* Each launch counts into its own [Stats.t] which is then folded into
      the cumulative totals, so the per-kernel deltas of [kernel_timeline]
@@ -78,7 +139,18 @@ let launch t ~n_threads kernel =
   in
   (match t.tel with
    | None ->
-     let cycles = Sm.run t.cfg t.mem_path ~stats:launch_stats ~traces in
+     let cycles =
+       if use_sharded t then
+         Sm.run_sharded t.cfg ~shards:(shards t)
+           ~jobs:(Engine.resolve_jobs t.engine) ~stats:launch_stats ~traces
+       else if t.engine.Engine.intern && Mem_path.plain t.mem_path then
+         (* The interned engine's replay path: byte-identical to Sm.run
+            (the fused loop replicates its event order and float
+            sequence), so the legacy engine below stays the measurable
+            A/B baseline. *)
+         Sm.run_fused t.cfg t.mem_path ~stats:launch_stats ~traces
+       else Sm.run t.cfg t.mem_path ~stats:launch_stats ~traces
+     in
      Stats.add_cycles launch_stats cycles;
      san_delta ()
    | Some tel ->
@@ -168,9 +240,22 @@ let telemetry_dump t =
       }
   | Some _ | None -> None
 
+let interning_tallies t =
+  (t.sealed_streams, t.unique_streams, t.sealed_stream_instrs,
+   t.unique_stream_instrs)
+
+let dedup_ratio t =
+  if t.unique_streams = 0 then 1.
+  else float_of_int t.sealed_streams /. float_of_int t.unique_streams
+
 let reset_stats t =
   Stats.reset t.stats;
   Mem_path.reset t.mem_path;
+  Array.iter Mem_path.reset t.shards;
+  t.sealed_streams <- 0;
+  t.unique_streams <- 0;
+  t.sealed_stream_instrs <- 0;
+  t.unique_stream_instrs <- 0;
   t.timeline <- [];
   t.windows <- [];
   t.spans <- [];

@@ -1,0 +1,13 @@
+type t = {
+  intern : bool;
+  intra : bool;
+  intra_jobs : int;
+}
+
+let default = { intern = true; intra = false; intra_jobs = 0 }
+
+let legacy = { default with intern = false }
+
+let resolve_jobs t =
+  if t.intra_jobs > 0 then t.intra_jobs
+  else Repro_util.Pool.available_workers ()

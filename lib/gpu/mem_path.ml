@@ -345,3 +345,29 @@ let reset t =
   | None -> ()
 
 let l1_probe t ~sm ~sector = Cache.probe t.l1s.(sm) ~sector
+
+(* True when neither telemetry recording nor address translation is
+   attached: the precondition for the fused replay loop, whose inlined
+   hierarchy walk reproduces exactly the [None]/[None] branches above. *)
+let plain t = t.ring = None && t.vm = None
+
+(* Raw state for the fused replay loop (same contract as {!Cache.Raw}):
+   hoisted once per launch, then the per-access path is direct array
+   arithmetic. *)
+module Raw = struct
+  let l1s t = t.l1s
+  let l2 t = t.l2
+  let clk t = t.clk
+  let l1_next_free t = t.l1_next_free
+  let lsu_next_free t = t.lsu_next_free
+  let scratch t = t.scratch
+  let inv_l1_tp t = t.inv_l1_tp
+  let inv_l2_tp t = t.inv_l2_tp
+  let inv_lsu_tp t = t.inv_lsu_tp
+  let inv_dram_cost t = t.inv_dram_cost
+  let dram_pair_cost t = t.dram_pair_cost
+  let l1_lat t = t.l1_lat
+  let l2_lat t = t.l2_lat
+  let dram_lat t = t.dram_lat
+  let n_over_l1 t = t.n_over_l1
+end

@@ -86,3 +86,33 @@ val reset : t -> unit
 
 val l1_probe : t -> sm:int -> sector:int -> bool
 (** Test hook. *)
+
+val plain : t -> bool
+(** No telemetry ring and no translation model attached — the
+    precondition for {!Sm.run_fused}, whose inlined walk reproduces the
+    plain branches of {!load_soa}/{!store_soa} exactly. *)
+
+(** Raw timing state for the fused replay loop, hoisted once per launch
+    (same contract as {!Cache.Raw}: read/accumulate exactly as the entry
+    points above do, never otherwise). *)
+module Raw : sig
+  val l1s : t -> Cache.t array
+  val l2 : t -> Cache.t
+  val clk : t -> float array
+  (** [clk.(0)] = L2 next-free, [clk.(1)] = DRAM next-free. *)
+
+  val l1_next_free : t -> float array
+  val lsu_next_free : t -> float array
+  val scratch : t -> int array
+  (** Coalescer scratch, [warp_size] entries. *)
+
+  val inv_l1_tp : t -> float
+  val inv_l2_tp : t -> float
+  val inv_lsu_tp : t -> float
+  val inv_dram_cost : t -> float
+  val dram_pair_cost : t -> float
+  val l1_lat : t -> float
+  val l2_lat : t -> float
+  val dram_lat : t -> float
+  val n_over_l1 : t -> float array
+end

@@ -26,3 +26,33 @@ val run :
     events come from {!Mem_path}, whose ring must be set separately).
     Without [telemetry] the loop is the untouched zero-allocation replay
     path. *)
+
+val run_fused :
+  Config.t -> Mem_path.t -> stats:Stats.t -> traces:Trace.t array -> float
+(** [run]'s fused twin: the same event order and the same float
+    operations in the same sequence — cycles and every counter are
+    byte-identical to [run]'s — with the per-instruction call chain
+    (trace accessors, [Cache.access], the [Mem_path] hierarchy walk,
+    the event heap) inlined over state hoisted once per launch, and
+    scalar counters flushed to [stats] in one exact integer add per
+    launch. This is the interned engine's replay path ([Engine.intern],
+    gated in [Device]); [run] remains the reference for the legacy
+    engine, telemetry and address translation. Raises [Invalid_argument]
+    unless the memory path is plain (no ring, no vm). *)
+
+val run_sharded :
+  Config.t -> shards:Mem_path.t array -> jobs:int -> stats:Stats.t ->
+  traces:Trace.t array -> float
+(** Intra-launch sharded timing: SM [s] replays its warps ([s, s+n_sms,
+    ...], the sequential engine's dealing, in the same order) against
+    [shards.(s)], a memory path built from {!Config.slice} — its own L1
+    plus a private [1/n_sms] slice of L2 capacity and L2/DRAM bandwidth.
+    Shards are independent, so they replay on up to [jobs] domains; the
+    per-SM stats are merged into [stats] in SM order and the returned
+    completion time is the slowest shard's. The result is deterministic
+    and byte-identical for every [jobs] value, but the statically-sliced
+    memory system is a (documented) modelling deviation from the
+    shared-L2 sequential engine, which is why the sharded engine is
+    opt-in and recorded in job keys. [shards] must have length [n_sms]
+    and persists across launches (the L2 slices keep their tag state,
+    like the sequential L2). *)

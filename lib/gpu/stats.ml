@@ -151,6 +151,24 @@ let attribute_stall t label cycles =
 
 let stall_accumulator t = t.stalls
 
+let load_transactions_accumulator t = t.load_transactions_by_label
+
+(* One flush per replayed launch from the fused loop's local counters;
+   integer adds, so the totals are exactly what per-instruction counting
+   would have produced. *)
+let bump_replay_counters t ~mem ~compute ~ctrl ~load_trans ~store_trans
+    ~l1_hits ~l1_misses ~l2_hits ~l2_misses ~dram_sectors =
+  t.mem_instrs <- t.mem_instrs + mem;
+  t.compute_instrs <- t.compute_instrs + compute;
+  t.ctrl_instrs <- t.ctrl_instrs + ctrl;
+  t.load_transactions <- t.load_transactions + load_trans;
+  t.store_transactions <- t.store_transactions + store_trans;
+  t.l1_hits <- t.l1_hits + l1_hits;
+  t.l1_misses <- t.l1_misses + l1_misses;
+  t.l2_hits <- t.l2_hits + l2_hits;
+  t.l2_misses <- t.l2_misses + l2_misses;
+  t.dram_sectors <- t.dram_sectors + dram_sectors
+
 let add_cycles t c = t.cycles <- t.cycles +. c
 
 let cycles t = t.cycles

@@ -60,6 +60,20 @@ val stall_accumulator : t -> float array
     stores instead of a boxed [float] argument per call. Aliases the
     live counters — treat as write-accumulate only. *)
 
+val load_transactions_accumulator : t -> int array
+(** The raw per-label load-transaction array, same contract as
+    {!stall_accumulator}: hoisted by the fused replay loop. *)
+
+val bump_replay_counters :
+  t ->
+  mem:int -> compute:int -> ctrl:int ->
+  load_trans:int -> store_trans:int ->
+  l1_hits:int -> l1_misses:int -> l2_hits:int -> l2_misses:int ->
+  dram_sectors:int -> unit
+(** Flush the fused replay loop's locally-accumulated integer counters in
+    one call; exactly equivalent to the per-instruction [count_*]
+    sequence it replaces. *)
+
 val add_cycles : t -> float -> unit
 
 val count_san_violations : t -> int array -> unit

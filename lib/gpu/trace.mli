@@ -18,6 +18,11 @@ type t
 
 val create : ?capacity:int -> unit -> t
 
+val reset : t -> unit
+(** Rewind to empty, keeping capacity. The interned emission engine
+    replays one scratch trace per device: [reset] between warps, then
+    {!Intern.seal} to snapshot the stream. *)
+
 val length : t -> int
 (** Number of trace records (one [Compute n] record counts once here). *)
 
@@ -46,8 +51,16 @@ val emit_load : t -> label:Label.t -> blocking:bool -> int array -> int
     addrs] consecutive entries). Raises [Invalid_argument] on an empty
     lane set. *)
 
+val emit_load_n : t -> label:Label.t -> blocking:bool -> int array -> int -> int
+(** [emit_load_n t ~label ~blocking buf n] is {!emit_load} over
+    [buf.(0 .. n-1)] — the scratch-buffer form used by the fused emission
+    fast path, where [buf] may be wider than the warp. *)
+
 val emit_store : t -> label:Label.t -> int array -> int
 (** Same for a (non-blocking) global store. *)
+
+val emit_store_n : t -> label:Label.t -> int array -> int -> int
+(** Scratch-buffer form of {!emit_store}. *)
 
 val emit_compute : t -> label:Label.t -> n:int -> blocking:bool -> active:int -> unit
 
@@ -98,3 +111,59 @@ val get : t -> int -> Instr.t
 
 val iter : (Instr.t -> unit) -> t -> unit
 (** Materializing iteration over {!get}. *)
+
+(** {1 Interning}
+
+    Hash-consing of warp instruction streams. The paper's workloads are
+    homogeneous per type, so a launch's traces collapse to a handful of
+    distinct record-column sets; sealing a warp's scratch trace through a
+    pool shares the column arrays (op/label/active/repeat/blocking/offset)
+    of every warp with an identical stream. Per-lane addresses are {e
+    never} shared — they differ per warp and drive coalescing, cache and
+    TLB state — so each sealed trace keeps a private exact-size arena.
+    Replay through a sealed trace is structurally identical to replay
+    through a plain one: timing and stats are byte-identical. *)
+module Intern : sig
+  type pool
+
+  val create : unit -> pool
+  (** An empty pool; typically one per kernel launch. *)
+
+  val seal : pool -> t -> t
+  (** [seal pool scratch] snapshots [scratch] into a frozen trace:
+      columns are hash-consed through [pool] (shared physically with any
+      earlier identical stream), the arena is copied exact-size. The
+      scratch is not modified — {!reset} it before the next warp. *)
+
+  val sealed : pool -> int
+  (** Streams sealed through the pool. *)
+
+  val unique : pool -> int
+  (** Distinct streams the pool holds; [sealed / unique] is the launch's
+      dedup ratio. *)
+
+  val sealed_instrs : pool -> int
+  (** Dynamic warp instructions across all sealed streams. *)
+
+  val unique_instrs : pool -> int
+  (** Ditto across distinct streams only. *)
+end
+
+val shares_columns : t -> t -> bool
+(** Physical column-array sharing (interning worked) — test hook. *)
+
+val arena_length : t -> int
+(** Live prefix of {!arena}. *)
+
+(** Column views for the fused replay loop ({!Sm.run_fused}): hoisted
+    once per launch so per-instruction reads are direct array loads (no
+    flambda, so the per-record accessors above are real calls). Only the
+    first {!length} entries are live; never mutate through these. *)
+module Raw : sig
+  val op_col : t -> int array
+  val lbl_col : t -> int array
+  val act_col : t -> int array
+  val rep_col : t -> int array
+  val blk_col : t -> int array
+  val aoff_col : t -> int array
+end

@@ -6,11 +6,41 @@ type t = {
   warp_id : int;
   lanes : int array;
   san : Repro_san.Checker.t option;
+  (* Interned-engine emission: callers with a fused fast path (Garray,
+     Dispatch, the divergence machinery below) key on this flag, compute
+     per-lane addresses into [ascratch] and emit through [load_into]/
+     [store_from] instead of building intermediate arrays. The flag is
+     never set on sanitized runs (those want exact-width address
+     arrays), so the legacy paths double as the sanitizer's. *)
+  fused : bool;
+  mutable ascratch : int array;
+  (* Cached identity index maps ([|0; ...; n-1|]) per width, handed to
+     divergence bodies when a branch is warp-uniform. Bodies treat the
+     index map as read-only (they only gather through it), so sharing
+     one array per width is safe. *)
+  mutable idents : int array array;
 }
 
-let create ?san ~heap ~warp_id ~lanes () =
+let create ?san ?(fused = false) ?trace ~heap ~warp_id ~lanes () =
   if Array.length lanes = 0 then invalid_arg "Warp_ctx.create: empty warp";
-  { heap; trace = Trace.create (); warp_id; lanes; san }
+  let trace = match trace with Some t -> t | None -> Trace.create () in
+  { heap; trace; warp_id; lanes; san; fused; ascratch = [||]; idents = [||] }
+
+let fused t = t.fused
+
+let addr_scratch t n =
+  if Array.length t.ascratch < n then t.ascratch <- Array.make (max 32 n) 0;
+  t.ascratch
+
+let identity t n =
+  if Array.length t.idents < n + 1 then begin
+    let fresh = Array.make (n + 1) [||] in
+    Array.blit t.idents 0 fresh 0 (Array.length t.idents);
+    t.idents <- fresh
+  end;
+  if Array.length t.idents.(n) <> n then
+    t.idents.(n) <- Array.init n (fun i -> i);
+  t.idents.(n)
 
 let trace t = t.trace
 
@@ -54,6 +84,35 @@ let load ?(width = 8) t ~label addrs = do_load t ~width ~blocking:true ~label ad
 let load_nonblocking ?(width = 8) t ~label addrs =
   do_load t ~width ~blocking:false ~label addrs
 
+(* Scratch-buffer entry points for the interned emission engine: the
+   caller (the object model's fused field path) computes canonical
+   per-lane addresses into a reusable buffer that may be wider than the
+   warp, so only the returned value array is allocated. The sanitizer
+   needs an exact-width array; that copy only happens on sanitized runs,
+   which take the legacy path anyway. *)
+let sanitize_buf t ~label ~width addrs n =
+  match t.san with
+  | None -> ()
+  | Some _ -> sanitize t ~label ~width (Array.sub addrs 0 n)
+
+let load_into ?(width = 8) t ~label ~blocking ~addrs ~n =
+  if n <> n_active t then
+    invalid_arg "Warp_ctx.load_into: per-lane buffer width mismatch";
+  sanitize_buf t ~label ~width addrs n;
+  let off = Trace.emit_load_n t.trace ~label ~blocking addrs n in
+  let arena = Trace.arena t.trace in
+  let out = Array.make n 0 in
+  Page_store.load_batch t.heap arena ~off ~n ~width out;
+  out
+
+let store_from ?(width = 8) t ~label ~addrs ~n values =
+  if n <> n_active t || Array.length values <> n then
+    invalid_arg "Warp_ctx.store_from: per-lane buffer width mismatch";
+  sanitize_buf t ~label ~width addrs n;
+  let off = Trace.emit_store_n t.trace ~label addrs n in
+  let arena = Trace.arena t.trace in
+  Page_store.store_batch t.heap arena ~off ~n ~width values
+
 let store ?(width = 8) t ~label addrs values =
   check_width t addrs "store";
   check_width t values "store";
@@ -94,22 +153,95 @@ let group_by_key keys =
     keys;
   List.rev_map (fun (key, members) -> (key, List.rev !members)) !groups
 
-let diverge t ~label ~keys body =
-  check_width t keys "diverge";
-  let groups = group_by_key keys in
-  (* One control instruction decides the branch; each extra executed subset
-     costs a reconvergence-stack push, also modelled as a control op. *)
-  List.iter
-    (fun (key, members) ->
-      let idxs = Array.of_list members in
+(* Fused divergence: the same groups in the same first-occurrence order
+   with the same member order as [group_by_key], built with array scans
+   instead of association lists. The warp-uniform case — the common one
+   at converged call sites — emits on [t] itself with a cached identity
+   index map, allocating nothing. Emission order and active counts are
+   identical to the legacy path, so traces (and therefore timing) are
+   byte-identical. *)
+let diverge_fused t ~label ~keys body =
+  let n = Array.length keys in
+  let k0 = keys.(0) in
+  let uniform = ref true in
+  let i = ref 1 in
+  while !uniform && !i < n do
+    if keys.(!i) <> k0 then uniform := false;
+    incr i
+  done;
+  if !uniform then begin
+    ctrl t ~label;
+    body ~key:k0 t (identity t n)
+  end
+  else begin
+    (* Distinct keys in first-occurrence order. Fresh (not scratch):
+       [gk] stays live across body calls, and bodies may diverge again. *)
+    let gk = Array.make n 0 in
+    let ng = ref 0 in
+    for i = 0 to n - 1 do
+      let k = keys.(i) in
+      let seen = ref false in
+      for g = 0 to !ng - 1 do
+        if gk.(g) = k then seen := true
+      done;
+      if not !seen then begin
+        gk.(!ng) <- k;
+        incr ng
+      end
+    done;
+    for g = 0 to !ng - 1 do
+      let k = gk.(g) in
+      let m = ref 0 in
+      for i = 0 to n - 1 do
+        if keys.(i) = k then incr m
+      done;
+      let idxs = Array.make !m 0 in
+      let j = ref 0 in
+      for i = 0 to n - 1 do
+        if keys.(i) = k then begin
+          idxs.(!j) <- i;
+          incr j
+        end
+      done;
       let sub = { t with lanes = gather idxs t.lanes } in
       ctrl sub ~label;
-      body ~key sub idxs)
-    groups
+      body ~key:k sub idxs
+    done
+  end
+
+let diverge t ~label ~keys body =
+  check_width t keys "diverge";
+  if t.fused then diverge_fused t ~label ~keys body
+  else
+    let groups = group_by_key keys in
+    (* One control instruction decides the branch; each extra executed
+       subset costs a reconvergence-stack push, also modelled as a
+       control op. *)
+    List.iter
+      (fun (key, members) ->
+        let idxs = Array.of_list members in
+        let sub = { t with lanes = gather idxs t.lanes } in
+        ctrl sub ~label;
+        body ~key sub idxs)
+      groups
 
 let if_ t ~label ~pred then_ else_ =
-  check_width t (Array.map (fun b -> if b then 1 else 0) pred) "if_";
-  let keys = Array.map (fun b -> if b then 1 else 0) pred in
-  diverge t ~label ~keys (fun ~key sub idxs ->
-      if key = 1 then then_ sub idxs
-      else match else_ with Some f -> f sub idxs | None -> ())
+  let body ~key sub idxs =
+    if key = 1 then then_ sub idxs
+    else match else_ with Some f -> f sub idxs | None -> ()
+  in
+  if t.fused then begin
+    if Array.length pred <> n_active t then
+      invalid_arg "Warp_ctx.if_: per-lane array width mismatch";
+    let n = Array.length pred in
+    let keys = Array.make n 0 in
+    for i = 0 to n - 1 do
+      if pred.(i) then keys.(i) <- 1
+    done;
+    diverge_fused t ~label ~keys body
+  end
+  else begin
+    check_width t (Array.map (fun b -> if b then 1 else 0) pred) "if_";
+    let keys = Array.map (fun b -> if b then 1 else 0) pred in
+    diverge t ~label ~keys body
+  end

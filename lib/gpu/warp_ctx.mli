@@ -19,12 +19,27 @@
 type t
 
 val create :
-  ?san:Repro_san.Checker.t ->
+  ?san:Repro_san.Checker.t -> ?fused:bool -> ?trace:Trace.t ->
   heap:Repro_mem.Page_store.t -> warp_id:int -> lanes:int array -> unit -> t
 (** Used by the device launch path; [lanes] are the global thread ids of
     the active lanes (≤ warp size, non-empty). When [san] is given, every
     {!load} and {!store} reports its raw (pre-strip) per-lane addresses to
-    the sanitizer before the heap sees them. *)
+    the sanitizer before the heap sees them. [trace] lets the interned
+    emission engine pass a reusable scratch trace (default: a fresh
+    one); [fused] (default false) turns on the interned engine's fused
+    emission paths here and in callers that key on {!fused} — traces are
+    byte-identical either way. *)
+
+val fused : t -> bool
+(** True on interned-engine, unsanitized runs: callers with a fused
+    emission path (scratch-buffer addresses, {!load_into}/{!store_from})
+    should take it. *)
+
+val addr_scratch : t -> int -> int array
+(** A reusable per-warp address buffer of at least the given size, for
+    fused callers to fill and hand to {!load_into}/{!store_from}. Only
+    valid until the next [addr_scratch] caller; never held across a
+    kernel-body call. *)
 
 val trace : t -> Trace.t
 
@@ -48,6 +63,20 @@ val load_nonblocking : ?width:int -> t -> label:Label.t -> int array -> int arra
 val store : ?width:int -> t -> label:Label.t -> int array -> int array -> unit
 (** [store t ~label addrs values]; values are truncated to [width]. *)
 
+val load_into :
+  ?width:int -> t -> label:Label.t -> blocking:bool -> addrs:int array ->
+  n:int -> int array
+(** [load_into t ~label ~blocking ~addrs ~n] is {!load} over
+    [addrs.(0 .. n-1)], where [addrs] is a caller-owned scratch buffer
+    that may be wider than the warp ([n] must equal {!n_active}). The
+    fused fast path of the object model: only the returned value array is
+    allocated. *)
+
+val store_from :
+  ?width:int -> t -> label:Label.t -> addrs:int array -> n:int ->
+  int array -> unit
+(** Scratch-buffer form of {!store}. *)
+
 val compute : ?n:int -> ?blocking:bool -> t -> label:Label.t -> unit
 (** [n] dependent ALU instructions (default 1). *)
 
@@ -58,6 +87,11 @@ val const_load : t -> label:Label.t -> unit
 val call_indirect : t -> label:Label.t -> unit
 
 val call_direct : t -> label:Label.t -> unit
+
+val group_by_key : int array -> (int * int list) list
+(** Distinct keys in first-occurrence order with the member indices of
+    each group — the reference grouping the fused divergence path must
+    match; exposed for tests and probes. *)
 
 val diverge :
   t -> label:Label.t -> keys:int array -> (key:int -> t -> int array -> unit) -> unit

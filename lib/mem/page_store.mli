@@ -10,7 +10,12 @@
 
 type t
 
-val create : unit -> t
+val create : ?expect_bytes:int -> unit -> t
+(** [create ?expect_bytes ()] makes an empty store. [expect_bytes] is a
+    capacity hint (the anticipated materialized footprint): the page
+    table's bucket array is pre-sized so a paper-scale run does not pay
+    rehash storms while faulting in hundreds of thousands of pages.
+    Purely an allocation hint — contents and results are unaffected. *)
 
 val page_bytes : int
 (** Page size in bytes (4096). *)
@@ -32,6 +37,18 @@ val load_byte_width : t -> int -> width:int -> int
 val store_byte_width : t -> int -> width:int -> int -> unit
 (** Write counterpart of {!load_byte_width}; values are truncated to
     [width] bytes. *)
+
+val load_batch : t -> int array -> off:int -> n:int -> width:int -> int array -> unit
+(** [load_batch t addrs ~off ~n ~width out] fills [out.(0..n-1)] with
+    {!load_byte_width} of [addrs.(off..off+n-1)] in one call — the warp
+    instruction granularity the interned engine's fused emission uses,
+    avoiding a cross-module call per lane. Element semantics (values and
+    the exceptions raised) match {!load_byte_width} exactly. *)
+
+val store_batch : t -> int array -> off:int -> n:int -> width:int -> int array -> unit
+(** Write counterpart of {!load_batch}: stores [values.(0..n-1)] (the last
+    argument) at [addrs.(off..off+n-1)] with {!store_byte_width}
+    semantics. *)
 
 val touched_pages : t -> int
 (** Number of pages that have been materialized (footprint metric). *)

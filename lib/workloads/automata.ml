@@ -48,12 +48,19 @@ let build rule ~default_side (p : Workload.params) =
   let count_neighbors env sub idxs_cells =
     let n = Array.length idxs_cells in
     let counts = Array.make n 0 in
+    (* Lane coordinates are offset-invariant: decompose once, not once
+       per neighbour offset. *)
+    let xs = Array.make n 0 and ys = Array.make n 0 in
+    for i = 0 to n - 1 do
+      xs.(i) <- idxs_cells.(i) mod side;
+      ys.(i) <- idxs_cells.(i) / side
+    done;
     Array.iter
       (fun (dx, dy) ->
         let picks =
           Array.init n (fun i ->
-              let x = idxs_cells.(i) mod side and y = idxs_cells.(i) / side in
-              let x = (x + dx + side) mod side and y = (y + dy + side) mod side in
+              let x = (xs.(i) + dx + side) mod side
+              and y = (ys.(i) + dy + side) mod side in
               (y * side) + x)
         in
         let ptrs = R.Garray.load (cell_table ()) sub ~idxs:picks in

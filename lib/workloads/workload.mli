@@ -30,9 +30,27 @@ type params = {
       (** Address-translation page-size policy; [None] (the default)
           models no translation — the timing is exactly the
           untranslated model's. *)
+  intern : bool;
+      (** Interned emission engine ([Repro_gpu.Engine.t.intern]; default
+          [true]). Results are byte-identical either way; [false] is the
+          legacy engine kept as the measurable baseline. In job keys so
+          an A/B pair caches separately. *)
+  intra : bool;
+      (** Intra-launch sharded parallel timing (default [false]). A
+          different — deterministic, jobs-independent — timing model, so
+          it is part of the job identity. *)
+  prealloc_mb : int option;
+      (** Expected heap footprint (MiB): pre-sizes the page store.
+          Purely a capacity hint; never affects results and is excluded
+          from job keys. *)
 }
 
 val default_params : Repro_core.Technique.t -> params
+
+val default_scale : float
+(** The repo-wide default sweep scale (0.25), shared by [repro sweep],
+    the wire protocol's absent-[scale] default and the CLI help — one
+    documented constant so every bare surface runs the same job. *)
 
 type instance = {
   rt : Repro_core.Runtime.t;

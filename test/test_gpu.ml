@@ -81,6 +81,20 @@ let prop_coalesce_scratch_equiv =
       let n = Coalesce.sectors_into ~buf arena ~off:pad ~len in
       Array.sub buf 0 n = Coalesce.sectors (Array.of_list addrs))
 
+let prop_coalesce_unsafe_equiv =
+  QCheck.Test.make ~name:"unchecked coalescer matches checked coalescer"
+    ~count:500
+    QCheck.(
+      pair (list_of_size (Gen.int_range 1 32) (int_bound 100_000)) (int_bound 8))
+    (fun (addrs, pad) ->
+      let len = List.length addrs in
+      let arena = Array.make (pad + len) 0 in
+      List.iteri (fun i a -> arena.(pad + i) <- a) addrs;
+      let buf = Array.make len (-1) and buf' = Array.make len (-1) in
+      let n = Coalesce.sectors_into ~buf arena ~off:pad ~len in
+      let n' = Coalesce.sectors_into_unsafe ~buf:buf' arena ~off:pad ~len in
+      n = n' && Array.sub buf 0 n = Array.sub buf' 0 n')
+
 (* --- cache ------------------------------------------------------------ *)
 
 let small_geom = Cache.geometry ~size_bytes:1024 ~line_bytes:128 ~ways:2
@@ -444,6 +458,93 @@ let test_replay_zero_allocation () =
     true
     (long <= short +. 256.)
 
+(* --- fused replay twin ------------------------------------------------ *)
+
+(* Random warp programs over the full instruction vocabulary — converged
+   and per-lane-diverged loads, stores, compute bursts, ctrl, indirect
+   calls — across mixed warp widths (full, partial, single-lane). The
+   space [Sm.run_fused] must replay byte-identically to [Sm.run]. *)
+let traces_of_ops ops =
+  let heap = Page_store.create () in
+  let widths = [| 32; 17; 32; 5 |] in
+  Array.init (Array.length widths) (fun warp_id ->
+      let lanes = Array.init widths.(warp_id) (fun l -> (warp_id * 32) + l) in
+      let ctx = Warp_ctx.create ~heap ~warp_id ~lanes () in
+      List.iter
+        (fun (op, r) ->
+          let base = (r * 8) land 0xFFFF8 in
+          match op with
+          | 0 ->
+            ignore
+              (Warp_ctx.load ctx ~label:Label.Body
+                 (Array.map (fun l -> base + (8 * (l land 31))) lanes))
+          | 1 ->
+            (* One sector per lane: the diverged vTable pattern. *)
+            ignore
+              (Warp_ctx.load ctx ~label:Label.Vtable_load
+                 (Array.map
+                    (fun l -> (base + (4096 * (l land 31))) land 0xFFFFF8)
+                    lanes))
+          | 2 ->
+            Warp_ctx.store ctx ~label:Label.Body
+              (Array.map (fun l -> base + (8 * (l land 31))) lanes)
+              (Array.map (fun l -> l + 1) lanes)
+          | 3 -> Warp_ctx.compute ctx ~n:(1 + (r mod 4)) ~label:Label.Body
+          | 4 -> Warp_ctx.ctrl ctx ~label:Label.Body
+          | _ -> Warp_ctx.call_indirect ctx ~label:Label.Call)
+        ops;
+      Warp_ctx.trace ctx)
+
+let prop_fused_replay_identical =
+  QCheck.Test.make
+    ~name:"run_fused is byte-identical to run (cycles and every counter)"
+    ~count:60
+    QCheck.(
+      list_of_size (Gen.int_range 1 80) (pair (int_bound 5) (int_bound 0xFFFF)))
+    (fun ops ->
+      let traces = traces_of_ops ops in
+      let s1 = Stats.create () and s2 = Stats.create () in
+      let c1 = Sm.run cfg (Mem_path.create cfg) ~stats:s1 ~traces in
+      let c2 = Sm.run_fused cfg (Mem_path.create cfg) ~stats:s2 ~traces in
+      c1 = c2 && Stats.to_raw s1 = Stats.to_raw s2)
+
+let replay_minor_words_fused traces =
+  let mp = Mem_path.create cfg in
+  let stats = Stats.create () in
+  ignore (Sm.run_fused cfg mp ~stats ~traces);
+  let w0 = Gc.minor_words () in
+  ignore (Sm.run_fused cfg mp ~stats ~traces);
+  Gc.minor_words () -. w0
+
+let test_fused_replay_zero_allocation () =
+  (* The fused loop must hold the same invariant as [Sm.run]: per-launch
+     setup may allocate, per-instruction work may not. *)
+  let short = replay_minor_words_fused (canned_traces ~n_warps:8 ~n_instrs:300) in
+  let long = replay_minor_words_fused (canned_traces ~n_warps:8 ~n_instrs:3000) in
+  check Alcotest.bool
+    (Printf.sprintf
+       "fused allocation independent of trace length (short=%.0f long=%.0f)"
+       short long)
+    true
+    (long <= short +. 256.)
+
+let test_sharded_jobs_byte_identical () =
+  (* Intra-launch sharding deals warps to per-SM memory slices; the
+     domain count may change scheduling but never results. *)
+  let traces = canned_traces ~n_warps:8 ~n_instrs:500 in
+  let run jobs =
+    let shards =
+      Array.init cfg.Config.n_sms (fun _ -> Mem_path.create (Config.slice cfg))
+    in
+    let stats = Stats.create () in
+    let cycles = Sm.run_sharded cfg ~shards ~jobs ~stats ~traces in
+    (cycles, Stats.to_raw stats)
+  in
+  let c1, r1 = run 1 in
+  let c4, r4 = run 4 in
+  check Alcotest.bool "cycles identical for -j 1 vs -j 4" true (c1 = c4);
+  check Alcotest.bool "stats byte-identical for -j 1 vs -j 4" true (r1 = r4)
+
 let replay_minor_words_traced traces =
   (* Ring-only config: windowed sampling owns one Stats row per window
      (a deliberate per-window allocation), so the per-instruction
@@ -532,11 +633,17 @@ let suite =
     Alcotest.test_case "trace compat emit/iter" `Quick test_trace_compat_emit;
     Alcotest.test_case "replay allocates nothing per instruction" `Quick
       test_replay_zero_allocation;
+    Alcotest.test_case "fused replay allocates nothing per instruction" `Quick
+      test_fused_replay_zero_allocation;
+    Alcotest.test_case "sharded timing jobs-count invariant" `Quick
+      test_sharded_jobs_byte_identical;
     Alcotest.test_case "tracer-on replay allocates nothing per instruction"
       `Quick test_replay_zero_allocation_traced;
     Alcotest.test_case "ring drop-oldest spill" `Quick test_ring_drop_oldest;
     QCheck_alcotest.to_alcotest prop_coalesce_bounds;
     QCheck_alcotest.to_alcotest prop_coalesce_scratch_equiv;
+    QCheck_alcotest.to_alcotest prop_coalesce_unsafe_equiv;
+    QCheck_alcotest.to_alcotest prop_fused_replay_identical;
     QCheck_alcotest.to_alcotest prop_event_heap_matches_util_heap;
     QCheck_alcotest.to_alcotest prop_cache_hits_bounded;
   ]

@@ -40,6 +40,32 @@ let treacherous_workload =
     build;
   }
 
+let test_engine_identity () =
+  (* The interned engine (hash-consed emission, fused emission helpers,
+     fused replay) must be observationally invisible: identical result
+     hash and bit-identical Stats versus the legacy engine for every
+     dispatch technique. Small scale here; the full-matrix evidence at
+     paper scale is bench/scale_bench.exe (BENCH_scale1.json). *)
+  let w = Option.get (W.Registry.find "GOL") in
+  List.iter
+    (fun t ->
+      let run intern =
+        let p =
+          { (W.Workload.default_params t) with W.Workload.scale = 0.02; intern }
+        in
+        let inst = w.W.Workload.build p in
+        for i = 0 to inst.W.Workload.iterations - 1 do
+          inst.W.Workload.run_iteration i
+        done;
+        let dev = R.Runtime.device inst.W.Workload.rt in
+        (inst.W.Workload.result (), Stats.to_raw (Device.stats dev))
+      in
+      let r1, s1 = run true in
+      let r0, s0 = run false in
+      check Alcotest.int (T.name t ^ " result identical") r0 r1;
+      check Alcotest.bool (T.name t ^ " stats bit-identical") true (s1 = s0))
+    T.all_paper
+
 let test_harness_rejects_functional_mismatch () =
   let p = W.Workload.default_params T.Shared_oa in
   match W.Harness.run_techniques treacherous_workload p [ T.Cuda; T.Coal ] with
@@ -171,6 +197,8 @@ let suite =
   [
     Alcotest.test_case "harness rejects mismatch" `Quick
       test_harness_rejects_functional_mismatch;
+    Alcotest.test_case "engine identity across techniques" `Quick
+      test_engine_identity;
     Alcotest.test_case "harness speedup direction" `Quick test_harness_speedup_direction;
     Alcotest.test_case "workload scaled" `Quick test_workload_scaled;
     Alcotest.test_case "residency waves complete" `Quick test_residency_waves_complete;

@@ -179,6 +179,88 @@ let prop_store_load =
       Page_store.store s addr v;
       Page_store.load s addr = v)
 
+(* --- batched access ---------------------------------------------------- *)
+
+(* The batch entry points are the fused emission engine's per-warp loops;
+   their contract is element-for-element equivalence with the scalar ops,
+   including which exception fires first and any partial writes before
+   it. Addresses mix aligned, misaligned and tagged forms to exercise
+   both the memoized fast path and the slow-path checks. *)
+
+let outcome f = match f () with v -> Ok v | exception e -> Error e
+
+let batch_addr width (a, kind) =
+  match kind mod 3 with
+  | 0 -> a - (a mod width) (* aligned: the fast path *)
+  | 1 -> a (* possibly misaligned *)
+  | _ -> Vaddr.with_tag (a - (a mod width)) ~tag:7 (* tagged *)
+
+let gen_batch =
+  QCheck.(
+    pair (int_bound 3)
+      (list_of_size (Gen.int_range 1 40)
+         (pair (int_bound 300_000) (int_bound 20))))
+
+let prop_load_batch_equiv =
+  QCheck.Test.make ~name:"load_batch matches per-element load_byte_width"
+    ~count:400 gen_batch
+    (fun (wexp, cells) ->
+      let width = 1 lsl wexp in
+      let t = Page_store.create () in
+      (* Seed backing words so loads see nonzero data. *)
+      List.iteri
+        (fun i (a, _) ->
+          Page_store.store t (a - (a mod 8)) ((i + 1) * 2654435761))
+        cells;
+      let addrs = Array.of_list (List.map (batch_addr width) cells) in
+      let n = Array.length addrs in
+      (* Embed at a nonzero arena offset, as trace columns do. *)
+      let off = 2 in
+      let arena = Array.make (off + n + 1) 0 in
+      Array.blit addrs 0 arena off n;
+      let out = Array.make n (-1) in
+      let batch =
+        outcome (fun () ->
+            Page_store.load_batch t arena ~off ~n ~width out;
+            Array.copy out)
+      in
+      let scalar =
+        outcome (fun () ->
+            Array.map (fun a -> Page_store.load_byte_width t a ~width) addrs)
+      in
+      batch = scalar)
+
+let words_of t =
+  let acc = ref [] in
+  Page_store.iter_words t (fun a v -> acc := (a, v) :: !acc);
+  List.sort compare !acc
+
+let prop_store_batch_equiv =
+  QCheck.Test.make ~name:"store_batch matches per-element store_byte_width"
+    ~count:400 gen_batch
+    (fun (wexp, cells) ->
+      let width = 1 lsl wexp in
+      let t1 = Page_store.create () and t2 = Page_store.create () in
+      let addrs = Array.of_list (List.map (batch_addr width) cells) in
+      let n = Array.length addrs in
+      (* An occasional negative value exercises the 64-bit store guard. *)
+      let values = Array.init n (fun i -> ((i + 1) * 48271) - 200_000) in
+      let off = 2 in
+      let arena = Array.make (off + n + 1) 0 in
+      Array.blit addrs 0 arena off n;
+      let batch =
+        outcome (fun () -> Page_store.store_batch t1 arena ~off ~n ~width values)
+      in
+      let scalar =
+        outcome (fun () ->
+            Array.iteri
+              (fun i a -> Page_store.store_byte_width t2 a ~width values.(i))
+              addrs)
+      in
+      (* Same outcome, and the same heap contents even when an exception
+         interrupted the loop part-way. *)
+      batch = scalar && words_of t1 = words_of t2)
+
 let suite =
   [
     Alcotest.test_case "vaddr constants" `Quick test_vaddr_constants;
@@ -198,4 +280,6 @@ let suite =
     QCheck_alcotest.to_alcotest prop_align_up_bounds;
     QCheck_alcotest.to_alcotest prop_sector_boundaries;
     QCheck_alcotest.to_alcotest prop_store_load;
+    QCheck_alcotest.to_alcotest prop_load_batch_equiv;
+    QCheck_alcotest.to_alcotest prop_store_batch_equiv;
   ]

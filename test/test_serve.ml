@@ -206,32 +206,32 @@ let contains ~sub s =
 let test_decode_errors_name_field () =
   let err =
     decode_error
-      {|{"v":1,"type":"submit","id":"b","jobs":[{"workload":"GOL","technique":"tp"},{"workload":"GOL","technique":"tp","scale":"big"}]}|}
+      {|{"v":2,"type":"submit","id":"b","jobs":[{"workload":"GOL","technique":"tp"},{"workload":"GOL","technique":"tp","scale":"big"}]}|}
   in
   check Alcotest.bool ("path in: " ^ err) true (contains ~sub:"jobs[1].scale" err);
-  let err = decode_error {|{"v":1,"type":"submit","jobs":[]}|} in
+  let err = decode_error {|{"v":2,"type":"submit","jobs":[]}|} in
   check Alcotest.bool ("missing id in: " ^ err) true (contains ~sub:"id" err);
   let err =
     decode_error
-      {|{"v":1,"type":"submit","id":"b","jobs":[{"workload":"GOL","technique":"tp","alloc":"slab"}]}|}
+      {|{"v":2,"type":"submit","id":"b","jobs":[{"workload":"GOL","technique":"tp","alloc":"slab"}]}|}
   in
   check Alcotest.bool ("alloc path in: " ^ err) true
     (contains ~sub:"jobs[0].alloc" err);
   check Alcotest.bool ("alloc families listed in: " ^ err) true
     (contains ~sub:"expected one of cuda, shared-oa, dyna" err);
-  let err = decode_error {|{"v":1,"type":"query","job":{"technique":"tp"}}|} in
+  let err = decode_error {|{"v":2,"type":"query","job":{"technique":"tp"}}|} in
   check Alcotest.bool ("path in: " ^ err) true
     (contains ~sub:"job.workload" err);
-  let err = decode_error {|{"v":1}|} in
+  let err = decode_error {|{"v":2}|} in
   check Alcotest.bool ("missing type in: " ^ err) true (contains ~sub:"type" err);
   let err = decode_error "{" in
   check Alcotest.bool ("malformed in: " ^ err) true
     (contains ~sub:"malformed JSON" err)
 
 let test_schema_version_checked () =
-  let err = decode_error {|{"v":2,"type":"ping"}|} in
+  let err = decode_error {|{"v":1,"type":"ping"}|} in
   check Alcotest.bool ("version in: " ^ err) true
-    (contains ~sub:"unsupported schema version 2" err);
+    (contains ~sub:"unsupported schema version 1" err);
   let err = decode_error {|{"type":"ping"}|} in
   check Alcotest.bool ("missing v in: " ^ err) true (contains ~sub:"v" err);
   match X.Response.of_line {|{"v":9,"type":"pong"}|} with
