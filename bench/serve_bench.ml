@@ -124,7 +124,10 @@ let () =
   Sys.remove cache_dir;
   (try Sys.remove socket_path with Sys_error _ -> ());
   let cfg =
-    { X.Server.socket_path; workers; cache = true; cache_dir }
+    (* Metrics + tracing on: the bench doubles as the end-to-end check
+       that server-side accounting agrees with client-side measurement. *)
+    { X.Server.socket_path; workers; cache = true; cache_dir;
+      obs = X.Server.obs_default () }
   in
   let runner =
     if fake then (
@@ -195,6 +198,47 @@ let () =
     stats.X.Response.submitted stats.X.Response.executed
     stats.X.Response.dedup_hits stats.X.Response.cache_hits
     (100. *. dedup_rate);
+  (* Server-side accounting checks. The final stats probe snapshots
+     before its own request completes, so the "request" histogram holds
+     exactly the client threads' requests. And every server-side
+     end-to-end record is contained in the client-measured latency of
+     the same request, so each server percentile's lower bound cannot
+     exceed the client-side percentile (element-wise domination survives
+     sorting). *)
+  let req_hist =
+    match List.assoc_opt "request" stats.X.Response.stages with
+    | Some h -> h
+    | None ->
+      prerr_endline "serve_bench: server returned no stage histograms";
+      exit 1
+  in
+  if O.Hist.count req_hist <> total then begin
+    Printf.eprintf
+      "serve_bench: server counted %d requests, clients sent %d\n"
+      (O.Hist.count req_hist) total;
+    exit 1
+  end;
+  let server_lo p =
+    match O.Hist.quantile req_hist p with Some (lo, _) -> lo | None -> 0.
+  in
+  List.iter
+    (fun (name, p, client_side) ->
+      let lo = server_lo p in
+      if lo > client_side +. 1e-9 then begin
+        Printf.eprintf
+          "serve_bench: server-side %s (>= %.3fms) exceeds client-side \
+           %.3fms\n"
+          name (lo *. 1e3) (client_side *. 1e3);
+        exit 1
+      end)
+    [ ("p50", 0.50, p50); ("p95", 0.95, p95); ("p99", 0.99, p99) ];
+  Printf.printf
+    "server-side request p50 %.3fms  p95 %.3fms  p99 %.3fms (bucket lower \
+     bounds; %d recorded)\n"
+    (server_lo 0.50 *. 1e3)
+    (server_lo 0.95 *. 1e3)
+    (server_lo 0.99 *. 1e3)
+    (O.Hist.count req_hist);
   (match out with
    | None -> ()
    | Some path ->
@@ -217,6 +261,17 @@ let () =
            ("dedup_hits", O.Json.Int stats.X.Response.dedup_hits);
            ("cache_hits", O.Json.Int stats.X.Response.cache_hits);
            ("dedup_rate", O.Json.Float dedup_rate);
+           ( "server_p50_ms",
+             O.Json.Float (server_lo 0.50 *. 1e3) );
+           ( "server_p95_ms",
+             O.Json.Float (server_lo 0.95 *. 1e3) );
+           ( "server_p99_ms",
+             O.Json.Float (server_lo 0.99 *. 1e3) );
+           ( "server_stages",
+             O.Json.Obj
+               (List.map
+                  (fun (name, h) -> (name, O.Hist.to_json h))
+                  stats.X.Response.stages) );
          ]
      in
      O.Sink.write_file ~path (O.Json.to_string ~pretty:true json);

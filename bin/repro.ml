@@ -1057,12 +1057,70 @@ let connect socket =
       (Unix.error_message e)
 
 let serve_cmd =
-  let run socket j no_cache cache_dir =
+  let no_obs =
+    Arg.(value & flag & info [ "no-obs" ]
+           ~doc:"Disable all observability (metrics, tracing, logging): \
+                 the zero-overhead request path with byte-identical \
+                 responses.")
+  in
+  let log_file =
+    Arg.(value & opt (some string) None & info [ "log-file" ] ~docv:"PATH"
+           ~doc:"Append structured key=value log lines to $(docv).")
+  in
+  let log_level =
+    Arg.(value & opt (some string) None & info [ "log-level" ] ~docv:"LEVEL"
+           ~doc:"debug | info | warn | error (default info). Without \
+                 $(b,--log-file), logs go to stderr.")
+  in
+  let slow_ms =
+    Arg.(value & opt int 250 & info [ "slow-ms" ] ~docv:"MS"
+           ~doc:"Log requests slower than $(docv) milliseconds at warn \
+                 level and count them in requests.slow.")
+  in
+  let trace_capacity =
+    Arg.(value & opt int 4096 & info [ "trace-capacity" ] ~docv:"N"
+           ~doc:"Span-ring capacity for $(b,repro ctl trace-dump) \
+                 (drop-oldest; 0 disables tracing).")
+  in
+  let run socket j no_cache cache_dir no_obs log_file log_level slow_ms
+      trace_capacity =
+    let obs =
+      if no_obs then begin
+        if log_file <> None || log_level <> None then
+          cli_error "--no-obs contradicts --log-file/--log-level";
+        X.Server.obs_off
+      end
+      else begin
+        let level =
+          match O.Log.level_of_string (Option.value log_level ~default:"info")
+          with
+          | Ok l -> l
+          | Error msg -> cli_error "%s" msg
+        in
+        let log =
+          match (log_file, log_level) with
+          | Some path, _ ->
+            let oc =
+              try
+                open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644
+                  path
+              with Sys_error msg -> cli_error "cannot open log file: %s" msg
+            in
+            O.Log.to_channel ~level oc
+          | None, Some _ -> O.Log.to_channel ~level stderr
+          | None, None -> O.Log.null
+        in
+        X.Server.obs_default ~log
+          ~slow_s:(float_of_int (max 0 slow_ms) /. 1000.)
+          ~trace_capacity ()
+      end
+    in
     let cfg =
       { X.Server.socket_path = socket;
         workers = j;
         cache = not no_cache;
-        cache_dir = Option.value cache_dir ~default:(X.Cache.default_dir ()) }
+        cache_dir = Option.value cache_dir ~default:(X.Cache.default_dir ());
+        obs }
     in
     Printf.eprintf "repro serve: listening on %s (%d worker(s), cache %s)\n%!"
       cfg.X.Server.socket_path cfg.X.Server.workers
@@ -1077,9 +1135,11 @@ let serve_cmd =
        ~doc:"Run the persistent sweep daemon: accepts concurrent clients \
              over a Unix socket (line-delimited JSON, see PROTOCOL.md), \
              schedules batches fairly across them, dedups identical \
-             in-flight jobs, and shares one on-disk result cache. Stop it \
-             with $(b,repro ctl shutdown).")
-    Term.(const run $ socket_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg)
+             in-flight jobs, and shares one on-disk result cache. Serves \
+             live metrics and request traces to $(b,repro ctl) unless \
+             $(b,--no-obs). Stop it with $(b,repro ctl shutdown).")
+    Term.(const run $ socket_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg
+          $ no_obs $ log_file $ log_level $ slow_ms $ trace_capacity)
 
 let submit_cmd =
   let workloads =
@@ -1210,7 +1270,18 @@ let submit_cmd =
 let ctl_cmd =
   let action =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ACTION"
-           ~doc:"ping | stats | query | invalidate | shutdown.")
+           ~doc:"ping | stats | health | trace-dump | query | invalidate \
+                 | shutdown.")
+  in
+  let as_json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"With $(b,stats): print the raw server_stats JSON instead \
+                 of the text summary.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"PATH"
+           ~doc:"With $(b,trace-dump): write the Perfetto trace JSON to \
+                 $(docv) instead of stdout.")
   in
   let workload =
     Arg.(value & opt (some string) None & info [ "w"; "workload" ] ~docv:"NAME"
@@ -1224,7 +1295,8 @@ let ctl_cmd =
     Arg.(value & flag & info [ "all" ]
            ~doc:"With $(b,invalidate): drop the daemon's whole result cache.")
   in
-  let run socket action w t alloc pages scale seed iterations all =
+  let run socket action w t alloc pages scale seed iterations all as_json out
+      =
     let spec_for verb =
       match w with
       | Some workload ->
@@ -1247,13 +1319,68 @@ let ctl_cmd =
        | _ -> unexpected ())
      | "stats" -> (
        match rpc X.Request.Stats with
+       | X.Response.Server_stats s when as_json ->
+         print_endline
+           (O.Json.to_string ~pretty:true
+              (X.Response.to_json (X.Response.Server_stats s)))
        | X.Response.Server_stats s ->
          Printf.printf
            "sessions=%d submitted=%d executed=%d dedup_hits=%d \
             cache_hits=%d queued=%d running=%d uptime=%.1fs\n"
            s.X.Response.sessions s.X.Response.submitted s.X.Response.executed
            s.X.Response.dedup_hits s.X.Response.cache_hits s.X.Response.queued
-           s.X.Response.running s.X.Response.uptime_s
+           s.X.Response.running s.X.Response.uptime_s;
+         (match s.X.Response.svc with
+          | None -> ()
+          | Some svc ->
+            Printf.printf
+              "requests=%d slow=%d responses=%d decode_errors=%d \
+               bytes_in=%d bytes_out=%d stampede_avoided=%d \
+               worker_busy=%.2fs\n"
+              svc.O.Svc_metrics.s_requests svc.O.Svc_metrics.s_slow_requests
+              svc.O.Svc_metrics.s_responses
+              svc.O.Svc_metrics.s_decode_errors svc.O.Svc_metrics.s_bytes_in
+              svc.O.Svc_metrics.s_bytes_out
+              svc.O.Svc_metrics.s_stampede_avoided
+              svc.O.Svc_metrics.s_worker_busy_s);
+         (match s.X.Response.stages with
+          | [] -> ()
+          | stages ->
+            (* Quantiles report the upper bucket bound: a conservative
+               "no slower than" figure. *)
+            let q h p =
+              match O.Hist.quantile h p with
+              | Some (_, hi) -> hi *. 1e3
+              | None -> 0.
+            in
+            Printf.printf "%-12s %8s %10s %10s %10s %10s\n" "stage" "count"
+              "mean_ms" "p50_ms" "p95_ms" "p99_ms";
+            List.iter
+              (fun (name, h) ->
+                Printf.printf "%-12s %8d %10.3f %10.3f %10.3f %10.3f\n" name
+                  (O.Hist.count h)
+                  (O.Hist.mean h *. 1e3)
+                  (q h 0.5) (q h 0.95) (q h 0.99))
+              stages)
+       | _ -> unexpected ())
+     | "health" -> (
+       match rpc X.Request.Health with
+       | X.Response.Health h ->
+         Printf.printf
+           "ok uptime=%.1fs schema=%d workers=%d sessions=%d queued=%d \
+            running=%d\n"
+           h.X.Response.h_uptime_s h.X.Response.h_schema
+           h.X.Response.h_workers h.X.Response.h_sessions
+           h.X.Response.h_queued h.X.Response.h_running
+       | _ -> unexpected ())
+     | "trace-dump" | "trace_dump" -> (
+       match rpc X.Request.Trace_dump with
+       | X.Response.Trace_dump { spans; dropped; trace } -> (
+         match out with
+         | Some path ->
+           write_json path trace;
+           Printf.printf "%d span(s), %d dropped\n" spans dropped
+         | None -> print_endline (O.Json.to_string ~pretty:true trace))
        | _ -> unexpected ())
      | "query" -> (
        match rpc (X.Request.Query (spec_for "query")) with
@@ -1277,17 +1404,19 @@ let ctl_cmd =
        | _ -> unexpected ())
      | other ->
        cli_error
-         "unknown action %S; valid actions: ping, stats, query, invalidate, \
-          shutdown"
+         "unknown action %S; valid actions: ping, stats, health, \
+          trace-dump, query, invalidate, shutdown"
          other);
     X.Server.Client.close client
   in
   Cmd.v
     (Cmd.info "ctl"
-       ~doc:"Poke a running $(b,repro serve) daemon: liveness, scheduler \
-             counters, cache probes and invalidation, shutdown.")
+       ~doc:"Poke a running $(b,repro serve) daemon: liveness and health, \
+             scheduler counters and per-stage latency histograms, request \
+             traces, cache probes and invalidation, shutdown.")
     Term.(const run $ socket_arg $ action $ workload $ technique $ alloc_arg
-          $ pages_arg $ scale_arg $ seed_arg $ iterations_arg $ all)
+          $ pages_arg $ scale_arg $ seed_arg $ iterations_arg $ all
+          $ as_json $ out)
 
 let () =
   let doc = "Reproduction of 'Judging a Type by Its Pointer' (ASPLOS '21)." in

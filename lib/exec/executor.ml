@@ -14,18 +14,35 @@ let timed job =
   let result = try Ok (Job.run job) with e -> Error (Printexc.to_string e) in
   (result, Unix.gettimeofday () -. t0)
 
-let measure ?runner ~cache ~dir job =
-  match if cache then Cache.lookup ~dir job else None with
+let measure ?span ?runner ~cache ~dir job =
+  (* [span] timestamps only when present, so the un-instrumented path is
+     exactly the historical one (no extra clock reads, no allocation). *)
+  let hit =
+    if not cache then None
+    else
+      match span with
+      | None -> Cache.lookup ~dir job
+      | Some emit ->
+        let t0 = Unix.gettimeofday () in
+        let hit = Cache.lookup ~dir job in
+        emit ~stage:"cache_probe" ~t0 ~dur:(Unix.gettimeofday () -. t0);
+        hit
+  in
+  match hit with
   | Some run -> { job; result = Ok run; wall_s = 0.; cached = true }
   | None ->
+    let t0 = match span with Some _ -> Unix.gettimeofday () | None -> 0. in
     let result, wall_s =
       match runner with
       | None -> timed job
       | Some f ->
-        let t0 = Unix.gettimeofday () in
+        let r0 = Unix.gettimeofday () in
         let result = try f job with e -> Error (Printexc.to_string e) in
-        (result, Unix.gettimeofday () -. t0)
+        (result, Unix.gettimeofday () -. r0)
     in
+    (match span with
+     | None -> ()
+     | Some emit -> emit ~stage:"run" ~t0 ~dur:wall_s);
     (if cache then
        match result with
        | Ok run -> Cache.store ~dir job run

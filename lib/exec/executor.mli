@@ -46,6 +46,7 @@ val timed : Job.t -> (Repro_workloads.Harness.run, string) result * float
     the serve daemon's workers ({!Server}) are built on. *)
 
 val measure :
+  ?span:(stage:string -> t0:float -> dur:float -> unit) ->
   ?runner:(Job.t -> (Repro_workloads.Harness.run, string) result) ->
   cache:bool ->
   dir:string ->
@@ -55,7 +56,12 @@ val measure :
     else measure ([runner] defaults to {!timed}'s body; tests inject
     fakes) and write the result back. This is the daemon's per-job step;
     {!run} keeps its batch shape (hits served up front, misses pooled)
-    for the CLI sweep. *)
+    for the CLI sweep.
+
+    [span] is the daemon's tracing hook: it fires with stage
+    ["cache_probe"] (when [cache]) and ["run"] (on a miss), [t0] in
+    [Unix.gettimeofday] time. When absent, no clocks are read beyond the
+    historical wall-time measurement and nothing is allocated. *)
 
 val ok_exn : outcome -> Repro_workloads.Harness.run
 (** The run, or [Failure] with the job label and captured error. *)

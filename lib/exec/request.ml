@@ -236,6 +236,8 @@ type t =
   | Query of Spec.t
   | Invalidate of Spec.t option
   | Stats
+  | Health
+  | Trace_dump
   | Ping
   | Shutdown
 
@@ -253,6 +255,8 @@ let to_json = function
   | Invalidate (Some spec) -> envelope "invalidate" [ ("job", Spec.to_json spec) ]
   | Invalidate None -> envelope "invalidate" []
   | Stats -> envelope "stats" []
+  | Health -> envelope "health" []
+  | Trace_dump -> envelope "trace_dump" []
   | Ping -> envelope "ping" []
   | Shutdown -> envelope "shutdown" []
 
@@ -282,6 +286,8 @@ let decoder j =
     | Some spec -> Invalidate (Some spec)
     | None -> Invalidate None)
   | "stats" -> Stats
+  | "health" -> Health
+  | "trace_dump" -> Trace_dump
   | "ping" -> Ping
   | "shutdown" -> Shutdown
   | other ->

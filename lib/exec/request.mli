@@ -127,7 +127,16 @@ type t =
       (** Probe the result cache without scheduling anything. *)
   | Invalidate of Spec.t option
       (** Drop one cached entry, or with [None] the whole cache. *)
-  | Stats  (** Scheduler counters (dedup hits, queue depth, ...). *)
+  | Stats
+      (** Scheduler counters (dedup hits, queue depth, ...) — and, when
+          the daemon runs with metrics on, the {!Repro_obs.Svc_metrics}
+          snapshot and per-stage latency histograms. *)
+  | Health
+      (** One-line liveness probe: uptime, schema version, worker count,
+          queue depths. Never schedules work. *)
+  | Trace_dump
+      (** The daemon's span ring rendered as Chrome trace-event JSON
+          (Perfetto-loadable); an [Error] when tracing is off. *)
   | Ping
   | Shutdown
 

@@ -3,6 +3,8 @@ module T = Repro_core.Technique
 module G = Repro_gpu
 module J = Repro_obs.Json
 module D = Repro_obs.Json.Decode
+module H = Repro_obs.Hist
+module Svc = Repro_obs.Svc_metrics
 
 (* --- Stats wire form ------------------------------------------------------
 
@@ -272,6 +274,20 @@ type server_stats = {
   queued : int;
   running : int;
   uptime_s : float;
+  (* Present only when the daemon runs with metrics on — additive
+     optional fields, so the envelope version stays put and a metrics-off
+     daemon's stats line is byte-identical to the pre-observability one. *)
+  svc : Svc.snapshot option;
+  stages : (string * H.t) list;
+}
+
+type health = {
+  h_uptime_s : float;
+  h_schema : int;
+  h_workers : int;
+  h_sessions : int;
+  h_queued : int;
+  h_running : int;
 }
 
 type t =
@@ -290,6 +306,8 @@ type t =
   | Queried of { hit : bool; run : W.Harness.run option }
   | Invalidated of { removed : int }
   | Server_stats of server_stats
+  | Health of health
+  | Trace_dump of { spans : int; dropped : int; trace : J.t }
   | Pong
   | Bye
   | Error of { message : string }
@@ -329,16 +347,37 @@ let to_json = function
   | Invalidated { removed } -> envelope "invalidated" [ ("removed", J.Int removed) ]
   | Server_stats s ->
     envelope "server_stats"
+      ([
+         ("sessions", J.Int s.sessions);
+         ("submitted", J.Int s.submitted);
+         ("executed", J.Int s.executed);
+         ("dedup_hits", J.Int s.dedup_hits);
+         ("cache_hits", J.Int s.cache_hits);
+         ("queued", J.Int s.queued);
+         ("running", J.Int s.running);
+         ("uptime_s", J.Float s.uptime_s);
+       ]
+      @ (match s.svc with
+         | Some svc -> [ ("svc", Svc.to_json svc) ]
+         | None -> [])
+      @
+      match s.stages with
+      | [] -> []
+      | stages ->
+        [ ("stages", J.Obj (List.map (fun (n, h) -> (n, H.to_json h)) stages)) ])
+  | Health h ->
+    envelope "health"
       [
-        ("sessions", J.Int s.sessions);
-        ("submitted", J.Int s.submitted);
-        ("executed", J.Int s.executed);
-        ("dedup_hits", J.Int s.dedup_hits);
-        ("cache_hits", J.Int s.cache_hits);
-        ("queued", J.Int s.queued);
-        ("running", J.Int s.running);
-        ("uptime_s", J.Float s.uptime_s);
+        ("uptime_s", J.Float h.h_uptime_s);
+        ("schema", J.Int h.h_schema);
+        ("workers", J.Int h.h_workers);
+        ("sessions", J.Int h.h_sessions);
+        ("queued", J.Int h.h_queued);
+        ("running", J.Int h.h_running);
       ]
+  | Trace_dump { spans; dropped; trace } ->
+    envelope "trace_dump"
+      [ ("spans", J.Int spans); ("dropped", J.Int dropped); ("trace", trace) ]
   | Pong -> envelope "pong" []
   | Bye -> envelope "bye" []
   | Error { message } -> envelope "error" [ ("message", J.String message) ]
@@ -394,6 +433,25 @@ let decoder j =
         queued = D.field "queued" D.int j;
         running = D.field "running" D.int j;
         uptime_s = D.field "uptime_s" D.float j;
+        svc = D.field_opt "svc" Svc.decoder j;
+        stages = D.field_default "stages" (D.obj H.decoder) [] j;
+      }
+  | "health" ->
+    Health
+      {
+        h_uptime_s = D.field "uptime_s" D.float j;
+        h_schema = D.field "schema" D.int j;
+        h_workers = D.field "workers" D.int j;
+        h_sessions = D.field "sessions" D.int j;
+        h_queued = D.field "queued" D.int j;
+        h_running = D.field "running" D.int j;
+      }
+  | "trace_dump" ->
+    Trace_dump
+      {
+        spans = D.field "spans" D.int j;
+        dropped = D.field "dropped" D.int j;
+        trace = D.field "trace" D.value j;
       }
   | "pong" -> Pong
   | "bye" -> Bye

@@ -33,6 +33,23 @@ type server_stats = {
   queued : int;          (** Jobs waiting for a worker right now. *)
   running : int;         (** Jobs on a worker right now. *)
   uptime_s : float;
+  svc : Repro_obs.Svc_metrics.snapshot option;
+      (** Full service-metrics snapshot — only when the daemon runs with
+          metrics on. Additive optional wire field: a metrics-off
+          daemon's stats line is byte-identical to the pre-observability
+          form, and the schema version stays put. *)
+  stages : (string * Repro_obs.Hist.t) list;
+      (** Per-stage latency histograms ({!Repro_obs.Svc_metrics.stage_names}
+          order); [[]] when metrics are off. *)
+}
+
+type health = {
+  h_uptime_s : float;
+  h_schema : int;    (** {!Request.schema_version} of the daemon. *)
+  h_workers : int;
+  h_sessions : int;
+  h_queued : int;
+  h_running : int;
 }
 
 type t =
@@ -55,6 +72,13 @@ type t =
   | Queried of { hit : bool; run : Repro_workloads.Harness.run option }
   | Invalidated of { removed : int }
   | Server_stats of server_stats
+  | Health of health
+      (** Liveness probe answer; cheap enough to poll. *)
+  | Trace_dump of { spans : int; dropped : int; trace : Repro_obs.Json.t }
+      (** The span ring rendered by {!Repro_obs.Tracer.spans_to_json}:
+          [trace] is a complete Chrome trace-event document, [spans] the
+          events it holds, [dropped] how many older spans the ring
+          overwrote. *)
   | Pong
   | Bye  (** Acknowledges [Shutdown]; the socket closes after it. *)
   | Error of { message : string }

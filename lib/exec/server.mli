@@ -27,11 +27,37 @@
     state is therefore lock-free; scheduler state is guarded by one
     mutex. *)
 
+(** Observability knobs. With {!obs_off} (the default config) the daemon
+    runs the historical request path: no clock reads, no trace ids, zero
+    minor-heap allocation beyond decoding, and byte-identical responses
+    — the PR 4/5 discipline. Any enabled piece turns on per-request
+    trace ids and the six per-stage spans (decode, queued, dedup_wait,
+    cache_probe, run, encode) plus the end-to-end request record. *)
+type obs = {
+  log : Repro_obs.Log.t;  (** {!Repro_obs.Log.null} = silent. *)
+  metrics : Repro_obs.Svc_metrics.t option;
+      (** Counters + stage histograms, reported by [Stats]. *)
+  spans : Repro_obs.Tracer.Ring.t option;
+      (** Span ring behind [Trace_dump]; bounded, drop-oldest. *)
+  slow_s : float;
+      (** Requests at or above this many seconds count as slow and are
+          logged at [Warn]. [infinity] = never. *)
+}
+
+val obs_off : obs
+
+val obs_default :
+  ?log:Repro_obs.Log.t -> ?slow_s:float -> ?trace_capacity:int -> unit -> obs
+(** Metrics on, a fresh span ring ([trace_capacity] spans, default 4096;
+    [0] disables tracing), slow threshold 0.25 s — what [repro serve]
+    runs unless told otherwise. *)
+
 type config = {
   socket_path : string;
   workers : int;      (** Worker domains executing jobs. *)
   cache : bool;       (** Master switch for the on-disk result cache. *)
   cache_dir : string;
+  obs : obs;
 }
 
 val default_socket : unit -> string
@@ -39,7 +65,7 @@ val default_socket : unit -> string
 
 val default_config : unit -> config
 (** Default socket, {!Executor.default_jobs} workers, cache on in
-    {!Cache.default_dir}. *)
+    {!Cache.default_dir}, observability off ({!obs_off}). *)
 
 type job_runner = Job.t -> (Repro_workloads.Harness.run, string) result
 (** Tests inject counting/sleeping fakes; the default runs

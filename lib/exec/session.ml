@@ -7,6 +7,8 @@ type batch = {
   mutable deduped : int;
   mutable failed : int;
   mutable wall_s : float;
+  mutable trace : int;
+  mutable started_at : float;
 }
 
 type t = {
@@ -14,11 +16,19 @@ type t = {
   fd : Unix.file_descr;
   buf : Buffer.t;
   batches : (string, batch) Hashtbl.t;
+  on_send : (bytes:int -> t0:float -> dur:float -> unit) option;
   mutable closed : bool;
 }
 
-let create ~id fd =
-  { id; fd; buf = Buffer.create 1024; batches = Hashtbl.create 4; closed = false }
+let create ?on_send ~id fd =
+  {
+    id;
+    fd;
+    buf = Buffer.create 1024;
+    batches = Hashtbl.create 4;
+    on_send;
+    closed = false;
+  }
 
 let feed t chunk =
   Buffer.add_string t.buf chunk;
@@ -40,7 +50,13 @@ let feed t chunk =
 
 let send t response =
   if not t.closed then begin
+    let t0 =
+      match t.on_send with Some _ -> Unix.gettimeofday () | None -> 0.
+    in
     let line = Response.to_line response ^ "\n" in
+    let dur =
+      match t.on_send with Some _ -> Unix.gettimeofday () -. t0 | None -> 0.
+    in
     let bytes = Bytes.unsafe_of_string line in
     let len = Bytes.length bytes in
     let rec write_all off =
@@ -49,7 +65,10 @@ let send t response =
         write_all (off + n)
       end
     in
-    try write_all 0 with Unix.Unix_error _ | Sys_error _ -> t.closed <- true
+    (try write_all 0 with Unix.Unix_error _ | Sys_error _ -> t.closed <- true);
+    match t.on_send with
+    | Some hook when not t.closed -> hook ~bytes:len ~t0 ~dur
+    | _ -> ()
   end
 
 let begin_batch t ~id ~total =
@@ -63,6 +82,8 @@ let begin_batch t ~id ~total =
       deduped = 0;
       failed = 0;
       wall_s = 0.;
+      trace = 0;
+      started_at = 0.;
     }
   in
   Hashtbl.replace t.batches id batch;

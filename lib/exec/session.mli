@@ -15,6 +15,12 @@ type batch = {
   mutable deduped : int;
   mutable failed : int;
   mutable wall_s : float;
+  mutable trace : int;
+      (** Trace id of the submit request that opened the batch (0 when
+          the daemon runs without observability). *)
+  mutable started_at : float;
+      (** [Unix.gettimeofday] at submit decode — the end-to-end request
+          span for a batch closes at [Batch_done] (0 when off). *)
 }
 
 type t = {
@@ -22,10 +28,16 @@ type t = {
   fd : Unix.file_descr;
   buf : Buffer.t;       (** Bytes received but not yet newline-framed. *)
   batches : (string, batch) Hashtbl.t;  (** In-flight batches by id. *)
+  on_send : (bytes:int -> t0:float -> dur:float -> unit) option;
+      (** Observability tap on {!send}: bytes written and encode time
+          ([t0] start, [dur] seconds spent in [Response.to_line]). [None]
+          keeps {!send} on its historical path — no clock reads. *)
   mutable closed : bool;
 }
 
-val create : id:int -> Unix.file_descr -> t
+val create :
+  ?on_send:(bytes:int -> t0:float -> dur:float -> unit) ->
+  id:int -> Unix.file_descr -> t
 
 val feed : t -> string -> string list
 (** Append received bytes and return the complete lines they finish, in

@@ -1,0 +1,150 @@
+(* One fixed layout for every histogram, so merge never has to
+   reconcile scales: bucket 0 = [0, lo), buckets 1..n-2 log-spaced at
+   four per octave, bucket n-1 = [top, inf). 128 buckets at lo = 1e-6
+   reach 1e-6 * 2^(126/4) ~ 3000, i.e. microseconds to ~50 minutes when
+   samples are seconds. *)
+
+let buckets = 128
+let lo = 1e-6
+let per_octave = 4.
+
+(* upper.(i) = exclusive upper boundary of bucket i, for i < buckets-1;
+   a flat float array so the record path reads boundaries unboxed. *)
+let upper =
+  Array.init (buckets - 1) (fun i ->
+      lo *. (2. ** (float_of_int i /. per_octave)))
+
+(* Scalars live in a float array, not mutable float fields: a mixed
+   record boxes every float store, and [record] must not allocate. *)
+let s_sum = 0
+let s_min = 1
+let s_max = 2
+
+type t = { counts : int array; mutable count : int; scalars : float array }
+
+let create () =
+  { counts = Array.make buckets 0; count = 0; scalars = Array.make 3 0. }
+
+let copy t =
+  {
+    counts = Array.copy t.counts;
+    count = t.count;
+    scalars = Array.copy t.scalars;
+  }
+
+let clear t =
+  Array.fill t.counts 0 buckets 0;
+  t.count <- 0;
+  Array.fill t.scalars 0 3 0.
+
+let bucket_bounds i =
+  if i <= 0 then (0., upper.(0))
+  else if i >= buckets - 1 then (upper.(buckets - 2), infinity)
+  else (upper.(i - 1), upper.(i))
+
+(* The log-derived index is a guess good to sub-ulp precision, so it is
+   off by at most one bucket at an exact boundary; a single correction
+   step against the boundary array (allocation-free — no tuples, no
+   refs) makes the within-bounds contract exact. *)
+let bucket_of v =
+  if v < lo then 0
+  else begin
+    let g = 1 + int_of_float (Float.log2 (v /. lo) *. per_octave) in
+    let g = if g < 1 then 1 else if g > buckets - 1 then buckets - 1 else g in
+    if v < upper.(g - 1) then g - 1
+    else if g < buckets - 1 && v >= upper.(g) then g + 1
+    else g
+  end
+
+let record t v =
+  let v = if Float.is_nan v || v < 0. then 0. else v in
+  let i = bucket_of v in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.scalars.(s_sum) <- t.scalars.(s_sum) +. v;
+  if t.count = 0 then begin
+    t.scalars.(s_min) <- v;
+    t.scalars.(s_max) <- v
+  end
+  else begin
+    if v < t.scalars.(s_min) then t.scalars.(s_min) <- v;
+    if v > t.scalars.(s_max) then t.scalars.(s_max) <- v
+  end;
+  t.count <- t.count + 1
+
+let count t = t.count
+let sum t = t.scalars.(s_sum)
+let min_value t = t.scalars.(s_min)
+let max_value t = t.scalars.(s_max)
+let mean t = if t.count = 0 then 0. else t.scalars.(s_sum) /. float_of_int t.count
+let bucket_count t i = t.counts.(i)
+
+let merge a b =
+  if a.count = 0 then copy b
+  else if b.count = 0 then copy a
+  else begin
+    let t = copy a in
+    Array.iteri (fun i c -> t.counts.(i) <- t.counts.(i) + c) b.counts;
+    t.count <- t.count + b.count;
+    t.scalars.(s_sum) <- t.scalars.(s_sum) +. b.scalars.(s_sum);
+    if b.scalars.(s_min) < t.scalars.(s_min) then
+      t.scalars.(s_min) <- b.scalars.(s_min);
+    if b.scalars.(s_max) > t.scalars.(s_max) then
+      t.scalars.(s_max) <- b.scalars.(s_max);
+    t
+  end
+
+let quantile t q =
+  if t.count = 0 then None
+  else begin
+    let q = if q < 0. then 0. else if q > 1. then 1. else q in
+    let rank =
+      let r = int_of_float (ceil (q *. float_of_int t.count)) in
+      if r < 1 then 1 else r
+    in
+    let i = ref 0 and seen = ref t.counts.(0) in
+    while !seen < rank && !i < buckets - 1 do
+      incr i;
+      seen := !seen + t.counts.(!i)
+    done;
+    let lower, upper = bucket_bounds !i in
+    let lower = if t.scalars.(s_min) > lower then t.scalars.(s_min) else lower in
+    let upper = if t.scalars.(s_max) < upper then t.scalars.(s_max) else upper in
+    (* Clamping to the extremes can cross when all of a bucket's samples
+       sit at one point; keep the interval well-formed. *)
+    Some (if lower > upper then (upper, upper) else (lower, upper))
+  end
+
+let to_json t =
+  let nonzero =
+    Array.to_list t.counts
+    |> List.mapi (fun i c -> (i, c))
+    |> List.filter_map (fun (i, c) ->
+        if c = 0 then None else Some (string_of_int i, Json.Int c))
+  in
+  Json.Obj
+    ([ ("count", Json.Int t.count); ("sum", Json.Float t.scalars.(s_sum)) ]
+    @ (if t.count = 0 then []
+       else
+         [
+           ("min", Json.Float t.scalars.(s_min));
+           ("max", Json.Float t.scalars.(s_max));
+         ])
+    @ [ ("buckets", Json.Obj nonzero) ])
+
+let decoder j =
+  let open Json.Decode in
+  let t = create () in
+  t.count <- field "count" int j;
+  t.scalars.(s_sum) <- field "sum" float j;
+  t.scalars.(s_min) <- field_default "min" float 0. j;
+  t.scalars.(s_max) <- field_default "max" float 0. j;
+  List.iter
+    (fun (key, c) ->
+      match int_of_string_opt key with
+      | Some i when i >= 0 && i < buckets -> t.counts.(i) <- c
+      | _ -> fail (Printf.sprintf "bad bucket index %S" key))
+    (field "buckets" (obj int) j);
+  t
+
+let equal a b =
+  a.count = b.count && a.scalars = b.scalars && a.counts = b.counts

@@ -1,0 +1,92 @@
+type level = Debug | Info | Warn | Error
+
+let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "debug" -> Ok Debug
+  | "info" -> Ok Info
+  | "warn" | "warning" -> Ok Warn
+  | "error" -> Ok Error
+  | _ ->
+    Error
+      (Printf.sprintf "unknown log level %S; valid levels: debug, info, \
+                       warn, error" s)
+
+type field = Str of string | Int of int | Float of float | Bool of bool
+
+type t = {
+  threshold : int;  (* max_int = disabled (the null logger) *)
+  now : unit -> float;
+  write : string -> unit;
+  mutex : Mutex.t;
+}
+
+let null =
+  {
+    threshold = max_int;
+    now = (fun () -> 0.);
+    write = ignore;
+    mutex = Mutex.create ();
+  }
+
+let make ?(level = Info) ~now ~write () =
+  { threshold = level_rank level; now; write; mutex = Mutex.create () }
+
+let to_channel ?level ?now oc =
+  let now =
+    match now with
+    | Some f -> f
+    | None ->
+      let t0 = Unix.gettimeofday () in
+      fun () -> Unix.gettimeofday () -. t0
+  in
+  make ?level ~now
+    ~write:(fun line ->
+      output_string oc line;
+      output_char oc '\n';
+      flush oc)
+    ()
+
+let enabled t level = level_rank level >= t.threshold
+
+let needs_quoting s =
+  s = ""
+  || String.exists
+       (function ' ' | '"' | '=' | '\n' | '\r' | '\t' -> true | _ -> false)
+       s
+
+let add_value buf = function
+  | Str s -> if needs_quoting s then Buffer.add_string buf (Printf.sprintf "%S" s) else Buffer.add_string buf s
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (Printf.sprintf "%.6f" f)
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+
+let log t level event fields =
+  if enabled t level then begin
+    let buf = Buffer.create 128 in
+    Buffer.add_string buf (Printf.sprintf "ts=%.6f" (t.now ()));
+    Buffer.add_string buf " level=";
+    Buffer.add_string buf (level_name level);
+    Buffer.add_string buf " event=";
+    Buffer.add_string buf event;
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf k;
+        Buffer.add_char buf '=';
+        add_value buf v)
+      fields;
+    Mutex.lock t.mutex;
+    (try t.write (Buffer.contents buf)
+     with e ->
+       Mutex.unlock t.mutex;
+       raise e);
+    Mutex.unlock t.mutex
+  end

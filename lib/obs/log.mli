@@ -1,0 +1,46 @@
+(** Leveled, structured line logging for the serve daemon.
+
+    One event per line, [key=value] pairs, machine-greppable:
+
+    {v ts=0.001204 level=info event=job.done trace=7 wall_s=0.051 cached=false v}
+
+    The timestamp source is injected at construction, so tests build a
+    logger over a fake clock and a [Buffer] and assert exact lines. A
+    logger may be written to from the event thread and worker Domains
+    concurrently; lines are serialized by an internal mutex.
+
+    The disabled logger {!null} costs one branch per call and allocates
+    nothing; hot call sites guard field-list construction with
+    {!enabled} so a daemon running without [--log-file]/[--log-level]
+    pays nothing on the request path. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_name : level -> string
+(** ["debug"] | ["info"] | ["warn"] | ["error"]. *)
+
+val level_of_string : string -> (level, string) result
+(** Inverse of {!level_name}; [Error] lists the valid names. *)
+
+type field = Str of string | Int of int | Float of float | Bool of bool
+
+type t
+
+val null : t
+(** Logs nothing; {!enabled} is always [false]. *)
+
+val make : ?level:level -> now:(unit -> float) -> write:(string -> unit) -> unit -> t
+(** [write] receives one complete line (no trailing newline) per event
+    at or above [level] (default [Info]); [now] supplies the [ts=]
+    value. *)
+
+val to_channel : ?level:level -> ?now:(unit -> float) -> out_channel -> t
+(** {!make} over a channel, flushing per line; [now] defaults to
+    seconds since the logger was created ([Unix.gettimeofday]-based). *)
+
+val enabled : t -> level -> bool
+
+val log : t -> level -> string -> (string * field) list -> unit
+(** [log t lvl event fields] emits [ts=... level=... event=<event>]
+    followed by the fields in order. Values containing spaces, quotes,
+    [=] or newlines are quoted with [%S]. No-op below the threshold. *)

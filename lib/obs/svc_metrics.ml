@@ -1,0 +1,186 @@
+type t = {
+  mutable submitted : int;
+  mutable executed : int;
+  mutable dedup_hits : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable stampede_avoided : int;
+  mutable requests : int;
+  mutable slow_requests : int;
+  mutable responses : int;
+  mutable decode_errors : int;
+  mutable bytes_in : int;
+  mutable bytes_out : int;
+  mutable worker_busy_s : float;
+  stages : (string * Hist.t) list;
+}
+
+let stage_names =
+  [ "decode"; "queued"; "dedup_wait"; "cache_probe"; "run"; "encode";
+    "request" ]
+
+let create () =
+  {
+    submitted = 0;
+    executed = 0;
+    dedup_hits = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    stampede_avoided = 0;
+    requests = 0;
+    slow_requests = 0;
+    responses = 0;
+    decode_errors = 0;
+    bytes_in = 0;
+    bytes_out = 0;
+    worker_busy_s = 0.;
+    stages = List.map (fun n -> (n, Hist.create ())) stage_names;
+  }
+
+let stage t name = List.assoc name t.stages
+
+type snapshot = {
+  s_submitted : int;
+  s_executed : int;
+  s_dedup_hits : int;
+  s_cache_hits : int;
+  s_cache_misses : int;
+  s_stampede_avoided : int;
+  s_requests : int;
+  s_slow_requests : int;
+  s_responses : int;
+  s_decode_errors : int;
+  s_bytes_in : int;
+  s_bytes_out : int;
+  s_worker_busy_s : float;
+  s_sessions : int;
+  s_queue_depth : int;
+  s_inflight : int;
+  s_running : int;
+}
+
+let snapshot t ~sessions ~queue_depth ~inflight ~running =
+  {
+    s_submitted = t.submitted;
+    s_executed = t.executed;
+    s_dedup_hits = t.dedup_hits;
+    s_cache_hits = t.cache_hits;
+    s_cache_misses = t.cache_misses;
+    s_stampede_avoided = t.stampede_avoided;
+    s_requests = t.requests;
+    s_slow_requests = t.slow_requests;
+    s_responses = t.responses;
+    s_decode_errors = t.decode_errors;
+    s_bytes_in = t.bytes_in;
+    s_bytes_out = t.bytes_out;
+    s_worker_busy_s = t.worker_busy_s;
+    s_sessions = sessions;
+    s_queue_depth = queue_depth;
+    s_inflight = inflight;
+    s_running = running;
+  }
+
+let zero =
+  {
+    s_submitted = 0;
+    s_executed = 0;
+    s_dedup_hits = 0;
+    s_cache_hits = 0;
+    s_cache_misses = 0;
+    s_stampede_avoided = 0;
+    s_requests = 0;
+    s_slow_requests = 0;
+    s_responses = 0;
+    s_decode_errors = 0;
+    s_bytes_in = 0;
+    s_bytes_out = 0;
+    s_worker_busy_s = 0.;
+    s_sessions = 0;
+    s_queue_depth = 0;
+    s_inflight = 0;
+    s_running = 0;
+  }
+
+type kind = Counter | Gauge
+type value = Int of int | Float of float
+
+type metric = {
+  m_name : string;
+  m_kind : kind;
+  m_units : string;
+  m_value : snapshot -> value;
+}
+
+let name m = m.m_name
+let kind m = m.m_kind
+let units m = m.m_units
+let value m s = m.m_value s
+
+let counter name units f =
+  { m_name = name; m_kind = Counter; m_units = units; m_value = (fun s -> Int (f s)) }
+
+let gauge name units f =
+  { m_name = name; m_kind = Gauge; m_units = units; m_value = (fun s -> Int (f s)) }
+
+(* One entry per snapshot field, in field order — the coverage test
+   pins [List.length all] to the snapshot's field count. *)
+let all =
+  [
+    counter "jobs.submitted" "jobs" (fun s -> s.s_submitted);
+    counter "jobs.executed" "jobs" (fun s -> s.s_executed);
+    counter "dedup.hits" "jobs" (fun s -> s.s_dedup_hits);
+    counter "cache.hits" "jobs" (fun s -> s.s_cache_hits);
+    counter "cache.misses" "jobs" (fun s -> s.s_cache_misses);
+    counter "cache.stampede_avoided" "jobs" (fun s -> s.s_stampede_avoided);
+    counter "requests.total" "requests" (fun s -> s.s_requests);
+    counter "requests.slow" "requests" (fun s -> s.s_slow_requests);
+    counter "responses.total" "responses" (fun s -> s.s_responses);
+    counter "decode.errors" "requests" (fun s -> s.s_decode_errors);
+    counter "bytes.in" "bytes" (fun s -> s.s_bytes_in);
+    counter "bytes.out" "bytes" (fun s -> s.s_bytes_out);
+    {
+      m_name = "worker.busy_s";
+      m_kind = Counter;
+      m_units = "seconds";
+      m_value = (fun s -> Float s.s_worker_busy_s);
+    };
+    gauge "sessions" "clients" (fun s -> s.s_sessions);
+    gauge "queue.depth" "jobs" (fun s -> s.s_queue_depth);
+    gauge "inflight.size" "jobs" (fun s -> s.s_inflight);
+    gauge "jobs.running" "jobs" (fun s -> s.s_running);
+  ]
+
+let find n = List.find_opt (fun m -> m.m_name = n) all
+
+let to_json s =
+  Json.Obj
+    (List.map
+       (fun m ->
+         ( m.m_name,
+           match m.m_value s with
+           | Int i -> Json.Int i
+           | Float f -> Json.Float f ))
+       all)
+
+let decoder j =
+  let open Json.Decode in
+  let i n = field_default n int 0 j in
+  {
+    s_submitted = i "jobs.submitted";
+    s_executed = i "jobs.executed";
+    s_dedup_hits = i "dedup.hits";
+    s_cache_hits = i "cache.hits";
+    s_cache_misses = i "cache.misses";
+    s_stampede_avoided = i "cache.stampede_avoided";
+    s_requests = i "requests.total";
+    s_slow_requests = i "requests.slow";
+    s_responses = i "responses.total";
+    s_decode_errors = i "decode.errors";
+    s_bytes_in = i "bytes.in";
+    s_bytes_out = i "bytes.out";
+    s_worker_busy_s = field_default "worker.busy_s" float 0. j;
+    s_sessions = i "sessions";
+    s_queue_depth = i "queue.depth";
+    s_inflight = i "inflight.size";
+    s_running = i "jobs.running";
+  }

@@ -1,0 +1,103 @@
+(** Service-level metrics for the serve daemon, in the style of
+    {!Metric}: every counter the scheduler keeps is an enumerable
+    registry entry with a stable dotted id, a kind, and an extractor
+    over an immutable {!snapshot} — so [ctl stats], its JSON export and
+    the tests all read one surface, and a counter added to {!t} without
+    a registry entry fails the coverage test.
+
+    {!t} is the live mutable state (incremented by the daemon's event
+    thread and workers under the scheduler mutex); {!snapshot} freezes
+    it together with the instantaneous gauges the server derives from
+    its scheduler tables. Alongside the counters, {!t} owns one
+    {!Hist} per request stage ({!stage_names}), so stage latencies ride
+    the same snapshot discipline. *)
+
+type t = {
+  mutable submitted : int;      (** job submissions accepted *)
+  mutable executed : int;       (** jobs measured on a worker *)
+  mutable dedup_hits : int;     (** submissions attached to an in-flight job *)
+  mutable cache_hits : int;     (** submissions served from the result cache *)
+  mutable cache_misses : int;   (** cache-enabled executions that had to run *)
+  mutable stampede_avoided : int;
+      (** dedup hits on cache-enabled entries: submissions that would
+          have raced a cold cache without the in-flight table *)
+  mutable requests : int;       (** request lines answered to completion *)
+  mutable slow_requests : int;  (** requests above the slow threshold *)
+  mutable responses : int;      (** response lines written *)
+  mutable decode_errors : int;  (** request lines that failed to decode *)
+  mutable bytes_in : int;
+  mutable bytes_out : int;
+  mutable worker_busy_s : float;  (** summed execution wall time *)
+  stages : (string * Hist.t) list;  (** one histogram per {!stage_names} *)
+}
+
+val create : unit -> t
+
+val stage_names : string list
+(** [["decode"; "queued"; "dedup_wait"; "cache_probe"; "run"; "encode";
+    "request"]] — the life of a request, decode to final response;
+    ["request"] is end-to-end and counts once per request line. *)
+
+val stage : t -> string -> Hist.t
+(** The histogram for one of {!stage_names}; raises [Not_found] on any
+    other name. *)
+
+(** {2 Snapshots} *)
+
+type snapshot = {
+  s_submitted : int;
+  s_executed : int;
+  s_dedup_hits : int;
+  s_cache_hits : int;
+  s_cache_misses : int;
+  s_stampede_avoided : int;
+  s_requests : int;
+  s_slow_requests : int;
+  s_responses : int;
+  s_decode_errors : int;
+  s_bytes_in : int;
+  s_bytes_out : int;
+  s_worker_busy_s : float;
+  s_sessions : int;     (** gauge: connected clients *)
+  s_queue_depth : int;  (** gauge: jobs queued across all sessions *)
+  s_inflight : int;     (** gauge: in-flight table size *)
+  s_running : int;      (** gauge: jobs on workers *)
+}
+
+val snapshot :
+  t -> sessions:int -> queue_depth:int -> inflight:int -> running:int ->
+  snapshot
+(** Freeze the counters; the four gauges are instantaneous scheduler
+    facts only the server can derive, so it passes them in. *)
+
+val zero : snapshot
+
+(** {2 The registry} *)
+
+type kind = Counter | Gauge
+type value = Int of int | Float of float
+
+type metric
+
+val name : metric -> string
+(** Stable dotted id, e.g. ["cache.stampede_avoided"]. *)
+
+val kind : metric -> kind
+val units : metric -> string
+val value : metric -> snapshot -> value
+
+val all : metric list
+(** One entry per {!snapshot} field; the coverage test pins the
+    length to the field count. *)
+
+val find : string -> metric option
+
+(** {2 Wire form} — carried inside the [server_stats] response. *)
+
+val to_json : snapshot -> Json.t
+(** Object keyed by registry id, registry order; round-trips exactly
+    through {!decoder}. *)
+
+val decoder : snapshot Json.Decode.decoder
+(** Lenient to missing ids (they default to zero), so the form can grow
+    without a schema bump. *)

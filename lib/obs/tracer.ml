@@ -145,6 +145,113 @@ let to_json ?timeline ~workload ~technique (dump : Telemetry.dump) =
           ] );
     ]
 
+(* {2 Span ring} *)
+
+module Ring = struct
+  type span = {
+    name : string;
+    track : int;
+    trace : int;
+    ts : float;
+    dur : float;
+  }
+
+  (* SoA, like Telemetry.Ring: the component arrays are preallocated at
+     [create] so [record] writes fields in place and allocates nothing
+     (float array stores are unboxed). *)
+  type t = {
+    names : string array;
+    tracks : int array;
+    traces : int array;
+    tss : float array;
+    durs : float array;
+    mutable head : int;  (* next write slot *)
+    mutable total : int;  (* spans ever recorded *)
+    mutex : Mutex.t;
+  }
+
+  let create ~capacity =
+    let capacity = max 1 capacity in
+    {
+      names = Array.make capacity "";
+      tracks = Array.make capacity 0;
+      traces = Array.make capacity 0;
+      tss = Array.make capacity 0.;
+      durs = Array.make capacity 0.;
+      head = 0;
+      total = 0;
+      mutex = Mutex.create ();
+    }
+
+  let record t ~name ~track ~trace ~ts ~dur =
+    Mutex.lock t.mutex;
+    let i = t.head in
+    t.names.(i) <- name;
+    t.tracks.(i) <- track;
+    t.traces.(i) <- trace;
+    t.tss.(i) <- ts;
+    t.durs.(i) <- dur;
+    t.head <- (if i + 1 = Array.length t.names then 0 else i + 1);
+    t.total <- t.total + 1;
+    Mutex.unlock t.mutex
+
+  let recorded t =
+    Mutex.lock t.mutex;
+    let n = t.total in
+    Mutex.unlock t.mutex;
+    n
+
+  let dropped t =
+    Mutex.lock t.mutex;
+    let n = max 0 (t.total - Array.length t.names) in
+    Mutex.unlock t.mutex;
+    n
+
+  let dump t =
+    Mutex.lock t.mutex;
+    let cap = Array.length t.names in
+    let live = min t.total cap in
+    (* Oldest-first: when full, the oldest surviving span sits at
+       [head]; otherwise the ring starts at slot 0. *)
+    let start = if t.total >= cap then t.head else 0 in
+    let spans =
+      List.init live (fun k ->
+          let i = (start + k) mod cap in
+          {
+            name = t.names.(i);
+            track = t.tracks.(i);
+            trace = t.traces.(i);
+            ts = t.tss.(i);
+            dur = t.durs.(i);
+          })
+    in
+    Mutex.unlock t.mutex;
+    spans
+end
+
+let spans_to_json ?(tracks = []) spans =
+  let names =
+    List.map
+      (fun (tid, label) ->
+        metadata ~name:"thread_name" ~tid
+          ~args:[ ("name", Json.String label) ])
+      tracks
+  in
+  let events =
+    List.map
+      (fun (s : Ring.span) ->
+        complete ~name:s.name ~tid:s.track ~ts:(s.ts *. 1e6)
+          ~dur:(s.dur *. 1e6)
+          ~args:[ ("trace", Json.Int s.trace) ]
+          ())
+      spans
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (names @ events));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
 (* {2 Validation} *)
 
 let validate json =

@@ -23,3 +23,47 @@ val validate : Json.t -> (unit, string) result
     {["X"; "C"; "M"]}, integer [pid]/[tid], a numeric [ts], and — for
     ["X"] phases — a numeric [dur >= 0]. Used by the round-trip tests
     and [repro trace] before writing the file. *)
+
+(** {2 Span ring} — the serve daemon's request-stage spans.
+
+    A bounded, drop-oldest ring of named spans, the service-side
+    counterpart of {!Repro_gpu.Telemetry}'s event ring: preallocated
+    flat arrays (one per span component), so {!Ring.record} allocates
+    nothing on the request path; overflow overwrites the oldest span and
+    is tallied, never grows. Writers from the daemon's event thread and
+    worker Domains are serialized by an internal mutex. *)
+
+module Ring : sig
+  type span = {
+    name : string;   (** stage, e.g. ["run"] — callers pass literals *)
+    track : int;     (** 0 = event thread, 1..W = worker Domains *)
+    trace : int;     (** request trace id *)
+    ts : float;      (** seconds since server start *)
+    dur : float;     (** seconds *)
+  }
+
+  type t
+
+  val create : capacity:int -> t
+  (** [capacity] is clamped to at least 1. *)
+
+  val record :
+    t -> name:string -> track:int -> trace:int -> ts:float -> dur:float ->
+    unit
+  (** Allocation-free. *)
+
+  val recorded : t -> int
+  (** Spans ever recorded (including overwritten ones). *)
+
+  val dropped : t -> int
+  (** [max 0 (recorded - capacity)]. *)
+
+  val dump : t -> span list
+  (** Surviving spans, oldest first. *)
+end
+
+val spans_to_json : ?tracks:(int * string) list -> Ring.span list -> Json.t
+(** Chrome trace-event JSON (loads in Perfetto, passes {!validate}):
+    one ["X"] event per span — [ts]/[dur] in microseconds, the trace id
+    in [args.trace] — plus ["M"] thread-name metadata for [tracks]
+    (pairs of track id and display name). *)

@@ -425,6 +425,327 @@ let test_write_file () =
   Sys.remove path;
   check Alcotest.string "written" "{\"ok\":true}" contents
 
+(* --- service latency histograms ---------------------------------------- *)
+
+module Hist = O.Hist
+
+(* Spans the layout: below [lo] (bucket 0), mid-range latencies, the
+   far tail, and exact zero. *)
+let hist_sample_gen =
+  QCheck.Gen.oneof
+    [
+      QCheck.Gen.float_range 0. 2e-6;
+      QCheck.Gen.float_range 0. 0.5;
+      QCheck.Gen.float_range 0. 5000.;
+      QCheck.Gen.return 0.;
+      QCheck.Gen.return 1e9;
+    ]
+
+let hist_samples_gen n = QCheck.Gen.(list_size (int_range 0 n) hist_sample_gen)
+
+let hist_of_samples samples =
+  let h = Hist.create () in
+  List.iter (Hist.record h) samples;
+  h
+
+(* Integer components and extremes combine exactly; only sums are
+   subject to float rounding under re-association. *)
+let hist_int_equal a b =
+  Hist.count a = Hist.count b
+  && Hist.min_value a = Hist.min_value b
+  && Hist.max_value a = Hist.max_value b
+  &&
+  let rec go i =
+    i >= Hist.buckets
+    || (Hist.bucket_count a i = Hist.bucket_count b i && go (i + 1))
+  in
+  go 0
+
+let hist_merge_commutes =
+  QCheck.Test.make ~count:100 ~name:"hist merge commutes"
+    (QCheck.make QCheck.Gen.(pair (hist_samples_gen 40) (hist_samples_gen 40)))
+    (fun (xs, ys) ->
+      let a = hist_of_samples xs and b = hist_of_samples ys in
+      Hist.equal (Hist.merge a b) (Hist.merge b a))
+
+let hist_merge_associates =
+  QCheck.Test.make ~count:100 ~name:"hist merge associates"
+    (QCheck.make
+       QCheck.Gen.(
+         triple (hist_samples_gen 30) (hist_samples_gen 30)
+           (hist_samples_gen 30)))
+    (fun (xs, ys, zs) ->
+      let a = hist_of_samples xs
+      and b = hist_of_samples ys
+      and c = hist_of_samples zs in
+      let l = Hist.merge (Hist.merge a b) c
+      and r = Hist.merge a (Hist.merge b c) in
+      hist_int_equal l r
+      && abs_float (Hist.sum l -. Hist.sum r)
+         <= 1e-9 *. (abs_float (Hist.sum l) +. 1.))
+
+let hist_quantile_monotone =
+  QCheck.Test.make ~count:100 ~name:"hist quantile monotone in q"
+    (QCheck.make
+       QCheck.Gen.(
+         triple
+           (list_size (int_range 1 60) hist_sample_gen)
+           (float_range 0. 1.) (float_range 0. 1.)))
+    (fun (xs, q1, q2) ->
+      let h = hist_of_samples xs in
+      let qlo = min q1 q2 and qhi = max q1 q2 in
+      match (Hist.quantile h qlo, Hist.quantile h qhi) with
+      | Some (l1, u1), Some (l2, u2) -> l1 <= l2 && u1 <= u2
+      | _ -> false)
+
+let hist_value_within_bucket =
+  QCheck.Test.make ~count:200
+    ~name:"hist recorded value lies within its bucket bounds"
+    (QCheck.make hist_sample_gen)
+    (fun v ->
+      let h = Hist.create () in
+      Hist.record h v;
+      let rec find i =
+        if i >= Hist.buckets then None
+        else if Hist.bucket_count h i = 1 then Some i
+        else find (i + 1)
+      in
+      match find 0 with
+      | None -> false
+      | Some i ->
+        let lo, hi = Hist.bucket_bounds i in
+        lo <= v && v < hi)
+
+let test_hist_basics () =
+  let h = Hist.create () in
+  check Alcotest.bool "empty quantile is None" true (Hist.quantile h 0.5 = None);
+  check (Alcotest.float 0.) "empty mean" 0. (Hist.mean h);
+  List.iter (Hist.record h) [ 0.004; 0.002; 0.008; 0.001 ];
+  check Alcotest.int "count" 4 (Hist.count h);
+  check (Alcotest.float 1e-12) "sum is exact" 0.015 (Hist.sum h);
+  check (Alcotest.float 1e-12) "min is exact" 0.001 (Hist.min_value h);
+  check (Alcotest.float 1e-12) "max is exact" 0.008 (Hist.max_value h);
+  (match Hist.quantile h 1.0 with
+   | Some (lo, hi) ->
+     check Alcotest.bool "p100 bracket holds the max" true
+       (lo <= 0.008 && 0.008 <= hi)
+   | None -> Alcotest.fail "p100 of a non-empty histogram");
+  (match Hist.quantile h 0.0 with
+   | Some (lo, _) ->
+     check Alcotest.bool "p0 clamps to the min" true (lo >= 0.001)
+   | None -> Alcotest.fail "p0 of a non-empty histogram");
+  Hist.record h (-5.);
+  check (Alcotest.float 0.) "negative samples clamp to 0" 0.
+    (Hist.min_value h);
+  Hist.record h nan;
+  check Alcotest.int "NaN recorded (as 0), not lost" 6 (Hist.count h);
+  let snap = Hist.copy h in
+  Hist.record h 1.0;
+  check Alcotest.int "copy is a snapshot" 6 (Hist.count snap);
+  Hist.clear h;
+  check Alcotest.int "clear empties" 0 (Hist.count h)
+
+let test_hist_json_round_trip () =
+  let h = hist_of_samples [ 0.; 1e-7; 0.004; 0.004; 0.25; 3600.; 1e9 ] in
+  let text = Json.to_string (Hist.to_json h) in
+  match Json.of_string text with
+  | Error msg -> Alcotest.failf "hist JSON does not parse: %s" msg
+  | Ok j -> (
+    match Json.Decode.run Hist.decoder j with
+    | Error msg -> Alcotest.failf "hist does not decode: %s" msg
+    | Ok h' ->
+      check Alcotest.bool "observable state survives" true (Hist.equal h h');
+      check Alcotest.string "byte-identical re-encoding" text
+        (Json.to_string (Hist.to_json h')))
+
+(* --- service metrics registry ------------------------------------------- *)
+
+module Svc = O.Svc_metrics
+
+let test_svc_registry_covers_snapshot () =
+  (* Same discipline as the Stats registry above: a counter added to the
+     snapshot without a registry entry fails this count. *)
+  let fields = Obj.size (Obj.repr Svc.zero) in
+  check Alcotest.int "one metric per snapshot field" fields
+    (List.length Svc.all);
+  let names = List.map Svc.name Svc.all in
+  check Alcotest.int "no duplicate ids" (List.length names)
+    (List.length (List.sort_uniq compare names));
+  (match Svc.find "cache.stampede_avoided" with
+   | Some m ->
+     check Alcotest.string "find by id" "cache.stampede_avoided" (Svc.name m)
+   | None -> Alcotest.fail "cache.stampede_avoided not registered");
+  check Alcotest.bool "unknown id" true (Svc.find "no.such.metric" = None)
+
+let sample_svc_snapshot () =
+  let m = Svc.create () in
+  m.Svc.submitted <- 11;
+  m.Svc.executed <- 7;
+  m.Svc.dedup_hits <- 3;
+  m.Svc.cache_hits <- 2;
+  m.Svc.cache_misses <- 5;
+  m.Svc.stampede_avoided <- 1;
+  m.Svc.requests <- 20;
+  m.Svc.slow_requests <- 2;
+  m.Svc.responses <- 31;
+  m.Svc.decode_errors <- 1;
+  m.Svc.bytes_in <- 4096;
+  m.Svc.bytes_out <- 8192;
+  m.Svc.worker_busy_s <- 2.5;
+  Svc.snapshot m ~sessions:3 ~queue_depth:4 ~inflight:5 ~running:2
+
+let test_svc_values_and_json () =
+  let s = sample_svc_snapshot () in
+  let get id =
+    match Svc.find id with
+    | Some m -> Svc.value m s
+    | None -> Alcotest.failf "%s not registered" id
+  in
+  check Alcotest.bool "jobs.submitted" true (get "jobs.submitted" = Svc.Int 11);
+  check Alcotest.bool "requests.slow" true (get "requests.slow" = Svc.Int 2);
+  check Alcotest.bool "worker.busy_s is a float" true
+    (get "worker.busy_s" = Svc.Float 2.5);
+  check Alcotest.bool "queue.depth" true (get "queue.depth" = Svc.Int 4);
+  (match Svc.find "queue.depth" with
+   | Some m -> check Alcotest.bool "gauges marked" true (Svc.kind m = Svc.Gauge)
+   | None -> Alcotest.fail "queue.depth not registered");
+  (match Svc.find "jobs.submitted" with
+   | Some m ->
+     check Alcotest.bool "counters marked" true (Svc.kind m = Svc.Counter)
+   | None -> Alcotest.fail "jobs.submitted not registered");
+  let text = Json.to_string (Svc.to_json s) in
+  (match Json.of_string text with
+   | Error msg -> Alcotest.failf "snapshot JSON does not parse: %s" msg
+   | Ok j -> (
+     match Json.Decode.run Svc.decoder j with
+     | Error msg -> Alcotest.failf "snapshot does not decode: %s" msg
+     | Ok s' ->
+       check Alcotest.bool "snapshot survives" true (s = s');
+       check Alcotest.string "byte-identical re-encoding" text
+         (Json.to_string (Svc.to_json s'))));
+  (* The decoder is lenient: a snapshot from an older daemon (missing
+     ids) reads as zeros rather than failing. *)
+  match Json.Decode.run Svc.decoder (Json.Obj []) with
+  | Ok z -> check Alcotest.bool "missing ids default to zero" true (z = Svc.zero)
+  | Error msg -> Alcotest.failf "empty object rejected: %s" msg
+
+(* --- structured logging -------------------------------------------------- *)
+
+let test_log_lines_exact () =
+  let lines = ref [] in
+  let t = ref 0.0 in
+  let log =
+    O.Log.make ~level:O.Log.Debug
+      ~now:(fun () -> t := !t +. 0.5; !t)
+      ~write:(fun line -> lines := line :: !lines)
+      ()
+  in
+  O.Log.log log O.Log.Info "job.done"
+    [
+      ("trace", O.Log.Int 7);
+      ("wall_s", O.Log.Float 0.051);
+      ("cached", O.Log.Bool false);
+      ("key", O.Log.Str "TRAF/tp");
+    ];
+  O.Log.log log O.Log.Warn "request.slow" [ ("msg", O.Log.Str "a b=c") ];
+  O.Log.log log O.Log.Debug "empty.value" [ ("v", O.Log.Str "") ];
+  check
+    Alcotest.(list string)
+    "exact lines, fake clock"
+    [
+      "ts=0.500000 level=info event=job.done trace=7 wall_s=0.051000 \
+       cached=false key=TRAF/tp";
+      "ts=1.000000 level=warn event=request.slow msg=\"a b=c\"";
+      "ts=1.500000 level=debug event=empty.value v=\"\"";
+    ]
+    (List.rev !lines)
+
+let test_log_level_filtering () =
+  let hits = ref 0 in
+  let log =
+    O.Log.make ~level:O.Log.Warn ~now:(fun () -> 0.)
+      ~write:(fun _ -> incr hits)
+      ()
+  in
+  check Alcotest.bool "debug off" false (O.Log.enabled log O.Log.Debug);
+  check Alcotest.bool "info off" false (O.Log.enabled log O.Log.Info);
+  check Alcotest.bool "warn on" true (O.Log.enabled log O.Log.Warn);
+  check Alcotest.bool "error on" true (O.Log.enabled log O.Log.Error);
+  O.Log.log log O.Log.Info "suppressed" [];
+  check Alcotest.int "below threshold writes nothing" 0 !hits;
+  O.Log.log log O.Log.Error "boom" [];
+  check Alcotest.int "at threshold writes" 1 !hits;
+  check Alcotest.bool "null logger never enabled" false
+    (O.Log.enabled O.Log.null O.Log.Error);
+  check Alcotest.bool "warning alias" true
+    (O.Log.level_of_string "Warning" = Ok O.Log.Warn);
+  check Alcotest.bool "unknown level rejected" true
+    (Result.is_error (O.Log.level_of_string "loud"))
+
+(* --- span ring ------------------------------------------------------------ *)
+
+let test_span_ring () =
+  let ring = O.Tracer.Ring.create ~capacity:4 in
+  check Alcotest.bool "empty dump" true (O.Tracer.Ring.dump ring = []);
+  for i = 1 to 6 do
+    O.Tracer.Ring.record ring ~name:"stage" ~track:0 ~trace:i
+      ~ts:(float_of_int i) ~dur:0.5
+  done;
+  check Alcotest.int "recorded counts overwrites" 6
+    (O.Tracer.Ring.recorded ring);
+  check Alcotest.int "dropped = recorded - capacity" 2
+    (O.Tracer.Ring.dropped ring);
+  let spans = O.Tracer.Ring.dump ring in
+  check Alcotest.int "capacity survivors" 4 (List.length spans);
+  check Alcotest.bool "oldest first, newest kept" true
+    (List.map (fun s -> s.O.Tracer.Ring.trace) spans = [ 3; 4; 5; 6 ]);
+  let j = O.Tracer.spans_to_json ~tracks:[ (0, "events") ] spans in
+  match O.Tracer.validate j with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "span trace fails validation: %s" msg
+
+(* --- the request-path allocation discipline ------------------------------- *)
+
+let test_obs_zero_allocation () =
+  (* The PR 5 invariant extended to the service layer: the three
+     primitives that sit on the daemon's request path allocate nothing
+     per event — Hist.record, Ring.record, and a log call on the null
+     logger. 10k iterations may not allocate more than a constant slack
+     over 0 (a per-event box would show up as >= 20k words). *)
+  let h = Hist.create () in
+  let ring = O.Tracer.Ring.create ~capacity:64 in
+  Hist.record h 0.001;
+  O.Tracer.Ring.record ring ~name:"warm" ~track:0 ~trace:0 ~ts:0. ~dur:0.;
+  O.Log.log O.Log.null O.Log.Error "warm" [];
+  let words f =
+    let w0 = Gc.minor_words () in
+    f ();
+    Gc.minor_words () -. w0
+  in
+  let hist_w = words (fun () -> for _ = 1 to 10_000 do Hist.record h 0.004 done) in
+  let ring_w =
+    words (fun () ->
+        for _ = 1 to 10_000 do
+          O.Tracer.Ring.record ring ~name:"s" ~track:1 ~trace:2 ~ts:0.1
+            ~dur:0.2
+        done)
+  in
+  let log_w =
+    words (fun () ->
+        for _ = 1 to 10_000 do
+          O.Log.log O.Log.null O.Log.Error "e" []
+        done)
+  in
+  check Alcotest.bool
+    (Printf.sprintf "Hist.record allocates nothing (%.0f words)" hist_w)
+    true (hist_w <= 256.);
+  check Alcotest.bool
+    (Printf.sprintf "Ring.record allocates nothing (%.0f words)" ring_w)
+    true (ring_w <= 256.);
+  check Alcotest.bool
+    (Printf.sprintf "null log allocates nothing (%.0f words)" log_w)
+    true (log_w <= 256.)
+
 let suite =
   [
     Alcotest.test_case "json round trip" `Quick test_json_round_trip;
@@ -456,4 +777,21 @@ let suite =
     Alcotest.test_case "series json rejects garbage" `Quick
       test_series_of_json_rejects_garbage;
     Alcotest.test_case "sink write file" `Quick test_write_file;
+    QCheck_alcotest.to_alcotest hist_merge_commutes;
+    QCheck_alcotest.to_alcotest hist_merge_associates;
+    QCheck_alcotest.to_alcotest hist_quantile_monotone;
+    QCheck_alcotest.to_alcotest hist_value_within_bucket;
+    Alcotest.test_case "hist basics and exact totals" `Quick test_hist_basics;
+    Alcotest.test_case "hist json round trip" `Quick test_hist_json_round_trip;
+    Alcotest.test_case "svc registry covers every snapshot field" `Quick
+      test_svc_registry_covers_snapshot;
+    Alcotest.test_case "svc values match getters; json round trip" `Quick
+      test_svc_values_and_json;
+    Alcotest.test_case "log lines are exact under a fake clock" `Quick
+      test_log_lines_exact;
+    Alcotest.test_case "log level filtering" `Quick test_log_level_filtering;
+    Alcotest.test_case "span ring drops oldest, dumps in order" `Quick
+      test_span_ring;
+    Alcotest.test_case "request-path primitives allocate nothing" `Quick
+      test_obs_zero_allocation;
   ]

@@ -7,6 +7,7 @@
 module W = Repro_workloads
 module T = Repro_core.Technique
 module X = Repro_exec
+module O = Repro_obs
 module J = Repro_obs.Json
 
 let check = Alcotest.check
@@ -107,6 +108,8 @@ let sample_requests =
     X.Request.Invalidate (Some (List.nth sample_specs 1));
     X.Request.Invalidate None;
     X.Request.Stats;
+    X.Request.Health;
+    X.Request.Trace_dump;
     X.Request.Ping;
     X.Request.Shutdown;
   ]
@@ -134,8 +137,49 @@ let sample_outcome ~cached ~deduped result =
     result;
   }
 
+(* A non-trivial service snapshot + stage histograms for the stats
+   round-trip: distinct values in every field class (plain counter,
+   float counter, gauges, a populated histogram). *)
+let sample_svc () =
+  let m = O.Svc_metrics.create () in
+  m.O.Svc_metrics.submitted <- 10;
+  m.O.Svc_metrics.executed <- 3;
+  m.O.Svc_metrics.dedup_hits <- 4;
+  m.O.Svc_metrics.cache_hits <- 3;
+  m.O.Svc_metrics.cache_misses <- 2;
+  m.O.Svc_metrics.stampede_avoided <- 1;
+  m.O.Svc_metrics.requests <- 12;
+  m.O.Svc_metrics.slow_requests <- 1;
+  m.O.Svc_metrics.responses <- 20;
+  m.O.Svc_metrics.decode_errors <- 2;
+  m.O.Svc_metrics.bytes_in <- 4096;
+  m.O.Svc_metrics.bytes_out <- 16384;
+  m.O.Svc_metrics.worker_busy_s <- 1.75;
+  O.Hist.record (O.Svc_metrics.stage m "request") 0.004;
+  O.Hist.record (O.Svc_metrics.stage m "request") 0.250;
+  O.Hist.record (O.Svc_metrics.stage m "run") 0.051;
+  let svc =
+    O.Svc_metrics.snapshot m ~sessions:2 ~queue_depth:1 ~inflight:3 ~running:2
+  in
+  let stages =
+    List.map
+      (fun n -> (n, O.Hist.copy (O.Svc_metrics.stage m n)))
+      O.Svc_metrics.stage_names
+  in
+  (svc, stages)
+
+let sample_trace () =
+  let ring = O.Tracer.Ring.create ~capacity:8 in
+  O.Tracer.Ring.record ring ~name:"decode" ~track:0 ~trace:1 ~ts:0.001
+    ~dur:0.0002;
+  O.Tracer.Ring.record ring ~name:"run" ~track:1 ~trace:1 ~ts:0.002 ~dur:0.05;
+  O.Tracer.spans_to_json
+    ~tracks:[ (0, "events"); (1, "worker 1") ]
+    (O.Tracer.Ring.dump ring)
+
 let sample_responses () =
   let run = Lazy.force tiny_run in
+  let svc, stages = sample_svc () in
   [
     X.Response.Ack { id = "b-1"; jobs = 3 };
     X.Response.Running { id = "b-1"; index = 2 };
@@ -154,7 +198,16 @@ let sample_responses () =
     X.Response.Invalidated { removed = 55 };
     X.Response.Server_stats
       { sessions = 2; submitted = 10; executed = 3; dedup_hits = 4;
-        cache_hits = 3; queued = 1; running = 2; uptime_s = 12.5 };
+        cache_hits = 3; queued = 1; running = 2; uptime_s = 12.5;
+        svc = None; stages = [] };
+    X.Response.Server_stats
+      { sessions = 2; submitted = 10; executed = 3; dedup_hits = 4;
+        cache_hits = 3; queued = 1; running = 2; uptime_s = 12.5;
+        svc = Some svc; stages };
+    X.Response.Health
+      { h_uptime_s = 3.5; h_schema = 2; h_workers = 4; h_sessions = 1;
+        h_queued = 0; h_running = 2 };
+    X.Response.Trace_dump { spans = 2; dropped = 0; trace = sample_trace () };
     X.Response.Pong;
     X.Response.Bye;
     X.Response.Error { message = "jobs[2].scale: expected a number" };
@@ -293,10 +346,12 @@ let counting_runner ?(delay = 0.) () =
   in
   (runner, order)
 
-let with_server ?runner ?(workers = 1) ?(cache = false) f =
+let with_server ?runner ?(workers = 1) ?(cache = false)
+    ?(obs = X.Server.obs_off) f =
   with_temp_dir (fun cache_dir ->
       let cfg =
-        { X.Server.socket_path = temp_socket (); workers; cache; cache_dir }
+        { X.Server.socket_path = temp_socket (); workers; cache; cache_dir;
+          obs }
       in
       let handle = X.Server.start ?runner cfg in
       Fun.protect
@@ -498,6 +553,142 @@ let test_batch_error_reporting () =
        | _ -> Alcotest.fail "connection died after a rejected batch");
       X.Server.Client.close c)
 
+(* --- observability: the daemon's own account of itself -------------------- *)
+
+(* Off by default: a stats response from an obs-off daemon carries no
+   svc/stages keys — byte-identical to the pre-observability wire form. *)
+let test_stats_byte_compat_obs_off () =
+  with_server (fun socket ->
+      let s = server_stats socket in
+      check Alcotest.bool "no svc snapshot" true (s.X.Response.svc = None);
+      check Alcotest.bool "no stage histograms" true
+        (s.X.Response.stages = []);
+      let line = X.Response.to_line (X.Response.Server_stats s) in
+      check Alcotest.bool "wire form has no svc key" false
+        (contains ~sub:{|"svc"|} line);
+      check Alcotest.bool "wire form has no stages key" false
+        (contains ~sub:{|"stages"|} line))
+
+(* Health answers regardless of observability config. *)
+let test_health_roundtrip_live () =
+  with_server ~workers:2 (fun socket ->
+      let c = client socket in
+      X.Server.Client.send c X.Request.Health;
+      (match X.Server.Client.recv c with
+       | Ok (X.Response.Health h) ->
+         check Alcotest.int "schema" X.Request.schema_version
+           h.X.Response.h_schema;
+         check Alcotest.int "workers" 2 h.X.Response.h_workers;
+         check Alcotest.bool "uptime non-negative" true
+           (h.X.Response.h_uptime_s >= 0.);
+         check Alcotest.bool "this session is counted" true
+           (h.X.Response.h_sessions >= 1);
+         check Alcotest.int "nothing queued" 0 h.X.Response.h_queued;
+         check Alcotest.int "nothing running" 0 h.X.Response.h_running
+       | Ok _ -> Alcotest.fail "expected a health response"
+       | Error msg -> Alcotest.failf "recv failed: %s" msg);
+      X.Server.Client.close c)
+
+(* With metrics on, the end-to-end "request" histogram counts exactly
+   the request lines answered — each stats probe snapshots before its
+   own completion, so it never counts itself. *)
+let test_request_histogram_counts_requests () =
+  let runner, _ = counting_runner () in
+  with_server ~runner ~obs:(X.Server.obs_default ()) (fun socket ->
+      let c = client socket in
+      for _ = 1 to 3 do
+        X.Server.Client.send c X.Request.Ping;
+        match X.Server.Client.recv c with
+        | Ok X.Response.Pong -> ()
+        | _ -> Alcotest.fail "no pong"
+      done;
+      X.Server.Client.send c X.Request.Stats;
+      let s =
+        match X.Server.Client.recv c with
+        | Ok (X.Response.Server_stats s) -> s
+        | _ -> Alcotest.fail "no stats"
+      in
+      let svc =
+        match s.X.Response.svc with
+        | Some svc -> svc
+        | None -> Alcotest.fail "metrics on but no svc snapshot"
+      in
+      check Alcotest.int "3 requests completed before this probe" 3
+        svc.O.Svc_metrics.s_requests;
+      let hist name =
+        match List.assoc_opt name s.X.Response.stages with
+        | Some h -> h
+        | None -> Alcotest.failf "no %S histogram" name
+      in
+      check Alcotest.int "request histogram agrees" 3
+        (O.Hist.count (hist "request"));
+      check Alcotest.bool "every stage histogram is present" true
+        (List.for_all
+           (fun n -> List.mem_assoc n s.X.Response.stages)
+           O.Svc_metrics.stage_names);
+      (* A submit rides the same accounting: one more request, one run. *)
+      submit c ~id:"x" [ spec_traf ];
+      ignore (drain_batch c ~id:"x" ~jobs:1);
+      X.Server.Client.send c X.Request.Stats;
+      let s' =
+        match X.Server.Client.recv c with
+        | Ok (X.Response.Server_stats s) -> s
+        | _ -> Alcotest.fail "no stats"
+      in
+      let hist' name =
+        match List.assoc_opt name s'.X.Response.stages with
+        | Some h -> h
+        | None -> Alcotest.failf "no %S histogram" name
+      in
+      (* 3 pings + first stats + submit = 5 completed request lines. *)
+      check Alcotest.int "submit counted end-to-end" 5
+        (O.Hist.count (hist' "request"));
+      check Alcotest.int "one execution in the run histogram" 1
+        (O.Hist.count (hist' "run"));
+      (* Decode is timed before handling, so this probe has already
+         recorded its own decode — one ahead of the completed count. *)
+      check Alcotest.int "decode timed for every request line" 6
+        (O.Hist.count (hist' "decode"));
+      X.Server.Client.close c)
+
+(* trace-dump returns a structurally valid Chrome trace document
+   covering the request's own stages. *)
+let test_trace_dump_live () =
+  let runner, _ = counting_runner () in
+  with_server ~runner ~obs:(X.Server.obs_default ()) (fun socket ->
+      let c = client socket in
+      submit c ~id:"t" [ spec_traf ];
+      ignore (drain_batch c ~id:"t" ~jobs:1);
+      X.Server.Client.send c X.Request.Trace_dump;
+      (match X.Server.Client.recv c with
+       | Ok (X.Response.Trace_dump { spans; dropped; trace }) ->
+         check Alcotest.bool "spans recorded" true (spans > 0);
+         check Alcotest.int "nothing dropped" 0 dropped;
+         (match O.Tracer.validate trace with
+          | Ok () -> ()
+          | Error msg -> Alcotest.failf "invalid trace: %s" msg)
+       | Ok _ -> Alcotest.fail "expected a trace dump"
+       | Error msg -> Alcotest.failf "recv failed: %s" msg);
+      X.Server.Client.close c)
+
+(* ...and an obs-off daemon says so instead of returning an empty one. *)
+let test_trace_dump_disabled () =
+  with_server (fun socket ->
+      let c = client socket in
+      X.Server.Client.send c X.Request.Trace_dump;
+      (match X.Server.Client.recv c with
+       | Ok (X.Response.Error { message }) ->
+         check Alcotest.bool ("says disabled: " ^ message) true
+           (contains ~sub:"disabled" message)
+       | Ok _ -> Alcotest.fail "expected an error"
+       | Error msg -> Alcotest.failf "recv failed: %s" msg);
+      (* The connection survives. *)
+      X.Server.Client.send c X.Request.Ping;
+      (match X.Server.Client.recv c with
+       | Ok X.Response.Pong -> ()
+       | _ -> Alcotest.fail "connection died after trace-dump error");
+      X.Server.Client.close c)
+
 let suite =
   [
     Alcotest.test_case "technique codec is total" `Quick
@@ -524,4 +715,14 @@ let suite =
       test_daemon_byte_identical;
     Alcotest.test_case "batch errors name the job; connection survives" `Quick
       test_batch_error_reporting;
+    Alcotest.test_case "stats wire form unchanged with obs off" `Quick
+      test_stats_byte_compat_obs_off;
+    Alcotest.test_case "health round-trips on a live daemon" `Quick
+      test_health_roundtrip_live;
+    Alcotest.test_case "request histogram counts every request line" `Quick
+      test_request_histogram_counts_requests;
+    Alcotest.test_case "trace-dump is a valid Chrome trace" `Quick
+      test_trace_dump_live;
+    Alcotest.test_case "trace-dump errors cleanly when disabled" `Quick
+      test_trace_dump_disabled;
   ]
